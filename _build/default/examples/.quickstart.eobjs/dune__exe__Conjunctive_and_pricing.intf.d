@@ -1,0 +1,1 @@
+examples/conjunctive_and_pricing.mli:

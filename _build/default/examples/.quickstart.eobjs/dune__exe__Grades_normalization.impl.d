@@ -1,0 +1,1 @@
+examples/grades_normalization.ml: Array Ctxmatch Evalharness List Mapping Matching Printf Relational String Workload

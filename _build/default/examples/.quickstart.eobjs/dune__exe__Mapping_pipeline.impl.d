@@ -1,0 +1,1 @@
+examples/mapping_pipeline.ml: Association Attribute Condition Constraints Executor List Mapping Printf Propagation Relation Relational Schema Sp_query Stats Table Value

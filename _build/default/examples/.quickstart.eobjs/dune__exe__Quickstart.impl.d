@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ctxmatch Evalharness Format List Matching Printf Relational Workload

@@ -1,0 +1,1 @@
+examples/retail_scenario.ml: Ctxmatch Evalharness List Printf Workload

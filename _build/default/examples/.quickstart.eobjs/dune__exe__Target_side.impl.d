@@ -1,0 +1,1 @@
+examples/target_side.ml: Ctxmatch List Printf Relational String Workload

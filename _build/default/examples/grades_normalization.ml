@@ -1,0 +1,89 @@
+(* Attribute normalization end-to-end (paper §4 + §5.7).
+
+   grades_narrow(name, examNum, grade) must be mapped onto
+   grades_wide(name, grade1..grade5): rows become columns.  The pipeline:
+
+   1. ContextMatch with ClioQualTable discovers one view per examNum
+      value and aligns each view's grade with the right target column
+      (numeric distributions: exam i has mean 40 + 10(i-1)).
+   2. Constraint mining finds the base key (name, examNum); the §4.2
+      rules propagate view keys and contextual foreign keys.
+   3. Join rule 1 groups the views on name; the mapping executor runs
+      the 5-way full outer join and emits the wide table.
+
+   Run with: dune exec examples/grades_normalization.exe *)
+
+let () =
+  let params = Workload.Grades.default_params in
+  let source = Workload.Grades.narrow params in
+  let target = Workload.Grades.wide params in
+
+  Printf.printf "Source: %d students x %d exams, sigma = %.1f\n\n"
+    params.Workload.Grades.students params.Workload.Grades.exams params.Workload.Grades.sigma;
+
+  let config =
+    {
+      Ctxmatch.Config.default with
+      early_disjuncts = false;
+      select = Ctxmatch.Config.Clio_qual_table;
+    }
+  in
+  let infer = Ctxmatch.Context_match.infer_of `Src_class ~target in
+  let result = Ctxmatch.Context_match.run ~config ~infer ~source ~target () in
+
+  print_endline "Selected contextual matches:";
+  List.iter
+    (fun m -> Printf.printf "  %s\n" (Matching.Schema_match.to_string m))
+    result.Ctxmatch.Context_match.matches;
+
+  let truth = Evalharness.Ground_truth.grades params in
+  Printf.printf "\nMatch accuracy: %.3f\n"
+    (Evalharness.Ground_truth.accuracy truth result.Ctxmatch.Context_match.matches);
+
+  (* Build and display the mapping plan. *)
+  let plan =
+    Mapping.Mapping_gen.plan ~source ~target
+      ~matches:result.Ctxmatch.Context_match.matches ()
+  in
+  Printf.printf "\nDerived constraints (%d):\n" (List.length plan.Mapping.Mapping_gen.derived);
+  List.iter
+    (fun (d : Mapping.Propagation.derived) ->
+      Printf.printf "  [%-22s] %s\n" d.rule (Mapping.Constraints.to_string d.constr))
+    (List.filteri (fun i _ -> i < 8) plan.Mapping.Mapping_gen.derived);
+  Printf.printf "  ... and %d more\n"
+    (max 0 (List.length plan.Mapping.Mapping_gen.derived - 8));
+
+  Printf.printf "\nAssociation joins (%d):\n" (List.length plan.Mapping.Mapping_gen.joins);
+  List.iter
+    (fun (j : Mapping.Association.join) ->
+      Printf.printf "  [%-5s] %s  <->  %s on %s\n" j.rule j.left j.right
+        (String.concat ", " (List.map (fun (a, b) -> a ^ " = " ^ b) j.on)))
+    (List.filteri (fun i _ -> i < 6) plan.Mapping.Mapping_gen.joins);
+
+  (* Execute the mapping and verify its output. *)
+  let mapped = Mapping.Mapping_gen.execute_all plan in
+  let wide = Relational.Database.table mapped Workload.Grades.wide_table_name in
+  Printf.printf "\nExecuted mapping: %d wide rows (expected %d)\n"
+    (Relational.Table.row_count wide) params.Workload.Grades.students;
+
+  let nulls =
+    Array.fold_left
+      (fun acc row ->
+        acc
+        + Array.fold_left
+            (fun a v -> if Relational.Value.is_null v then a + 1 else a)
+            0 row)
+      0
+      (Relational.Table.rows wide)
+  in
+  Printf.printf "Null cells in output: %d\n" nulls;
+  print_endline "\nFirst three output rows:";
+  Array.iteri
+    (fun i row ->
+      if i < 3 then begin
+        let cells =
+          Array.to_list row |> List.map Relational.Value.to_string |> String.concat " | "
+        in
+        Printf.printf "  %s\n" cells
+      end)
+    (Relational.Table.rows wide)

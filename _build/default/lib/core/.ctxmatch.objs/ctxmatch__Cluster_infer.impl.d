@@ -1,0 +1,1 @@
+lib/core/cluster_infer.ml: Array Clustered_view_gen Float Hashtbl Infer Learn List Option Stats String Textsim

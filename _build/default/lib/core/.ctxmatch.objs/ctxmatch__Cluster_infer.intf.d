@@ -1,0 +1,1 @@
+lib/core/cluster_infer.mli: Clustered_view_gen Infer Stats

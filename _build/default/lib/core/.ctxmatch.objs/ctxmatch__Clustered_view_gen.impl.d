@@ -1,0 +1,1 @@
+lib/core/clustered_view_gen.ml: Array Categorical Config Learn List Relational Schema Stats String Table Value View

@@ -1,0 +1,1 @@
+lib/core/clustered_view_gen.mli: Config Learn Relational Stats Table Value View

@@ -1,0 +1,1 @@
+lib/core/conjunctive.ml: Condition Config Context_match Database Float Hashtbl Infer List Matching Relational Table View

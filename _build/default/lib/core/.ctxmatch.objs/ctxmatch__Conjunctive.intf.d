@@ -1,0 +1,1 @@
+lib/core/conjunctive.mli: Config Context_match Database Matching Relational

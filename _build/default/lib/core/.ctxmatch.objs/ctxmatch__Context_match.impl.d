@@ -1,0 +1,1 @@
+lib/core/context_match.ml: Cluster_infer Config Database Infer List Matching Naive_infer Relational Select_matches Src_class_infer Stats Table Tgt_class_infer Unix View

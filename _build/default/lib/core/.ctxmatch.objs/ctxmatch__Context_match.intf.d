@@ -1,0 +1,1 @@
+lib/core/context_match.mli: Config Database Infer Matching Relational Select_matches View

@@ -1,0 +1,1 @@
+lib/core/infer.ml: Condition Config Hashtbl List Matching Relational Stats Table View

@@ -1,0 +1,1 @@
+lib/core/infer.mli: Config Matching Relational Stats Table View

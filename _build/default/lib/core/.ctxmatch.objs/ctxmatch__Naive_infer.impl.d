@@ -1,0 +1,1 @@
+lib/core/naive_infer.ml: Array Categorical Config Infer List Relational Table View

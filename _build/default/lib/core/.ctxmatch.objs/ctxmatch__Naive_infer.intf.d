@@ -1,0 +1,1 @@
+lib/core/naive_infer.mli: Infer

@@ -1,0 +1,1 @@
+lib/core/select_matches.ml: Condition Float Hashtbl List Matching Relational Schema String Table Value View

@@ -1,0 +1,1 @@
+lib/core/select_matches.mli: Matching Relational View

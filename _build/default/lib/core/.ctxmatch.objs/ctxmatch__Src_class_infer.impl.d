@@ -1,0 +1,1 @@
+lib/core/src_class_infer.ml: Array Clustered_view_gen Infer Learn

@@ -1,0 +1,1 @@
+lib/core/src_class_infer.mli: Clustered_view_gen Infer

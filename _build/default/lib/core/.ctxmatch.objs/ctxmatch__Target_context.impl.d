@@ -1,0 +1,1 @@
+lib/core/target_context.ml: Condition Config Context_match List Matching Printf Relational

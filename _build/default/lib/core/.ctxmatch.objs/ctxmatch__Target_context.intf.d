@@ -1,0 +1,1 @@
+lib/core/target_context.mli: Condition Config Context_match Database Relational

@@ -1,0 +1,1 @@
+lib/core/tgt_class_infer.ml: Array Attribute Clustered_view_gen Database Float Hashtbl Infer Int Learn List Option Printf Relational Schema String Table Textsim Value

@@ -1,0 +1,1 @@
+lib/core/tgt_class_infer.mli: Clustered_view_gen Database Infer Learn Relational

@@ -1,0 +1,24 @@
+(** ClusterInfer — the third view-inference technique the paper
+    evaluated ("a third technique based on clustering was also
+    evaluated, but its performance was similar to SrcClassInfer and we
+    omit it for brevity", §3.2.2).
+
+    Instead of training a supervised classifier on h -> l, the h-values
+    of the training rows are clustered unsupervised into as many
+    clusters as l has labels (1-D k-means for numbers, k-medoids over
+    3-gram distance for text); each cluster is then tagged with its
+    majority l-label, and the induced predictor maps a row to the label
+    of its nearest cluster.  Well-clustered attributes again pass the
+    §3.2.2 significance test. *)
+
+val kmeans_1d :
+  Stats.Rng.t -> k:int -> float array -> float array
+(** [kmeans_1d rng ~k xs] returns the cluster centres (sorted, at most
+    [k]; fewer when there are fewer distinct values).  Lloyd iterations
+    from quantile-seeded centres; deterministic given the rng. *)
+
+val nearest : float array -> float -> int
+(** Index of the closest centre. *)
+
+val teacher : Clustered_view_gen.teacher
+val infer : Infer.t

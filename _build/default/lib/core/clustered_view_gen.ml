@@ -1,0 +1,181 @@
+open Relational
+
+type teacher = {
+  teacher_name : string;
+  prepare :
+    table:Table.t ->
+    h:string ->
+    label_of:(Table.row -> string) ->
+    train:Table.row array ->
+    Table.row ->
+    string option;
+}
+
+type verdict = {
+  h_attr : string;
+  l_attr : string;
+  quality : float;
+  null_likelihood : float;
+  significant : bool;
+  confusion : Stats.Confusion.t;
+}
+
+let feature_of table ~h row =
+  let i = Schema.index_of (Table.schema table) h in
+  match row.(i) with
+  | Value.Null -> Learn.Classifier.Missing
+  | Value.Int n -> Learn.Classifier.Number (float_of_int n)
+  | Value.Float f -> Learn.Classifier.Number f
+  | Value.String s -> Learn.Classifier.Text s
+  | Value.Bool b -> Learn.Classifier.Text (string_of_bool b)
+
+let evaluate rng (config : Config.t) teacher table ~h ~l ~label_map =
+  let schema = Table.schema table in
+  let l_idx = Schema.index_of schema l in
+  let rows =
+    Array.of_list
+      (List.filter
+         (fun row -> not (Value.is_null row.(l_idx)))
+         (Array.to_list (Table.rows table)))
+  in
+  if Array.length rows < 4 then None
+  else begin
+    let label_of row = label_map row.(l_idx) in
+    let distinct_labels =
+      Array.to_list rows |> List.map label_of |> List.sort_uniq String.compare
+    in
+    if List.length distinct_labels < 2 then None
+    else begin
+      let train, test =
+        Stats.Sampling.stratified_split rng ~label:label_of
+          ~train_fraction:config.Config.train_fraction rows
+      in
+      if Array.length train = 0 || Array.length test = 0 then None
+      else begin
+        let predict = teacher.prepare ~table ~h ~label_of ~train in
+        let prior = Learn.Evaluation.majority_prior (Array.map label_of train) in
+        let outcome =
+          Learn.Evaluation.test ~threshold:config.Config.significance ~classify:predict
+            ~label_of ~majority_prior:prior test
+        in
+        Some
+          {
+            h_attr = h;
+            l_attr = l;
+            quality = outcome.Learn.Evaluation.quality;
+            null_likelihood = outcome.Learn.Evaluation.null_likelihood;
+            significant = outcome.Learn.Evaluation.significant;
+            confusion = outcome.Learn.Evaluation.confusion;
+          }
+      end
+    end
+  end
+
+let non_categorical_attributes (config : Config.t) table =
+  let categorical =
+    Categorical.categorical_attributes ~params:config.Config.categorical_params table
+  in
+  Schema.attribute_names (Table.schema table)
+  |> List.filter (fun a -> not (List.mem a categorical))
+
+let best_verdict rng config teacher table ~l =
+  let candidates = List.filter (fun h -> h <> l) (non_categorical_attributes config table) in
+  List.fold_left
+    (fun best h ->
+      (* A fresh split per h keeps verdicts independent. *)
+      let verdict = evaluate (Stats.Rng.split rng) config teacher table ~h ~l
+          ~label_map:Value.to_string
+      in
+      match verdict with
+      | Some v when v.significant -> (
+        match best with
+        | Some b when b.quality >= v.quality -> best
+        | Some _ | None -> Some v)
+      | Some _ | None -> best)
+    None candidates
+
+(* --- EarlyDisjuncts label merging (paper §3.3) ----------------------- *)
+
+(* Groups of l-values; the classification label of a group is the sorted
+   concatenation of its members' display strings. *)
+module Groups = struct
+  type t = Value.t list list
+
+  let initial values : t = List.map (fun v -> [ v ]) values
+
+  let label_of_group group =
+    group |> List.map Value.to_string |> List.sort String.compare |> String.concat "|"
+
+  let label_map (groups : t) value =
+    let s = Value.to_string value in
+    let group =
+      List.find_opt (fun g -> List.exists (fun v -> Value.to_string v = s) g) groups
+    in
+    match group with Some g -> label_of_group g | None -> s
+
+  let merge (groups : t) label1 label2 : t option =
+    let g1 = List.find_opt (fun g -> label_of_group g = label1) groups in
+    let g2 = List.find_opt (fun g -> label_of_group g = label2) groups in
+    match (g1, g2) with
+    | Some g1, Some g2 when g1 != g2 ->
+      let rest = List.filter (fun g -> g != g1 && g != g2) groups in
+      Some ((g1 @ g2) :: rest)
+    | _, _ -> None
+end
+
+let merged_families rng (config : Config.t) teacher table ~l ~h =
+  let values = Table.distinct_values table l in
+  let rec loop groups acc =
+    if List.length groups < 2 then List.rev acc
+    else begin
+      let label_map = Groups.label_map groups in
+      match evaluate (Stats.Rng.split rng) config teacher table ~h ~l ~label_map with
+      | None -> List.rev acc
+      | Some verdict -> (
+        match Stats.Confusion.normalized_error_pairs verdict.confusion with
+        | [] -> List.rev acc (* no errors: nothing left to merge *)
+        | ((v, v'), _) :: _ -> (
+          match Groups.merge groups v v' with
+          | None ->
+            (* The confused pair involves the abstain label or labels we
+               cannot merge; stop. *)
+            List.rev acc
+          | Some merged ->
+            (* Re-evaluate the merged grouping; if significant, its view
+               family is a candidate. *)
+            let label_map' = Groups.label_map merged in
+            let family =
+              match
+                evaluate (Stats.Rng.split rng) config teacher table ~h ~l
+                  ~label_map:label_map'
+              with
+              | Some verdict' when verdict'.significant ->
+                Some
+                  (View.family_of_values ~quality:verdict'.quality table l merged)
+              | Some _ | None -> None
+            in
+            let acc = match family with Some f -> f :: acc | None -> acc in
+            loop merged acc))
+    end
+  in
+  loop (Groups.initial values) []
+
+let generate rng (config : Config.t) teacher table =
+  let categorical =
+    Categorical.categorical_attributes ~params:config.Config.categorical_params table
+  in
+  List.concat_map
+    (fun l ->
+      match best_verdict (Stats.Rng.split rng) config teacher table ~l with
+      | None -> []
+      | Some verdict ->
+        let simple =
+          View.partition_family ~quality:verdict.quality table l
+        in
+        let merged =
+          if config.Config.early_disjuncts then
+            merged_families (Stats.Rng.split rng) config teacher table ~l ~h:verdict.h_attr
+          else []
+        in
+        simple :: merged)
+    categorical

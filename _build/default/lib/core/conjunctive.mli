@@ -1,0 +1,31 @@
+(** Iterated search for conjunctive contexts (paper §3.5).
+
+    Heuristic: a high-quality k-condition has a high-quality
+    (k-1)-sub-condition.  Stage i+1 re-runs ContextMatch with the views
+    selected at stage i materialised as base tables, partitioning only
+    on attributes not already fixed by the view's condition; conditions
+    compose by conjunction. *)
+
+open Relational
+
+type stage = {
+  stage_index : int;  (** 1 = simple conditions, 2 = 2-conditions, ... *)
+  result : Context_match.result;
+}
+
+val run :
+  ?config:Config.t ->
+  ?stages:int ->
+  algorithm:[ `Naive | `Src_class | `Tgt_class | `Cluster ] ->
+  source:Database.t ->
+  target:Database.t ->
+  unit ->
+  stage list * Matching.Schema_match.t list
+(** [run ~algorithm ~source ~target ()] performs up to [stages]
+    (default 2) iterations and returns the per-stage results plus the
+    final combined match list, in which stage-i matches carry
+    i-attribute conjunctive conditions.  Later stages only replace a
+    stage-(i-1) match when they found a strictly improving refinement;
+    otherwise the earlier match is kept.  The improvement threshold
+    omega is quartered at each stage, since refinements of an
+    already-specialised view have intrinsically smaller increments. *)

@@ -1,0 +1,89 @@
+open Relational
+
+type result = {
+  matches : Matching.Schema_match.t list;
+  standard : Matching.Schema_match.t list;
+  families : View.family list;
+  scored : Select_matches.scored_view list;
+  candidate_view_count : int;
+  elapsed_seconds : float;
+}
+
+let run ?(config = Config.default) ~infer ~source ~target () =
+  let started = Unix.gettimeofday () in
+  let rng = Stats.Rng.create config.Config.seed in
+  let model =
+    Matching.Standard_match.build ~gated:config.Config.gated_confidence
+      ~matchers:config.Config.matchers ~source ~target ()
+  in
+  let all_standard = ref [] in
+  let all_families = ref [] in
+  let all_scored = ref [] in
+  List.iter
+    (fun source_table ->
+      let src_name = Table.name source_table in
+      (* Fig. 5 line 4: M := StandardMatch(R_S, R_T, tau) *)
+      let m = Matching.Standard_match.matches_from model ~src_table:src_name ~tau:config.tau in
+      all_standard := !all_standard @ m;
+      (* line 5: C := InferCandidateViews(R_S, M, EarlyDisjuncts) *)
+      let families =
+        infer.Infer.infer (Stats.Rng.split rng) config ~source_table ~matches:m
+      in
+      all_families := !all_families @ families;
+      (* lines 6-11: score every match of R_S under every candidate view *)
+      let family_attr_of view =
+        match
+          List.find_opt (fun f -> List.memq view f.View.views) families
+        with
+        | Some f -> f.View.attribute
+        | None -> ""
+      in
+      let views = Infer.views_of_families families in
+      List.iter
+        (fun view ->
+          let view_matches =
+            Matching.Standard_match.view_matches model view ~base_matches:m
+          in
+          if view_matches <> [] then
+            all_scored :=
+              {
+                Select_matches.view;
+                family_attr = family_attr_of view;
+                view_matches;
+              }
+              :: !all_scored)
+        views)
+    (Database.tables source);
+  let standard = !all_standard in
+  let scored = List.rev !all_scored in
+  (* line 12: SelectContextualMatches *)
+  let matches =
+    match config.Config.select with
+    | Config.Multi_table -> Select_matches.multi_table ~standard ~scored
+    | Config.Qual_table ->
+      Select_matches.qual_table ~omega:config.Config.omega
+        ~early_disjuncts:config.Config.early_disjuncts ~standard ~scored
+        ~target_tables:(Database.table_names target)
+    | Config.Clio_qual_table ->
+      Select_matches.clio_qual_table ~omega:config.Config.omega
+        ~early_disjuncts:config.Config.early_disjuncts ~standard ~scored
+        ~target_tables:(Database.table_names target)
+  in
+  {
+    matches;
+    standard;
+    families = !all_families;
+    scored;
+    candidate_view_count = List.length scored;
+    elapsed_seconds = Unix.gettimeofday () -. started;
+  }
+
+let contextual_matches result =
+  List.filter Matching.Schema_match.is_contextual result.matches
+
+let infer_of algorithm ~target =
+  match algorithm with
+  | `Naive -> Naive_infer.infer
+  | `Src_class -> Src_class_infer.infer
+  | `Tgt_class -> Tgt_class_infer.infer target
+  | `Cluster -> Cluster_infer.infer

@@ -1,0 +1,31 @@
+(** Algorithm ContextMatch (paper Fig. 5), end to end:
+
+    for each source table
+      M  := StandardMatch(R_S, R_T, tau)
+      C  := InferCandidateViews(R_S, M, EarlyDisjuncts)
+      RL := ScoreMatch of every M-match re-evaluated under every view
+    return SelectContextualMatches(M, RL, omega, EarlyDisjuncts) *)
+
+open Relational
+
+type result = {
+  matches : Matching.Schema_match.t list;  (** selected contextual + standard matches *)
+  standard : Matching.Schema_match.t list;  (** accepted standard matches (all tables) *)
+  families : View.family list;  (** candidate view families generated *)
+  scored : Select_matches.scored_view list;  (** RL grouped per view *)
+  candidate_view_count : int;
+  elapsed_seconds : float;
+}
+
+val run :
+  ?config:Config.t -> infer:Infer.t -> source:Database.t -> target:Database.t -> unit -> result
+
+val contextual_matches : result -> Matching.Schema_match.t list
+(** Only the selected matches that originate from views (the edges the
+    evaluation of §5 scores). *)
+
+val infer_of :
+  [ `Naive | `Src_class | `Tgt_class | `Cluster ] -> target:Database.t -> Infer.t
+(** Convenience constructor for the paper's view-inference algorithms
+    (including the clustering-based variant the paper evaluated but
+    omitted for brevity, §3.2.2). *)

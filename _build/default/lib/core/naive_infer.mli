@@ -1,0 +1,13 @@
+(** NaiveInfer (paper §3.2.1): every categorical attribute yields a
+    family of simple views, one per value; under EarlyDisjuncts, a
+    family for every partitioning of the values (capped — the partition
+    count is the Bell number of the cardinality). *)
+
+val infer : Infer.t
+
+val partitions : 'a list -> limit:int -> 'a list list list
+(** All set partitions of a list in a deterministic order, truncated at
+    [limit].  Exposed for tests and for the Fig. 15 runtime study. *)
+
+val bell_number : int -> int
+(** Number of set partitions of an n-element set (exact for n <= 15). *)

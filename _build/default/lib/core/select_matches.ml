@@ -1,0 +1,249 @@
+open Relational
+
+type scored_view = {
+  view : View.t;
+  family_attr : string;
+  view_matches : Matching.Schema_match.t list;
+}
+
+let multi_table ~standard ~scored =
+  let all = standard @ List.concat_map (fun sv -> sv.view_matches) scored in
+  let best = Hashtbl.create 32 in
+  List.iter
+    (fun (m : Matching.Schema_match.t) ->
+      let key = (m.tgt_table, m.tgt_attr) in
+      match Hashtbl.find_opt best key with
+      | Some (current : Matching.Schema_match.t) when current.confidence >= m.confidence -> ()
+      | Some _ | None -> Hashtbl.replace best key m)
+    all;
+  Hashtbl.fold (fun _ m acc -> m :: acc) best []
+  |> List.sort (fun (a : Matching.Schema_match.t) b ->
+         compare (a.tgt_table, a.tgt_attr) (b.tgt_table, b.tgt_attr))
+
+let total_confidence matches =
+  List.fold_left (fun acc (m : Matching.Schema_match.t) -> acc +. m.confidence) 0.0 matches
+
+(* A candidate replacement for the base table w.r.t. one target table:
+   either a single view or a join-rule-1 group of views. *)
+type candidate = {
+  cand_matches : Matching.Schema_match.t list;
+  improvement : float;
+}
+
+let sort_matches matches =
+  List.sort
+    (fun (a : Matching.Schema_match.t) b ->
+      compare
+        (a.tgt_table, a.tgt_attr, a.src_owner, a.src_attr)
+        (b.tgt_table, b.tgt_attr, b.src_owner, b.src_attr))
+    matches
+
+let dedup_matches matches =
+  let seen = Hashtbl.create 32 in
+  List.filter
+    (fun (m : Matching.Schema_match.t) ->
+      let key =
+        ( m.src_owner, m.src_attr, m.tgt_table, m.tgt_attr,
+          Relational.Condition.to_string (Relational.Condition.normalize m.condition) )
+      in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    matches
+
+(* Shared skeleton of QualTable and ClioQualTable: pick the strongest
+   source table per target, generate candidates, select by omega. *)
+let select_per_target ~omega ~early_disjuncts ~standard ~target_tables ~candidates_of =
+  List.concat_map
+    (fun tgt_table ->
+      let to_target (m : Matching.Schema_match.t) = String.equal m.tgt_table tgt_table in
+      let by_source = Hashtbl.create 8 in
+      List.iter
+        (fun (m : Matching.Schema_match.t) ->
+          if to_target m then begin
+            let existing = try Hashtbl.find by_source m.src_base with Not_found -> [] in
+            Hashtbl.replace by_source m.src_base (m :: existing)
+          end)
+        standard;
+      let best_source =
+        Hashtbl.fold
+          (fun src ms best ->
+            let t = total_confidence ms in
+            match best with
+            | Some (_, _, bt) when bt > t -> best
+            | Some (bsrc, _, bt) when bt = t && String.compare bsrc src <= 0 -> best
+            | Some _ | None -> Some (src, ms, t))
+          by_source None
+      in
+      match best_source with
+      | None -> []
+      | Some (src, base_matches, base_total) ->
+        let candidates = candidates_of ~tgt_table ~src ~base_total in
+        let improving = List.filter (fun c -> c.improvement >= omega) candidates in
+        let chosen =
+          if early_disjuncts then
+            match
+              List.sort (fun c1 c2 -> Float.compare c2.improvement c1.improvement) improving
+            with
+            | [] -> []
+            | best :: _ -> [ best ]
+          else improving
+        in
+        if chosen = [] then base_matches
+        else dedup_matches (List.concat_map (fun c -> c.cand_matches) chosen))
+    target_tables
+  |> sort_matches
+
+(* The improvement of a candidate is the strawman's sum of per-match
+   deltas (§3): for every base match the view re-scored, the change in
+   confidence — not a comparison of unrelated totals, since a view does
+   not re-score matches on its own conditioning attribute. *)
+let base_confidence standard =
+  let table = Hashtbl.create 32 in
+  List.iter
+    (fun (m : Matching.Schema_match.t) ->
+      Hashtbl.replace table (m.src_base, m.src_attr, m.tgt_table, m.tgt_attr) m.confidence)
+    standard;
+  fun (m : Matching.Schema_match.t) ->
+    match Hashtbl.find_opt table (m.src_base, m.src_attr, m.tgt_table, m.tgt_attr) with
+    | Some c -> c
+    | None -> 0.0
+
+let delta_improvement ~base_conf matches =
+  List.fold_left
+    (fun acc (m : Matching.Schema_match.t) -> acc +. (m.confidence -. base_conf m))
+    0.0 matches
+
+let single_view_candidates scored ~base_conf ~tgt_table ~src =
+  let to_target (m : Matching.Schema_match.t) = String.equal m.tgt_table tgt_table in
+  List.filter_map
+    (fun sv ->
+      if not (String.equal (Table.name (View.base sv.view)) src) then None
+      else begin
+        let ms = List.filter to_target sv.view_matches in
+        if ms = [] then None
+        else Some { cand_matches = ms; improvement = delta_improvement ~base_conf ms }
+      end)
+    scored
+
+let qual_table ~omega ~early_disjuncts ~standard ~scored ~target_tables =
+  let base_conf = base_confidence standard in
+  select_per_target ~omega ~early_disjuncts ~standard ~target_tables
+    ~candidates_of:(fun ~tgt_table ~src ~base_total:_ ->
+      single_view_candidates scored ~base_conf ~tgt_table ~src)
+
+(* ---- ClioQualTable ---------------------------------------------------- *)
+
+let joinable_family_key views =
+  match views with
+  | [] | [ _ ] -> None
+  | first :: _ ->
+    let base = View.base first in
+    let family_attr =
+      match Condition.attributes (View.condition first) with
+      | [ a ] -> Some a
+      | [] | _ :: _ :: _ -> None
+    in
+    (match family_attr with
+    | None -> None
+    | Some l ->
+      let attrs =
+        Schema.attribute_names (Table.schema base) |> List.filter (fun a -> a <> l)
+      in
+      let materialized = List.map View.materialize views in
+      let unique_everywhere x = List.for_all (fun tbl -> Table.is_unique tbl [ x ]) materialized in
+      let base_key x = Table.is_unique base [ x; l ] in
+      let overlapping x =
+        (* the same X values must recur across views: attribute
+           normalization, not horizontal partitioning *)
+        let value_sets =
+          List.map
+            (fun tbl ->
+              Table.distinct_values tbl x |> List.map Value.to_string
+              |> List.fold_left (fun acc v -> acc |> fun s -> v :: s) []
+              |> List.sort_uniq String.compare)
+            materialized
+        in
+        match value_sets with
+        | [] -> false
+        | first_set :: rest ->
+          let inter =
+            List.fold_left
+              (fun acc set -> List.filter (fun v -> List.mem v set) acc)
+              first_set rest
+          in
+          let smallest =
+            List.fold_left (fun acc set -> min acc (List.length set)) (List.length first_set) rest
+          in
+          smallest > 0 && 2 * List.length inter >= smallest
+      in
+      List.find_opt (fun x -> unique_everywhere x && base_key x && overlapping x) attrs)
+
+let group_candidate group ~base_conf ~tgt_table =
+  let to_target (m : Matching.Schema_match.t) = String.equal m.tgt_table tgt_table in
+  let views = List.map (fun sv -> sv.view) group in
+  match joinable_family_key views with
+  | None -> None
+  | Some _x ->
+    (* Improvement is judged per *edge* — for every accepted base match,
+       the best conditional version any family view offers — which is
+       symmetric with the base total (a sum over the same edges).  The
+       emitted matches are the coherent subset: the best match per
+       target attribute. *)
+    let best_per_edge = Hashtbl.create 16 in
+    let best_per_attr = Hashtbl.create 16 in
+    let keep table key (m : Matching.Schema_match.t) =
+      match Hashtbl.find_opt table key with
+      | Some (current : Matching.Schema_match.t) when current.confidence >= m.confidence -> ()
+      | Some _ | None -> Hashtbl.replace table key m
+    in
+    List.iter
+      (fun sv ->
+        List.iter
+          (fun (m : Matching.Schema_match.t) ->
+            if to_target m then begin
+              keep best_per_edge (m.src_attr, m.tgt_attr) m;
+              keep best_per_attr m.tgt_attr m
+            end)
+          sv.view_matches)
+      group;
+    let improvement =
+      Hashtbl.fold
+        (fun _ (m : Matching.Schema_match.t) acc -> acc +. (m.confidence -. base_conf m))
+        best_per_edge 0.0
+    in
+    let ms = Hashtbl.fold (fun _ m acc -> m :: acc) best_per_attr [] in
+    if ms = [] then None else Some { cand_matches = sort_matches ms; improvement }
+
+let clio_qual_table ~omega ~early_disjuncts ~standard ~scored ~target_tables =
+  let base_conf = base_confidence standard in
+  let candidates_of ~tgt_table ~src ~base_total:_ =
+    let singles = single_view_candidates scored ~base_conf ~tgt_table ~src in
+    (* group the source's simple (one-value-condition) views by their
+       family attribute; each such family is a join-rule-1 candidate *)
+    let groups = Hashtbl.create 8 in
+    List.iter
+      (fun sv ->
+        if
+          String.equal (Table.name (View.base sv.view)) src
+          && Condition.is_simple (View.condition sv.view)
+        then begin
+          let existing = try Hashtbl.find groups sv.family_attr with Not_found -> [] in
+          Hashtbl.replace groups sv.family_attr (sv :: existing)
+        end)
+      scored;
+    let grouped =
+      Hashtbl.fold
+        (fun _l group acc ->
+          if List.length group >= 2 then
+            match group_candidate (List.rev group) ~base_conf ~tgt_table with
+            | Some c -> c :: acc
+            | None -> acc
+          else acc)
+        groups []
+    in
+    singles @ grouped
+  in
+  select_per_target ~omega ~early_disjuncts ~standard ~target_tables ~candidates_of

@@ -1,0 +1,59 @@
+(** SelectContextualMatches (paper §3.4): prune the scored view matches
+    to a small, coherent set for the user. *)
+
+open Relational
+
+type scored_view = {
+  view : View.t;
+  family_attr : string;  (** categorical attribute the view conditions on *)
+  view_matches : Matching.Schema_match.t list;  (** ScoreMatch output for this view *)
+}
+
+val multi_table :
+  standard:Matching.Schema_match.t list ->
+  scored:scored_view list ->
+  Matching.Schema_match.t list
+(** MultiTable: the single highest-confidence match per target
+    attribute, across base tables and all views.  A target table may end
+    up fed by many unrelated sources — the paper shows this performs
+    poorly. *)
+
+val qual_table :
+  omega:float ->
+  early_disjuncts:bool ->
+  standard:Matching.Schema_match.t list ->
+  scored:scored_view list ->
+  target_tables:string list ->
+  Matching.Schema_match.t list
+(** QualTable: per target table, pick the source table maximising the
+    total confidence of its standard matches, then the candidate view(s)
+    of that table whose total match confidence improves on the base
+    table by at least [omega].  EarlyDisjuncts selects the single best
+    improving view (conditions may be disjunctive); LateDisjuncts keeps
+    every improving view.  When no view improves enough, the base
+    table's standard matches are returned for that target. *)
+
+val joinable_family_key : View.t list -> string option
+(** The join-rule-1 check of ClioQualTable: a single attribute X such
+    that (a) X is unique within every view of the family (a propagated
+    view key), (b) X together with the family's conditioning attribute
+    is a key of the base table (so the contextual-constraint rule yields
+    the required contextual foreign keys), and (c) the views genuinely
+    overlap on X values — the same objects appear in different views, as
+    in attribute normalization, rather than being partitioned. *)
+
+val clio_qual_table :
+  omega:float ->
+  early_disjuncts:bool ->
+  standard:Matching.Schema_match.t list ->
+  scored:scored_view list ->
+  target_tables:string list ->
+  Matching.Schema_match.t list
+(** ClioQualTable (paper §5.7): QualTable extended with the §4.3 join
+    rules.  In addition to individual candidate views, each view family
+    that passes {!joinable_family_key} forms a *joined* candidate whose
+    matches are, per target attribute, the best match offered by any
+    view in the family; the group's total confidence competes against
+    the base table under the same [omega] threshold.  This is what lets
+    attribute normalization (grades) be discovered: each examNum view
+    explains one target column, and only their join beats the base. *)

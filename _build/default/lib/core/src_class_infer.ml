@@ -1,0 +1,24 @@
+let teacher =
+  {
+    Clustered_view_gen.teacher_name = "src-class";
+    prepare =
+      (fun ~table ~h ~label_of ~train ->
+        let classifier = Learn.Classifier.create () in
+        Array.iter
+          (fun row ->
+            match Clustered_view_gen.feature_of table ~h row with
+            | Learn.Classifier.Missing -> ()
+            | feature -> Learn.Classifier.train classifier ~label:(label_of row) feature)
+          train;
+        fun row ->
+          Learn.Classifier.classify classifier (Clustered_view_gen.feature_of table ~h row));
+  }
+
+let infer =
+  {
+    Infer.infer_name = "src-class";
+    infer =
+      (fun rng config ~source_table ~matches ->
+        if matches = [] then []
+        else Clustered_view_gen.generate rng config teacher source_table);
+  }

@@ -1,0 +1,6 @@
+(** SrcClassInfer (paper §3.2.3): the classifier C_h is trained directly
+    on the source values of h — naive Bayes over 3-grams for text,
+    a Gaussian class-conditional model for numbers. *)
+
+val teacher : Clustered_view_gen.teacher
+val infer : Infer.t

@@ -1,0 +1,42 @@
+open Relational
+
+type t = {
+  src_table : string;
+  src_attr : string;
+  tgt_base : string;
+  tgt_view : string;
+  tgt_attr : string;
+  condition : Condition.t;
+  confidence : float;
+}
+
+let to_string t =
+  let ctx =
+    match t.condition with
+    | Condition.True -> ""
+    | c -> Printf.sprintf " [target: %s]" (Condition.to_string c)
+  in
+  Printf.sprintf "%s.%s -> %s.%s%s (%.3f)" t.src_table t.src_attr t.tgt_base t.tgt_attr ctx
+    t.confidence
+
+let run ?(config = Config.default) ~algorithm ~source ~target () =
+  (* Reverse the roles: the original target plays "source" so its tables
+     get partitioned into candidate views; TgtClassInfer's tagging side
+     is then the original source. *)
+  let infer = Context_match.infer_of algorithm ~target:source in
+  let result = Context_match.run ~config ~infer ~source:target ~target:source () in
+  let flipped =
+    List.map
+      (fun (m : Matching.Schema_match.t) ->
+        {
+          src_table = m.tgt_table;
+          src_attr = m.tgt_attr;
+          tgt_base = m.src_base;
+          tgt_view = m.src_owner;
+          tgt_attr = m.src_attr;
+          condition = m.condition;
+          confidence = m.confidence;
+        })
+      result.Context_match.matches
+  in
+  (flipped, result)

@@ -1,0 +1,36 @@
+(** Target-side contextual matching (paper §3: "it is generally
+    straightforward to reverse the role of source and target tables to
+    discover matches involving conditions on the target table", and §7
+    lists handling views on the target schema as future work).
+
+    ContextMatch is run with the two schemas swapped; the discovered
+    matches are then flipped back, so each result pairs a *source base
+    attribute* with a *target attribute under a condition on the target
+    table* — e.g. matching a combined target item file from separated
+    source tables. *)
+
+open Relational
+
+type t = {
+  src_table : string;
+  src_attr : string;
+  tgt_base : string;  (** target base table carrying the condition *)
+  tgt_view : string;  (** display name of the conditioned target view *)
+  tgt_attr : string;
+  condition : Condition.t;  (** condition over the target table *)
+  confidence : float;
+}
+
+val to_string : t -> string
+
+val run :
+  ?config:Config.t ->
+  algorithm:[ `Naive | `Src_class | `Tgt_class | `Cluster ] ->
+  source:Database.t ->
+  target:Database.t ->
+  unit ->
+  t list * Context_match.result
+(** [run ~algorithm ~source ~target ()] returns the target-contextual
+    matches plus the raw (swapped) ContextMatch result for inspection.
+    Standard (unconditional) matches are included with [condition =
+    True]. *)

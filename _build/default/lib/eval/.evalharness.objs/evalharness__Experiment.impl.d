@@ -1,0 +1,1 @@
+lib/eval/experiment.ml: Ctxmatch Ground_truth List Unix

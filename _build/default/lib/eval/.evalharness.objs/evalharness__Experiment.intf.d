@@ -1,0 +1,1 @@
+lib/eval/experiment.mli: Ctxmatch Ground_truth

@@ -1,0 +1,1 @@
+lib/eval/ground_truth.ml: Condition Hashtbl List Matching Relational Stats String Value Workload

@@ -1,0 +1,1 @@
+lib/eval/ground_truth.mli: Matching Relational Stats Value Workload

@@ -1,0 +1,1 @@
+lib/eval/reporting.ml: List Printf String

@@ -1,0 +1,41 @@
+type measurement = {
+  fmeasure : float;
+  accuracy : float;
+  precision : float;
+  seconds : float;
+  candidate_views : float;
+}
+
+let zero =
+  { fmeasure = 0.0; accuracy = 0.0; precision = 0.0; seconds = 0.0; candidate_views = 0.0 }
+
+let average = function
+  | [] -> zero
+  | ms ->
+    let n = float_of_int (List.length ms) in
+    let sum f = List.fold_left (fun acc m -> acc +. f m) 0.0 ms in
+    {
+      fmeasure = sum (fun m -> m.fmeasure) /. n;
+      accuracy = sum (fun m -> m.accuracy) /. n;
+      precision = sum (fun m -> m.precision) /. n;
+      seconds = sum (fun m -> m.seconds) /. n;
+      candidate_views = sum (fun m -> m.candidate_views) /. n;
+    }
+
+let repeat ~reps ~base_seed f =
+  average (List.init reps (fun i -> f ~seed:(base_seed + i)))
+
+let measure ~truth (result : Ctxmatch.Context_match.result) =
+  let matches = result.Ctxmatch.Context_match.matches in
+  {
+    fmeasure = Ground_truth.fmeasure truth matches;
+    accuracy = Ground_truth.accuracy truth matches;
+    precision = Ground_truth.precision truth matches;
+    seconds = result.Ctxmatch.Context_match.elapsed_seconds;
+    candidate_views = float_of_int result.Ctxmatch.Context_match.candidate_view_count;
+  }
+
+let timed f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. start)

@@ -1,0 +1,25 @@
+(** Repeated, seeded experiment runs with averaged measurements — the
+    harness behind every §5 figure ("sufficient experiments are run ...
+    and the results are averaged"). *)
+
+type measurement = {
+  fmeasure : float;
+  accuracy : float;  (** paper's accuracy = recall *)
+  precision : float;
+  seconds : float;
+  candidate_views : float;  (** average number of scored candidate views *)
+}
+
+val zero : measurement
+val average : measurement list -> measurement
+
+val repeat : reps:int -> base_seed:int -> (seed:int -> measurement) -> measurement
+(** Run the experiment with seeds [base_seed], [base_seed+1], ... and
+    average. *)
+
+val measure :
+  truth:Ground_truth.t -> Ctxmatch.Context_match.result -> measurement
+(** Score one ContextMatch run against a ground truth. *)
+
+val timed : (unit -> 'a) -> 'a * float
+(** Wall-clock seconds. *)

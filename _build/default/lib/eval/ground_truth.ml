@@ -1,0 +1,145 @@
+open Relational
+
+type expectation = {
+  src_base : string;
+  src_attr : string;
+  tgt_table : string;
+  tgt_attr : string;
+  context_attr : string;
+  allowed_values : Value.t list;
+}
+
+type t = { expectations : expectation list }
+
+let retail (params : Workload.Retail.params) style =
+  let books = Workload.Retail.book_labels ~gamma:params.gamma in
+  let cds = Workload.Retail.cd_labels ~gamma:params.gamma in
+  let expectations =
+    List.map
+      (fun (src_attr, tgt_table, tgt_attr, is_book) ->
+        {
+          src_base = Workload.Retail.source_table_name;
+          src_attr;
+          tgt_table;
+          tgt_attr;
+          context_attr = Workload.Retail.item_type_attr;
+          allowed_values = (if is_book then books else cds);
+        })
+      (Workload.Retail.expected_pairs style)
+  in
+  { expectations }
+
+let grades (params : Workload.Grades.params) =
+  let exam_values = List.init params.exams (fun e -> Value.Int (e + 1)) in
+  let grade_expectations =
+    List.init params.exams (fun e ->
+        let exam = e + 1 in
+        {
+          src_base = Workload.Grades.narrow_table_name;
+          src_attr = Workload.Grades.grade_attr;
+          tgt_table = Workload.Grades.wide_table_name;
+          tgt_attr = Workload.Grades.grade_column exam;
+          context_attr = Workload.Grades.exam_attr;
+          allowed_values = [ Value.Int exam ];
+        })
+  in
+  let name_expectation =
+    {
+      src_base = Workload.Grades.narrow_table_name;
+      src_attr = "name";
+      tgt_table = Workload.Grades.wide_table_name;
+      tgt_attr = "name";
+      context_attr = Workload.Grades.exam_attr;
+      allowed_values = exam_values;
+    }
+  in
+  { expectations = name_expectation :: grade_expectations }
+
+let real_estate () =
+  let expectations =
+    List.map
+      (fun (src_attr, tgt_table, tgt_attr, is_apartment) ->
+        {
+          src_base = "Listings";
+          src_attr;
+          tgt_table;
+          tgt_attr;
+          context_attr = Workload.Real_estate.property_type_attr;
+          allowed_values =
+            [
+              (if is_apartment then Workload.Real_estate.apartment_label
+               else Workload.Real_estate.house_label);
+            ];
+        })
+      Workload.Real_estate.expected_pairs
+  in
+  { expectations }
+
+let condition_ok expectation condition =
+  match Condition.selected_values condition with
+  | Some (attr, values) ->
+    String.equal attr expectation.context_attr
+    && values <> []
+    && List.for_all
+         (fun v -> List.exists (Value.equal v) expectation.allowed_values)
+         values
+  | None -> false
+
+let matches_edge expectation (m : Matching.Schema_match.t) =
+  String.equal expectation.src_base m.src_base
+  && String.equal expectation.src_attr m.src_attr
+  && String.equal expectation.tgt_table m.tgt_table
+  && String.equal expectation.tgt_attr m.tgt_attr
+
+let correct t (m : Matching.Schema_match.t) =
+  Matching.Schema_match.is_contextual m
+  && List.exists (fun e -> matches_edge e m && condition_ok e m.condition) t.expectations
+
+let dedup_found matches =
+  let seen = Hashtbl.create 32 in
+  List.filter
+    (fun (m : Matching.Schema_match.t) ->
+      let key =
+        ( m.src_base,
+          m.src_attr,
+          m.tgt_table,
+          m.tgt_attr,
+          Condition.to_string (Condition.normalize m.condition) )
+      in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    matches
+
+let evaluate t matches =
+  let found = dedup_found (List.filter Matching.Schema_match.is_contextual matches) in
+  let correct_found = List.filter (correct t) found in
+  let covered =
+    List.filter
+      (fun e ->
+        List.exists
+          (fun (m : Matching.Schema_match.t) -> matches_edge e m && condition_ok e m.condition)
+          correct_found)
+      t.expectations
+  in
+  (* counts: recall = covered/expected; precision is reported separately
+     because several correct matches may cover one expectation. *)
+  {
+    Stats.Fmeasure.true_positives = List.length covered;
+    found = List.length found;
+    expected = List.length t.expectations;
+  }
+
+let precision t matches =
+  let found = dedup_found (List.filter Matching.Schema_match.is_contextual matches) in
+  if found = [] then 0.0
+  else
+    float_of_int (List.length (List.filter (correct t) found))
+    /. float_of_int (List.length found)
+
+let accuracy t matches = Stats.Fmeasure.recall (evaluate t matches)
+
+let fmeasure t matches =
+  Stats.Fmeasure.of_rates ~precision:(precision t matches) ~recall:(accuracy t matches)

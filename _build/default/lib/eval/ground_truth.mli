@@ -1,0 +1,58 @@
+(** Ground truth for contextual matches and the paper's evaluation
+    protocol (§5, "Evaluating Accuracy"):
+
+    - only edges originating from views are scored, all others ignored;
+    - accuracy = percentage of correct matches found (i.e. recall over
+      the expected contextual matches);
+    - precision = percentage of found matches that are correct.
+
+    An expected contextual match fixes the attribute pairing and the
+    attribute the condition must select on, together with the set of
+    values the condition may select from.  A found match is correct when
+    its pairing matches, its condition is simple/simple-disjunctive on
+    the designated attribute, and the selected values are a non-empty
+    subset of the allowed set — e.g. with gamma = 4, both
+    [ItemType = Book1] and [ItemType IN (Book1, Book2)] are correct
+    conditions for a book-side match. *)
+
+open Relational
+
+type expectation = {
+  src_base : string;
+  src_attr : string;
+  tgt_table : string;
+  tgt_attr : string;
+  context_attr : string;
+  allowed_values : Value.t list;
+}
+
+type t = { expectations : expectation list }
+
+val retail : Workload.Retail.params -> Workload.Retail.target_style -> t
+(** Expected contextual matches of the Retail scenario: the informative
+    attribute pairs of {!Workload.Retail.expected_pairs}, conditioned on
+    ItemType selecting only book labels (book-side targets) or only CD
+    labels (music side). *)
+
+val grades : Workload.Grades.params -> t
+(** Expected matches of the Grades scenario: for every exam i,
+    (grades_narrow.grade -> grades_wide.grade_i) under examNum = i, plus
+    name -> name under any single exam value. *)
+
+val real_estate : unit -> t
+(** Expected contextual matches of the real-estate scenario
+    ({!Workload.Real_estate}): informative pairs conditioned on
+    PropertyType. *)
+
+val correct : t -> Matching.Schema_match.t -> bool
+(** Whether a (contextual) match is correct w.r.t. the expectations. *)
+
+val evaluate : t -> Matching.Schema_match.t list -> Stats.Fmeasure.counts
+(** Score the contextual subset of the given matches against the
+    expectations. *)
+
+val fmeasure : t -> Matching.Schema_match.t list -> float
+val accuracy : t -> Matching.Schema_match.t list -> float
+(** The paper's accuracy = recall. *)
+
+val precision : t -> Matching.Schema_match.t list -> float

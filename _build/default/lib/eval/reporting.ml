@@ -1,0 +1,18 @@
+let section title =
+  let line = String.make (String.length title + 4) '=' in
+  Printf.printf "\n%s\n= %s =\n%s\n" line title line
+
+let series ~x_label ~columns ~rows =
+  let header = x_label :: columns in
+  let width = List.fold_left (fun acc h -> max acc (String.length h + 2)) 10 header in
+  let pad s = Printf.sprintf "%-*s" width s in
+  print_string (String.concat "" (List.map pad header));
+  print_newline ();
+  List.iter
+    (fun (x, ys) ->
+      print_string (pad (Printf.sprintf "%g" x));
+      List.iter (fun y -> print_string (pad (Printf.sprintf "%.3f" y))) ys;
+      print_newline ())
+    rows
+
+let note text = Printf.printf "  %s\n" text

@@ -1,0 +1,11 @@
+(** Plain-text series output for the figure-reproduction harness. *)
+
+val section : string -> unit
+(** Print a figure header banner. *)
+
+val series :
+  x_label:string -> columns:string list -> rows:(float * float list) list -> unit
+(** Print an aligned table: first column the swept parameter, then one
+    column per series. *)
+
+val note : string -> unit

@@ -1,0 +1,1 @@
+lib/learn/classifier.ml: Gaussian_nb List Naive_bayes Printf String Textsim

@@ -1,0 +1,1 @@
+lib/learn/classifier.mli:

@@ -1,0 +1,1 @@
+lib/learn/evaluation.ml: Array Hashtbl Stats

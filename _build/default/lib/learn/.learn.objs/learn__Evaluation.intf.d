@@ -1,0 +1,1 @@
+lib/learn/evaluation.mli: Stats

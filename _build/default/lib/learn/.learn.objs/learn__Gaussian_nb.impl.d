@@ -1,0 +1,1 @@
+lib/learn/gaussian_nb.ml: Float Hashtbl Int List String

@@ -1,0 +1,1 @@
+lib/learn/gaussian_nb.mli:

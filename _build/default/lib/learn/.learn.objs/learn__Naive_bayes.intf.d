@@ -1,0 +1,1 @@
+lib/learn/naive_bayes.mli:

@@ -1,0 +1,58 @@
+type feature =
+  | Text of string
+  | Number of float
+  | Missing
+
+type core = {
+  q : int;
+  text : Naive_bayes.t;
+  numeric : Gaussian_nb.t;
+}
+
+type t =
+  | Trainable of core
+  | External of (feature -> string option)
+
+let create ?(q = 3) ?alpha () =
+  Trainable { q; text = Naive_bayes.create ?alpha (); numeric = Gaussian_nb.create () }
+
+let train t ~label feature =
+  match t with
+  | External _ -> invalid_arg "Classifier.train: external classifier"
+  | Trainable core -> (
+    match feature with
+    | Missing -> ()
+    | Text s -> Naive_bayes.train core.text ~label (Textsim.Tokenize.qgrams core.q s)
+    | Number x -> Gaussian_nb.train core.numeric ~label x)
+
+let trained = function
+  | External _ -> true
+  | Trainable core ->
+    Naive_bayes.document_count core.text > 0 || Gaussian_nb.sample_count core.numeric > 0
+
+let labels = function
+  | External _ -> []
+  | Trainable core ->
+    List.sort_uniq String.compare (Naive_bayes.labels core.text @ Gaussian_nb.labels core.numeric)
+
+let classify t feature =
+  match t with
+  | External f -> f feature
+  | Trainable core -> (
+    match feature with
+    | Missing -> None
+    | Text s ->
+      if Naive_bayes.document_count core.text > 0 then
+        Naive_bayes.classify core.text (Textsim.Tokenize.qgrams core.q s)
+      else (
+        (* All training data was numeric; try to read the text as a number. *)
+        match float_of_string_opt (String.trim s) with
+        | Some x -> Gaussian_nb.classify core.numeric x
+        | None -> None)
+    | Number x ->
+      if Gaussian_nb.sample_count core.numeric > 0 then Gaussian_nb.classify core.numeric x
+      else
+        Naive_bayes.classify core.text
+          (Textsim.Tokenize.qgrams core.q (Printf.sprintf "%g" x)))
+
+let of_fun f = External f

@@ -1,0 +1,36 @@
+(** A unified single-label classifier over mixed features.
+
+    ClusteredViewGen trains "a classification function C_h" on attribute
+    values; depending on the attribute's type this is naive Bayes on
+    3-grams or a Gaussian classifier (paper §3.2.3).  This module hides
+    the dispatch so the view-generation algorithm is type-agnostic. *)
+
+type feature =
+  | Text of string
+  | Number of float
+  | Missing
+
+type t
+
+val create : ?q:int -> ?alpha:float -> unit -> t
+(** Fresh classifier; [q] is the gram size for text (default 3), [alpha]
+    the NB smoothing. *)
+
+val train : t -> label:string -> feature -> unit
+(** [Missing] features are ignored. *)
+
+val trained : t -> bool
+(** True once at least one (non-missing) example has been seen. *)
+
+val labels : t -> string list
+
+val classify : t -> feature -> string option
+(** Predicted label.  Numbers may have been seen as text and vice versa;
+    each sub-classifier answers only for its own feature kind, and when
+    that kind saw no training data the other is consulted on a textual
+    rendering. [Missing] yields [None]. *)
+
+val of_fun : (feature -> string option) -> t
+(** Wrap an external prediction function (used by TgtClassInfer, whose
+    "classifier" is the bestCAT composition).  Training on such a
+    classifier raises [Invalid_argument]. *)

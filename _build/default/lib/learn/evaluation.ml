@@ -1,0 +1,40 @@
+type outcome = {
+  confusion : Stats.Confusion.t;
+  quality : float;
+  null_likelihood : float;
+  significant : bool;
+}
+
+let majority_prior labels =
+  let n = Array.length labels in
+  if n = 0 then 0.0
+  else begin
+    let counts = Hashtbl.create 16 in
+    Array.iter
+      (fun l ->
+        let c = try Hashtbl.find counts l with Not_found -> 0 in
+        Hashtbl.replace counts l (c + 1))
+      labels;
+    let best = Hashtbl.fold (fun _ c acc -> max c acc) counts 0 in
+    float_of_int best /. float_of_int n
+  end
+
+let test ?(threshold = 0.95) ~classify ~label_of ~majority_prior test_items =
+  let confusion = Stats.Confusion.create () in
+  Array.iter
+    (fun item ->
+      let truth = label_of item in
+      let predicted = match classify item with Some l -> l | None -> "(none)" in
+      Stats.Confusion.observe confusion ~truth ~predicted)
+    test_items;
+  let n = Stats.Confusion.total confusion in
+  let correct = Stats.Confusion.correct confusion in
+  let quality = Stats.Confusion.micro_f confusion in
+  let null_likelihood =
+    if n = 0 then 1.0
+    else if majority_prior <= 0.0 then if correct > 0 then 0.0 else 1.0
+    else if majority_prior >= 1.0 then 1.0
+    else Stats.Distribution.binomial_tail_normal ~n ~p:majority_prior ~successes:correct
+  in
+  let significant = n > 0 && null_likelihood <= 1.0 -. threshold in
+  { confusion; quality; null_likelihood; significant }

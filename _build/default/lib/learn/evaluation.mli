@@ -1,0 +1,34 @@
+(** Held-out evaluation of classifiers, including the significance test
+    of paper §3.2.2.
+
+    The null hypothesis is that the attribute h carries no information
+    about the label l; under it a naive classifier that always answers
+    the most common training label scores Binomial(test_size, p) with
+    p = freq(v_star) / train_size.  The alternative ("l is predictable from
+    h") is accepted when the classifier's correct count is above the
+    1 - T tail of that distribution (T defaults to 0.95). *)
+
+type outcome = {
+  confusion : Stats.Confusion.t;
+  quality : float;  (** micro-averaged F1 of the predictions *)
+  null_likelihood : float;
+      (** probability that the null (no-correlation) classifier does at
+          least as well *)
+  significant : bool;  (** null_likelihood <= 1 - T *)
+}
+
+val test :
+  ?threshold:float ->
+  classify:('a -> string option) ->
+  label_of:('a -> string) ->
+  majority_prior:float ->
+  'a array ->
+  outcome
+(** [test ~classify ~label_of ~majority_prior test_items] classifies
+    every item; items the classifier abstains on count as errors with a
+    synthetic "(none)" prediction.  [majority_prior] is the training
+    frequency of the most common label (the null classifier's success
+    probability).  [threshold] is T, default 0.95. *)
+
+val majority_prior : string array -> float
+(** Frequency of the most common label; 0 on an empty array. *)

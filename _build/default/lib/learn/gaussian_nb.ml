@@ -1,0 +1,88 @@
+type class_acc = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+}
+
+type t = {
+  by_label : (string, class_acc) Hashtbl.t;
+  mutable total : int;
+  mutable global_min : float;
+  mutable global_max : float;
+}
+
+let create () =
+  {
+    by_label = Hashtbl.create 16;
+    total = 0;
+    global_min = Float.infinity;
+    global_max = Float.neg_infinity;
+  }
+
+let acc_for t label =
+  match Hashtbl.find_opt t.by_label label with
+  | Some a -> a
+  | None ->
+    let a = { n = 0; mean = 0.0; m2 = 0.0 } in
+    Hashtbl.add t.by_label label a;
+    a
+
+let train t ~label x =
+  let a = acc_for t label in
+  a.n <- a.n + 1;
+  let delta = x -. a.mean in
+  a.mean <- a.mean +. (delta /. float_of_int a.n);
+  a.m2 <- a.m2 +. (delta *. (x -. a.mean));
+  t.total <- t.total + 1;
+  if x < t.global_min then t.global_min <- x;
+  if x > t.global_max then t.global_max <- x
+
+let labels t =
+  Hashtbl.fold (fun label _ acc -> label :: acc) t.by_label [] |> List.sort String.compare
+
+let sample_count t = t.total
+
+let stddev_of a = if a.n < 2 then 0.0 else sqrt (a.m2 /. float_of_int a.n)
+
+let class_stats t label =
+  match Hashtbl.find_opt t.by_label label with
+  | None -> None
+  | Some a -> Some (a.n, a.mean, stddev_of a)
+
+(* Floor for degenerate sigmas: a constant class is modelled as a spike
+   of width 1e-3 of the global spread (or 1e-6 absolute). *)
+let sigma_floor t =
+  let spread = t.global_max -. t.global_min in
+  if Float.is_finite spread && spread > 0.0 then 1e-3 *. spread else 1e-6
+
+let log_posteriors t x =
+  if t.total = 0 then []
+  else begin
+    let floor = sigma_floor t in
+    let scored =
+      Hashtbl.fold
+        (fun label a acc ->
+          let prior = log (float_of_int a.n /. float_of_int t.total) in
+          let sigma = Float.max (stddev_of a) floor in
+          let z = (x -. a.mean) /. sigma in
+          let log_density = -.log sigma -. (0.5 *. z *. z) in
+          (label, prior +. log_density) :: acc)
+        t.by_label []
+    in
+    List.sort
+      (fun (l1, s1) (l2, s2) ->
+        match Float.compare s2 s1 with
+        | 0 -> (
+          let n1 = (Hashtbl.find t.by_label l1).n and n2 = (Hashtbl.find t.by_label l2).n in
+          match Int.compare n2 n1 with 0 -> String.compare l1 l2 | c -> c)
+        | c -> c)
+      scored
+  end
+
+let classify t x = match log_posteriors t x with [] -> None | (label, _) :: _ -> Some label
+
+let classify_with_margin t x =
+  match log_posteriors t x with
+  | [] -> None
+  | [ (label, _) ] -> Some (label, Float.infinity)
+  | (label, s1) :: (_, s2) :: _ -> Some (label, s1 -. s2)

@@ -1,0 +1,23 @@
+(** Gaussian classifier for numeric attributes (paper §3.2.3: "If h is a
+    numeric attribute, a statistical classifier is used instead").
+
+    Each label gets a univariate normal fitted to its training values;
+    classification picks the label maximising prior × density. *)
+
+type t
+
+val create : unit -> t
+val train : t -> label:string -> float -> unit
+val labels : t -> string list
+val sample_count : t -> int
+
+val class_stats : t -> string -> (int * float * float) option
+(** (count, mean, stddev) for a label. *)
+
+val log_posteriors : t -> float -> (string * float) list
+(** Log prior + log density per label, best first.  A label whose fitted
+    sigma is 0 (constant training values) is treated as a narrow spike
+    (sigma floored to a small fraction of the global spread). *)
+
+val classify : t -> float -> string option
+val classify_with_margin : t -> float -> (string * float) option

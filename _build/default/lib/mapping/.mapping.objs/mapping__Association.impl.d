@@ -1,0 +1,1 @@
+lib/mapping/association.ml: Condition Constraints List Propagation Relation Relational String Value

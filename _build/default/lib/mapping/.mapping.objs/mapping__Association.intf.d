@@ -1,0 +1,1 @@
+lib/mapping/association.mli: Constraints Propagation Relation Relational Value

@@ -1,0 +1,1 @@
+lib/mapping/constraints.ml: Array Format Hashtbl List Printf Relational Schema String Table Value

@@ -1,0 +1,1 @@
+lib/mapping/executor.ml: Array Association Attribute Hashtbl List Printf Relation Relational Schema String Table Value

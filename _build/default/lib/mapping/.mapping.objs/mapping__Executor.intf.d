@@ -1,0 +1,1 @@
+lib/mapping/executor.mli: Association Relation Relational Table Value

@@ -1,0 +1,1 @@
+lib/mapping/mapping_gen.ml: Array Association Attribute Constraints Database Executor Hashtbl List Matching Mining Option Printf Propagation Relation Relational Schema String Table Value View

@@ -1,0 +1,1 @@
+lib/mapping/mapping_gen.mli: Association Constraints Database Matching Propagation Relation Relational Table Value

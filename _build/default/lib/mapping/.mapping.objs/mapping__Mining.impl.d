@@ -1,0 +1,1 @@
+lib/mapping/mining.ml: Array Condition Constraints Hashtbl List Relation Relational String Table

@@ -1,0 +1,1 @@
+lib/mapping/mining.mli: Constraints Relation

@@ -1,0 +1,1 @@
+lib/mapping/propagation.ml: Condition Constraints Hashtbl List Relation Relational String Table Value

@@ -1,0 +1,1 @@
+lib/mapping/propagation.mli: Constraints Relation

@@ -1,0 +1,1 @@
+lib/mapping/relation.ml: Condition Format Relational Schema Sp_query Table View

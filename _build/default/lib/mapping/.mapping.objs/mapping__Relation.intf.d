@@ -1,0 +1,1 @@
+lib/mapping/relation.mli: Condition Format Relational Sp_query Table View

@@ -1,0 +1,1 @@
+lib/mapping/sp_query.ml: Condition Format Printf Relational Schema String Table

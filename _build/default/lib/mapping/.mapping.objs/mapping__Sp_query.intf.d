@@ -1,0 +1,1 @@
+lib/mapping/sp_query.mli: Condition Format Relational Schema Table

@@ -1,0 +1,1 @@
+lib/mapping/sql_render.ml: Association Buffer Condition Database List Mapping_gen Printf Relation Relational Schema String Table Value

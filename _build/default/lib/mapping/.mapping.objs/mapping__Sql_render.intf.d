@@ -1,0 +1,1 @@
+lib/mapping/sql_render.mli: Mapping_gen Relation Relational

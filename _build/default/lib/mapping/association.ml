@@ -1,0 +1,153 @@
+open Relational
+
+type kind =
+  | Full_outer
+  | Left_outer
+
+type join = {
+  left : string;
+  right : string;
+  on : (string * string) list;
+  right_restrict : (string * Value.t) list;
+  kind : kind;
+  rule : string;
+}
+
+let keys_of rel_name all =
+  List.filter_map
+    (function
+      | Constraints.Key k when String.equal k.Constraints.rel rel_name -> Some k.Constraints.key_attrs
+      | Constraints.Key _ | Constraints.Fk _ | Constraints.Cfk _ -> None)
+    all
+
+let cfks_of rel_name all =
+  List.filter_map
+    (function
+      | Constraints.Cfk c when String.equal c.Constraints.cfk_rel rel_name -> Some c
+      | Constraints.Key _ | Constraints.Fk _ | Constraints.Cfk _ -> None)
+    all
+
+let fks all =
+  List.filter_map
+    (function
+      | Constraints.Fk f -> Some f
+      | Constraints.Key _ | Constraints.Cfk _ -> None)
+    all
+
+let same_string_lists a b =
+  List.sort String.compare a = List.sort String.compare b
+
+let joins ~relations ~constraints ~derived =
+  let all = constraints @ List.map (fun d -> d.Propagation.constr) derived in
+  let results = ref [] in
+  let emit j =
+    let mirror_exists =
+      List.exists
+        (fun existing ->
+          (String.equal existing.left j.left && String.equal existing.right j.right
+          || (String.equal existing.left j.right && String.equal existing.right j.left))
+          && String.equal existing.rule j.rule)
+        !results
+    in
+    if not mirror_exists then results := j :: !results
+  in
+  let names = List.map Relation.name relations in
+  (* Clio base rule: outer join on declared/derived foreign keys between
+     present relations. *)
+  List.iter
+    (fun (f : Constraints.foreign_key) ->
+      if List.mem f.fk_rel names && List.mem f.ref_rel names then
+        emit
+          {
+            left = f.fk_rel;
+            right = f.ref_rel;
+            on = List.combine f.fk_attrs f.ref_attrs;
+            right_restrict = [];
+            kind = Left_outer;
+            rule = "clio-fk";
+          })
+    (fks all);
+  (* join 1 and join 2: pairs of views over the same base table. *)
+  let views = List.filter Relation.is_view relations in
+  let rec view_pairs = function
+    | [] -> ()
+    | v1 :: rest ->
+      List.iter
+        (fun v2 ->
+          if String.equal (Relation.base_name v1) (Relation.base_name v2) then begin
+            let n1 = Relation.name v1 and n2 = Relation.name v2 in
+            let keys1 = keys_of n1 all and keys2 = keys_of n2 all in
+            let cfks1 = cfks_of n1 all and cfks2 = cfks_of n2 all in
+            let shared_keys =
+              List.filter (fun k1 -> List.exists (same_string_lists k1) keys2) keys1
+            in
+            let cfk_on k (cfks : Constraints.contextual_fk list) =
+              List.exists (fun c -> same_string_lists c.Constraints.cfk_attrs k) cfks
+            in
+            let sel1 = Relation.selection_condition v1 in
+            let sel2 = Relation.selection_condition v2 in
+            let same_attrs =
+              same_string_lists (Relation.attributes v1) (Relation.attributes v2)
+            in
+            List.iter
+              (fun key ->
+                if cfk_on key cfks1 && cfk_on key cfks2 then begin
+                  let on = List.map (fun a -> (a, a)) key in
+                  if same_attrs then begin
+                    (* join 1: same attributes, different selected values
+                       of the same attribute *)
+                    match
+                      ( Condition.selected_values sel1,
+                        Condition.selected_values sel2 )
+                    with
+                    | Some (a1, vs1), Some (a2, vs2)
+                      when String.equal a1 a2 && vs1 <> vs2 ->
+                      emit
+                        {
+                          left = n1;
+                          right = n2;
+                          on;
+                          right_restrict = [];
+                          kind = Full_outer;
+                          rule = "join1";
+                        }
+                    | _, _ -> ()
+                  end
+                  else if Condition.equal sel1 sel2 then
+                    (* join 2: different attributes, identical condition *)
+                    emit
+                      {
+                        left = n1;
+                        right = n2;
+                        on;
+                        right_restrict = [];
+                        kind = Full_outer;
+                        rule = "join2";
+                      }
+                end)
+              shared_keys
+          end)
+        rest;
+      view_pairs rest
+  in
+  view_pairs views;
+  (* join 3: a contextual foreign key justifies an outer join with a
+     constant restriction on the referenced side. *)
+  List.iter
+    (fun view ->
+      let n = Relation.name view in
+      List.iter
+        (fun (c : Constraints.contextual_fk) ->
+          if List.mem c.cfk_ref_rel names && not (String.equal c.cfk_ref_rel n) then
+            emit
+              {
+                left = n;
+                right = c.cfk_ref_rel;
+                on = List.combine c.cfk_attrs c.cfk_ref_attrs;
+                right_restrict = [ (c.ref_ctx_attr, c.ctx_value) ];
+                kind = Left_outer;
+                rule = "join3";
+              })
+        (cfks_of n all))
+    views;
+  List.rev !results

@@ -1,0 +1,41 @@
+(** Semantic-association (join) rules (paper §4.3).
+
+    Clio's base rules: attributes of the same relation associate, and a
+    foreign key justifies an outer join.  The paper adds three rules for
+    views, driven by the propagated constraints:
+
+    - (join 1): two views over the *same* attributes of the same base
+      table, selecting different values v1 ≠ v2 of the same attribute,
+      each with a propagated key V_i[X] and a contextual foreign key on
+      [X, a = v_i], join on X — different properties of the same object
+      (the attribute-normalization join).
+    - (join 2): two views over *different* attributes of the same base
+      table join on a common propagated key X only when their selection
+      conditions are the *same* a = v (avoids associating properties of
+      different objects).
+    - (join 3): a contextual foreign key V[Y, a = v] ⊆ R[X, b] justifies
+      an outer join from V to R on Y = X restricted to R.b = v. *)
+
+open Relational
+
+type kind =
+  | Full_outer
+  | Left_outer
+
+type join = {
+  left : string;
+  right : string;
+  on : (string * string) list;  (** (left attr, right attr) pairs *)
+  right_restrict : (string * Value.t) list;
+      (** constant equalities imposed on the right side (join 3's b = v) *)
+  kind : kind;
+  rule : string;  (** "clio-fk" | "join1" | "join2" | "join3" *)
+}
+
+val joins :
+  relations:Relation.t list ->
+  constraints:Constraints.t list ->
+  derived:Propagation.derived list ->
+  join list
+(** All joins justified by the rules, deduplicated (a join and its
+    mirror count once). *)

@@ -1,0 +1,102 @@
+open Relational
+
+type key = { rel : string; key_attrs : string list }
+
+type foreign_key = {
+  fk_rel : string;
+  fk_attrs : string list;
+  ref_rel : string;
+  ref_attrs : string list;
+}
+
+type contextual_fk = {
+  cfk_rel : string;
+  cfk_attrs : string list;
+  ctx_attr : string;
+  ctx_value : Value.t;
+  cfk_ref_rel : string;
+  cfk_ref_attrs : string list;
+  ref_ctx_attr : string;
+}
+
+type t =
+  | Key of key
+  | Fk of foreign_key
+  | Cfk of contextual_fk
+
+let key rel key_attrs = Key { rel; key_attrs }
+
+let fk fk_rel fk_attrs ref_rel ref_attrs = Fk { fk_rel; fk_attrs; ref_rel; ref_attrs }
+
+let cfk ~rel ~attrs ~ctx_attr ~ctx_value ~ref_rel ~ref_attrs ~ref_ctx_attr =
+  Cfk
+    {
+      cfk_rel = rel;
+      cfk_attrs = attrs;
+      ctx_attr;
+      ctx_value;
+      cfk_ref_rel = ref_rel;
+      cfk_ref_attrs = ref_attrs;
+      ref_ctx_attr;
+    }
+
+let rel_of = function
+  | Key k -> k.rel
+  | Fk f -> f.fk_rel
+  | Cfk c -> c.cfk_rel
+
+let holds_key instance k = Table.is_unique instance k.key_attrs
+
+let tuple_values table attrs row =
+  let schema = Table.schema table in
+  List.map (fun a -> row.(Schema.index_of schema a)) attrs
+
+let has_null vs = List.exists Value.is_null vs
+
+let key_of_values vs = List.map Value.to_string vs
+
+let holds_fk referencing referenced f =
+  let targets = Hashtbl.create (Table.row_count referenced) in
+  Array.iter
+    (fun row ->
+      Hashtbl.replace targets (key_of_values (tuple_values referenced f.ref_attrs row)) ())
+    (Table.rows referenced);
+  Array.for_all
+    (fun row ->
+      let vs = tuple_values referencing f.fk_attrs row in
+      has_null vs || Hashtbl.mem targets (key_of_values vs))
+    (Table.rows referencing)
+
+let holds_cfk view_instance referenced c =
+  let targets = Hashtbl.create (Table.row_count referenced) in
+  Array.iter
+    (fun row ->
+      let ctx = tuple_values referenced [ c.ref_ctx_attr ] row in
+      match ctx with
+      | [ b ] when Value.equal b c.ctx_value ->
+        Hashtbl.replace targets (key_of_values (tuple_values referenced c.cfk_ref_attrs row)) ()
+      | _ -> ())
+    (Table.rows referenced);
+  Array.for_all
+    (fun row ->
+      let vs = tuple_values view_instance c.cfk_attrs row in
+      has_null vs || Hashtbl.mem targets (key_of_values vs))
+    (Table.rows view_instance)
+
+let equal a b = a = b
+
+let to_string = function
+  | Key k -> Printf.sprintf "%s[%s] -> %s" k.rel (String.concat ", " k.key_attrs) k.rel
+  | Fk f ->
+    Printf.sprintf "%s[%s] ⊆ %s[%s]" f.fk_rel
+      (String.concat ", " f.fk_attrs)
+      f.ref_rel
+      (String.concat ", " f.ref_attrs)
+  | Cfk c ->
+    Printf.sprintf "%s[%s, %s = %s] ⊆ %s[%s, %s]" c.cfk_rel
+      (String.concat ", " c.cfk_attrs)
+      c.ctx_attr (Value.to_string c.ctx_value) c.cfk_ref_rel
+      (String.concat ", " c.cfk_ref_attrs)
+      c.ref_ctx_attr
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,63 @@
+(** Keys, foreign keys and contextual foreign keys (paper §4.2).
+
+    A contextual foreign key V[Y, a = v] ⊆ R[X, B] states: for every
+    tuple t1 of the view V, there is a tuple t of R with t1[Y] = t[X]
+    and t[B] = v — i.e. the view's Y attributes *augmented with the
+    constant v for the selection attribute* reference R.  This is the
+    new constraint form the paper introduces; no prior work had it. *)
+
+open Relational
+
+type key = { rel : string; key_attrs : string list }
+
+type foreign_key = {
+  fk_rel : string;
+  fk_attrs : string list;
+  ref_rel : string;
+  ref_attrs : string list;
+}
+
+type contextual_fk = {
+  cfk_rel : string;  (** the view V *)
+  cfk_attrs : string list;  (** Y *)
+  ctx_attr : string;  (** a — the selection attribute (not in att(V) when projected away) *)
+  ctx_value : Value.t;  (** v *)
+  cfk_ref_rel : string;  (** R *)
+  cfk_ref_attrs : string list;  (** X *)
+  ref_ctx_attr : string;  (** B *)
+}
+
+type t =
+  | Key of key
+  | Fk of foreign_key
+  | Cfk of contextual_fk
+
+val key : string -> string list -> t
+val fk : string -> string list -> string -> string list -> t
+
+val cfk :
+  rel:string ->
+  attrs:string list ->
+  ctx_attr:string ->
+  ctx_value:Value.t ->
+  ref_rel:string ->
+  ref_attrs:string list ->
+  ref_ctx_attr:string ->
+  t
+
+val rel_of : t -> string
+(** The relation the constraint is declared on. *)
+
+val holds_key : Table.t -> key -> bool
+(** Check a key on an instance. *)
+
+val holds_fk : Table.t -> Table.t -> foreign_key -> bool
+(** [holds_fk referencing referenced fk]; rows with a null in the
+    referencing attributes are exempt (SQL semantics). *)
+
+val holds_cfk : Table.t -> Table.t -> contextual_fk -> bool
+(** [holds_cfk view_instance referenced cfk]. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,127 @@
+open Relational
+
+let qualify rel =
+  let table = Relation.table rel in
+  let prefix = Relation.name rel in
+  let attrs =
+    Array.to_list (Schema.attributes (Table.schema table))
+    |> List.map (fun (a : Attribute.t) ->
+           Attribute.make (Printf.sprintf "%s.%s" prefix a.name) a.ty)
+  in
+  let schema = Schema.make prefix attrs in
+  Table.of_rows schema (Table.rows table)
+
+let key_strings schema attrs row =
+  let vs = List.map (fun a -> row.(Schema.index_of schema a)) attrs in
+  if List.exists Value.is_null vs then None else Some (List.map Value.to_string vs)
+
+let join left right ~on ~right_restrict ~kind =
+  let left_schema = Table.schema left and right_schema = Table.schema right in
+  let right_rows =
+    Array.to_list (Table.rows right)
+    |> List.filter (fun row ->
+           List.for_all
+             (fun (attr, v) ->
+               Value.equal row.(Schema.index_of right_schema attr) v)
+             right_restrict)
+  in
+  let left_attrs = List.map fst on and right_attrs = List.map snd on in
+  (* hash the right side on its join key *)
+  let index = Hashtbl.create (List.length right_rows) in
+  List.iter
+    (fun row ->
+      match key_strings right_schema right_attrs row with
+      | None -> ()
+      | Some key ->
+        let existing = try Hashtbl.find index key with Not_found -> [] in
+        Hashtbl.replace index key (row :: existing))
+    right_rows;
+  let right_width = Schema.arity right_schema in
+  let left_width = Schema.arity left_schema in
+  let null_right = Array.make right_width Value.Null in
+  let null_left = Array.make left_width Value.Null in
+  let matched_right = Hashtbl.create 64 in
+  let out = ref [] in
+  Array.iter
+    (fun lrow ->
+      let matches =
+        match key_strings left_schema left_attrs lrow with
+        | None -> []
+        | Some key ->
+          (match Hashtbl.find_opt index key with
+          | Some rows ->
+            Hashtbl.replace matched_right key ();
+            List.rev rows
+          | None -> [])
+      in
+      match matches with
+      | [] -> out := Array.append lrow null_right :: !out
+      | rows -> List.iter (fun rrow -> out := Array.append lrow rrow :: !out) rows)
+    (Table.rows left);
+  (match kind with
+  | Association.Left_outer -> ()
+  | Association.Full_outer ->
+    List.iter
+      (fun rrow ->
+        let unmatched =
+          match key_strings right_schema right_attrs rrow with
+          | None -> true
+          | Some key -> not (Hashtbl.mem matched_right key)
+        in
+        if unmatched then out := Array.append null_left rrow :: !out)
+      right_rows);
+  let attrs =
+    Array.append (Schema.attributes left_schema) (Schema.attributes right_schema)
+  in
+  let name = Printf.sprintf "%s⋈%s" (Schema.name left_schema) (Schema.name right_schema) in
+  let schema = Schema.make name (Array.to_list attrs) in
+  Table.of_rows schema (Array.of_list (List.rev !out))
+
+let join_component relations joins ~start =
+  let rel_of name = List.find (fun r -> String.equal (Relation.name r) name) relations in
+  let incorporated = ref [ start ] in
+  let current = ref (qualify (rel_of start)) in
+  let qualify_on rel_left rel_right on =
+    List.map
+      (fun (a, b) ->
+        (Printf.sprintf "%s.%s" rel_left a, Printf.sprintf "%s.%s" rel_right b))
+      on
+  in
+  let qualify_restrict rel pairs =
+    List.map (fun (a, v) -> (Printf.sprintf "%s.%s" rel a, v)) pairs
+  in
+  (* Repeatedly attach any join touching the assembled set on one side
+     and a new relation on the other.  A join whose restricted side is
+     already incorporated cannot be replayed (the restriction filters
+     the fresh side), so it is only usable in the forward direction. *)
+  let rec grow () =
+    let usable =
+      List.find_opt
+        (fun (j : Association.join) ->
+          (List.mem j.left !incorporated && not (List.mem j.right !incorporated))
+          || List.mem j.right !incorporated
+             && (not (List.mem j.left !incorporated))
+             && j.right_restrict = [])
+        joins
+    in
+    match usable with
+    | None -> ()
+    | Some j ->
+      let forward = List.mem j.left !incorporated in
+      let fresh = if forward then j.right else j.left in
+      let on =
+        if forward then qualify_on j.left j.right j.on
+        else
+          List.map
+            (fun (a, b) ->
+              (Printf.sprintf "%s.%s" j.right b, Printf.sprintf "%s.%s" j.left a))
+            j.on
+      in
+      let restrict = if forward then qualify_restrict j.right j.right_restrict else [] in
+      let fresh_table = qualify (rel_of fresh) in
+      current := join !current fresh_table ~on ~right_restrict:restrict ~kind:j.kind;
+      incorporated := fresh :: !incorporated;
+      grow ()
+  in
+  grow ();
+  (!current, List.rev !incorporated)

@@ -1,0 +1,25 @@
+(** Relational executor for mapping queries: qualified projections and
+    hash-based outer joins.
+
+    Joined tables use qualified column names ("relation.attr") so
+    same-named attributes of different relations coexist. *)
+
+open Relational
+
+val qualify : Relation.t -> Table.t
+(** The relation's instance with columns renamed to "rel.attr". *)
+
+val join : Table.t -> Table.t -> on:(string * string) list ->
+  right_restrict:(string * Value.t) list -> kind:Association.kind -> Table.t
+(** [join left right ~on ~right_restrict ~kind] — hash join on the
+    (left attr, right attr) pairs (qualified names).  Null join keys
+    never match.  [Left_outer] keeps unmatched left rows padded with
+    nulls; [Full_outer] also keeps unmatched right rows.
+    [right_restrict] filters the right side to rows with the given
+    constant values before joining. *)
+
+val join_component :
+  Relation.t list -> Association.join list -> start:string -> Table.t * string list
+(** Assemble one logical table: breadth-first from [start], apply every
+    usable join once; returns the joined (qualified) table and the list
+    of relations actually incorporated. *)

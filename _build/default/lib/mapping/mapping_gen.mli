@@ -1,0 +1,58 @@
+(** Schema-mapping generation (paper §4.1/§4.3): turn the accepted
+    (contextual) matches into executable mapping queries.
+
+    Pipeline: matches → relations (base tables + views named by the
+    matches) → base constraints (declared + mined) → propagated view
+    constraints (§4.2 rules + sample mining) → association joins (§4.3
+    rules) → per-target logical tables → union of mapped tuples with
+    Skolem values for unmapped non-null target attributes. *)
+
+open Relational
+
+type correspondence = {
+  rel : string;  (** source relation (base table or view) *)
+  rel_attr : string;
+  tgt_attr : string;
+  confidence : float;
+}
+
+type component = {
+  component_relations : string list;  (** relations joined into this logical table *)
+  component_joins : Association.join list;
+  correspondences : correspondence list;
+}
+
+type target_mapping = {
+  target_table : string;
+  components : component list;  (** the mapping query is their union *)
+}
+
+type plan = {
+  relations : Relation.t list;
+  base_constraints : Constraints.t list;
+  derived : Propagation.derived list;
+  joins : Association.join list;
+  mappings : target_mapping list;
+  target : Database.t;
+}
+
+val plan :
+  ?declared:Constraints.t list ->
+  source:Database.t ->
+  target:Database.t ->
+  matches:Matching.Schema_match.t list ->
+  unit ->
+  plan
+(** Build the full mapping plan.  [declared] are schema-level
+    constraints known upfront; mined constraints are added to them. *)
+
+val execute : plan -> target_mapping -> Table.t
+(** Run one target table's mapping query over the plan's source
+    instances. *)
+
+val execute_all : plan -> Database.t
+(** Every target table (empty instances for targets with no matches). *)
+
+val skolem : string -> Value.t list -> Value.t
+(** [skolem attr known_values] — deterministic non-null placeholder
+    derived from the known values of the tuple (paper §4.1 (c)). *)

@@ -1,0 +1,45 @@
+open Relational
+
+type origin =
+  | Base
+  | View_of of { base : string; query : Sp_query.t }
+
+type t = {
+  name : string;
+  table : Table.t;
+  origin : origin;
+}
+
+let base table = { name = Table.name table; table; origin = Base }
+
+let of_view ?name view =
+  let name = match name with Some n -> n | None -> View.name view in
+  let query = Sp_query.select_all (Table.name (View.base view)) (View.condition view) in
+  {
+    name;
+    table = Table.rename (View.materialize view) name;
+    origin = View_of { base = Table.name (View.base view); query };
+  }
+
+let of_query ~name query base_instance =
+  {
+    name;
+    table = Table.rename (Sp_query.eval query base_instance) name;
+    origin = View_of { base = query.Sp_query.from; query };
+  }
+
+let name t = t.name
+let table t = t.table
+let attributes t = Schema.attribute_names (Table.schema t.table)
+
+let is_view t = match t.origin with Base -> false | View_of _ -> true
+
+let selection_condition t =
+  match t.origin with Base -> Condition.True | View_of { query; _ } -> query.Sp_query.where
+
+let base_name t = match t.origin with Base -> t.name | View_of { base; _ } -> base
+
+let pp fmt t =
+  match t.origin with
+  | Base -> Format.fprintf fmt "base %s" t.name
+  | View_of { query; _ } -> Format.fprintf fmt "view %s = %s" t.name (Sp_query.to_string query)

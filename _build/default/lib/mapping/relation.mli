@@ -1,0 +1,37 @@
+(** Relations of the mapping world: base tables, or views with their
+    lineage (defining SP query over a base table).  Views carry a
+    materialised instance so the constraint miner and the executor can
+    look at data, but the lineage is what the §4.2 inference rules
+    reason over. *)
+
+open Relational
+
+type origin =
+  | Base
+  | View_of of { base : string; query : Sp_query.t }
+
+type t = {
+  name : string;
+  table : Table.t;  (** the (materialised) instance, named [name] *)
+  origin : origin;
+}
+
+val base : Table.t -> t
+val of_view : ?name:string -> View.t -> t
+(** Lineage = select * from base where condition. *)
+
+val of_query : name:string -> Sp_query.t -> Table.t -> t
+(** [of_query ~name q base_instance] evaluates [q] and wraps the result. *)
+
+val name : t -> string
+val table : t -> Table.t
+val attributes : t -> string list
+val is_view : t -> bool
+
+val selection_condition : t -> Condition.t
+(** The view's where-condition; [True] for base relations. *)
+
+val base_name : t -> string
+(** The underlying base table ([name] itself for base relations). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/matching/column.ml: Array Attribute List Relational Schema Stats String Table Textsim Value View

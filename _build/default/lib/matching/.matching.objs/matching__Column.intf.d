@@ -1,0 +1,1 @@
+lib/matching/column.mli: Attribute Relational Stats Table Textsim Value View

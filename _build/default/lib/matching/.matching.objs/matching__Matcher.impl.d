@@ -1,0 +1,1 @@
+lib/matching/matcher.ml: Attribute Column Float Relational

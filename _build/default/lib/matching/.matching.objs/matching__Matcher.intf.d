@@ -1,0 +1,1 @@
+lib/matching/matcher.mli: Attribute Column Relational

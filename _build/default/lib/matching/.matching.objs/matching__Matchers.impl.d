@@ -1,0 +1,1 @@
+lib/matching/matchers.ml: Array Attribute Column Float List Matcher Relational Stats String Textsim Value

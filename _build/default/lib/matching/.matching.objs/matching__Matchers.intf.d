@@ -1,0 +1,1 @@
+lib/matching/matchers.mli: Matcher

@@ -1,0 +1,1 @@
+lib/matching/schema_match.ml: Condition Format Printf Relational String

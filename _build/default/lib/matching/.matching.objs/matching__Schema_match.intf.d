@@ -1,0 +1,1 @@
+lib/matching/schema_match.mli: Condition Format Relational

@@ -1,0 +1,1 @@
+lib/matching/standard_match.ml: Array Column Database Float Hashtbl List Matcher Matchers Normalize Relational Schema Schema_match String Table View

@@ -1,0 +1,1 @@
+lib/matching/standard_match.mli: Database Matcher Relational Schema_match View

@@ -1,0 +1,1 @@
+lib/matching/weight_fit.ml: Database Float List Matcher Relational Schema_match Standard_match Stats

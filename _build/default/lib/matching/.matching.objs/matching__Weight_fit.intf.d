@@ -1,0 +1,1 @@
+lib/matching/weight_fit.mli: Database Matcher Relational

@@ -1,0 +1,64 @@
+open Relational
+
+type t = {
+  owner : string;
+  attribute : Attribute.t;
+  values : Value.t array;
+  mutable profile : Textsim.Profile.t option;
+  mutable summary : Stats.Descriptive.summary option;
+  mutable distinct : string list option;
+}
+
+let make ~owner attribute values =
+  { owner; attribute; values; profile = None; summary = None; distinct = None }
+
+let of_table table attr_name =
+  make ~owner:(Table.name table)
+    (Schema.attribute (Table.schema table) attr_name)
+    (Table.column table attr_name)
+
+let of_view view attr_name =
+  make ~owner:(View.name view)
+    (Schema.attribute (Relational.Table.schema (View.base view)) attr_name)
+    (View.column view attr_name)
+
+let owner t = t.owner
+let attribute t = t.attribute
+let name t = t.attribute.Attribute.name
+let values t = t.values
+let size t = Array.length t.values
+
+let non_null_count t =
+  Array.fold_left (fun acc v -> if Value.is_null v then acc else acc + 1) 0 t.values
+
+let strings t =
+  Array.to_list t.values
+  |> List.filter_map (fun v -> if Value.is_null v then None else Some (Value.to_string v))
+  |> Array.of_list
+
+let floats t =
+  Array.to_list t.values |> List.filter_map Value.to_float |> Array.of_list
+
+let profile t =
+  match t.profile with
+  | Some p -> p
+  | None ->
+    let p = Textsim.Profile.of_strings_array (strings t) in
+    t.profile <- Some p;
+    p
+
+let summary t =
+  match t.summary with
+  | Some s -> s
+  | None ->
+    let s = Stats.Descriptive.summarize (floats t) in
+    t.summary <- Some s;
+    s
+
+let distinct_strings t =
+  match t.distinct with
+  | Some d -> d
+  | None ->
+    let d = strings t |> Array.to_list |> List.sort_uniq String.compare in
+    t.distinct <- Some d;
+    d

@@ -1,0 +1,38 @@
+(** A column handed to matchers: owning table/view name, attribute, and
+    the bag of sample values.  Expensive derived artefacts (q-gram
+    profile, numeric summary, distinct set) are computed lazily and
+    cached, so re-scoring the same column across many matchers or view
+    evaluations costs one pass. *)
+
+open Relational
+
+type t
+
+val make : owner:string -> Attribute.t -> Value.t array -> t
+val of_table : Table.t -> string -> t
+val of_view : View.t -> string -> t
+val owner : t -> string
+val attribute : t -> Attribute.t
+val name : t -> string
+(** Attribute name. *)
+
+val values : t -> Value.t array
+val size : t -> int
+(** Number of values including nulls. *)
+
+val non_null_count : t -> int
+
+val strings : t -> string array
+(** Display strings of non-null values. *)
+
+val floats : t -> float array
+(** Numeric images of the values that have one. *)
+
+val profile : t -> Textsim.Profile.t
+(** 3-gram profile over {!strings} (cached). *)
+
+val summary : t -> Stats.Descriptive.summary
+(** Numeric summary over {!floats} (cached). *)
+
+val distinct_strings : t -> string list
+(** Distinct display strings, sorted (cached). *)

@@ -1,0 +1,14 @@
+open Relational
+
+type t = {
+  name : string;
+  weight : float;
+  applicable : Attribute.t -> Attribute.t -> bool;
+  score : Column.t -> Column.t -> float;
+}
+
+let make ~name ?(weight = 1.0) ~applicable score = { name; weight; applicable; score }
+
+let applicable_pair t src tgt = t.applicable (Column.attribute src) (Column.attribute tgt)
+
+let score t src tgt = Float.min 1.0 (Float.max 0.0 (t.score src tgt))

@@ -1,0 +1,26 @@
+(** The matcher abstraction (paper §2.3): a named scoring function over
+    a (source column, target column) pair, returning a raw similarity in
+    [0, 1].  Raw scores are *not* comparable across matchers; the
+    normalisation step converts them into confidences. *)
+
+open Relational
+
+type t = {
+  name : string;
+  weight : float;  (** relative weight in the combination step *)
+  applicable : Attribute.t -> Attribute.t -> bool;
+      (** whether this matcher produces a meaningful score for a pair of
+          attributes (e.g. the numeric matcher needs numeric columns) *)
+  score : Column.t -> Column.t -> float;  (** raw similarity, [0,1] *)
+}
+
+val make :
+  name:string ->
+  ?weight:float ->
+  applicable:(Attribute.t -> Attribute.t -> bool) ->
+  (Column.t -> Column.t -> float) ->
+  t
+
+val applicable_pair : t -> Column.t -> Column.t -> bool
+val score : t -> Column.t -> Column.t -> float
+(** Score clamped to [0, 1]. *)

@@ -1,0 +1,16 @@
+type t = { mean : float; stddev : float }
+
+let of_scores scores =
+  let s = Stats.Descriptive.summarize scores in
+  { mean = s.Stats.Descriptive.mean; stddev = s.Stats.Descriptive.stddev }
+
+let confidence t score =
+  if t.stddev <= 1e-12 then 0.5
+  else Stats.Distribution.phi ((score -. t.mean) /. t.stddev)
+
+let gated_confidence t score = confidence t score *. sqrt (Float.max 0.0 score)
+
+let combine weighted =
+  let wsum = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 weighted in
+  if wsum <= 0.0 then 0.0
+  else List.fold_left (fun acc (w, c) -> acc +. (w *. c)) 0.0 weighted /. wsum

@@ -1,0 +1,27 @@
+(** Raw-score → confidence normalisation (paper §2.3).
+
+    For one matcher and one source attribute, the raw scores against all
+    target attributes are treated as samples of a normal distribution;
+    the confidence of a particular score is its CDF position,
+    Φ((s − μ)/σ).  A score well above the field of alternatives thus
+    gets confidence near 1 regardless of the matcher's raw scale. *)
+
+type t = { mean : float; stddev : float }
+
+val of_scores : float array -> t
+(** μ and (population) σ of the raw scores. *)
+
+val confidence : t -> float -> float
+(** Φ((s − μ)/σ); when σ = 0 (all raw scores equal) every score is as
+    good as any other and the confidence is 0.5. *)
+
+val gated_confidence : t -> float -> float
+(** [Φ(z) * sqrt s]: the relative confidence damped by the absolute raw
+    score, so that "best of a uniformly terrible field" does not earn a
+    high confidence.  A matcher seeing essentially no signal (raw scores
+    all near 0) then contributes near-0 confidence instead of 0.5+,
+    which keeps the standard matcher's accepted set clean at tau = 0.5. *)
+
+val combine : (float * float) list -> float
+(** [combine [(weight, confidence); ...]] — weighted mean; 0.0 when the
+    list is empty or all weights are 0. *)

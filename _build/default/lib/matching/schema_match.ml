@@ -1,0 +1,46 @@
+open Relational
+
+type t = {
+  src_owner : string;
+  src_base : string;
+  src_attr : string;
+  tgt_table : string;
+  tgt_attr : string;
+  condition : Condition.t;
+  confidence : float;
+}
+
+let standard ~src_table ~src_attr ~tgt_table ~tgt_attr confidence =
+  {
+    src_owner = src_table;
+    src_base = src_table;
+    src_attr;
+    tgt_table;
+    tgt_attr;
+    condition = Condition.True;
+    confidence;
+  }
+
+let contextual ~view_name ~src_base ~src_attr ~tgt_table ~tgt_attr ~condition confidence =
+  { src_owner = view_name; src_base; src_attr; tgt_table; tgt_attr; condition; confidence }
+
+let is_contextual t = t.condition <> Condition.True
+
+let same_edge a b =
+  String.equal a.src_base b.src_base
+  && String.equal a.src_attr b.src_attr
+  && String.equal a.tgt_table b.tgt_table
+  && String.equal a.tgt_attr b.tgt_attr
+
+let with_confidence t confidence = { t with confidence }
+
+let to_string t =
+  let ctx =
+    match t.condition with
+    | Condition.True -> ""
+    | c -> Printf.sprintf " [%s]" (Condition.to_string c)
+  in
+  Printf.sprintf "%s.%s -> %s.%s%s (%.3f)" t.src_base t.src_attr t.tgt_table t.tgt_attr ctx
+    t.confidence
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,38 @@
+(** The match triple of the paper (§2.1): (R_s.s, R_t.t, c) plus the
+    confidence assigned by the matcher.  A standard match has
+    [condition = True] and a base table as source; otherwise the match
+    is contextual and [src_owner] names the view. *)
+
+open Relational
+
+type t = {
+  src_owner : string;  (** source display name: base table or view name *)
+  src_base : string;  (** underlying base table *)
+  src_attr : string;
+  tgt_table : string;
+  tgt_attr : string;
+  condition : Condition.t;  (** [True] for standard matches *)
+  confidence : float;  (** combined, in [0, 1] *)
+}
+
+val standard :
+  src_table:string -> src_attr:string -> tgt_table:string -> tgt_attr:string -> float -> t
+
+val contextual :
+  view_name:string ->
+  src_base:string ->
+  src_attr:string ->
+  tgt_table:string ->
+  tgt_attr:string ->
+  condition:Condition.t ->
+  float ->
+  t
+
+val is_contextual : t -> bool
+val same_edge : t -> t -> bool
+(** Equal on (base, src attr, target table, target attr) — ignoring
+    condition and confidence. *)
+
+val with_confidence : t -> float -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,195 @@
+open Relational
+
+type target_col = { table : string; column : Column.t }
+
+type model = {
+  gated : bool;
+  matchers : Matcher.t list;
+  source_db : Database.t;
+  target_db : Database.t;
+  target_cols : target_col list;
+  (* (src_table, src_attr) -> Column *)
+  source_cols : (string * string, Column.t) Hashtbl.t;
+  (* (src_table, src_attr, matcher) -> raw-score normalisation stats *)
+  stats : (string * string * string, Normalize.t) Hashtbl.t;
+  (* (src_table, src_attr, tgt_table, tgt_attr, matcher) -> raw score *)
+  raw : (string * string * string * string * string, float) Hashtbl.t;
+}
+
+let source m = m.source_db
+let target m = m.target_db
+
+let build ?(gated = true) ?(matchers = Matchers.default_suite) ~source ~target () =
+  let target_cols =
+    List.concat_map
+      (fun tbl ->
+        List.map
+          (fun attr -> { table = Table.name tbl; column = Column.of_table tbl attr })
+          (Schema.attribute_names (Table.schema tbl)))
+      (Database.tables target)
+  in
+  let source_cols = Hashtbl.create 64 in
+  let stats = Hashtbl.create 256 in
+  let raw = Hashtbl.create 4096 in
+  List.iter
+    (fun src_tbl ->
+      let src_name = Table.name src_tbl in
+      List.iter
+        (fun src_attr ->
+          let src_col = Column.of_table src_tbl src_attr in
+          Hashtbl.replace source_cols (src_name, src_attr) src_col;
+          List.iter
+            (fun matcher ->
+              (* Raw scores of this matcher from this source attribute to
+                 every applicable target attribute. *)
+              (* Inapplicable pairs count as score 0 in the distribution
+                 (they are real alternatives the matcher cannot rank),
+                 anchoring the z-normalisation at an absolute floor; but
+                 they never contribute a confidence to the combination
+                 step. *)
+              let scores = ref [] in
+              let applicable_count = ref 0 in
+              List.iter
+                (fun tgt ->
+                  if Matcher.applicable_pair matcher src_col tgt.column then begin
+                    let s = Matcher.score matcher src_col tgt.column in
+                    Hashtbl.replace raw
+                      (src_name, src_attr, tgt.table, Column.name tgt.column, matcher.Matcher.name)
+                      s;
+                    incr applicable_count;
+                    scores := s :: !scores
+                  end
+                  else scores := 0.0 :: !scores)
+                target_cols;
+              if !applicable_count > 0 then
+                Hashtbl.replace stats
+                  (src_name, src_attr, matcher.Matcher.name)
+                  (Normalize.of_scores (Array.of_list !scores)))
+            matchers)
+        (Schema.attribute_names (Table.schema src_tbl)))
+    (Database.tables source);
+  { gated; matchers; source_db = source; target_db = target; target_cols; source_cols; stats; raw }
+
+let confidence m ~src_table ~src_attr ~tgt_table ~tgt_attr =
+  let weighted =
+    List.filter_map
+      (fun (matcher : Matcher.t) ->
+        match
+          Hashtbl.find_opt m.raw (src_table, src_attr, tgt_table, tgt_attr, matcher.name)
+        with
+        | None -> None
+        | Some score -> (
+          match Hashtbl.find_opt m.stats (src_table, src_attr, matcher.name) with
+          | None -> None
+          | Some st -> Some (matcher.weight, (if m.gated then Normalize.gated_confidence else Normalize.confidence) st score)))
+      m.matchers
+  in
+  Normalize.combine weighted
+
+let matches_from m ~src_table ~tau =
+  let src_tbl = Database.table m.source_db src_table in
+  let results = ref [] in
+  List.iter
+    (fun src_attr ->
+      List.iter
+        (fun tgt ->
+          let tgt_attr = Column.name tgt.column in
+          let conf = confidence m ~src_table ~src_attr ~tgt_table:tgt.table ~tgt_attr in
+          if conf >= tau then
+            results :=
+              Schema_match.standard ~src_table ~src_attr ~tgt_table:tgt.table ~tgt_attr conf
+              :: !results)
+        m.target_cols)
+    (Schema.attribute_names (Table.schema src_tbl));
+  List.sort
+    (fun (a : Schema_match.t) b -> Float.compare b.confidence a.confidence)
+    !results
+
+let matches m ~tau =
+  Database.table_names m.source_db
+  |> List.concat_map (fun src_table -> matches_from m ~src_table ~tau)
+  |> List.sort (fun (a : Schema_match.t) b -> Float.compare b.confidence a.confidence)
+
+let score_view m view ~src_attr ~tgt_table ~tgt_attr =
+  if View.row_count view = 0 then 0.0
+  else begin
+    let src_table = Table.name (View.base view) in
+    let src_col = Column.of_view view src_attr in
+    let weighted =
+      List.filter_map
+        (fun (matcher : Matcher.t) ->
+          match Hashtbl.find_opt m.stats (src_table, src_attr, matcher.name) with
+          | None -> None
+          | Some st ->
+            let tgt =
+              List.find_opt
+                (fun tc ->
+                  String.equal tc.table tgt_table && String.equal (Column.name tc.column) tgt_attr)
+                m.target_cols
+            in
+            (match tgt with
+            | None -> None
+            | Some tgt when Matcher.applicable_pair matcher src_col tgt.column ->
+              let s = Matcher.score matcher src_col tgt.column in
+              Some (matcher.weight, (if m.gated then Normalize.gated_confidence else Normalize.confidence) st s)
+            | Some _ -> None))
+        m.matchers
+    in
+    Normalize.combine weighted
+  end
+
+let view_matches m view ~base_matches =
+  let base_name = Table.name (View.base view) in
+  (* Reuse one Column per source attribute of the view across matchers:
+     the Column caches its profile/summary internally. *)
+  let col_cache = Hashtbl.create 8 in
+  let view_column attr =
+    match Hashtbl.find_opt col_cache attr with
+    | Some c -> c
+    | None ->
+      let c = Column.of_view view attr in
+      Hashtbl.add col_cache attr c;
+      c
+  in
+  let score_one (bm : Schema_match.t) =
+    if View.row_count view = 0 then None
+    else begin
+      let src_col = view_column bm.src_attr in
+      let weighted =
+        List.filter_map
+          (fun (matcher : Matcher.t) ->
+            match Hashtbl.find_opt m.stats (base_name, bm.src_attr, matcher.name) with
+            | None -> None
+            | Some st ->
+              let tgt =
+                List.find_opt
+                  (fun tc ->
+                    String.equal tc.table bm.tgt_table
+                    && String.equal (Column.name tc.column) bm.tgt_attr)
+                  m.target_cols
+              in
+              (match tgt with
+              | Some tgt when Matcher.applicable_pair matcher src_col tgt.column ->
+                let s = Matcher.score matcher src_col tgt.column in
+                Some (matcher.weight, (if m.gated then Normalize.gated_confidence else Normalize.confidence) st s)
+              | Some _ | None -> None))
+          m.matchers
+      in
+      match weighted with
+      | [] -> None
+      | _ ->
+        Some
+          (Schema_match.contextual ~view_name:(View.name view) ~src_base:base_name
+             ~src_attr:bm.src_attr ~tgt_table:bm.tgt_table ~tgt_attr:bm.tgt_attr
+             ~condition:(View.condition view) (Normalize.combine weighted))
+    end
+  in
+  (* Matches on the view's conditioning attribute(s) are not re-scored:
+     the paper's views project the selection attribute away (§4.2,
+     Example 4.1), and inside the view the column is constant anyway. *)
+  let condition_attrs = Relational.Condition.attributes (View.condition view) in
+  base_matches
+  |> List.filter (fun (bm : Schema_match.t) ->
+         String.equal bm.src_base base_name
+         && not (List.mem bm.src_attr condition_attrs))
+  |> List.filter_map score_one

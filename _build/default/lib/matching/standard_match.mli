@@ -1,0 +1,52 @@
+(** StandardMatch (paper §2.3 / Fig. 5 line 4) and ScoreMatch (line 10).
+
+    [build] scores every (source attribute, target attribute) pair with
+    every applicable matcher, records per-(source attribute, matcher)
+    raw-score distributions, and combines normalised confidences.
+
+    [score_view] re-evaluates one accepted match with the source column
+    restricted to a view's rows, converting the new raw scores with the
+    *base table's* score distributions so that view confidences are
+    comparable with base confidences (§3, strawman discussion). *)
+
+open Relational
+
+type model
+
+val build :
+  ?gated:bool ->
+  ?matchers:Matcher.t list ->
+  source:Database.t ->
+  target:Database.t ->
+  unit ->
+  model
+(** Default matchers: {!Matchers.default_suite}.  [gated] (default true)
+    selects {!Normalize.gated_confidence} over plain z-score confidence;
+    the ablation bench measures the difference. *)
+
+val source : model -> Database.t
+val target : model -> Database.t
+
+val confidence : model -> src_table:string -> src_attr:string -> tgt_table:string ->
+  tgt_attr:string -> float
+(** Combined confidence of a base-table pair; 0.0 when no matcher was
+    applicable. *)
+
+val matches : model -> tau:float -> Schema_match.t list
+(** All standard matches with confidence >= tau, sorted by decreasing
+    confidence.  This is StandardMatch(R_S, R_T, tau) for every source
+    table at once. *)
+
+val matches_from : model -> src_table:string -> tau:float -> Schema_match.t list
+(** Standard matches originating from one source table. *)
+
+val score_view :
+  model -> View.t -> src_attr:string -> tgt_table:string -> tgt_attr:string -> float
+(** Confidence of (view.src_attr -> tgt) under the view's restriction.
+    Returns 0.0 for an empty view (no evidence). *)
+
+val view_matches :
+  model -> View.t -> base_matches:Schema_match.t list -> Schema_match.t list
+(** ScoreMatch for every base match whose source is the view's base
+    table (Fig. 5 lines 8–11): each match is re-scored under the view
+    and annotated with the view's condition. *)

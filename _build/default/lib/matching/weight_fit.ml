@@ -1,0 +1,65 @@
+open Relational
+
+type labeled = {
+  lab_source : Database.t;
+  lab_target : Database.t;
+  correct : (string * string * string * string) list;
+}
+
+let fmeasure ?(gated = true) ~matchers ~tau labeled =
+  let model =
+    Standard_match.build ~gated ~matchers ~source:labeled.lab_source
+      ~target:labeled.lab_target ()
+  in
+  let found =
+    Standard_match.matches model ~tau
+    |> List.map (fun (m : Schema_match.t) ->
+           (m.src_base, m.src_attr, m.tgt_table, m.tgt_attr))
+  in
+  let counts =
+    Stats.Fmeasure.counts ~equal:( = ) ~expected:labeled.correct ~found
+  in
+  Stats.Fmeasure.f1 counts
+
+let reweight matchers assignment =
+  List.map
+    (fun (m : Matcher.t) ->
+      match List.assoc_opt m.name assignment with
+      | Some weight -> { m with weight }
+      | None -> m)
+    matchers
+
+let average_f ~gated ~tau matchers scenarios =
+  match scenarios with
+  | [] -> 0.0
+  | _ ->
+    List.fold_left (fun acc s -> acc +. fmeasure ~gated ~matchers ~tau s) 0.0 scenarios
+    /. float_of_int (List.length scenarios)
+
+let fit ?(rounds = 2) ?(grid = [ 0.0; 0.25; 0.5; 1.0; 2.0; 4.0 ]) ?(tau = 0.5) ~matchers
+    scenarios =
+  let current = ref matchers in
+  for _ = 1 to rounds do
+    List.iter
+      (fun (m : Matcher.t) ->
+        let base_weight =
+          (List.find (fun (c : Matcher.t) -> c.name = m.name) !current).weight
+        in
+        let candidates =
+          List.sort_uniq Float.compare (List.map (fun g -> g *. Float.max base_weight 0.25) grid)
+        in
+        let best =
+          List.fold_left
+            (fun (best_w, best_f) w ->
+              let trial = reweight !current [ (m.name, w) ] in
+              let f = average_f ~gated:true ~tau trial scenarios in
+              (* strict improvement keeps the search deterministic and
+                 biased toward the hand-set defaults *)
+              if f > best_f +. 1e-9 then (w, f) else (best_w, best_f))
+            (base_weight, average_f ~gated:true ~tau !current scenarios)
+            candidates
+        in
+        current := reweight !current [ (m.name, fst best) ])
+      matchers
+  done;
+  List.map (fun (m : Matcher.t) -> (m.name, m.weight)) !current

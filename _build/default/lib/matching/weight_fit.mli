@@ -1,0 +1,39 @@
+(** Data-driven calibration of the matcher weights.
+
+    §2.3 weights the individual matchers before combination, citing the
+    multi-learner systems (LSD / iMAP / COMA) that *train* this
+    combination on schemas with known correct matches.  This module
+    implements that step: given labeled scenarios (schema pairs with
+    their correct attribute pairings), coordinate ascent over a grid of
+    per-matcher weights maximises the average F-measure of
+    StandardMatch's accepted set. *)
+
+open Relational
+
+type labeled = {
+  lab_source : Database.t;
+  lab_target : Database.t;
+  correct : (string * string * string * string) list;
+      (** (src table, src attr, tgt table, tgt attr) pairs that a
+          perfect standard matcher would accept *)
+}
+
+val fmeasure : ?gated:bool -> matchers:Matcher.t list -> tau:float -> labeled -> float
+(** F1 of StandardMatch's accepted matches against the labels. *)
+
+val reweight : Matcher.t list -> (string * float) list -> Matcher.t list
+(** Replace the weights of the named matchers (unnamed ones keep
+    theirs). *)
+
+val fit :
+  ?rounds:int ->
+  ?grid:float list ->
+  ?tau:float ->
+  matchers:Matcher.t list ->
+  labeled list ->
+  (string * float) list
+(** [fit ~matchers scenarios] — coordinate ascent: [rounds] passes
+    (default 2) over the matchers; for each, every multiplier in [grid]
+    (default [0; 0.25; 0.5; 1; 2; 4] x the current weight, deduplicated)
+    is tried and the best average F across scenarios is kept.  Returns
+    the final (matcher name, weight) assignment. *)

@@ -1,0 +1,1 @@
+lib/relational/categorical.ml: Float List Schema Table

@@ -1,0 +1,1 @@
+lib/relational/condition.ml: Array Format List Printf Schema String Value

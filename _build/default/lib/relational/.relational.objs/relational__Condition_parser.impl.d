@@ -1,0 +1,1 @@
+lib/relational/condition_parser.ml: Buffer Condition List Printf String Value

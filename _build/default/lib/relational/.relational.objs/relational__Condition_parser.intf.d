@@ -1,0 +1,1 @@
+lib/relational/condition_parser.mli: Condition

@@ -1,0 +1,1 @@
+lib/relational/csv_io.ml: Array Attribute Buffer List Schema String Table Value

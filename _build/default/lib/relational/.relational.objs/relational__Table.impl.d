@@ -1,0 +1,1 @@
+lib/relational/table.ml: Array Format Hashtbl Int List Printf Schema Value

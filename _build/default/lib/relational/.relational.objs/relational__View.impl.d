@@ -1,0 +1,1 @@
+lib/relational/view.ml: Array Condition Format List Printf Schema Table

@@ -1,0 +1,1 @@
+lib/relational/view.mli: Condition Format Schema Table Value

@@ -1,0 +1,18 @@
+type t = { name : string; ty : Value.ty }
+
+let make name ty = { name; ty }
+let int name = { name; ty = Value.Tint }
+let float name = { name; ty = Value.Tfloat }
+let string name = { name; ty = Value.Tstring }
+let bool name = { name; ty = Value.Tbool }
+
+let equal a b = String.equal a.name b.name && a.ty = b.ty
+
+let is_textual a = a.ty = Value.Tstring
+
+let is_numeric a =
+  match a.ty with
+  | Value.Tint | Value.Tfloat -> true
+  | Value.Tstring | Value.Tbool -> false
+
+let pp fmt a = Format.fprintf fmt "%s:%s" a.name (Value.ty_to_string a.ty)

@@ -1,0 +1,19 @@
+(** Attribute (column) descriptors: a name and a declared type. *)
+
+type t = { name : string; ty : Value.ty }
+
+val make : string -> Value.ty -> t
+val int : string -> t
+val float : string -> t
+val string : string -> t
+val bool : string -> t
+
+val equal : t -> t -> bool
+
+val is_textual : t -> bool
+(** True for string attributes (candidates for q-gram matchers). *)
+
+val is_numeric : t -> bool
+(** True for int/float attributes (candidates for numeric matchers). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+type params = {
+  heavy_value_share : float;
+  heavy_fraction : float;
+  min_heavy_values : int;
+  min_rows_per_value : int;
+  max_cardinality : int;
+}
+
+let default_params =
+  {
+    heavy_value_share = 0.01;
+    heavy_fraction = 0.10;
+    min_heavy_values = 2;
+    min_rows_per_value = 2;
+    max_cardinality = 12;
+  }
+
+let is_categorical ?(params = default_params) table attr =
+  let counts = Table.value_counts table attr in
+  let n = Table.row_count table in
+  let distinct = List.length counts in
+  if n = 0 || distinct < 2 || distinct > params.max_cardinality then false
+  else begin
+    let heavy_threshold =
+      max params.min_rows_per_value
+        (int_of_float (Float.ceil (params.heavy_value_share *. float_of_int n)))
+    in
+    let heavy = List.length (List.filter (fun (_, c) -> c >= heavy_threshold) counts) in
+    heavy >= params.min_heavy_values
+    && float_of_int heavy /. float_of_int distinct > params.heavy_fraction
+  end
+
+let categorical_attributes ?(params = default_params) table =
+  Table.schema table |> Schema.attribute_names
+  |> List.filter (is_categorical ~params table)

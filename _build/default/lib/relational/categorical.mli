@@ -1,0 +1,29 @@
+(** Categorical-attribute detection (paper §2.1).
+
+    "We consider an attribute a to be categorical if more than 10% of the
+    values of a are associated with more than 1% of the tuples in our
+    sample.  In the case of small samples, at least two values must be
+    associated with at least two tuples." *)
+
+type params = {
+  heavy_value_share : float;
+      (** a value is "heavy" if it covers more than this fraction of the
+          rows (paper: 0.01) *)
+  heavy_fraction : float;
+      (** the attribute is categorical if more than this fraction of its
+          distinct values are heavy (paper: 0.10) *)
+  min_heavy_values : int;  (** small-sample rule (paper: 2) *)
+  min_rows_per_value : int;  (** small-sample rule (paper: 2) *)
+  max_cardinality : int;
+      (** reject attributes with more distinct values than this (default
+          12) — an engineering guard that keeps NaiveInfer's view count
+          bounded and excludes quasi-numeric columns like years *)
+}
+
+val default_params : params
+
+val is_categorical : ?params:params -> Table.t -> string -> bool
+
+val categorical_attributes : ?params:params -> Table.t -> string list
+(** Cat(R): names of all categorical attributes of the table, in schema
+    order. *)

@@ -1,0 +1,160 @@
+exception Parse_error of string
+
+type token =
+  | Ident of string
+  | Val of Value.t
+  | Lparen
+  | Rparen
+  | Comma
+  | Equals
+  | Kw_and
+  | Kw_or
+  | Kw_not
+  | Kw_in
+  | Kw_true
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '-' || c = '+'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let push t = tokens := t :: !tokens in
+  let rec go i =
+    if i >= n then ()
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '(' -> push Lparen; go (i + 1)
+      | ')' -> push Rparen; go (i + 1)
+      | ',' -> push Comma; go (i + 1)
+      | '=' -> push Equals; go (i + 1)
+      | '\'' ->
+        (* single-quoted string literal; '' escapes a quote *)
+        let buf = Buffer.create 16 in
+        let rec scan j =
+          if j >= n then raise (Parse_error "unterminated string literal")
+          else if input.[j] = '\'' then
+            if j + 1 < n && input.[j + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              scan (j + 2)
+            end
+            else j + 1
+          else begin
+            Buffer.add_char buf input.[j];
+            scan (j + 1)
+          end
+        in
+        let next = scan (i + 1) in
+        push (Val (Value.String (Buffer.contents buf)));
+        go next
+      | '"' ->
+        let buf = Buffer.create 16 in
+        let rec scan j =
+          if j >= n then raise (Parse_error "unterminated quoted identifier")
+          else if input.[j] = '"' then
+            if j + 1 < n && input.[j + 1] = '"' then begin
+              Buffer.add_char buf '"';
+              scan (j + 2)
+            end
+            else j + 1
+          else begin
+            Buffer.add_char buf input.[j];
+            scan (j + 1)
+          end
+        in
+        let next = scan (i + 1) in
+        push (Ident (Buffer.contents buf));
+        go next
+      | c when is_word_char c ->
+        let j = ref i in
+        while !j < n && is_word_char input.[!j] do incr j done;
+        let word = String.sub input i (!j - i) in
+        (match String.uppercase_ascii word with
+        | "AND" -> push Kw_and
+        | "OR" -> push Kw_or
+        | "NOT" -> push Kw_not
+        | "IN" -> push Kw_in
+        | "TRUE" -> push Kw_true
+        | _ -> push (Ident word));
+        go !j
+      | c -> raise (Parse_error (Printf.sprintf "unexpected character %c" c))
+  in
+  go 0;
+  List.rev !tokens
+
+(* A bare word in value position is interpreted like Value.infer: int,
+   float, bool, else string. *)
+let value_of_ident word = Value.infer word
+
+let parse input =
+  let tokens = ref (tokenize input) in
+  let peek () = match !tokens with [] -> None | t :: _ -> Some t in
+  let advance () = match !tokens with [] -> () | _ :: rest -> tokens := rest in
+  let expect t message =
+    match peek () with
+    | Some t' when t' = t -> advance ()
+    | _ -> raise (Parse_error message)
+  in
+  let parse_value () =
+    match peek () with
+    | Some (Val v) -> advance (); v
+    | Some (Ident w) -> advance (); value_of_ident w
+    | Some Kw_true -> advance (); Value.Bool true
+    | _ -> raise (Parse_error "expected a value")
+  in
+  let rec parse_or () =
+    let left = parse_and () in
+    match peek () with
+    | Some Kw_or ->
+      advance ();
+      Condition.Or (left, parse_or ())
+    | _ -> left
+  and parse_and () =
+    let left = parse_unary () in
+    match peek () with
+    | Some Kw_and ->
+      advance ();
+      Condition.And (left, parse_and ())
+    | _ -> left
+  and parse_unary () =
+    match peek () with
+    | Some Kw_not ->
+      advance ();
+      Condition.Not (parse_unary ())
+    | Some Kw_true -> advance (); Condition.True
+    | Some Lparen ->
+      advance ();
+      let inner = parse_or () in
+      expect Rparen "expected )";
+      inner
+    | Some (Ident attr) -> (
+      advance ();
+      match peek () with
+      | Some Equals ->
+        advance ();
+        Condition.Eq (attr, parse_value ())
+      | Some Kw_in ->
+        advance ();
+        expect Lparen "expected ( after IN";
+        let rec values acc =
+          let v = parse_value () in
+          match peek () with
+          | Some Comma ->
+            advance ();
+            values (v :: acc)
+          | Some Rparen ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> raise (Parse_error "expected , or ) in IN list")
+        in
+        Condition.In (attr, values [])
+      | _ -> raise (Parse_error (Printf.sprintf "expected = or IN after %s" attr)))
+    | _ -> raise (Parse_error "expected a condition")
+  in
+  let result = parse_or () in
+  if !tokens <> [] then raise (Parse_error "trailing input after condition");
+  result
+
+let parse_opt input = try Some (parse input) with Parse_error _ -> None

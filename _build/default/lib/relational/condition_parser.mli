@@ -1,0 +1,23 @@
+(** Parser for the SQL-ish condition syntax printed by
+    {!Condition.to_string} — used by the CLI (--where) and handy in
+    tests.
+
+    Grammar (case-insensitive keywords):
+
+    {v
+      cond   ::= or
+      or     ::= and (OR and)*
+      and    ::= unary (AND unary)*
+      unary  ::= NOT unary | '(' cond ')' | atom | TRUE
+      atom   ::= ident '=' value | ident IN '(' value (',' value)* ')'
+      value  ::= int | float | true | false | 'single-quoted string'
+               | bare-word (read as a string)
+      ident  ::= bare-word | "double-quoted"
+    v} *)
+
+exception Parse_error of string
+
+val parse : string -> Condition.t
+(** Raises {!Parse_error} with a human-readable message on bad input. *)
+
+val parse_opt : string -> Condition.t option

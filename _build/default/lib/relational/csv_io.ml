@@ -1,0 +1,159 @@
+exception Parse_error of { line : int; message : string }
+
+let parse_string ?(separator = ',') text =
+  let records = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 64 in
+  let line = ref 1 in
+  let n = String.length text in
+  let push_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let push_record () =
+    push_field ();
+    records := List.rev !fields :: !records;
+    fields := []
+  in
+  (* States: 0 = unquoted, 1 = inside quotes, 2 = just saw a quote while
+     inside quotes (either the closing quote or the first of a doubled
+     quote). *)
+  let rec go i state =
+    if i >= n then begin
+      match state with
+      | 1 -> raise (Parse_error { line = !line; message = "unterminated quoted field" })
+      | 0 | 2 | _ ->
+        if Buffer.length buf > 0 || !fields <> [] then push_record ()
+    end
+    else begin
+      let c = text.[i] in
+      match state with
+      | 0 ->
+        if c = separator then begin push_field (); go (i + 1) 0 end
+        else if c = '"' && Buffer.length buf = 0 then go (i + 1) 1
+        else if c = '\n' then begin incr line; push_record (); go (i + 1) 0 end
+        else if c = '\r' then
+          if i + 1 < n && text.[i + 1] = '\n' then begin
+            incr line;
+            push_record ();
+            go (i + 2) 0
+          end
+          else begin incr line; push_record (); go (i + 1) 0 end
+        else begin Buffer.add_char buf c; go (i + 1) 0 end
+      | 1 ->
+        if c = '"' then go (i + 1) 2
+        else begin
+          if c = '\n' then incr line;
+          Buffer.add_char buf c;
+          go (i + 1) 1
+        end
+      | 2 | _ ->
+        if c = '"' then begin Buffer.add_char buf '"'; go (i + 1) 1 end
+        else go i 0
+    end
+  in
+  go 0 0;
+  List.rev !records
+
+let parse_file ?separator path =
+  let ic = open_in_bin path in
+  let text =
+    try really_input_string ic (in_channel_length ic)
+    with e ->
+      close_in_noerr ic;
+      raise e
+  in
+  close_in ic;
+  parse_string ?separator text
+
+let needs_quoting separator field =
+  String.exists (fun c -> c = separator || c = '"' || c = '\n' || c = '\r') field
+
+let render_field separator field =
+  if needs_quoting separator field then begin
+    let buf = Buffer.create (String.length field + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      field;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else field
+
+let to_string ?(separator = ',') records =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun record ->
+      Buffer.add_string buf
+        (String.concat (String.make 1 separator) (List.map (render_field separator) record));
+      Buffer.add_char buf '\n')
+    records;
+  Buffer.contents buf
+
+let write_file ?separator path records =
+  let oc = open_out_bin path in
+  output_string oc (to_string ?separator records);
+  close_out oc
+
+let infer_column_type fields =
+  let non_empty = List.filter (fun s -> String.trim s <> "") fields in
+  if non_empty = [] then Value.Tstring
+  else begin
+    let all p = List.for_all p non_empty in
+    if all (fun s -> int_of_string_opt (String.trim s) <> None) then Value.Tint
+    else if all (fun s -> float_of_string_opt (String.trim s) <> None) then Value.Tfloat
+    else if
+      all (fun s ->
+          match String.lowercase_ascii (String.trim s) with
+          | "true" | "false" -> true
+          | _ -> false)
+    then Value.Tbool
+    else Value.Tstring
+  end
+
+let table_of_csv ?separator ~name text =
+  match parse_string ?separator text with
+  | [] -> invalid_arg "Csv_io.table_of_csv: empty input"
+  | header :: data ->
+    let width = List.length header in
+    let normalized =
+      List.map
+        (fun record ->
+          let len = List.length record in
+          if len = width then record
+          else if len < width then record @ List.init (width - len) (fun _ -> "")
+          else List.filteri (fun i _ -> i < width) record)
+        data
+    in
+    let column i = List.map (fun record -> List.nth record i) normalized in
+    let types = List.init width (fun i -> infer_column_type (column i)) in
+    let attrs = List.map2 Attribute.make header types in
+    let schema = Schema.make name attrs in
+    let rows =
+      List.map
+        (fun record ->
+          Array.of_list (List.map2 (fun ty field -> Value.of_string_as ty field) types record))
+        normalized
+    in
+    Table.make schema rows
+
+let table_of_file ?separator ~name path =
+  let ic = open_in_bin path in
+  let text =
+    try really_input_string ic (in_channel_length ic)
+    with e ->
+      close_in_noerr ic;
+      raise e
+  in
+  close_in ic;
+  table_of_csv ?separator ~name text
+
+let table_to_csv ?separator table =
+  let header = Schema.attribute_names (Table.schema table) in
+  let rows =
+    Array.to_list (Table.rows table)
+    |> List.map (fun row -> Array.to_list (Array.map Value.to_string row))
+  in
+  to_string ?separator (header :: rows)

@@ -1,0 +1,30 @@
+(** Minimal RFC-4180 CSV reader/writer with type inference.
+
+    Used by the CLI to load user-supplied samples and by tests for
+    round-tripping.  Handles quoted fields, embedded quotes (doubled),
+    embedded separators and newlines inside quotes, and both LF and CRLF
+    line endings. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : ?separator:char -> string -> string list list
+(** Raw records as string fields.  Raises {!Parse_error} on an unclosed
+    quote. *)
+
+val parse_file : ?separator:char -> string -> string list list
+
+val to_string : ?separator:char -> string list list -> string
+(** Render records; fields containing the separator, quotes or newlines
+    are quoted, quotes doubled. *)
+
+val write_file : ?separator:char -> string -> string list list -> unit
+
+val table_of_csv : ?separator:char -> name:string -> string -> Table.t
+(** Parse CSV text whose first record is the header; column types are
+    inferred from the data (int if all non-empty fields parse as int,
+    else float, else bool, else string).  Empty fields become nulls. *)
+
+val table_of_file : ?separator:char -> name:string -> string -> Table.t
+
+val table_to_csv : ?separator:char -> Table.t -> string
+(** Header + rows in display form. *)

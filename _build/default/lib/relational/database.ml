@@ -1,0 +1,47 @@
+type t = { name : string; tables : Table.t list }
+
+let make name tables =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun tbl ->
+      let n = Table.name tbl in
+      if Hashtbl.mem seen n then
+        invalid_arg (Printf.sprintf "Database.make: duplicate table %s" n);
+      Hashtbl.add seen n ())
+    tables;
+  { name; tables }
+
+let name t = t.name
+let tables t = t.tables
+
+let table_opt t table_name =
+  List.find_opt (fun tbl -> String.equal (Table.name tbl) table_name) t.tables
+
+let table t table_name =
+  match table_opt t table_name with Some tbl -> tbl | None -> raise Not_found
+
+let mem t table_name = table_opt t table_name <> None
+
+let table_names t = List.map Table.name t.tables
+
+let add_table t tbl = make t.name (t.tables @ [ tbl ])
+
+let replace_table t tbl =
+  let target = Table.name tbl in
+  if mem t target then
+    {
+      t with
+      tables =
+        List.map (fun existing -> if Table.name existing = target then tbl else existing) t.tables;
+    }
+  else add_table t tbl
+
+let map_tables f t = { t with tables = List.map f t.tables }
+
+let total_rows t = List.fold_left (fun acc tbl -> acc + Table.row_count tbl) 0 t.tables
+
+let total_attributes t = List.fold_left (fun acc tbl -> acc + Table.arity tbl) 0 t.tables
+
+let pp fmt t =
+  Format.fprintf fmt "database %s:" t.name;
+  List.iter (fun tbl -> Format.fprintf fmt "@\n  %a [%d rows]" Schema.pp (Table.schema tbl) (Table.row_count tbl)) t.tables

@@ -1,0 +1,24 @@
+(** A database (the paper's calligraphic R): a named collection of table
+    instances. *)
+
+type t
+
+val make : string -> Table.t list -> t
+(** Raises [Invalid_argument] on duplicate table names. *)
+
+val name : t -> string
+val tables : t -> Table.t list
+val table : t -> string -> Table.t
+(** Raises [Not_found]. *)
+
+val table_opt : t -> string -> Table.t option
+val mem : t -> string -> bool
+val table_names : t -> string list
+val add_table : t -> Table.t -> t
+val replace_table : t -> Table.t -> t
+(** Replace the table with the same name; adds it if absent. *)
+
+val map_tables : (Table.t -> Table.t) -> t -> t
+val total_rows : t -> int
+val total_attributes : t -> int
+val pp : Format.formatter -> t -> unit

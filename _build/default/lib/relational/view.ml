@@ -1,0 +1,68 @@
+type t = {
+  base : Table.t;
+  condition : Condition.t;
+  name : string;
+  mutable indices : int array option;
+}
+
+let make ?name base condition =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "%s where %s" (Table.name base) (Condition.to_string condition)
+  in
+  { base; condition; name; indices = None }
+
+let base t = t.base
+let condition t = t.condition
+let name t = t.name
+let schema t = Schema.rename (Table.schema t.base) t.name
+
+let row_indices t =
+  match t.indices with
+  | Some idx -> idx
+  | None ->
+    let schema = Table.schema t.base in
+    let rows = Table.rows t.base in
+    let selected = ref [] in
+    for i = Array.length rows - 1 downto 0 do
+      if Condition.eval t.condition schema rows.(i) then selected := i :: !selected
+    done;
+    let idx = Array.of_list !selected in
+    t.indices <- Some idx;
+    idx
+
+let row_count t = Array.length (row_indices t)
+
+let column t attr =
+  let i = Schema.index_of (Table.schema t.base) attr in
+  let rows = Table.rows t.base in
+  Array.map (fun r -> rows.(r).(i)) (row_indices t)
+
+let materialize t = Table.rename (Table.sub_by_indices t.base (row_indices t)) t.name
+
+let selectivity t =
+  let n = Table.row_count t.base in
+  if n = 0 then 0.0 else float_of_int (row_count t) /. float_of_int n
+
+let pp fmt t =
+  Format.fprintf fmt "view %s [%d/%d rows]" t.name (row_count t) (Table.row_count t.base)
+
+type family = {
+  table : Table.t;
+  attribute : string;
+  views : t list;
+  quality : float;
+}
+
+let family_of_values ?(quality = 0.0) table attribute groups =
+  let views =
+    List.map
+      (fun group -> make table (Condition.disjoin_values attribute group))
+      (List.filter (fun g -> g <> []) groups)
+  in
+  { table; attribute; views; quality }
+
+let partition_family ?(quality = 0.0) table attribute =
+  let values = Table.distinct_values table attribute in
+  family_of_values ~quality table attribute (List.map (fun v -> [ v ]) values)

@@ -1,0 +1,49 @@
+(** Select-only views: [select * from R where c] (paper §2.1).
+
+    During the contextual-match search views are *not* materialised;
+    a view is a base table plus a condition, and matchers pull filtered
+    columns on demand.  {!materialize} exists for the mapping executor
+    and for tests. *)
+
+type t
+
+val make : ?name:string -> Table.t -> Condition.t -> t
+(** The default name is ["<base> where <cond>"]. *)
+
+val base : t -> Table.t
+val condition : t -> Condition.t
+val name : t -> string
+val schema : t -> Schema.t
+(** Schema of the view's output — same as the base table's, renamed. *)
+
+val row_indices : t -> int array
+(** Indices of base-table rows satisfying the condition (computed once
+    and cached). *)
+
+val row_count : t -> int
+val column : t -> string -> Value.t array
+val materialize : t -> Table.t
+val selectivity : t -> float
+(** Fraction of base rows selected; 0 when the base is empty. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 View families}
+
+    A view family [(R, l, views)] partitions R by the values of one
+    categorical attribute l (paper §3.2.2). *)
+
+type family = {
+  table : Table.t;  (** base table *)
+  attribute : string;  (** the categorical attribute l *)
+  views : t list;  (** mutually exclusive views over l *)
+  quality : float;  (** classifier F-measure that justified the family *)
+}
+
+val family_of_values : ?quality:float -> Table.t -> string -> Value.t list list -> family
+(** [family_of_values tbl l groups] builds one view per group of values
+    of [l]: a singleton group yields a simple condition, a larger group
+    a simple-disjunctive one. *)
+
+val partition_family : ?quality:float -> Table.t -> string -> family
+(** One view per distinct value of the attribute in the sample. *)

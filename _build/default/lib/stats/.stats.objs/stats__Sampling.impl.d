@@ -1,0 +1,1 @@
+lib/stats/sampling.ml: Array Float Hashtbl List Rng String

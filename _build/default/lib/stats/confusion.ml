@@ -1,0 +1,112 @@
+module Pair_map = Map.Make (struct
+  type t = string * string
+
+  let compare = compare
+end)
+
+module String_map = Map.Make (String)
+
+type t = {
+  mutable cells : int Pair_map.t;
+  mutable truths : int String_map.t;
+  mutable predictions : int String_map.t;
+  mutable total : int;
+  mutable correct : int;
+}
+
+let create () =
+  {
+    cells = Pair_map.empty;
+    truths = String_map.empty;
+    predictions = String_map.empty;
+    total = 0;
+    correct = 0;
+  }
+
+let bump map key = String_map.update key (function None -> Some 1 | Some n -> Some (n + 1)) map
+
+let observe t ~truth ~predicted =
+  t.cells <-
+    Pair_map.update (truth, predicted)
+      (function None -> Some 1 | Some n -> Some (n + 1))
+      t.cells;
+  t.truths <- bump t.truths truth;
+  t.predictions <- bump t.predictions predicted;
+  t.total <- t.total + 1;
+  if String.equal truth predicted then t.correct <- t.correct + 1
+
+let total t = t.total
+let correct t = t.correct
+
+let accuracy t = if t.total = 0 then 0.0 else float_of_int t.correct /. float_of_int t.total
+
+let labels t =
+  let add map acc = String_map.fold (fun k _ acc -> k :: acc) map acc in
+  add t.truths [] |> add t.predictions |> List.sort_uniq String.compare
+
+let count t ~truth ~predicted =
+  match Pair_map.find_opt (truth, predicted) t.cells with None -> 0 | Some n -> n
+
+let truth_count t label =
+  match String_map.find_opt label t.truths with None -> 0 | Some n -> n
+
+let predicted_count t label =
+  match String_map.find_opt label t.predictions with None -> 0 | Some n -> n
+
+let per_class_precision t label =
+  let denom = predicted_count t label in
+  if denom = 0 then 0.0
+  else float_of_int (count t ~truth:label ~predicted:label) /. float_of_int denom
+
+let per_class_recall t label =
+  let denom = truth_count t label in
+  if denom = 0 then 0.0
+  else float_of_int (count t ~truth:label ~predicted:label) /. float_of_int denom
+
+let f_beta ~beta ~precision ~recall =
+  let b2 = beta *. beta in
+  let denom = (b2 *. precision) +. recall in
+  if denom <= 0.0 then 0.0 else (1.0 +. b2) *. precision *. recall /. denom
+
+let micro_f ?(beta = 1.0) t =
+  (* Single-label: micro P = micro R = accuracy. *)
+  let a = accuracy t in
+  f_beta ~beta ~precision:a ~recall:a
+
+let macro_f ?(beta = 1.0) t =
+  match labels t with
+  | [] -> 0.0
+  | ls ->
+    let sum =
+      List.fold_left
+        (fun acc label ->
+          acc
+          +. f_beta ~beta ~precision:(per_class_precision t label)
+               ~recall:(per_class_recall t label))
+        0.0 ls
+    in
+    sum /. float_of_int (List.length ls)
+
+let error_pairs t =
+  let merged =
+    Pair_map.fold
+      (fun (truth, predicted) n acc ->
+        if String.equal truth predicted then acc
+        else begin
+          let key = if String.compare truth predicted <= 0 then (truth, predicted) else (predicted, truth) in
+          Pair_map.update key (function None -> Some n | Some m -> Some (m + n)) acc
+        end)
+      t.cells Pair_map.empty
+  in
+  Pair_map.bindings merged
+  |> List.sort (fun (k1, n1) (k2, n2) ->
+         match compare n2 n1 with 0 -> compare k1 k2 | c -> c)
+
+let normalized_error_pairs t =
+  error_pairs t
+  |> List.map (fun ((v, v'), n) ->
+         let freq = truth_count t v + truth_count t v' in
+         let w = if freq = 0 then 0.0 else float_of_int n /. float_of_int freq in
+         ((v, v'), w))
+  |> List.sort (fun (k1, w1) (k2, w2) ->
+         match Float.compare w2 w1 with 0 -> compare k1 k2 | c -> c)

@@ -1,0 +1,58 @@
+(** Confusion matrices for single-label classification.
+
+    ClusteredViewGen (paper §3.2.2) evaluates a classifier on held-out
+    data and needs (a) the micro-averaged F-measure of the predictions
+    and (b) the error pairs (truth, predicted) that drive the
+    early-disjunct merging loop (paper §3.3). *)
+
+type t
+(** A confusion matrix over string labels.  Mutable accumulator. *)
+
+val create : unit -> t
+
+val observe : t -> truth:string -> predicted:string -> unit
+(** Record one classification outcome. *)
+
+val total : t -> int
+(** Number of observations recorded. *)
+
+val correct : t -> int
+(** Number of observations with [truth = predicted]. *)
+
+val accuracy : t -> float
+(** [correct / total]; 0.0 when empty. *)
+
+val labels : t -> string list
+(** All labels seen (as truth or prediction), sorted. *)
+
+val count : t -> truth:string -> predicted:string -> int
+
+val truth_count : t -> string -> int
+(** Number of observations whose truth is the given label. *)
+
+val predicted_count : t -> string -> int
+
+val per_class_precision : t -> string -> float
+(** TP / predicted-count for a label; 0.0 when never predicted. *)
+
+val per_class_recall : t -> string -> float
+(** TP / truth-count for a label; 0.0 when the label never occurs. *)
+
+val micro_f : ?beta:float -> t -> float
+(** Micro-averaged F_beta.  For single-label problems micro-precision =
+    micro-recall = accuracy, so this equals accuracy for any beta; kept
+    general for documentation parity with the paper. *)
+
+val macro_f : ?beta:float -> t -> float
+(** Unweighted mean of per-class F_beta. *)
+
+val error_pairs : t -> ((string * string) * int) list
+(** Misclassification pairs with counts, truth/prediction order
+    normalised so that [(v, v')] and [(v', v)] are merged (paper §3.3:
+    "false positives and false negatives are not distinguished").
+    Sorted by decreasing count, ties broken lexicographically. *)
+
+val normalized_error_pairs : t -> ((string * string) * float) list
+(** Like {!error_pairs} but each count is divided by the combined truth
+    frequency of the two labels, per §3.3 ("after normalizing for the
+    frequency of v and v'").  Sorted by decreasing normalised weight. *)

@@ -1,0 +1,67 @@
+type summary = {
+  n : int;
+  mean : float;
+  variance : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+let empty_summary =
+  { n = 0; mean = 0.0; variance = 0.0; stddev = 0.0; min = Float.nan; max = Float.nan }
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then empty_summary
+  else begin
+    (* Welford's online algorithm. *)
+    let mean = ref 0.0 and m2 = ref 0.0 in
+    let mn = ref xs.(0) and mx = ref xs.(0) in
+    Array.iteri
+      (fun i x ->
+        let count = float_of_int (i + 1) in
+        let delta = x -. !mean in
+        mean := !mean +. (delta /. count);
+        m2 := !m2 +. (delta *. (x -. !mean));
+        if x < !mn then mn := x;
+        if x > !mx then mx := x)
+      xs;
+    let variance = !m2 /. float_of_int n in
+    { n; mean = !mean; variance; stddev = sqrt variance; min = !mn; max = !mx }
+  end
+
+let summarize_list l = summarize (Array.of_list l)
+
+let mean xs = (summarize xs).mean
+
+let stddev xs = if Array.length xs < 2 then 0.0 else (summarize xs).stddev
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort Float.compare sorted;
+    if p <= 0.0 then sorted.(0)
+    else if p >= 100.0 then sorted.(n - 1)
+    else begin
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = int_of_float (Float.ceil rank) in
+      let frac = rank -. Float.floor rank in
+      sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+    end
+  end
+
+let median xs = percentile xs 50.0
+
+let sum xs =
+  let total = ref 0.0 and comp = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let y = x -. !comp in
+      let t = !total +. y in
+      comp := t -. !total -. y;
+      total := t)
+    xs;
+  !total

@@ -1,0 +1,40 @@
+(** Descriptive statistics over float samples.
+
+    Used by the numeric instance matcher (compare column distributions)
+    and by the score-normalisation step that converts raw matcher scores
+    into confidences. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  variance : float;  (** population variance (divides by n) *)
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+val empty_summary : summary
+(** Summary of zero observations: all fields 0 (min/max are nan). *)
+
+val summarize : float array -> summary
+(** Single-pass Welford summary.  Stable for long, large-magnitude
+    samples. *)
+
+val summarize_list : float list -> summary
+
+val mean : float array -> float
+(** 0.0 on the empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation; 0.0 on arrays of length < 2. *)
+
+val median : float array -> float
+(** Median (average of middle two for even length).  Does not mutate the
+    input.  0.0 on the empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0,100], linear interpolation between
+    closest ranks. *)
+
+val sum : float array -> float
+(** Kahan-compensated sum. *)

@@ -1,0 +1,91 @@
+let erf x =
+  (* Abramowitz & Stegun 7.1.26. *)
+  let sign = if x < 0.0 then -1.0 else 1.0 in
+  let x = Float.abs x in
+  let a1 = 0.254829592
+  and a2 = -0.284496736
+  and a3 = 1.421413741
+  and a4 = -1.453152027
+  and a5 = 1.061405429
+  and p = 0.3275911 in
+  let t = 1.0 /. (1.0 +. (p *. x)) in
+  let poly = ((((a5 *. t +. a4) *. t +. a3) *. t +. a2) *. t +. a1) *. t in
+  let y = 1.0 -. (poly *. exp (-.x *. x)) in
+  sign *. y
+
+let erfc x = 1.0 -. erf x
+
+let sqrt2 = sqrt 2.0
+let sqrt2pi = sqrt (2.0 *. Float.pi)
+
+let normal_pdf ?(mu = 0.0) ?(sigma = 1.0) x =
+  let z = (x -. mu) /. sigma in
+  exp (-0.5 *. z *. z) /. (sigma *. sqrt2pi)
+
+let phi x = 0.5 *. (1.0 +. erf (x /. sqrt2))
+
+let normal_cdf ~mu ~sigma x =
+  if sigma <= 0.0 then invalid_arg "Distribution.normal_cdf: sigma <= 0";
+  phi ((x -. mu) /. sigma)
+
+(* Acklam's inverse-normal approximation; relative error < 1.15e-9 after
+   the Halley refinement step. *)
+let phi_inv p =
+  if p <= 0.0 || p >= 1.0 then invalid_arg "Distribution.phi_inv: p outside (0,1)";
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  in
+  let b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  in
+  let c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  in
+  let d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let p_low = 0.02425 in
+  let p_high = 1.0 -. p_low in
+  let x =
+    if p < p_low then begin
+      let q = sqrt (-2.0 *. log p) in
+      (((((c.(0) *. q +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5))
+      /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0)
+    end
+    else if p <= p_high then begin
+      let q = p -. 0.5 in
+      let r = q *. q in
+      (((((a.(0) *. r +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4)) *. r +. a.(5))
+      *. q
+      /. (((((b.(0) *. r +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4)) *. r +. 1.0)
+    end
+    else begin
+      let q = sqrt (-2.0 *. log (1.0 -. p)) in
+      -.((((((c.(0) *. q +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5))
+         /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0))
+    end
+  in
+  (* One Halley step sharpens the approximation. *)
+  let e = phi x -. p in
+  let u = e *. sqrt2pi *. exp (x *. x /. 2.0) in
+  x -. (u /. (1.0 +. (x *. u /. 2.0)))
+
+let binomial_mean ~n ~p = float_of_int n *. p
+
+let binomial_stddev ~n ~p = sqrt (float_of_int n *. p *. (1.0 -. p))
+
+let binomial_tail_normal ~n ~p ~successes =
+  let mu = binomial_mean ~n ~p in
+  let sigma = binomial_stddev ~n ~p in
+  if sigma <= 0.0 then
+    (* Degenerate distribution: every trial has the same outcome. *)
+    if float_of_int successes <= mu then 1.0 else 0.0
+  else
+    let x = float_of_int successes -. 0.5 in
+    1.0 -. phi ((x -. mu) /. sigma)
+
+let z_score ~mu ~sigma x = if sigma > 0.0 then (x -. mu) /. sigma else 0.0

@@ -1,0 +1,41 @@
+(** Probability distributions used by the matcher and the significance
+    tests of contextual matching.
+
+    The normal CDF [phi] converts raw matcher scores into confidences
+    (paper §2.3) and drives the binomial-null significance test of
+    ClusteredViewGen (paper §3.2.2). *)
+
+val erf : float -> float
+(** Error function, Abramowitz–Stegun 7.1.26 rational approximation
+    (|error| < 1.5e-7, ample for score normalisation). *)
+
+val erfc : float -> float
+(** Complementary error function. *)
+
+val normal_pdf : ?mu:float -> ?sigma:float -> float -> float
+(** Density of N(mu, sigma); defaults to the standard normal. *)
+
+val phi : float -> float
+(** Standard normal CDF. *)
+
+val normal_cdf : mu:float -> sigma:float -> float -> float
+(** CDF of N(mu, sigma).  Requires [sigma > 0]. *)
+
+val phi_inv : float -> float
+(** Quantile function of the standard normal (Acklam's algorithm, refined
+    with one Halley step).  Defined on (0, 1). *)
+
+val binomial_mean : n:int -> p:float -> float
+(** Mean [n*p] of Binomial(n, p). *)
+
+val binomial_stddev : n:int -> p:float -> float
+(** Standard deviation [sqrt (n*p*(1-p))]. *)
+
+val binomial_tail_normal : n:int -> p:float -> successes:int -> float
+(** [binomial_tail_normal ~n ~p ~successes] approximates
+    P(X >= successes) for X ~ Binomial(n, p) with the normal
+    approximation (continuity-corrected).  This is the likelihood of the
+    null hypothesis in the ClusteredViewGen significance test. *)
+
+val z_score : mu:float -> sigma:float -> float -> float
+(** [(x - mu) / sigma]; returns 0 when [sigma] is not positive. *)

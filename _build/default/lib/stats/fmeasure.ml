@@ -1,0 +1,34 @@
+type counts = { true_positives : int; found : int; expected : int }
+
+let dedup equal items =
+  List.fold_left
+    (fun acc item -> if List.exists (equal item) acc then acc else item :: acc)
+    [] items
+  |> List.rev
+
+let counts ~equal ~expected ~found =
+  let found = dedup equal found in
+  let expected = dedup equal expected in
+  let true_positives =
+    List.length (List.filter (fun e -> List.exists (equal e) found) expected)
+  in
+  { true_positives; found = List.length found; expected = List.length expected }
+
+let precision c =
+  if c.found = 0 then if c.expected = 0 then 1.0 else 0.0
+  else float_of_int c.true_positives /. float_of_int c.found
+
+let recall c =
+  if c.expected = 0 then 1.0 else float_of_int c.true_positives /. float_of_int c.expected
+
+let of_rates ~precision ~recall =
+  if precision +. recall <= 0.0 then 0.0
+  else 2.0 *. precision *. recall /. (precision +. recall)
+
+let f_beta ?(beta = 1.0) c =
+  let p = precision c and r = recall c in
+  let b2 = beta *. beta in
+  let denom = (b2 *. p) +. r in
+  if denom <= 0.0 then 0.0 else (1.0 +. b2) *. p *. r /. denom
+
+let f1 c = f_beta ~beta:1.0 c

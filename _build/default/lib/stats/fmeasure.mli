@@ -1,0 +1,27 @@
+(** Precision / recall / F-measure over sets of discrete items.
+
+    Used by the evaluation harness (paper §5, "Evaluating Accuracy"):
+    accuracy is the percentage of correct matches found (i.e. recall)
+    and precision the percentage of found matches that are correct. *)
+
+type counts = { true_positives : int; found : int; expected : int }
+
+val counts : equal:('a -> 'a -> bool) -> expected:'a list -> found:'a list -> counts
+(** Set-style counting: an expected item counts as a true positive when
+    at least one found item is [equal] to it; [found] duplicates are
+    counted once per distinct found item. *)
+
+val precision : counts -> float
+(** TP / found; 1.0 when nothing was found and nothing expected, 0.0 when
+    found is empty but something was expected. *)
+
+val recall : counts -> float
+(** TP / expected (the paper's "accuracy"); 1.0 when nothing expected. *)
+
+val f_beta : ?beta:float -> counts -> float
+(** F_beta of precision and recall; beta defaults to 1. *)
+
+val f1 : counts -> float
+
+val of_rates : precision:float -> recall:float -> float
+(** Harmonic mean of two rates (F1); 0.0 when both are 0. *)

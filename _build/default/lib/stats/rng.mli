@@ -1,0 +1,48 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the library flows through this module so that every
+    experiment is reproducible from an integer seed.  The generator is
+    splitmix64, which has a 64-bit state, passes BigCrush, and supports
+    cheap splitting into independent streams. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the state; the copy evolves independently. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of [t]'s subsequent output. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform on [0, bound).  Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform on [0, bound). *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normal deviate via the Box–Muller transform. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly chosen element.  Raises [Invalid_argument] on empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniformly chosen element of a non-empty list. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle. *)
+
+val shuffle : t -> 'a array -> 'a array
+(** Non-destructive shuffle. *)

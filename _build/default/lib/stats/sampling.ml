@@ -1,0 +1,50 @@
+let split_indices rng ~n ~train_fraction =
+  if train_fraction <= 0.0 || train_fraction >= 1.0 then
+    invalid_arg "Sampling.split_indices: train_fraction outside (0,1)";
+  let idx = Array.init n (fun i -> i) in
+  Rng.shuffle_in_place rng idx;
+  let cut = int_of_float (Float.round (train_fraction *. float_of_int n)) in
+  let cut = if n >= 2 then max 1 (min (n - 1) cut) else cut in
+  (Array.sub idx 0 cut, Array.sub idx cut (n - cut))
+
+let split rng ~train_fraction items =
+  let train_idx, test_idx = split_indices rng ~n:(Array.length items) ~train_fraction in
+  (Array.map (fun i -> items.(i)) train_idx, Array.map (fun i -> items.(i)) test_idx)
+
+let sample_without_replacement rng ~k items =
+  let n = Array.length items in
+  if k >= n then Rng.shuffle rng items
+  else begin
+    let shuffled = Rng.shuffle rng items in
+    Array.sub shuffled 0 (max 0 k)
+  end
+
+let bootstrap rng ~k items =
+  if k > 0 && Array.length items = 0 then invalid_arg "Sampling.bootstrap: empty input";
+  Array.init k (fun _ -> Rng.pick rng items)
+
+let stratified_split rng ~label ~train_fraction items =
+  let table = Hashtbl.create 16 in
+  Array.iter
+    (fun item ->
+      let l = label item in
+      let group = try Hashtbl.find table l with Not_found -> [] in
+      Hashtbl.replace table l (item :: group))
+    items;
+  let train = ref [] and test = ref [] in
+  let groups = Hashtbl.fold (fun l g acc -> (l, g) :: acc) table [] in
+  let groups = List.sort (fun (l1, _) (l2, _) -> String.compare l1 l2) groups in
+  List.iter
+    (fun (_, group) ->
+      let group = Array.of_list group in
+      if Array.length group < 2 then
+        (* A singleton label goes to training: the classifier must at
+           least see the label to be able to predict it. *)
+        Array.iter (fun item -> train := item :: !train) group
+      else begin
+        let tr, te = split rng ~train_fraction group in
+        Array.iter (fun item -> train := item :: !train) tr;
+        Array.iter (fun item -> test := item :: !test) te
+      end)
+    groups;
+  (Array.of_list (List.rev !train), Array.of_list (List.rev !test))

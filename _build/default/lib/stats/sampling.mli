@@ -1,0 +1,27 @@
+(** Train/test splitting and sampling of row indices.
+
+    ClusteredViewGen (paper Fig. 6) evaluates a classifier on a held-out
+    split of the sample rows; the experiments average over many random
+    partitions (paper §5: "between 8 and 200 random partitions"). *)
+
+val split_indices : Rng.t -> n:int -> train_fraction:float -> int array * int array
+(** [split_indices rng ~n ~train_fraction] shuffles [0..n-1] and cuts it
+    into (train, test).  Guarantees at least one element on each side
+    when [n >= 2].  Raises [Invalid_argument] when the fraction is
+    outside (0, 1). *)
+
+val split : Rng.t -> train_fraction:float -> 'a array -> 'a array * 'a array
+(** Split an array of items rather than indices. *)
+
+val sample_without_replacement : Rng.t -> k:int -> 'a array -> 'a array
+(** [k] distinct elements (all of them if [k >= length]). *)
+
+val bootstrap : Rng.t -> k:int -> 'a array -> 'a array
+(** [k] elements sampled with replacement.  Raises on an empty input with
+    [k > 0]. *)
+
+val stratified_split :
+  Rng.t -> label:('a -> string) -> train_fraction:float -> 'a array -> 'a array * 'a array
+(** Per-label split: every label with >= 2 occurrences contributes at
+    least one item to each side, which keeps rare categorical values
+    visible to both training and testing. *)

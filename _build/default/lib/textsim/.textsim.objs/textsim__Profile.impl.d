@@ -1,0 +1,1 @@
+lib/textsim/profile.ml: Array Hashtbl List String Tokenize

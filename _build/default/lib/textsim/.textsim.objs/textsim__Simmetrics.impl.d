@@ -1,0 +1,1 @@
+lib/textsim/simmetrics.ml: Array List Map Set String Tokenize

@@ -1,0 +1,1 @@
+lib/textsim/simmetrics.mli:

@@ -1,0 +1,1 @@
+lib/textsim/tokenize.ml: Buffer Char List String

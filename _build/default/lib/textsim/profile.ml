@@ -1,0 +1,73 @@
+type t = { q : int; counts : (string, int) Hashtbl.t; mutable total : int }
+
+let create q = { q; counts = Hashtbl.create 256; total = 0 }
+
+let add t s =
+  List.iter
+    (fun gram ->
+      let n = try Hashtbl.find t.counts gram with Not_found -> 0 in
+      Hashtbl.replace t.counts gram (n + 1);
+      t.total <- t.total + 1)
+    (Tokenize.qgrams t.q s)
+
+let of_strings ?(q = 3) strings =
+  let t = create q in
+  List.iter (add t) strings;
+  t
+
+let of_strings_array ?(q = 3) strings =
+  let t = create q in
+  Array.iter (add t) strings;
+  t
+
+let gram_count t = Hashtbl.length t.counts
+let total t = t.total
+
+let to_weighted_bag t =
+  if t.total = 0 then []
+  else begin
+    let denom = float_of_int t.total in
+    Hashtbl.fold (fun gram n acc -> (gram, float_of_int n /. denom) :: acc) t.counts []
+    |> List.sort (fun (g1, _) (g2, _) -> String.compare g1 g2)
+  end
+
+let cosine a b =
+  if a.total = 0 || b.total = 0 then 0.0
+  else begin
+    (* Iterate the smaller table for the dot product. *)
+    let small, large = if Hashtbl.length a.counts <= Hashtbl.length b.counts then (a, b) else (b, a) in
+    let dot = ref 0.0 in
+    Hashtbl.iter
+      (fun gram n ->
+        match Hashtbl.find_opt large.counts gram with
+        | None -> ()
+        | Some m ->
+          dot :=
+            !dot
+            +. (float_of_int n /. float_of_int small.total)
+               *. (float_of_int m /. float_of_int large.total))
+      small.counts;
+    let norm t =
+      sqrt
+        (Hashtbl.fold
+           (fun _ n acc ->
+             let f = float_of_int n /. float_of_int t.total in
+             acc +. (f *. f))
+           t.counts 0.0)
+    in
+    let na = norm a and nb = norm b in
+    if na = 0.0 || nb = 0.0 then 0.0 else !dot /. (na *. nb)
+  end
+
+let jaccard a b =
+  let ca = Hashtbl.length a.counts and cb = Hashtbl.length b.counts in
+  if ca = 0 && cb = 0 then 1.0
+  else begin
+    let inter = ref 0 in
+    let small, large = if ca <= cb then (a, b) else (b, a) in
+    Hashtbl.iter
+      (fun gram _ -> if Hashtbl.mem large.counts gram then incr inter)
+      small.counts;
+    let union = ca + cb - !inter in
+    if union = 0 then 0.0 else float_of_int !inter /. float_of_int union
+  end

@@ -1,0 +1,31 @@
+(** q-gram frequency profiles of value collections.
+
+    A profile summarises the textual content of a column as a normalised
+    q-gram frequency vector; two columns are compared with cosine
+    similarity.  This is the core signal of the instance matcher and of
+    TgtClassInfer's string classifier. *)
+
+type t
+
+val of_strings : ?q:int -> string list -> t
+(** Accumulate all q-grams (default q = 3) of every string. *)
+
+val of_strings_array : ?q:int -> string array -> t
+
+val add : t -> string -> unit
+(** Fold one more string into the profile. *)
+
+val gram_count : t -> int
+(** Number of distinct grams. *)
+
+val total : t -> int
+(** Total gram occurrences. *)
+
+val to_weighted_bag : t -> (string * float) list
+(** Relative frequencies (sum to 1 when non-empty). *)
+
+val cosine : t -> t -> float
+(** Cosine similarity of the two frequency vectors. *)
+
+val jaccard : t -> t -> float
+(** Set Jaccard over distinct grams. *)

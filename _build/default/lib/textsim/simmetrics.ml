@@ -1,0 +1,134 @@
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 then lb
+  else if lb = 0 then la
+  else begin
+    let prev = Array.init (lb + 1) (fun j -> j) in
+    let curr = Array.make (lb + 1) 0 in
+    for i = 1 to la do
+      curr.(0) <- i;
+      for j = 1 to lb do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        curr.(j) <- min (min (curr.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit curr 0 prev 0 (lb + 1)
+    done;
+    prev.(lb)
+  end
+
+let levenshtein_similarity a b =
+  let la = String.length a and lb = String.length b in
+  let longest = max la lb in
+  if longest = 0 then 1.0
+  else 1.0 -. (float_of_int (levenshtein a b) /. float_of_int longest)
+
+let jaro a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 && lb = 0 then 1.0
+  else if la = 0 || lb = 0 then 0.0
+  else begin
+    let window = max 0 ((max la lb / 2) - 1) in
+    let a_matched = Array.make la false and b_matched = Array.make lb false in
+    let matches = ref 0 in
+    for i = 0 to la - 1 do
+      let lo = max 0 (i - window) and hi = min (lb - 1) (i + window) in
+      let rec find j =
+        if j > hi then ()
+        else if (not b_matched.(j)) && a.[i] = b.[j] then begin
+          a_matched.(i) <- true;
+          b_matched.(j) <- true;
+          incr matches
+        end
+        else find (j + 1)
+      in
+      find lo
+    done;
+    if !matches = 0 then 0.0
+    else begin
+      let transpositions = ref 0 in
+      let k = ref 0 in
+      for i = 0 to la - 1 do
+        if a_matched.(i) then begin
+          while not b_matched.(!k) do incr k done;
+          if a.[i] <> b.[!k] then incr transpositions;
+          incr k
+        end
+      done;
+      let m = float_of_int !matches in
+      let t = float_of_int (!transpositions / 2) in
+      ((m /. float_of_int la) +. (m /. float_of_int lb) +. ((m -. t) /. m)) /. 3.0
+    end
+  end
+
+let jaro_winkler ?(prefix_scale = 0.1) a b =
+  let j = jaro a b in
+  let max_prefix = 4 in
+  let rec prefix_len i =
+    if i >= max_prefix || i >= String.length a || i >= String.length b then i
+    else if a.[i] = b.[i] then prefix_len (i + 1)
+    else i
+  in
+  let p = float_of_int (prefix_len 0) in
+  j +. (p *. prefix_scale *. (1.0 -. j))
+
+module String_set = Set.Make (String)
+
+let set_of_list tokens = String_set.of_list tokens
+
+let jaccard a b =
+  let sa = set_of_list a and sb = set_of_list b in
+  if String_set.is_empty sa && String_set.is_empty sb then 1.0
+  else begin
+    let inter = String_set.cardinal (String_set.inter sa sb) in
+    let union = String_set.cardinal (String_set.union sa sb) in
+    float_of_int inter /. float_of_int union
+  end
+
+let dice a b =
+  let sa = set_of_list a and sb = set_of_list b in
+  let ca = String_set.cardinal sa and cb = String_set.cardinal sb in
+  if ca = 0 && cb = 0 then 1.0
+  else begin
+    let inter = String_set.cardinal (String_set.inter sa sb) in
+    2.0 *. float_of_int inter /. float_of_int (ca + cb)
+  end
+
+let overlap a b =
+  let sa = set_of_list a and sb = set_of_list b in
+  let ca = String_set.cardinal sa and cb = String_set.cardinal sb in
+  if ca = 0 || cb = 0 then if ca = cb then 1.0 else 0.0
+  else begin
+    let inter = String_set.cardinal (String_set.inter sa sb) in
+    float_of_int inter /. float_of_int (min ca cb)
+  end
+
+let cosine_bags a b =
+  let module M = Map.Make (String) in
+  let to_map bag =
+    List.fold_left
+      (fun acc (k, w) -> M.update k (function None -> Some w | Some w' -> Some (w +. w')) acc)
+      M.empty bag
+  in
+  let ma = to_map a and mb = to_map b in
+  let norm m = sqrt (M.fold (fun _ w acc -> acc +. (w *. w)) m 0.0) in
+  let na = norm ma and nb = norm mb in
+  if na = 0.0 || nb = 0.0 then 0.0
+  else begin
+    let dot =
+      M.fold
+        (fun k w acc -> match M.find_opt k mb with None -> acc | Some w' -> acc +. (w *. w'))
+        ma 0.0
+    in
+    dot /. (na *. nb)
+  end
+
+let name_similarity a b =
+  let na = Tokenize.normalize a and nb = Tokenize.normalize b in
+  if String.equal na nb && String.length na > 0 then 1.0
+  else begin
+    let jw = jaro_winkler na nb in
+    let ta = Tokenize.name_tokens a and tb = Tokenize.name_tokens b in
+    let jac = if ta = [] && tb = [] then 0.0 else jaccard ta tb in
+    let contain = overlap ta tb in
+    max jw (max jac (0.9 *. contain))
+  end

@@ -1,0 +1,63 @@
+let is_alnum c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+
+let normalize s =
+  let buf = Buffer.create (String.length s) in
+  let pending_space = ref false in
+  String.iter
+    (fun c ->
+      if is_alnum c then begin
+        if !pending_space && Buffer.length buf > 0 then Buffer.add_char buf ' ';
+        pending_space := false;
+        Buffer.add_char buf (Char.lowercase_ascii c)
+      end
+      else pending_space := true)
+    s;
+  Buffer.contents buf
+
+let words s =
+  normalize s |> String.split_on_char ' ' |> List.filter (fun w -> w <> "")
+
+let qgrams q s =
+  if q <= 0 then invalid_arg "Tokenize.qgrams: q must be positive";
+  let s = normalize s in
+  if String.length s = 0 then []
+  else begin
+    let pad = String.make (q - 1) '#' in
+    let padded = pad ^ s ^ pad in
+    let n = String.length padded in
+    let rec collect i acc =
+      if i + q > n then List.rev acc else collect (i + 1) (String.sub padded i q :: acc)
+    in
+    collect 0 []
+  end
+
+let trigrams s = qgrams 3 s
+
+let name_tokens s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let tokens = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := String.lowercase_ascii (Buffer.contents buf) :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  let is_upper c = c >= 'A' && c <= 'Z' in
+  let is_lower c = c >= 'a' && c <= 'z' in
+  String.iteri
+    (fun i c ->
+      if not (is_alnum c) then flush ()
+      else begin
+        (* camelCase boundary: lower followed by upper, or an upper run
+           followed by a lower ("HTTPServer" -> "http" "server"). *)
+        if i > 0 && is_upper c && is_lower s.[i - 1] then flush ()
+        else if
+          i > 0 && i + 1 < n && is_upper c && is_upper s.[i - 1] && is_lower s.[i + 1]
+        then flush ();
+        Buffer.add_char buf c
+      end)
+    s;
+  flush ();
+  List.rev !tokens

@@ -1,0 +1,21 @@
+(** Tokenizers used by the instance matchers and the naive Bayes
+    classifier (paper §3.2.3: "values tokenized into 3-grams"). *)
+
+val normalize : string -> string
+(** Lowercase; collapse runs of non-alphanumerics into single spaces;
+    trim. *)
+
+val words : string -> string list
+(** Whitespace-separated tokens of the normalised string. *)
+
+val qgrams : int -> string -> string list
+(** [qgrams q s]: all q-grams of the normalised string, padded with
+    [q-1] leading/trailing ['#'] marks so that short strings still
+    produce grams.  The empty string yields no grams. *)
+
+val trigrams : string -> string list
+(** [qgrams 3]. *)
+
+val name_tokens : string -> string list
+(** Tokens of a schema identifier: splits on '_', '-', '.', spaces, and
+    camel-case boundaries, lowercased.  ["ItemType"] -> ["item";"type"]. *)

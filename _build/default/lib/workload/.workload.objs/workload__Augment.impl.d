@@ -1,0 +1,1 @@
+lib/workload/augment.ml: Array Attribute Corpus Database List Printf Relational Schema Stats Table Value

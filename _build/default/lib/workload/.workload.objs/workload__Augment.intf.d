@@ -1,0 +1,1 @@
+lib/workload/augment.mli: Database Relational

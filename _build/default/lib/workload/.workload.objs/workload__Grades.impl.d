@@ -1,0 +1,1 @@
+lib/workload/grades.ml: Array Attribute Database Float List Printf Relational Schema Stats Table Value

@@ -1,0 +1,1 @@
+lib/workload/grades.mli: Database Relational

@@ -1,0 +1,1 @@
+lib/workload/nested_retail.ml: Array Attribute Condition Corpus Database List Matching Relational Schema Stats String Table Value

@@ -1,0 +1,1 @@
+lib/workload/nested_retail.mli: Condition Database Matching Relational Value

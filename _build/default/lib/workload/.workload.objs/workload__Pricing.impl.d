@@ -1,0 +1,1 @@
+lib/workload/pricing.ml: Attribute Condition Database List Matching Relational Schema Stats String Table Value

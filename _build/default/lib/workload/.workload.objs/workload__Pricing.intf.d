@@ -1,0 +1,1 @@
+lib/workload/pricing.mli: Database Matching Relational

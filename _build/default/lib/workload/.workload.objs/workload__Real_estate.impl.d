@@ -1,0 +1,1 @@
+lib/workload/real_estate.ml: Array Attribute Database List Relational Schema Stats String Table Value

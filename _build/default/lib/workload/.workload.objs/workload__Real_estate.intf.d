@@ -1,0 +1,1 @@
+lib/workload/real_estate.mli: Database Relational Value

@@ -1,0 +1,1 @@
+lib/workload/retail.ml: Array Attribute Corpus Database List Printf Relational Schema Stats Table Value

@@ -1,0 +1,51 @@
+open Relational
+
+let add_correlated ~seed ~count ~rho ~table ~reference db =
+  let rng = Stats.Rng.create seed in
+  let tbl = Database.table db table in
+  let domain = Array.of_list (Table.distinct_values tbl reference) in
+  if Array.length domain = 0 then db
+  else begin
+    let ref_idx = Schema.index_of (Table.schema tbl) reference in
+    let augmented =
+      List.init count (fun k -> k + 1)
+      |> List.fold_left
+           (fun acc k ->
+             let attr = Attribute.string (Printf.sprintf "Corr%d" k) in
+             Table.append_column acc attr (fun row ->
+                 if Stats.Rng.float rng 1.0 < rho then row.(ref_idx)
+                 else Stats.Rng.pick rng domain))
+           tbl
+    in
+    Database.replace_table db augmented
+  end
+
+let widen ~seed ~noise_attrs ~categorical_noise ~categorical_reference db =
+  let rng = Stats.Rng.create seed in
+  let widen_table tbl =
+    let with_noise =
+      List.init noise_attrs (fun k -> k + 1)
+      |> List.fold_left
+           (fun acc k ->
+             let attr = Attribute.string (Printf.sprintf "Noise%d" k) in
+             Table.append_column acc attr (fun _ ->
+                 Value.String (Corpus.random_noise_text rng)))
+           tbl
+    in
+    match categorical_reference with
+    | None -> with_noise
+    | Some reference ->
+      if not (Schema.mem (Table.schema tbl) reference) then with_noise
+      else begin
+        let domain = Array.of_list (Table.distinct_values tbl reference) in
+        if Array.length domain = 0 then with_noise
+        else
+          List.init categorical_noise (fun k -> k + 1)
+          |> List.fold_left
+               (fun acc k ->
+                 let attr = Attribute.string (Printf.sprintf "CatNoise%d" k) in
+                 Table.append_column acc attr (fun _ -> Stats.Rng.pick rng domain))
+               with_noise
+      end
+  in
+  Database.map_tables widen_table db

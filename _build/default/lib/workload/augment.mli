@@ -1,0 +1,26 @@
+(** Schema augmentations for the §5 robustness experiments. *)
+
+open Relational
+
+val add_correlated :
+  seed:int -> count:int -> rho:float -> table:string -> reference:string -> Database.t ->
+  Database.t
+(** §5.3: append [count] "chameleon" attributes Corr1..CorrN to [table],
+    each sharing the domain of the [reference] categorical attribute.
+    With probability [rho] a row copies its reference value; otherwise
+    it draws uniformly from the domain.  Matches involving these
+    attributes are counted as errors by the evaluation. *)
+
+val widen :
+  seed:int ->
+  noise_attrs:int ->
+  categorical_noise:int ->
+  categorical_reference:string option ->
+  Database.t ->
+  Database.t
+(** §5.5: append [noise_attrs] non-categorical text attributes
+    (real-estate vocabulary, the same unrelated domain in every table —
+    so they preferentially match each other) to every table; and, to
+    every table containing [categorical_reference], append
+    [categorical_noise] categorical attributes drawn uniformly from that
+    attribute's domain. *)

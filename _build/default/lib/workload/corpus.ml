@@ -1,0 +1,219 @@
+type book = {
+  book_title : string;
+  author : string;
+  publisher : string;
+  isbn : string;
+  pages : int;
+  book_price : float;
+  book_year : int;
+}
+
+type album = {
+  album_title : string;
+  artist : string;
+  label : string;
+  catalog : string;
+  tracks : int;
+  album_price : float;
+  album_year : int;
+}
+
+(* Word pools.  Book vocabulary skews literary/historical; music
+   vocabulary skews performance/emotion; the 3-gram distributions of the
+   generated titles are therefore clearly separable, like real scraped
+   inventories. *)
+
+let book_title_words =
+  [|
+    "history"; "shadow"; "secret"; "garden"; "kingdom"; "journey"; "memoir"; "daughter";
+    "chronicle"; "winter"; "empire"; "silent"; "forgotten"; "testament"; "biography";
+    "papers"; "letters"; "diary"; "handbook"; "introduction"; "principles"; "analysis";
+    "modern"; "ancient"; "complete"; "illustrated"; "portrait"; "voyage"; "essays";
+    "meditations"; "republic"; "inheritance"; "translation"; "manuscript"; "library";
+    "professor"; "scholar"; "detective"; "inspector"; "physician"; "cartographer";
+  |]
+
+let book_title_patterns =
+  [|
+    [ "the"; "W"; "of"; "the"; "W" ];
+    [ "a"; "W"; "of"; "W" ];
+    [ "the"; "W"; "W" ];
+    [ "W"; "and"; "W" ];
+    [ "the"; "last"; "W" ];
+    [ "an"; "W"; "to"; "W" ];
+    [ "W"; "in"; "the"; "W" ];
+  |]
+
+let author_first =
+  [|
+    "margaret"; "jonathan"; "harold"; "eleanor"; "theodore"; "virginia"; "frederick";
+    "katherine"; "nathaniel"; "charlotte"; "edmund"; "dorothy"; "lawrence"; "beatrice";
+    "rudolph"; "penelope"; "ambrose"; "gwendolyn"; "cornelius"; "josephine";
+  |]
+
+let author_last =
+  [|
+    "whitfield"; "ashworth"; "pemberton"; "hargrove"; "blackwood"; "fairchild";
+    "montgomery"; "worthington"; "caldwell"; "ellsworth"; "thackeray"; "winthrop";
+    "abernathy"; "lockhart"; "ravenswood"; "stanhope"; "kingsley"; "fitzgerald";
+    "huxley"; "marlowe";
+  |]
+
+(* Publisher/label pools are generated combinatorially (~100 values
+   each) so that, like real scraped inventories, no single publisher
+   covers more than a sliver of the sample — keeping these columns
+   non-categorical under the §2.1 rule. *)
+let publisher_stems =
+  [|
+    "penguin house"; "oxford"; "harbor lane"; "meridian"; "northfield"; "crowngate";
+    "lantern hill"; "atlas"; "riverbend"; "smithson"; "bellweather"; "copperfield";
+    "dunmore"; "eastgate"; "foxglove"; "greenmantle"; "hawthorn"; "ironwood";
+    "juniper"; "kestrel";
+  |]
+
+let publisher_suffixes = [| "press"; "books"; "academic"; "editions"; "publishing" |]
+
+let publishers =
+  Array.concat
+    (Array.to_list
+       (Array.map
+          (fun stem -> Array.map (fun suffix -> stem ^ " " ^ suffix) publisher_suffixes)
+          publisher_stems))
+
+let music_title_words =
+  [|
+    "love"; "baby"; "dance"; "heart"; "groove"; "midnight"; "funky"; "electric";
+    "rhythm"; "soul"; "fever"; "boogie"; "remix"; "acoustic"; "unplugged"; "sessions";
+    "greatest"; "hits"; "live"; "tour"; "anthem"; "vibes"; "beats"; "disco"; "neon";
+    "velvet"; "sugar"; "honey"; "crazy"; "wild"; "forever"; "tonight"; "summer";
+    "bounce"; "hustle"; "jam"; "radio"; "stereo"; "tempo";
+  |]
+
+let music_title_patterns =
+  [|
+    [ "W"; "W" ];
+    [ "W"; "me"; "W" ];
+    [ "the"; "W"; "W" ];
+    [ "W"; "tonight" ];
+    [ "W"; "W"; "W" ];
+    [ "livin"; "for"; "the"; "W" ];
+  |]
+
+let artist_first =
+  [| "dj"; "mc"; "lil"; "big"; "funky"; "smooth"; "electric"; "golden"; "crazy"; "sweet" |]
+
+let artist_last =
+  [|
+    "malone"; "vibration"; "cascade"; "turner"; "jackson 5ive"; "mirage"; "serenade";
+    "voltage"; "ramirez"; "bluebird"; "tempest"; "rockwell"; "dynamite"; "solstice";
+    "jukebox"; "carousel";
+  |]
+
+let band_nouns =
+  [|
+    "wolves"; "ramblers"; "satellites"; "prophets"; "hurricanes"; "bandits"; "echoes";
+    "strangers"; "outlaws"; "dreamers"; "nomads"; "vipers"; "comets"; "drifters";
+  |]
+
+let label_stems =
+  [|
+    "groove street"; "midnight owl"; "blue velvet"; "sonic wave"; "platinum beat";
+    "echo chamber"; "neon sky"; "bassline"; "golden ear"; "vinyl brothers"; "sub bass";
+    "high fidelity"; "turntable"; "boom box"; "low end"; "fat wax"; "loop garden";
+    "reverb alley"; "tape deck"; "woofer";
+  |]
+
+let label_suffixes = [| "records"; "music"; "studios"; "recordings"; "sound" |]
+
+let labels =
+  Array.concat
+    (Array.to_list
+       (Array.map
+          (fun stem -> Array.map (fun suffix -> stem ^ " " ^ suffix) label_suffixes)
+          label_stems))
+
+(* Non-fiction vocabulary: technical/reference flavoured, clearly
+   separable from the fiction pool above by 3-gram profile. *)
+let nonfiction_title_words =
+  [|
+    "databases"; "algorithms"; "gardening"; "photography"; "accounting"; "carpentry";
+    "nutrition"; "statistics"; "economics"; "electronics"; "navigation"; "calculus";
+    "astronomy"; "plumbing"; "chemistry"; "linguistics"; "cartography"; "meteorology";
+    "horticulture"; "typography";
+  |]
+
+let nonfiction_title_patterns =
+  [|
+    [ "introduction"; "to"; "W" ];
+    [ "handbook"; "of"; "W" ];
+    [ "principles"; "of"; "W" ];
+    [ "practical"; "W" ];
+    [ "W"; "for"; "beginners" ];
+    [ "the"; "complete"; "guide"; "to"; "W" ];
+    [ "advanced"; "W"; "techniques" ];
+  |]
+
+let real_estate_words =
+  [|
+    "bedroom"; "bathroom"; "garage"; "hardwood"; "granite"; "renovated"; "spacious";
+    "cul-de-sac"; "mortgage"; "escrow"; "listing"; "acreage"; "patio"; "fireplace";
+    "basement"; "zoning"; "appraisal"; "frontage"; "duplex"; "tenant";
+  |]
+
+let fill_pattern rng words pattern =
+  pattern
+  |> List.map (fun piece -> if piece = "W" then Stats.Rng.pick rng words else piece)
+  |> String.concat " "
+
+let book rng =
+  let title = fill_pattern rng book_title_words (Stats.Rng.pick rng book_title_patterns) in
+  let author =
+    Printf.sprintf "%s %s" (Stats.Rng.pick rng author_first) (Stats.Rng.pick rng author_last)
+  in
+  let isbn =
+    Printf.sprintf "978-%d-%04d-%04d-%d" (Stats.Rng.int rng 10) (Stats.Rng.int rng 10000)
+      (Stats.Rng.int rng 10000) (Stats.Rng.int rng 10)
+  in
+  {
+    book_title = title;
+    author;
+    publisher = Stats.Rng.pick rng publishers;
+    isbn;
+    pages = 120 + Stats.Rng.int rng 700;
+    book_price = 5.0 +. Stats.Rng.float rng 35.0;
+    book_year = 1960 + Stats.Rng.int rng 46;
+  }
+
+let album rng =
+  let title = fill_pattern rng music_title_words (Stats.Rng.pick rng music_title_patterns) in
+  let artist =
+    if Stats.Rng.bool rng then
+      Printf.sprintf "%s %s" (Stats.Rng.pick rng artist_first) (Stats.Rng.pick rng artist_last)
+    else Printf.sprintf "the %s" (Stats.Rng.pick rng band_nouns)
+  in
+  let catalog = Printf.sprintf "CAT-%05d" (Stats.Rng.int rng 100000) in
+  {
+    album_title = title;
+    artist;
+    label = Stats.Rng.pick rng labels;
+    catalog;
+    tracks = 8 + Stats.Rng.int rng 13;
+    album_price = 8.0 +. Stats.Rng.float rng 17.0;
+    album_year = 1970 + Stats.Rng.int rng 36;
+  }
+
+let books rng n = List.init n (fun _ -> book rng)
+let albums rng n = List.init n (fun _ -> album rng)
+
+let nonfiction_book rng =
+  let b = book rng in
+  {
+    b with
+    book_title = fill_pattern rng nonfiction_title_words (Stats.Rng.pick rng nonfiction_title_patterns);
+  }
+
+let random_word rng = Stats.Rng.pick rng real_estate_words
+
+let random_noise_text rng =
+  let n = 2 + Stats.Rng.int rng 3 in
+  List.init n (fun _ -> random_word rng) |> String.concat " "

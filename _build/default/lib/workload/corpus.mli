@@ -1,0 +1,46 @@
+(** Deterministic synthetic corpus for the Retail experiments.
+
+    The paper scraped book and CD records from commercial web sites; we
+    substitute a generator whose book and music text have distinct
+    word/3-gram distributions — the property the instance matchers and
+    TgtClassInfer actually exploit (see DESIGN.md, substitutions). *)
+
+type book = {
+  book_title : string;
+  author : string;
+  publisher : string;
+  isbn : string;
+  pages : int;
+  book_price : float;
+  book_year : int;
+}
+
+type album = {
+  album_title : string;
+  artist : string;
+  label : string;
+  catalog : string;
+  tracks : int;
+  album_price : float;
+  album_year : int;
+}
+
+val book : Stats.Rng.t -> book
+(** A (fiction-flavoured) book record. *)
+
+val nonfiction_book : Stats.Rng.t -> book
+(** Like {!book} but with a reference/technical title vocabulary —
+    3-gram-separable from fiction titles (used by the conjunctive
+    nested-retail scenario, paper §3.5). *)
+
+val album : Stats.Rng.t -> album
+
+val books : Stats.Rng.t -> int -> book list
+val albums : Stats.Rng.t -> int -> album list
+
+val random_word : Stats.Rng.t -> string
+(** A word from an unrelated (real-estate flavoured) pool — noise for
+    the schema-size experiments (§5.5). *)
+
+val random_noise_text : Stats.Rng.t -> string
+(** 2–4 unrelated words. *)

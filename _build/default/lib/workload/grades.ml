@@ -1,0 +1,89 @@
+open Relational
+
+type params = {
+  students : int;
+  exams : int;
+  sigma : float;
+  seed : int;
+}
+
+let default_params = { students = 200; exams = 5; sigma = 8.0; seed = 42 }
+
+let narrow_table_name = "grades_narrow"
+let wide_table_name = "grades_wide"
+let exam_attr = "examNum"
+let grade_attr = "grade"
+
+let mean_of_exam i = 40.0 +. (10.0 *. float_of_int (i - 1))
+
+let grade_column i = Printf.sprintf "grade%d" i
+
+let student_first =
+  [|
+    "alice"; "benjamin"; "carla"; "derek"; "elena"; "felix"; "grace"; "hassan"; "irene";
+    "jacob"; "kyoko"; "liam"; "maria"; "nikolai"; "olivia"; "pedro"; "quinn"; "rosa";
+    "stefan"; "tamara"; "umar"; "valerie"; "walter"; "xenia"; "yusuf"; "zoe";
+  |]
+
+let student_last =
+  [|
+    "anderson"; "baker"; "castillo"; "dubois"; "eriksen"; "fischer"; "gonzalez"; "haines";
+    "ivanova"; "jensen"; "kowalski"; "lindqvist"; "moreau"; "nakamura"; "olsen"; "petrov";
+    "quintana"; "rossi"; "schmidt"; "tanaka"; "ueda"; "vasquez"; "weber"; "xu"; "yamada";
+    "zimmerman";
+  |]
+
+let student_names rng n =
+  (* Unique names: a sampled (first, last) pair plus a per-student serial
+     to guarantee uniqueness beyond the pool size. *)
+  List.init n (fun i ->
+      Printf.sprintf "%s %s %03d"
+        (Stats.Rng.pick rng student_first)
+        (Stats.Rng.pick rng student_last)
+        (i + 1))
+
+let clamp_grade g = Float.max 0.0 (Float.min 100.0 g)
+
+let narrow params =
+  let rng = Stats.Rng.create params.seed in
+  let names = student_names rng params.students in
+  let schema =
+    Schema.make narrow_table_name
+      [ Attribute.string "name"; Attribute.int exam_attr; Attribute.float grade_attr ]
+  in
+  let rows =
+    List.concat_map
+      (fun name ->
+        List.init params.exams (fun e ->
+            let exam = e + 1 in
+            let grade =
+              clamp_grade
+                (Stats.Rng.gaussian rng ~mu:(mean_of_exam exam) ~sigma:params.sigma)
+            in
+            [| Value.String name; Value.Int exam; Value.Float grade |]))
+      names
+  in
+  Database.make "grades-source" [ Table.make schema rows ]
+
+let wide params =
+  (* Fresh stream: same distributions, different draws and students. *)
+  let rng = Stats.Rng.create (params.seed + 104729) in
+  let names = student_names rng params.students in
+  let attrs =
+    Attribute.string "name"
+    :: List.init params.exams (fun e -> Attribute.float (grade_column (e + 1)))
+  in
+  let schema = Schema.make wide_table_name attrs in
+  let rows =
+    List.map
+      (fun name ->
+        Array.of_list
+          (Value.String name
+          :: List.init params.exams (fun e ->
+                 Value.Float
+                   (clamp_grade
+                      (Stats.Rng.gaussian rng ~mu:(mean_of_exam (e + 1))
+                         ~sigma:params.sigma)))))
+      names
+  in
+  Database.make "grades-target" [ Table.make schema rows ]

@@ -1,0 +1,35 @@
+(** The Grades data set (paper §5, "Grades data"): attribute
+    normalization.
+
+    Source [grades_narrow](name, examNum, grade): one row per (student,
+    exam).  Target [grades_wide](name, grade1..gradeN): one row per
+    student.  The mean of exam i is 40 + 10(i-1) in both schemas; the
+    standard deviation sigma is the experiment's difficulty knob — as it
+    grows, adjacent exams' score distributions overlap and the matcher
+    can no longer align examNum = i with grade_i. *)
+
+open Relational
+
+type params = {
+  students : int;
+  exams : int;
+  sigma : float;
+  seed : int;
+}
+
+val default_params : params
+(** 200 students, 5 exams, sigma = 8, seed 42. *)
+
+val narrow_table_name : string
+val wide_table_name : string
+val exam_attr : string
+val grade_attr : string
+
+val mean_of_exam : int -> float
+(** [40 + 10 (i - 1)] for exam i (1-based). *)
+
+val grade_column : int -> string
+(** "grade3" for exam 3. *)
+
+val narrow : params -> Database.t
+val wide : params -> Database.t

@@ -1,0 +1,161 @@
+open Relational
+
+type params = {
+  rows : int;
+  target_rows : int;
+  seed : int;
+}
+
+let default_params = { rows = 600; target_rows = 200; seed = 42 }
+
+let book_label = Value.String "Book"
+let cd_label = Value.String "CD"
+
+let source params =
+  let rng = Stats.Rng.create params.seed in
+  let schema =
+    Schema.make "Inventory"
+      [
+        Attribute.int "ItemID";
+        Attribute.string "ItemType";
+        Attribute.int "Fiction";
+        Attribute.string "Title";
+        Attribute.string "Creator";
+        Attribute.float "Price";
+        Attribute.int "Year";
+      ]
+  in
+  let row i =
+    if Stats.Rng.bool rng then begin
+      let fiction = Stats.Rng.bool rng in
+      let b = if fiction then Corpus.book rng else Corpus.nonfiction_book rng in
+      [|
+        Value.Int (i + 1);
+        book_label;
+        Value.Int (if fiction then 1 else 0);
+        Value.String b.Corpus.book_title;
+        Value.String b.Corpus.author;
+        Value.Float b.Corpus.book_price;
+        Value.Int b.Corpus.book_year;
+      |]
+    end
+    else begin
+      let a = Corpus.album rng in
+      [|
+        Value.Int (i + 1);
+        cd_label;
+        Value.Int 0;
+        Value.String a.Corpus.album_title;
+        Value.String a.Corpus.artist;
+        Value.Float a.Corpus.album_price;
+        Value.Int a.Corpus.album_year;
+      |]
+    end
+  in
+  Database.make "nested-retail-source" [ Table.of_rows schema (Array.init params.rows row) ]
+
+let target params =
+  let rng = Stats.Rng.create (params.seed + 7919) in
+  let mk name = Schema.make name
+      [ Attribute.int "id"; Attribute.string "title"; Attribute.string "creator";
+        Attribute.float "price" ]
+  in
+  let book_row fiction i =
+    let b = if fiction then Corpus.book rng else Corpus.nonfiction_book rng in
+    [|
+      Value.Int (i + 1);
+      Value.String b.Corpus.book_title;
+      Value.String b.Corpus.author;
+      Value.Float b.Corpus.book_price;
+    |]
+  in
+  let music_row i =
+    let a = Corpus.album rng in
+    [|
+      Value.Int (i + 1);
+      Value.String a.Corpus.album_title;
+      Value.String a.Corpus.artist;
+      Value.Float a.Corpus.album_price;
+    |]
+  in
+  Database.make "nested-retail-target"
+    [
+      Table.of_rows (mk "FictionBooks") (Array.init params.target_rows (book_row true));
+      Table.of_rows (mk "ReferenceBooks") (Array.init params.target_rows (book_row false));
+      Table.of_rows (mk "Music") (Array.init params.target_rows music_row);
+    ]
+
+type expected = {
+  src_attr : string;
+  tgt_table : string;
+  tgt_attr : string;
+  required_any : (string * Value.t) list list;
+}
+
+let expected_matches =
+  (* Fiction = 1 alone already selects exactly the fiction books (CDs
+     never carry the flag); ReferenceBooks genuinely needs the
+     2-condition; Music is selected by ItemType alone (possibly with a
+     vacuous Fiction = 0). *)
+  let fiction =
+    [
+      [ ("Fiction", Value.Int 1) ];
+      [ ("ItemType", book_label); ("Fiction", Value.Int 1) ];
+    ]
+  in
+  let reference = [ [ ("ItemType", book_label); ("Fiction", Value.Int 0) ] ] in
+  let music =
+    [ [ ("ItemType", cd_label) ]; [ ("ItemType", cd_label); ("Fiction", Value.Int 0) ] ]
+  in
+  List.concat_map
+    (fun (tgt_table, required_any) ->
+      [
+        { src_attr = "Title"; tgt_table; tgt_attr = "title"; required_any };
+        { src_attr = "Creator"; tgt_table; tgt_attr = "creator"; required_any };
+        { src_attr = "Price"; tgt_table; tgt_attr = "price"; required_any };
+      ])
+    [ ("FictionBooks", fiction); ("ReferenceBooks", reference); ("Music", music) ]
+
+(* Decompose a conjunction of simple(-disjunctive) conditions into the
+   attribute -> selected-values bindings it pins. *)
+let rec pins condition =
+  match condition with
+  | Condition.True -> Some []
+  | Condition.And (a, b) -> (
+    match (pins a, pins b) with
+    | Some pa, Some pb -> Some (pa @ pb)
+    | _, _ -> None)
+  | Condition.Eq _ | Condition.In _ | Condition.Or _ -> (
+    match Condition.selected_values condition with
+    | Some (attr, values) -> Some [ (attr, values) ]
+    | None -> None)
+  | Condition.Not _ -> None
+
+let condition_ok expected condition =
+  match pins (Condition.normalize condition) with
+  | None -> false
+  | Some bindings ->
+    let pinned_exactly attr v =
+      List.exists (fun (a, vs) -> String.equal a attr && vs = [ v ]) bindings
+    in
+    (* the condition must pin exactly one of the accepted sets: every
+       required pair pinned, and no pins beyond that set *)
+    List.exists
+      (fun required ->
+        List.for_all (fun (a, v) -> pinned_exactly a v) required
+        && List.for_all (fun (a, _) -> List.mem_assoc a required) bindings)
+      expected.required_any
+
+let accuracy matches =
+  let contextual = List.filter Matching.Schema_match.is_contextual matches in
+  let found e =
+    List.exists
+      (fun (m : Matching.Schema_match.t) ->
+        String.equal m.src_attr e.src_attr
+        && String.equal m.tgt_table e.tgt_table
+        && String.equal m.tgt_attr e.tgt_attr
+        && condition_ok e m.condition)
+      contextual
+  in
+  let hits = List.length (List.filter found expected_matches) in
+  float_of_int hits /. float_of_int (List.length expected_matches)

@@ -1,0 +1,50 @@
+(** Nested-context retail: the conjunctive-condition scenario of §3.5.
+
+    The source is a combined inventory whose books additionally carry a
+    [Fiction] flag; the target separates *three* item kinds:
+    fiction books, non-fiction books, and music.  The correct match for
+    the fiction table needs the 2-condition
+    [ItemType = Book AND Fiction = 1] — discoverable by the iterated
+    ContextMatch of {!Ctxmatch.Conjunctive} as long as one of the
+    sub-conditions is found in the first stage. *)
+
+open Relational
+
+type params = {
+  rows : int;
+  target_rows : int;  (** per target table *)
+  seed : int;
+}
+
+val default_params : params
+
+val source : params -> Database.t
+(** [Inventory](ItemID, ItemType, Fiction, Title, Creator, Price, Year):
+    ItemType in {Book, CD}; Fiction in {0, 1} (always 0 for CDs);
+    fiction and non-fiction books draw titles from separable
+    vocabularies. *)
+
+val target : params -> Database.t
+(** [FictionBooks] / [ReferenceBooks] / [Music], each
+    (id, title, creator, price). *)
+
+type expected = {
+  src_attr : string;
+  tgt_table : string;
+  tgt_attr : string;
+  required_any : (string * Value.t) list list;
+      (** alternative sets of attribute/value pins, any of which makes
+          the condition semantically correct: e.g. FictionBooks accepts
+          [Fiction = 1] alone (CDs are never fiction) or the full
+          conjunction [ItemType = Book AND Fiction = 1] *)
+}
+
+val expected_matches : expected list
+
+val condition_ok : expected -> Condition.t -> bool
+(** Whether a (possibly conjunctive) condition pins exactly one of the
+    accepted attribute/value sets — every required pair pinned, and no
+    pins outside that set. *)
+
+val accuracy : Matching.Schema_match.t list -> float
+(** Fraction of {!expected_matches} found with a correct condition. *)

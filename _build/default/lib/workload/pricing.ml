@@ -1,0 +1,67 @@
+open Relational
+
+type params = {
+  items : int;
+  seed : int;
+  discount : float;
+}
+
+let default_params = { items = 250; seed = 42; discount = 0.6 }
+
+let reg = Value.String "reg"
+let sale = Value.String "sale"
+
+(* Regular prices are log-uniform-ish over [20, 220]; sale prices are a
+   noisy discount of the regular price, so the two contexts have clearly
+   different distributions. *)
+let price_pair rng discount =
+  let regular = 20.0 +. Stats.Rng.float rng 200.0 in
+  let sale_price = regular *. (discount +. Stats.Rng.float rng 0.15) in
+  (regular, sale_price)
+
+let source params =
+  let rng = Stats.Rng.create params.seed in
+  let schema =
+    Schema.make "PriceList"
+      [ Attribute.int "itemno"; Attribute.string "prcode"; Attribute.float "price" ]
+  in
+  let rows =
+    List.concat
+      (List.init params.items (fun i ->
+           let regular, sale_price = price_pair rng params.discount in
+           [
+             [| Value.Int (i + 1); reg; Value.Float regular |];
+             [| Value.Int (i + 1); sale; Value.Float sale_price |];
+           ]))
+  in
+  Database.make "pricing-source" [ Table.make schema rows ]
+
+let target params =
+  let rng = Stats.Rng.create (params.seed + 104729) in
+  let schema =
+    Schema.make "Catalog"
+      [ Attribute.int "itemno"; Attribute.float "price"; Attribute.float "sale" ]
+  in
+  let rows =
+    List.init params.items (fun i ->
+        let regular, sale_price = price_pair rng params.discount in
+        [| Value.Int (i + 1); Value.Float regular; Value.Float sale_price |])
+  in
+  Database.make "pricing-target" [ Table.make schema rows ]
+
+let accuracy matches =
+  let found tgt_attr code =
+    List.exists
+      (fun (m : Matching.Schema_match.t) ->
+        Matching.Schema_match.is_contextual m
+        && String.equal m.src_attr "price"
+        && String.equal m.tgt_table "Catalog"
+        && String.equal m.tgt_attr tgt_attr
+        &&
+        match Condition.selected_values m.condition with
+        | Some ("prcode", [ v ]) -> Value.equal v code
+        | Some _ | None -> false)
+      matches
+  in
+  let hits = (if found "price" reg then 1 else 0) + if found "sale" sale then 1 else 0 in
+  float_of_int hits /. 2.0

@@ -1,0 +1,27 @@
+(** The price-code scenario of the paper's Example 1.2.
+
+    Source [PriceList](itemno, prcode, price): one row per (item, price
+    code), prcode in {"reg", "sale"}.  Target [Catalog](itemno, price,
+    sale): the regular and sale prices of an item side by side.  A
+    standard matcher finds at most PriceList.price -> Catalog.price;
+    contextual matching should produce
+      price -> price under prcode = "reg" and
+      price -> sale  under prcode = "sale",
+    and the §4 machinery joins the two views on itemno (attribute
+    normalization with 2 contexts). *)
+
+open Relational
+
+type params = {
+  items : int;
+  seed : int;
+  discount : float;  (** sale = discount * reg, default 0.6 *)
+}
+
+val default_params : params
+val source : params -> Database.t
+val target : params -> Database.t
+
+val accuracy : Matching.Schema_match.t list -> float
+(** Fraction of the two expected price matches found with the correct
+    prcode condition. *)

@@ -1,0 +1,111 @@
+open Relational
+
+type params = {
+  rows : int;
+  target_rows : int;
+  seed : int;
+}
+
+let default_params = { rows = 500; target_rows = 250; seed = 42 }
+
+let property_type_attr = "PropertyType"
+let apartment_label = Value.String "apartment"
+let house_label = Value.String "house"
+
+let apartment_words =
+  [|
+    "studio"; "loft"; "downtown"; "balcony"; "elevator"; "furnished"; "utilities";
+    "included"; "lease"; "pets"; "allowed"; "laundry"; "transit"; "walkable"; "sunny";
+    "high"; "rise"; "concierge"; "gym"; "rooftop";
+  |]
+
+let house_words =
+  [|
+    "detached"; "garden"; "garage"; "driveway"; "fireplace"; "basement"; "backyard";
+    "renovated"; "hardwood"; "quiet"; "family"; "neighborhood"; "schools"; "acre";
+    "porch"; "colonial"; "ranch"; "victorian"; "deck"; "shed";
+  |]
+
+let agents =
+  [|
+    "harbor realty"; "sunrise properties"; "oakwood agency"; "metro homes"; "keystone group";
+    "bluedoor realty"; "summit estates"; "lakeside brokers"; "fairview realty"; "stonebridge";
+  |]
+
+let headline rng words =
+  let n = 3 + Stats.Rng.int rng 3 in
+  List.init n (fun _ -> Stats.Rng.pick rng words) |> String.concat " "
+
+let apartment_row rng =
+  ( headline rng apartment_words,
+    Stats.Rng.pick rng agents,
+    600.0 +. Stats.Rng.float rng 2900.0,
+    1 + Stats.Rng.int rng 3 )
+
+let house_row rng =
+  ( headline rng house_words,
+    Stats.Rng.pick rng agents,
+    120_000.0 +. Stats.Rng.float rng 830_000.0,
+    2 + Stats.Rng.int rng 5 )
+
+let source params =
+  let rng = Stats.Rng.create params.seed in
+  let schema =
+    Schema.make "Listings"
+      [
+        Attribute.int "ListingID";
+        Attribute.string property_type_attr;
+        Attribute.string "Headline";
+        Attribute.string "Agent";
+        Attribute.float "Price";
+        Attribute.int "Bedrooms";
+      ]
+  in
+  let row i =
+    let is_apartment = Stats.Rng.bool rng in
+    let text, agent, price, bedrooms =
+      if is_apartment then apartment_row rng else house_row rng
+    in
+    [|
+      Value.Int (i + 1);
+      (if is_apartment then apartment_label else house_label);
+      Value.String text;
+      Value.String agent;
+      Value.Float price;
+      Value.Int bedrooms;
+    |]
+  in
+  Database.make "realestate-source" [ Table.of_rows schema (Array.init params.rows row) ]
+
+let target params =
+  let rng = Stats.Rng.create (params.seed + 7919) in
+  let mk name =
+    Schema.make name
+      [
+        Attribute.int "id";
+        Attribute.string "headline";
+        Attribute.string "agent";
+        Attribute.float "price";
+        Attribute.int "bedrooms";
+      ]
+  in
+  let row kind i =
+    let text, agent, price, bedrooms =
+      if kind = `Apartment then apartment_row rng else house_row rng
+    in
+    [|
+      Value.Int (i + 1); Value.String text; Value.String agent; Value.Float price;
+      Value.Int bedrooms;
+    |]
+  in
+  Database.make "realestate-target"
+    [
+      Table.of_rows (mk "Apartments") (Array.init params.target_rows (row `Apartment));
+      Table.of_rows (mk "Houses") (Array.init params.target_rows (row `House));
+    ]
+
+let expected_pairs =
+  let attrs = [ ("ListingID", "id"); ("Headline", "headline"); ("Agent", "agent");
+                ("Price", "price"); ("Bedrooms", "bedrooms") ] in
+  List.map (fun (s, t) -> (s, "Apartments", t, true)) attrs
+  @ List.map (fun (s, t) -> (s, "Houses", t, false)) attrs

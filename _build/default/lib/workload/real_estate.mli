@@ -1,0 +1,28 @@
+(** Real-estate scenario from the paper's introduction ("apartments and
+    houses in a real-estate database"): another instance of the
+    common-table vs separate-tables heterogeneity.
+
+    Source [Listings](ListingID, PropertyType, Headline, Agent, Price,
+    Bedrooms): apartments carry monthly rents (600-3500) and
+    rental-flavoured headlines; houses carry sale prices
+    (120k-950k) and sale-flavoured headlines.  Targets: [Apartments] and
+    [Houses], each (id, headline, agent, price, bedrooms). *)
+
+open Relational
+
+type params = {
+  rows : int;
+  target_rows : int;
+  seed : int;
+}
+
+val default_params : params
+val source : params -> Database.t
+val target : params -> Database.t
+
+val expected_pairs : (string * string * string * bool) list
+(** (source attr, target table, target attr, is_apartment_side). *)
+
+val property_type_attr : string
+val apartment_label : Value.t
+val house_label : Value.t

@@ -1,0 +1,167 @@
+open Relational
+
+type params = {
+  rows : int;
+  target_rows : int;
+  gamma : int;
+  seed : int;
+}
+
+let default_params = { rows = 600; target_rows = 300; gamma = 4; seed = 42 }
+
+type target_style =
+  | Ryan_eyers
+  | Aaron_day
+  | Barrett_arney
+
+let all_styles = [ Ryan_eyers; Aaron_day; Barrett_arney ]
+
+let style_name = function
+  | Ryan_eyers -> "Ryan_Eyers"
+  | Aaron_day -> "Aaron_Day"
+  | Barrett_arney -> "Barrett_Arney"
+
+let source_table_name = "Inventory"
+let item_type_attr = "ItemType"
+let stock_status_attr = "StockStatus"
+
+let half gamma =
+  if gamma < 2 || gamma mod 2 <> 0 then invalid_arg "Retail: gamma must be even and >= 2";
+  gamma / 2
+
+let book_labels ~gamma =
+  let h = half gamma in
+  if h = 1 then [ Value.String "Book" ]
+  else List.init h (fun i -> Value.String (Printf.sprintf "Book%d" (i + 1)))
+
+let cd_labels ~gamma =
+  let h = half gamma in
+  if h = 1 then [ Value.String "CD" ]
+  else List.init h (fun i -> Value.String (Printf.sprintf "CD%d" (i + 1)))
+
+let stock_values = [| "Low"; "Normal"; "High" |]
+
+let source params =
+  let rng = Stats.Rng.create params.seed in
+  let books = Array.of_list (book_labels ~gamma:params.gamma) in
+  let cds = Array.of_list (cd_labels ~gamma:params.gamma) in
+  let schema =
+    Schema.make source_table_name
+      [
+        Attribute.int "ItemID";
+        Attribute.string item_type_attr;
+        Attribute.string "Title";
+        Attribute.string "Creator";
+        Attribute.string "Publisher";
+        Attribute.float "Price";
+        Attribute.int "Year";
+        Attribute.int "Quantity";
+        Attribute.string stock_status_attr;
+      ]
+  in
+  let row i =
+    let stock = Value.String (Stats.Rng.pick rng stock_values) in
+    let quantity = Value.Int (Stats.Rng.int rng 200) in
+    if Stats.Rng.bool rng then begin
+      let b = Corpus.book rng in
+      [|
+        Value.Int (i + 1);
+        Stats.Rng.pick rng books;
+        Value.String b.Corpus.book_title;
+        Value.String b.Corpus.author;
+        Value.String b.Corpus.publisher;
+        Value.Float b.Corpus.book_price;
+        Value.Int b.Corpus.book_year;
+        quantity;
+        stock;
+      |]
+    end
+    else begin
+      let a = Corpus.album rng in
+      [|
+        Value.Int (i + 1);
+        Stats.Rng.pick rng cds;
+        Value.String a.Corpus.album_title;
+        Value.String a.Corpus.artist;
+        Value.String a.Corpus.label;
+        Value.Float a.Corpus.album_price;
+        Value.Int a.Corpus.album_year;
+        quantity;
+        stock;
+      |]
+    end
+  in
+  let rows = Array.init params.rows row in
+  Database.make "retail-source" [ Table.of_rows schema rows ]
+
+(* Per-style attribute names: (book table, music table) schema
+   definitions plus how corpus records land in them. *)
+let book_attr_names = function
+  | Ryan_eyers -> ("Book", [ "BookID"; "BookTitle"; "Author"; "Publisher"; "BookPrice"; "PubYear" ])
+  | Aaron_day -> ("Books", [ "book_id"; "book_name"; "written_by"; "published_by"; "retail_price"; "year_published" ])
+  | Barrett_arney ->
+    ("book_inventory", [ "entry_no"; "title"; "writer"; "publishing_house"; "cost"; "printed" ])
+
+let music_attr_names = function
+  | Ryan_eyers -> ("Music", [ "AlbumID"; "AlbumTitle"; "Artist"; "Label"; "AlbumPrice"; "ReleaseYear" ])
+  | Aaron_day -> ("CDs", [ "cd_id"; "cd_name"; "performed_by"; "recorded_by"; "retail_price"; "year_released" ])
+  | Barrett_arney ->
+    ("music_inventory", [ "entry_no"; "title"; "performer"; "studio"; "cost"; "released" ])
+
+let target params style =
+  (* Independent stream: the target sample shares distributions with the
+     source but not records. *)
+  let rng = Stats.Rng.create (params.seed + 7919) in
+  let book_name, book_attrs = book_attr_names style in
+  let music_name, music_attrs = music_attr_names style in
+  let mk_schema name = function
+    | [ id; title; creator; publisher; price; year ] ->
+      Schema.make name
+        [
+          Attribute.int id;
+          Attribute.string title;
+          Attribute.string creator;
+          Attribute.string publisher;
+          Attribute.float price;
+          Attribute.int year;
+        ]
+    | _ -> invalid_arg "Retail.target: attribute list arity"
+  in
+  let book_schema = mk_schema book_name book_attrs in
+  let music_schema = mk_schema music_name music_attrs in
+  let book_row i =
+    let b = Corpus.book rng in
+    [|
+      Value.Int (i + 1);
+      Value.String b.Corpus.book_title;
+      Value.String b.Corpus.author;
+      Value.String b.Corpus.publisher;
+      Value.Float b.Corpus.book_price;
+      Value.Int b.Corpus.book_year;
+    |]
+  in
+  let music_row i =
+    let a = Corpus.album rng in
+    [|
+      Value.Int (i + 1);
+      Value.String a.Corpus.album_title;
+      Value.String a.Corpus.artist;
+      Value.String a.Corpus.label;
+      Value.Float a.Corpus.album_price;
+      Value.Int a.Corpus.album_year;
+    |]
+  in
+  Database.make
+    (Printf.sprintf "retail-target-%s" (style_name style))
+    [
+      Table.of_rows book_schema (Array.init params.target_rows book_row);
+      Table.of_rows music_schema (Array.init params.target_rows music_row);
+    ]
+
+let expected_pairs style =
+  let book_name, book_attrs = book_attr_names style in
+  let music_name, music_attrs = music_attr_names style in
+  let source_attrs = [ "ItemID"; "Title"; "Creator"; "Publisher"; "Price"; "Year" ] in
+  let pair tbl is_book src tgt = (src, tbl, tgt, is_book) in
+  List.map2 (pair book_name true) source_attrs book_attrs
+  @ List.map2 (pair music_name false) source_attrs music_attrs

@@ -1,0 +1,55 @@
+(** The Retail data set (paper §5, "Inventory Data").
+
+    Source: a combined item file in the style of the Colin_Bleckner
+    student schema — one [Inventory] table holding both books and CDs,
+    with a low-cardinality [ItemType] column (plus the paper's added
+    [StockStatus]).  Targets: three schema styles that separate books
+    and music into distinct tables (Ryan_Eyers, Aaron_Day,
+    Barrett_Arney).
+
+    [gamma] is the paper's γ: the total number of Book/CD labels in
+    ItemType.  With γ = 4, book rows get Book1 or Book2 and music rows
+    CD1 or CD2 at random (§5: "we allow expansion of the cardinality of
+    ItemType in order to make the contextual matching problem
+    harder"). *)
+
+open Relational
+
+type params = {
+  rows : int;  (** source Inventory rows *)
+  target_rows : int;  (** rows per target table *)
+  gamma : int;  (** even, >= 2 *)
+  seed : int;
+}
+
+val default_params : params
+(** 600 source rows, 300 per target table, gamma = 4, seed 42. *)
+
+type target_style =
+  | Ryan_eyers
+  | Aaron_day
+  | Barrett_arney
+
+val all_styles : target_style list
+val style_name : target_style -> string
+
+val book_labels : gamma:int -> Value.t list
+(** The ItemType values marking books ("Book" for gamma = 2, else
+    Book1..Book_{gamma/2}). *)
+
+val cd_labels : gamma:int -> Value.t list
+
+val source : params -> Database.t
+(** The combined [Inventory] source database. *)
+
+val target : params -> target_style -> Database.t
+(** Book + Music tables populated from the same corpus with an
+    independent stream (disjoint records, same distributions). *)
+
+val source_table_name : string
+val item_type_attr : string
+val stock_status_attr : string
+
+(** Correct attribute pairings for evaluation: (source attr, target
+    table, target attr, is_book_side). *)
+val expected_pairs : target_style -> (string * string * string * bool) list

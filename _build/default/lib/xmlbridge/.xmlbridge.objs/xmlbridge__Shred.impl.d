@@ -1,0 +1,1 @@
+lib/xmlbridge/shred.ml: Array Attribute Hashtbl List Relational Schema String Table Value Xml_doc

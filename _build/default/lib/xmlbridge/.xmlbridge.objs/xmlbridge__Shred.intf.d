@@ -1,0 +1,1 @@
+lib/xmlbridge/shred.mli: Relational Table Xml_doc

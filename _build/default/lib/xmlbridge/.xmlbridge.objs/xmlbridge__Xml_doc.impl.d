@@ -1,0 +1,1 @@
+lib/xmlbridge/xml_doc.ml: Buffer Char List Printf String

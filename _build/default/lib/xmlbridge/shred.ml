@@ -1,0 +1,121 @@
+open Relational
+
+let record_name root =
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun child ->
+      let n = Xml_doc.name child in
+      let c = try Hashtbl.find counts n with Not_found -> 0 in
+      Hashtbl.replace counts n (c + 1))
+    (Xml_doc.elements root);
+  let best =
+    Hashtbl.fold
+      (fun n c acc ->
+        match acc with
+        | Some (_, bc) when bc >= c -> acc
+        | _ -> Some (n, c))
+      counts None
+  in
+  match best with Some (n, c) when c >= 2 -> Some n | _ -> None
+
+(* Column order: attributes and child elements in first-appearance order
+   across all records. *)
+let column_names records =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let register name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      order := name :: !order
+    end
+  in
+  List.iter
+    (fun record ->
+      (match record with
+      | Xml_doc.Element { attrs; _ } -> List.iter (fun (k, _) -> register k) attrs
+      | Xml_doc.Text _ -> ());
+      List.iter (fun child -> register (Xml_doc.name child)) (Xml_doc.elements record))
+    records;
+  List.rev !order
+
+let cell_string record column =
+  match Xml_doc.attr record column with
+  | Some v -> Some v
+  | None -> (
+    match
+      List.find_opt (fun c -> Xml_doc.name c = column) (Xml_doc.elements record)
+    with
+    | Some child -> Some (Xml_doc.text_content child)
+    | None -> None)
+
+let infer_column_type cells =
+  let non_empty = List.filter_map (fun c -> c) cells |> List.filter (fun s -> String.trim s <> "") in
+  if non_empty = [] then Value.Tstring
+  else begin
+    let all p = List.for_all p non_empty in
+    if all (fun s -> int_of_string_opt (String.trim s) <> None) then Value.Tint
+    else if all (fun s -> float_of_string_opt (String.trim s) <> None) then Value.Tfloat
+    else if
+      all (fun s ->
+          match String.lowercase_ascii (String.trim s) with
+          | "true" | "false" -> true
+          | _ -> false)
+    then Value.Tbool
+    else Value.Tstring
+  end
+
+let table_of_document ?name root =
+  match record_name root with
+  | None -> invalid_arg "Shred.table_of_document: no repeated record elements"
+  | Some record_tag ->
+    let records =
+      List.filter (fun c -> Xml_doc.name c = record_tag) (Xml_doc.elements root)
+    in
+    let columns = column_names records in
+    if columns = [] then invalid_arg "Shred.table_of_document: records carry no fields";
+    let cells_of column = List.map (fun r -> cell_string r column) records in
+    let types = List.map (fun column -> (column, infer_column_type (cells_of column))) columns in
+    let schema =
+      Schema.make
+        (match name with Some n -> n | None -> record_tag)
+        (List.map (fun (column, ty) -> Attribute.make column ty) types)
+    in
+    let rows =
+      List.map
+        (fun record ->
+          Array.of_list
+            (List.map
+               (fun (column, ty) ->
+                 match cell_string record column with
+                 | None -> Value.Null
+                 | Some s -> Value.of_string_as ty s)
+               types))
+        records
+    in
+    Table.make schema rows
+
+let table_of_string ?name input = table_of_document ?name (Xml_doc.parse input)
+
+let document_of_table ?root table =
+  let record_tag = Table.name table in
+  let root_tag = match root with Some r -> r | None -> record_tag ^ "s" in
+  let attrs = Schema.attributes (Table.schema table) in
+  let record_of_row row =
+    let children =
+      Array.to_list attrs
+      |> List.filter_map (fun (a : Attribute.t) ->
+             let v = row.(Schema.index_of (Table.schema table) a.name) in
+             if Value.is_null v then None
+             else
+               Some
+                 (Xml_doc.Element
+                    { name = a.name; attrs = []; children = [ Xml_doc.Text (Value.to_string v) ] }))
+    in
+    Xml_doc.Element { name = record_tag; attrs = []; children }
+  in
+  Xml_doc.Element
+    {
+      name = root_tag;
+      attrs = [];
+      children = Array.to_list (Array.map record_of_row (Table.rows table));
+    }

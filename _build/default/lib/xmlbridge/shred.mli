@@ -1,0 +1,37 @@
+(** Shredding XML records into relational tables, so that contextual
+    schema matching runs across the models (paper §7's future-work
+    direction).
+
+    The supported shape is the common "list of records" document:
+
+    {v
+      <inventory>
+        <item sku="17"><type>book</type><title>...</title></item>
+        <item sku="18"><type>cd</type><title>...</title></item>
+      </inventory>
+    v}
+
+    Every repeated child element of the root becomes a row; its
+    attributes and single-level child elements become columns (column
+    name = attribute/element name); cell values are inferred like CSV
+    fields.  Missing children become nulls.  Nested repeated elements
+    are out of scope (they would need the full nested-relational Clio). *)
+
+open Relational
+
+val record_name : Xml_doc.t -> string option
+(** The dominant child-element name of the root — the record tag —
+    when the root has at least two children with one name.  [None] for
+    documents that do not look like record lists. *)
+
+val table_of_document : ?name:string -> Xml_doc.t -> Table.t
+(** Shred the document into a table named after the record tag (or
+    [name]).  Raises [Invalid_argument] when the document has no
+    repeated record shape. *)
+
+val table_of_string : ?name:string -> string -> Table.t
+(** Parse then shred. *)
+
+val document_of_table : ?root:string -> Table.t -> Xml_doc.t
+(** Inverse direction: one record element per row, one child element per
+    non-null cell.  [root] defaults to the table name ^ "s". *)

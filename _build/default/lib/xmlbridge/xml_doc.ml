@@ -1,0 +1,251 @@
+type t =
+  | Element of { name : string; attrs : (string * string) list; children : t list }
+  | Text of string
+
+exception Parse_error of { position : int; message : string }
+
+let fail position message = raise (Parse_error { position; message })
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.' || c = ':'
+
+(* Decode &amp; &lt; &gt; &quot; &apos; and numeric references (ASCII
+   range only; others are passed through as '?'). *)
+let decode_entities input =
+  let n = String.length input in
+  let buf = Buffer.create n in
+  let rec go i =
+    if i >= n then ()
+    else if input.[i] <> '&' then begin
+      Buffer.add_char buf input.[i];
+      go (i + 1)
+    end
+    else begin
+      match String.index_from_opt input i ';' with
+      | None -> fail i "unterminated entity reference"
+      | Some stop ->
+        let entity = String.sub input (i + 1) (stop - i - 1) in
+        (match entity with
+        | "amp" -> Buffer.add_char buf '&'
+        | "lt" -> Buffer.add_char buf '<'
+        | "gt" -> Buffer.add_char buf '>'
+        | "quot" -> Buffer.add_char buf '"'
+        | "apos" -> Buffer.add_char buf '\''
+        | _ when String.length entity > 1 && entity.[0] = '#' ->
+          let code =
+            if entity.[1] = 'x' || entity.[1] = 'X' then
+              int_of_string_opt ("0x" ^ String.sub entity 2 (String.length entity - 2))
+            else int_of_string_opt (String.sub entity 1 (String.length entity - 1))
+          in
+          (match code with
+          | Some c when c >= 0 && c < 128 -> Buffer.add_char buf (Char.chr c)
+          | Some _ -> Buffer.add_char buf '?'
+          | None -> fail i "malformed character reference")
+        | _ -> fail i (Printf.sprintf "unknown entity &%s;" entity));
+        go (stop + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+let parse input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let starts_with prefix =
+    let l = String.length prefix in
+    !pos + l <= n && String.sub input !pos l = prefix
+  in
+  let skip_spaces () = while !pos < n && is_space input.[!pos] do incr pos done in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> incr pos
+    | _ -> fail !pos (Printf.sprintf "expected %c" c)
+  in
+  let read_name () =
+    let start = !pos in
+    while !pos < n && is_name_char input.[!pos] do incr pos done;
+    if !pos = start then fail !pos "expected a name";
+    String.sub input start (!pos - start)
+  in
+  let skip_until marker =
+    let rec go i =
+      if i + String.length marker > n then fail !pos "unterminated construct"
+      else if String.sub input i (String.length marker) = marker then
+        pos := i + String.length marker
+      else go (i + 1)
+    in
+    go !pos
+  in
+  let rec skip_misc () =
+    skip_spaces ();
+    if starts_with "<!--" then begin
+      pos := !pos + 4;
+      skip_until "-->";
+      skip_misc ()
+    end
+    else if starts_with "<?" then begin
+      pos := !pos + 2;
+      skip_until "?>";
+      skip_misc ()
+    end
+    else if starts_with "<!DOCTYPE" then begin
+      pos := !pos + 9;
+      skip_until ">";
+      skip_misc ()
+    end
+  in
+  let read_attr_value () =
+    match peek () with
+    | Some (('"' | '\'') as quote) ->
+      incr pos;
+      let start = !pos in
+      (match String.index_from_opt input start quote with
+      | None -> fail start "unterminated attribute value"
+      | Some stop ->
+        pos := stop + 1;
+        decode_entities (String.sub input start (stop - start)))
+    | _ -> fail !pos "expected quoted attribute value"
+  in
+  let rec read_element () =
+    expect '<';
+    let name = read_name () in
+    let rec read_attrs acc =
+      skip_spaces ();
+      match peek () with
+      | Some '>' ->
+        incr pos;
+        let children = read_children name [] in
+        Element { name; attrs = List.rev acc; children }
+      | Some '/' ->
+        incr pos;
+        expect '>';
+        Element { name; attrs = List.rev acc; children = [] }
+      | Some c when is_name_char c ->
+        let attr_name = read_name () in
+        skip_spaces ();
+        expect '=';
+        skip_spaces ();
+        let value = read_attr_value () in
+        read_attrs ((attr_name, value) :: acc)
+      | _ -> fail !pos "malformed tag"
+    in
+    read_attrs []
+  and read_children parent acc =
+    if !pos >= n then fail !pos (Printf.sprintf "unterminated element %s" parent)
+    else if starts_with "</" then begin
+      pos := !pos + 2;
+      let closing = read_name () in
+      skip_spaces ();
+      expect '>';
+      if closing <> parent then
+        fail !pos (Printf.sprintf "mismatched closing tag %s (expected %s)" closing parent);
+      List.rev acc
+    end
+    else if starts_with "<!--" then begin
+      pos := !pos + 4;
+      skip_until "-->";
+      read_children parent acc
+    end
+    else if starts_with "<![CDATA[" then begin
+      pos := !pos + 9;
+      let start = !pos in
+      skip_until "]]>";
+      let text = String.sub input start (!pos - 3 - start) in
+      read_children parent (Text text :: acc)
+    end
+    else if starts_with "<?" then begin
+      pos := !pos + 2;
+      skip_until "?>";
+      read_children parent acc
+    end
+    else if starts_with "<" then begin
+      let child = read_element () in
+      read_children parent (child :: acc)
+    end
+    else begin
+      let start = !pos in
+      while !pos < n && input.[!pos] <> '<' do incr pos done;
+      let raw = String.sub input start (!pos - start) in
+      let text = decode_entities raw in
+      if String.trim text = "" then read_children parent acc
+      else read_children parent (Text text :: acc)
+    end
+  in
+  skip_misc ();
+  if !pos >= n then fail !pos "empty document";
+  let root = read_element () in
+  skip_misc ();
+  if !pos < n then fail !pos "content after the root element";
+  root
+
+let parse_opt input = try Some (parse input) with Parse_error _ -> None
+
+let name = function Element { name; _ } -> name | Text _ -> ""
+
+let attr node key =
+  match node with
+  | Element { attrs; _ } -> List.assoc_opt key attrs
+  | Text _ -> None
+
+let children = function Element { children; _ } -> children | Text _ -> []
+
+let elements node =
+  List.filter (function Element _ -> true | Text _ -> false) (children node)
+
+let rec gather_text buf = function
+  | Text s -> Buffer.add_string buf s
+  | Element { children; _ } -> List.iter (gather_text buf) children
+
+let text_content node =
+  let buf = Buffer.create 32 in
+  gather_text buf node;
+  String.trim (Buffer.contents buf)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string ?(indent = false) node =
+  let buf = Buffer.create 256 in
+  let rec render depth node =
+    let pad = if indent then String.make (2 * depth) ' ' else "" in
+    match node with
+    | Text s ->
+      Buffer.add_string buf pad;
+      Buffer.add_string buf (escape s);
+      if indent then Buffer.add_char buf '\n'
+    | Element { name; attrs; children } ->
+      Buffer.add_string buf pad;
+      Buffer.add_char buf '<';
+      Buffer.add_string buf name;
+      List.iter
+        (fun (k, v) -> Buffer.add_string buf (Printf.sprintf " %s=\"%s\"" k (escape v)))
+        attrs;
+      if children = [] then begin
+        Buffer.add_string buf "/>";
+        if indent then Buffer.add_char buf '\n'
+      end
+      else begin
+        Buffer.add_char buf '>';
+        if indent then Buffer.add_char buf '\n';
+        List.iter (render (depth + 1)) children;
+        Buffer.add_string buf pad;
+        Buffer.add_string buf (Printf.sprintf "</%s>" name);
+        if indent then Buffer.add_char buf '\n'
+      end
+  in
+  render 0 node;
+  Buffer.contents buf

@@ -1,0 +1,35 @@
+(** A minimal XML document model and parser — the substrate for the
+    inter-model matching extension (paper §7: "inter-model contextual
+    schema matching, namely between XML and relational model schemas").
+
+    Supported: elements, attributes, text, self-closing tags, comments,
+    processing instructions / XML declarations (skipped), CDATA, and the
+    five predefined entities plus decimal/hex character references.
+    Not supported (not needed for data shredding): namespaces, DTDs,
+    external entities. *)
+
+type t =
+  | Element of { name : string; attrs : (string * string) list; children : t list }
+  | Text of string
+
+exception Parse_error of { position : int; message : string }
+
+val parse : string -> t
+(** Parse one document; returns the root element.  Raises
+    {!Parse_error}. *)
+
+val parse_opt : string -> t option
+
+val name : t -> string
+(** Element name; "" for text nodes. *)
+
+val attr : t -> string -> string option
+val children : t -> t list
+val elements : t -> t list
+(** Child elements only (no text nodes). *)
+
+val text_content : t -> string
+(** Concatenated descendant text, trimmed. *)
+
+val to_string : ?indent:bool -> t -> string
+(** Serialise with entity escaping; [indent] pretty-prints. *)

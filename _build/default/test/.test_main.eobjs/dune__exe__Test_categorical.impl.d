@@ -1,0 +1,1 @@
+test/test_categorical.ml: Alcotest Attribute Categorical List Printf Relational Schema Table Value

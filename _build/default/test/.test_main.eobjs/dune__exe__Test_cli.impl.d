@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Buffer Filename Fun List Printf Relational Stats String Sys Unix Workload

@@ -1,0 +1,1 @@
+test/test_condition.ml: Alcotest Attribute Condition List QCheck QCheck_alcotest Relational Schema Value

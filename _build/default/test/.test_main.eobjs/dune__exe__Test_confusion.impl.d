@@ -1,0 +1,1 @@
+test/test_confusion.ml: Alcotest Float Gen List Printf QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_conjunctive.ml: Alcotest Array Attribute Condition Ctxmatch Database Evalharness List Matching Printf Relational Schema Stats String Table Value View Workload

@@ -1,0 +1,1 @@
+test/test_csv.ml: Alcotest Attribute Csv_io Filename List QCheck QCheck_alcotest Relational Schema Sys Table Value

@@ -1,0 +1,1 @@
+test/test_ctxmatch.ml: Alcotest Array Attribute Condition Ctxmatch Learn List Matching Printf Relational Schema Stats String Table Value View Workload

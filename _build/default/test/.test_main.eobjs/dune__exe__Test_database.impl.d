@@ -1,0 +1,1 @@
+test/test_database.ml: Alcotest Attribute Database List Relational Schema Table Value

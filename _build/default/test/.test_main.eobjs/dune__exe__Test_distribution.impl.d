@@ -1,0 +1,1 @@
+test/test_distribution.ml: Alcotest Float List Printf QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Condition Evalharness List Matching Relational Stats Value Workload

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Condition Ctxmatch Database Evalharness Float List Mapping Matching Relational Schema Stats Table Value Workload

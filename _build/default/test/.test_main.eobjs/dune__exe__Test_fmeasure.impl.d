@@ -1,0 +1,1 @@
+test/test_fmeasure.ml: Alcotest Float Int Printf QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Attribute Condition Ctxmatch Database Evalharness List Mapping Matching Printf Relational Schema Stats Table Value View Workload

@@ -1,0 +1,1 @@
+test/test_learn.ml: Alcotest Array Float Learn List QCheck QCheck_alcotest Stats Textsim

@@ -1,0 +1,1 @@
+test/test_mapping.ml: Alcotest Association Attribute Condition Constraints Executor List Mapping Mapping_gen Mining Printf Propagation Relation Relational Schema Sp_query Table Value

@@ -1,0 +1,1 @@
+test/test_mapping_gen.ml: Alcotest Attribute Condition Ctxmatch Database List Mapping Matching Relational Schema String Table Value Workload

@@ -1,0 +1,1 @@
+test/test_matching.ml: Alcotest Array Attribute Condition Database Float List Matching Printf Relational Schema Table Value View Workload

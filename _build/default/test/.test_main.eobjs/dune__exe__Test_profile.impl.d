@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Float Gen List Printf QCheck QCheck_alcotest Stats Textsim Workload

@@ -1,0 +1,1 @@
+test/test_sampling.ml: Alcotest Array Gen List Printf QCheck QCheck_alcotest Stats

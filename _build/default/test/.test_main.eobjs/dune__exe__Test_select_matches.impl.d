@@ -1,0 +1,1 @@
+test/test_select_matches.ml: Alcotest Attribute Condition Ctxmatch List Matching Printf Relational Schema Table Value View

@@ -1,0 +1,1 @@
+test/test_simmetrics.ml: Alcotest Float Printf QCheck QCheck_alcotest Textsim

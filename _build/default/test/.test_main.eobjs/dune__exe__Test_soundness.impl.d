@@ -1,0 +1,1 @@
+test/test_soundness.ml: Array Association Attribute Condition Constraints Executor List Mapping Mining Printf Propagation QCheck QCheck_alcotest Relation Relational Schema Table Value View

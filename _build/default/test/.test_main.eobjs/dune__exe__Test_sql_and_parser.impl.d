@@ -1,0 +1,1 @@
+test/test_sql_and_parser.ml: Alcotest Attribute Condition Condition_parser Ctxmatch List Mapping Printf Relational Schema String Table Value View Workload

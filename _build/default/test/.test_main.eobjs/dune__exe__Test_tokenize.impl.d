@@ -1,0 +1,1 @@
+test/test_tokenize.ml: Alcotest Gen List QCheck QCheck_alcotest String Textsim

@@ -1,0 +1,1 @@
+test/test_view.ml: Alcotest Array Attribute Condition List Relational Schema Table Value View

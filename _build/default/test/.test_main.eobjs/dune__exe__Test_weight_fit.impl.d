@@ -1,0 +1,1 @@
+test/test_weight_fit.ml: Alcotest List Matching Printf Textsim Workload

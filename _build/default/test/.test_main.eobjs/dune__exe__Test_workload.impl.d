@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Categorical Database Float List Relational Schema Stats String Table Value Workload

@@ -1,0 +1,1 @@
+test/test_xmlbridge.ml: Alcotest Attribute Ctxmatch Evalharness List Printf QCheck QCheck_alcotest Relational Schema String Table Value Workload Xmlbridge

@@ -1,0 +1,85 @@
+open Relational
+
+let table_of_column name values =
+  let schema = Schema.make "t" [ Attribute.string name ] in
+  Table.make schema (List.map (fun v -> [| v |]) values)
+
+let strings n f = List.init n (fun i -> Value.String (f i))
+
+let test_low_cardinality_is_categorical () =
+  let t = table_of_column "kind" (strings 100 (fun i -> if i mod 2 = 0 then "a" else "b")) in
+  Alcotest.(check bool) "categorical" true (Categorical.is_categorical t "kind")
+
+let test_unique_not_categorical () =
+  let t = table_of_column "id" (strings 100 (fun i -> string_of_int i)) in
+  Alcotest.(check bool) "unique column" false (Categorical.is_categorical t "id")
+
+let test_constant_not_categorical () =
+  let t = table_of_column "c" (strings 100 (fun _ -> "same")) in
+  Alcotest.(check bool) "single value" false (Categorical.is_categorical t "c")
+
+let test_empty_table () =
+  let t = table_of_column "c" [] in
+  Alcotest.(check bool) "empty" false (Categorical.is_categorical t "c")
+
+let test_small_sample_rule () =
+  (* two values, two tuples each: the small-sample rule accepts *)
+  let t = table_of_column "k" (strings 4 (fun i -> if i < 2 then "x" else "y")) in
+  Alcotest.(check bool) "small sample" true (Categorical.is_categorical t "k")
+
+let test_small_sample_singletons_rejected () =
+  let t = table_of_column "k" (strings 4 (fun i -> Printf.sprintf "v%d" i)) in
+  Alcotest.(check bool) "all singleton values" false (Categorical.is_categorical t "k")
+
+let test_heavy_fraction_rule () =
+  (* 2 heavy values (100 rows each) + 98 singleton values:
+     heavy/distinct = 2/100 = 2% < 10% -> not categorical *)
+  let values =
+    strings 100 (fun i -> if i mod 2 = 0 then "a" else "b")
+    @ strings 98 (fun i -> Printf.sprintf "rare%d" i)
+  in
+  let t = table_of_column "k" values in
+  Alcotest.(check bool) "mostly-unique column" false (Categorical.is_categorical t "k")
+
+let test_max_cardinality_guard () =
+  (* 60 values x 10 rows each: all heavy, but cardinality 60 > default 50 *)
+  let values = List.concat (List.init 60 (fun v -> strings 10 (fun _ -> Printf.sprintf "v%d" v))) in
+  let t = table_of_column "k" values in
+  Alcotest.(check bool) "over max cardinality" false (Categorical.is_categorical t "k");
+  let params = { Categorical.default_params with max_cardinality = 100 } in
+  Alcotest.(check bool) "with higher cap" true (Categorical.is_categorical ~params t "k")
+
+let test_nulls_ignored () =
+  let values = strings 50 (fun i -> if i mod 2 = 0 then "a" else "b") @ [ Value.Null; Value.Null ] in
+  let t = table_of_column "k" values in
+  Alcotest.(check bool) "categorical despite nulls" true (Categorical.is_categorical t "k")
+
+let test_categorical_attributes_order () =
+  let schema =
+    Schema.make "t" [ Attribute.string "id"; Attribute.string "kind"; Attribute.string "status" ]
+  in
+  let rows =
+    List.init 100 (fun i ->
+        [|
+          Value.String (string_of_int i);
+          Value.String (if i mod 2 = 0 then "a" else "b");
+          Value.String (match i mod 3 with 0 -> "lo" | 1 -> "mid" | _ -> "hi");
+        |])
+  in
+  let t = Table.make schema rows in
+  Alcotest.(check (list string)) "schema order" [ "kind"; "status" ]
+    (Categorical.categorical_attributes t)
+
+let suite =
+  [
+    Alcotest.test_case "low cardinality" `Quick test_low_cardinality_is_categorical;
+    Alcotest.test_case "unique column" `Quick test_unique_not_categorical;
+    Alcotest.test_case "constant column" `Quick test_constant_not_categorical;
+    Alcotest.test_case "empty table" `Quick test_empty_table;
+    Alcotest.test_case "small-sample rule" `Quick test_small_sample_rule;
+    Alcotest.test_case "small-sample singletons" `Quick test_small_sample_singletons_rejected;
+    Alcotest.test_case "heavy-fraction rule" `Quick test_heavy_fraction_rule;
+    Alcotest.test_case "max cardinality guard" `Quick test_max_cardinality_guard;
+    Alcotest.test_case "nulls ignored" `Quick test_nulls_ignored;
+    Alcotest.test_case "attributes in schema order" `Quick test_categorical_attributes_order;
+  ]

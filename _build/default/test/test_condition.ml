@@ -1,0 +1,149 @@
+open Relational
+
+let schema =
+  Schema.make "t" [ Attribute.string "kind"; Attribute.int "n"; Attribute.string "other" ]
+
+let row kind n other = [| Value.String kind; Value.Int n; Value.String other |]
+
+let eval c r = Condition.eval c schema r
+
+let test_true () = Alcotest.(check bool) "true" true (eval Condition.True (row "a" 1 "x"))
+
+let test_eq () =
+  let c = Condition.Eq ("kind", Value.String "a") in
+  Alcotest.(check bool) "match" true (eval c (row "a" 1 "x"));
+  Alcotest.(check bool) "no match" false (eval c (row "b" 1 "x"))
+
+let test_eq_null_cell () =
+  let c = Condition.Eq ("kind", Value.String "a") in
+  Alcotest.(check bool) "null never matches" false
+    (eval c [| Value.Null; Value.Int 1; Value.String "x" |])
+
+let test_in () =
+  let c = Condition.In ("n", [ Value.Int 1; Value.Int 3 ]) in
+  Alcotest.(check bool) "in" true (eval c (row "a" 3 "x"));
+  Alcotest.(check bool) "not in" false (eval c (row "a" 2 "x"))
+
+let test_boolean_combinators () =
+  let a = Condition.Eq ("kind", Value.String "a") in
+  let n1 = Condition.Eq ("n", Value.Int 1) in
+  Alcotest.(check bool) "and" true (eval (Condition.And (a, n1)) (row "a" 1 "x"));
+  Alcotest.(check bool) "and fail" false (eval (Condition.And (a, n1)) (row "a" 2 "x"));
+  Alcotest.(check bool) "or" true (eval (Condition.Or (a, n1)) (row "b" 1 "x"));
+  Alcotest.(check bool) "not" true (eval (Condition.Not a) (row "b" 1 "x"))
+
+let test_unknown_attribute () =
+  Alcotest.(check bool) "raises Not_found" true
+    (try
+       ignore (eval (Condition.Eq ("missing", Value.Int 1)) (row "a" 1 "x"));
+       false
+     with Not_found -> true)
+
+let test_attributes_and_arity () =
+  let c =
+    Condition.And
+      (Condition.Eq ("kind", Value.String "a"), Condition.Or
+         (Condition.Eq ("n", Value.Int 1), Condition.Eq ("kind", Value.String "b")))
+  in
+  Alcotest.(check (list string)) "attrs" [ "kind"; "n" ] (Condition.attributes c);
+  Alcotest.(check int) "arity 2" 2 (Condition.arity c);
+  Alcotest.(check int) "true arity" 0 (Condition.arity Condition.True)
+
+let test_simple_classification () =
+  Alcotest.(check bool) "eq simple" true (Condition.is_simple (Condition.Eq ("n", Value.Int 1)));
+  Alcotest.(check bool) "in not simple" false
+    (Condition.is_simple (Condition.In ("n", [ Value.Int 1 ])));
+  Alcotest.(check bool) "in simple-disjunctive" true
+    (Condition.is_simple_disjunctive (Condition.In ("n", [ Value.Int 1; Value.Int 2 ])));
+  Alcotest.(check bool) "or same attr" true
+    (Condition.is_simple_disjunctive
+       (Condition.Or (Condition.Eq ("n", Value.Int 1), Condition.Eq ("n", Value.Int 2))));
+  Alcotest.(check bool) "or across attrs not" false
+    (Condition.is_simple_disjunctive
+       (Condition.Or (Condition.Eq ("n", Value.Int 1), Condition.Eq ("kind", Value.String "a"))))
+
+let test_conjoin_simplification () =
+  let a = Condition.Eq ("n", Value.Int 1) in
+  Alcotest.(check bool) "true right" true (Condition.conjoin a Condition.True = a);
+  Alcotest.(check bool) "true left" true (Condition.conjoin Condition.True a = a)
+
+let test_disjoin_values () =
+  Alcotest.(check bool) "singleton to eq" true
+    (Condition.disjoin_values "n" [ Value.Int 1 ] = Condition.Eq ("n", Value.Int 1));
+  Alcotest.(check bool) "dedup + sort" true
+    (Condition.disjoin_values "n" [ Value.Int 2; Value.Int 1; Value.Int 2 ]
+    = Condition.In ("n", [ Value.Int 1; Value.Int 2 ]))
+
+let test_selected_values () =
+  let c = Condition.Or (Condition.Eq ("n", Value.Int 2), Condition.Eq ("n", Value.Int 1)) in
+  (match Condition.selected_values c with
+  | Some (attr, vs) ->
+    Alcotest.(check string) "attr" "n" attr;
+    Alcotest.(check int) "two values" 2 (List.length vs)
+  | None -> Alcotest.fail "expected selected values");
+  Alcotest.(check bool) "conjunction has none" true
+    (Condition.selected_values
+       (Condition.And (Condition.Eq ("n", Value.Int 1), Condition.Eq ("kind", Value.String "a")))
+    = None)
+
+let test_normalize_flattens_or () =
+  let c = Condition.Or (Condition.Eq ("n", Value.Int 2), Condition.Eq ("n", Value.Int 1)) in
+  Alcotest.(check bool) "flattened" true
+    (Condition.normalize c = Condition.In ("n", [ Value.Int 1; Value.Int 2 ]))
+
+let test_equal_mod_normalization () =
+  let a = Condition.Or (Condition.Eq ("n", Value.Int 1), Condition.Eq ("n", Value.Int 2)) in
+  let b = Condition.In ("n", [ Value.Int 2; Value.Int 1 ]) in
+  Alcotest.(check bool) "equal" true (Condition.equal a b)
+
+let test_to_string () =
+  Alcotest.(check string) "eq" "kind = a"
+    (Condition.to_string (Condition.Eq ("kind", Value.String "a")));
+  Alcotest.(check string) "in" "n IN (1, 2)"
+    (Condition.to_string (Condition.In ("n", [ Value.Int 1; Value.Int 2 ])))
+
+let qcheck_normalize_preserves_semantics =
+  let value_gen = QCheck.Gen.map (fun i -> Value.Int i) (QCheck.Gen.int_range 0 3) in
+  let rec cond_gen depth =
+    let open QCheck.Gen in
+    if depth = 0 then
+      oneof
+        [
+          return Condition.True;
+          map (fun v -> Condition.Eq ("n", v)) value_gen;
+          map (fun vs -> Condition.In ("n", vs)) (list_size (1 -- 3) value_gen);
+        ]
+    else
+      oneof
+        [
+          map2 (fun a b -> Condition.And (a, b)) (cond_gen (depth - 1)) (cond_gen (depth - 1));
+          map2 (fun a b -> Condition.Or (a, b)) (cond_gen (depth - 1)) (cond_gen (depth - 1));
+          map (fun a -> Condition.Not a) (cond_gen (depth - 1));
+          cond_gen 0;
+        ]
+  in
+  let arbitrary = QCheck.make (cond_gen 3) in
+  QCheck.Test.make ~name:"normalize preserves evaluation" ~count:300
+    (QCheck.pair arbitrary (QCheck.int_range 0 3))
+    (fun (c, n) ->
+      let r = row "a" n "x" in
+      eval c r = eval (Condition.normalize c) r)
+
+let suite =
+  [
+    Alcotest.test_case "true" `Quick test_true;
+    Alcotest.test_case "eq" `Quick test_eq;
+    Alcotest.test_case "eq null cell" `Quick test_eq_null_cell;
+    Alcotest.test_case "in" `Quick test_in;
+    Alcotest.test_case "boolean combinators" `Quick test_boolean_combinators;
+    Alcotest.test_case "unknown attribute" `Quick test_unknown_attribute;
+    Alcotest.test_case "attributes and arity" `Quick test_attributes_and_arity;
+    Alcotest.test_case "simple classification" `Quick test_simple_classification;
+    Alcotest.test_case "conjoin simplification" `Quick test_conjoin_simplification;
+    Alcotest.test_case "disjoin values" `Quick test_disjoin_values;
+    Alcotest.test_case "selected values" `Quick test_selected_values;
+    Alcotest.test_case "normalize flattens or" `Quick test_normalize_flattens_or;
+    Alcotest.test_case "equality mod normalization" `Quick test_equal_mod_normalization;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    QCheck_alcotest.to_alcotest qcheck_normalize_preserves_semantics;
+  ]

@@ -1,0 +1,97 @@
+let close ?(eps = 1e-9) expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "expected %.6f got %.6f" expected actual)
+    true
+    (Float.abs (expected -. actual) < eps)
+
+let mk observations =
+  let c = Stats.Confusion.create () in
+  List.iter (fun (truth, predicted) -> Stats.Confusion.observe c ~truth ~predicted) observations;
+  c
+
+let test_counts () =
+  let c = mk [ ("a", "a"); ("a", "b"); ("b", "b"); ("b", "b") ] in
+  Alcotest.(check int) "total" 4 (Stats.Confusion.total c);
+  Alcotest.(check int) "correct" 3 (Stats.Confusion.correct c);
+  close 0.75 (Stats.Confusion.accuracy c);
+  Alcotest.(check int) "cell a->b" 1 (Stats.Confusion.count c ~truth:"a" ~predicted:"b");
+  Alcotest.(check int) "cell b->a" 0 (Stats.Confusion.count c ~truth:"b" ~predicted:"a")
+
+let test_empty () =
+  let c = Stats.Confusion.create () in
+  close 0.0 (Stats.Confusion.accuracy c);
+  Alcotest.(check (list string)) "no labels" [] (Stats.Confusion.labels c);
+  close 0.0 (Stats.Confusion.micro_f c)
+
+let test_labels_sorted () =
+  let c = mk [ ("z", "a"); ("m", "m") ] in
+  Alcotest.(check (list string)) "sorted union" [ "a"; "m"; "z" ] (Stats.Confusion.labels c)
+
+let test_per_class () =
+  let c = mk [ ("a", "a"); ("a", "a"); ("a", "b"); ("b", "b") ] in
+  close (2.0 /. 3.0) (Stats.Confusion.per_class_recall c "a");
+  close 1.0 (Stats.Confusion.per_class_precision c "a");
+  close 0.5 (Stats.Confusion.per_class_precision c "b");
+  close 1.0 (Stats.Confusion.per_class_recall c "b");
+  close 0.0 (Stats.Confusion.per_class_precision c "never-predicted")
+
+let test_micro_f_equals_accuracy () =
+  let c = mk [ ("a", "a"); ("a", "b"); ("b", "c"); ("c", "c"); ("c", "c") ] in
+  close (Stats.Confusion.accuracy c) (Stats.Confusion.micro_f c);
+  close (Stats.Confusion.accuracy c) (Stats.Confusion.micro_f ~beta:2.0 c)
+
+let test_macro_f () =
+  (* perfect classifier: macro F1 = 1 *)
+  let c = mk [ ("a", "a"); ("b", "b") ] in
+  close 1.0 (Stats.Confusion.macro_f c)
+
+let test_error_pairs_merged () =
+  let c = mk [ ("a", "b"); ("b", "a"); ("b", "a"); ("a", "a"); ("c", "a") ] in
+  match Stats.Confusion.error_pairs c with
+  | ((v1, v2), n) :: rest ->
+    Alcotest.(check string) "first pair lo" "a" v1;
+    Alcotest.(check string) "first pair hi" "b" v2;
+    Alcotest.(check int) "merged count" 3 n;
+    Alcotest.(check int) "one more pair" 1 (List.length rest)
+  | [] -> Alcotest.fail "expected error pairs"
+
+let test_error_pairs_no_diagonal () =
+  let c = mk [ ("a", "a"); ("b", "b") ] in
+  Alcotest.(check int) "no errors" 0 (List.length (Stats.Confusion.error_pairs c))
+
+let test_normalized_error_pairs () =
+  (* (a,b) errors: 2 out of freq(a)+freq(b) = 4 -> 0.5
+     (a,c) errors: 1 out of freq(a)+freq(c) = 12 -> small *)
+  let c =
+    mk
+      ([ ("a", "b"); ("a", "b"); ("a", "c") ]
+      @ List.init 9 (fun _ -> ("c", "c"))
+      @ [ ("b", "b") ])
+  in
+  match Stats.Confusion.normalized_error_pairs c with
+  | ((v1, v2), w) :: _ ->
+    Alcotest.(check string) "top pair is a-b" "a" v1;
+    Alcotest.(check string) "top pair is a-b" "b" v2;
+    close 0.5 w
+  | [] -> Alcotest.fail "expected pairs"
+
+let qcheck_accuracy_range =
+  let obs = QCheck.(list_of_size Gen.(1 -- 40) (pair (string_of_size Gen.(1 -- 3)) (string_of_size Gen.(1 -- 3)))) in
+  QCheck.Test.make ~name:"accuracy within [0,1]" ~count:300 obs (fun observations ->
+      let c = mk observations in
+      let a = Stats.Confusion.accuracy c in
+      a >= 0.0 && a <= 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "counts" `Quick test_counts;
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "labels sorted" `Quick test_labels_sorted;
+    Alcotest.test_case "per-class P/R" `Quick test_per_class;
+    Alcotest.test_case "micro F = accuracy" `Quick test_micro_f_equals_accuracy;
+    Alcotest.test_case "macro F perfect" `Quick test_macro_f;
+    Alcotest.test_case "error pairs merged" `Quick test_error_pairs_merged;
+    Alcotest.test_case "no diagonal errors" `Quick test_error_pairs_no_diagonal;
+    Alcotest.test_case "normalized error pairs" `Quick test_normalized_error_pairs;
+    QCheck_alcotest.to_alcotest qcheck_accuracy_range;
+  ]

@@ -1,0 +1,170 @@
+(* Unit-level behaviour of the iterated conjunctive search (§3.5). *)
+open Relational
+
+(* A hand-made nested dataset where text classifies a 2-level context:
+   kind (x/y) splits the vocabulary coarsely; within kind = x, sub (0/1)
+   splits it again. *)
+let nested_table rows =
+  let rng = Stats.Rng.create 7 in
+  let schema =
+    Schema.make "src"
+      [
+        Attribute.string "kind"; Attribute.int "sub"; Attribute.string "text";
+        Attribute.string "creator";
+      ]
+  in
+  let row _ =
+    let is_x = Stats.Rng.bool rng in
+    let sub = if is_x && Stats.Rng.bool rng then 1 else 0 in
+    let text =
+      if not is_x then (Workload.Corpus.album rng).Workload.Corpus.album_title
+      else if sub = 1 then (Workload.Corpus.book rng).Workload.Corpus.book_title
+      else (Workload.Corpus.nonfiction_book rng).Workload.Corpus.book_title
+    in
+    let creator =
+      if is_x then (Workload.Corpus.book rng).Workload.Corpus.author
+      else (Workload.Corpus.album rng).Workload.Corpus.artist
+    in
+    [|
+      Value.String (if is_x then "x" else "y"); Value.Int sub; Value.String text;
+      Value.String creator;
+    |]
+  in
+  Table.of_rows schema (Array.init rows row)
+
+let target_db rows =
+  let rng = Stats.Rng.create 11 in
+  let mk name gen creators =
+    Table.of_rows
+      (Schema.make name
+         [ Attribute.int "id"; Attribute.string "title"; Attribute.string "creator" ])
+      (Array.init rows (fun i ->
+           [| Value.Int (i + 1); Value.String (gen rng); Value.String (creators rng) |]))
+  in
+  let author rng = (Workload.Corpus.book rng).Workload.Corpus.author in
+  let artist rng = (Workload.Corpus.album rng).Workload.Corpus.artist in
+  Database.make "tgt"
+    [
+      mk "fictionish" (fun rng -> (Workload.Corpus.book rng).Workload.Corpus.book_title) author;
+      mk "referencish"
+        (fun rng -> (Workload.Corpus.nonfiction_book rng).Workload.Corpus.book_title)
+        author;
+      mk "musicish" (fun rng -> (Workload.Corpus.album rng).Workload.Corpus.album_title) artist;
+    ]
+
+let conj_config = Ctxmatch.Config.with_tau Ctxmatch.Config.default 0.45
+
+let run_conjunctive () =
+  Ctxmatch.Conjunctive.run ~config:conj_config ~stages:2 ~algorithm:`Src_class
+    ~source:(Database.make "src-db" [ nested_table 400 ])
+    ~target:(target_db 150) ()
+
+let test_stage_count_and_order () =
+  let stages, _ = run_conjunctive () in
+  let indices = List.map (fun (s : Ctxmatch.Conjunctive.stage) -> s.stage_index) stages in
+  Alcotest.(check (list int)) "stages in order" [ 1; 2 ] indices
+
+let test_stage2_never_repartitions_fixed_attr () =
+  (* stage-2 source tables are materialised views named
+     "src where <attr> = <v>"; no stage-2 family may partition on the
+     attribute the view already fixes *)
+  let fixed_attr_of table_name =
+    let marker = " where " in
+    let rec find i =
+      if i + String.length marker > String.length table_name then None
+      else if String.sub table_name i (String.length marker) = marker then
+        Some (i + String.length marker)
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> None
+    | Some start -> (
+      let rest = String.sub table_name start (String.length table_name - start) in
+      match String.index_opt rest ' ' with
+      | Some stop -> Some (String.sub rest 0 stop)
+      | None -> None)
+  in
+  let stages, _ = run_conjunctive () in
+  List.iter
+    (fun (s : Ctxmatch.Conjunctive.stage) ->
+      if s.stage_index = 2 then
+        List.iter
+          (fun (f : View.family) ->
+            match fixed_attr_of (Table.name f.View.table) with
+            | Some fixed ->
+              Alcotest.(check bool)
+                (Printf.sprintf "family on %s of a view fixing %s" f.View.attribute fixed)
+                false
+                (String.equal f.View.attribute fixed)
+            | None -> ())
+          s.result.Ctxmatch.Context_match.families)
+    stages
+
+let test_final_conditions_have_bounded_arity () =
+  let _, final = run_conjunctive () in
+  List.iter
+    (fun (m : Matching.Schema_match.t) ->
+      Alcotest.(check bool) "arity <= 2" true (Condition.arity m.condition <= 2))
+    final
+
+let test_final_keeps_best_confidence_per_edge () =
+  let stages, final = run_conjunctive () in
+  let stage1 = (List.hd stages).Ctxmatch.Conjunctive.result.Ctxmatch.Context_match.matches in
+  List.iter
+    (fun (m1 : Matching.Schema_match.t) ->
+      match
+        List.find_opt
+          (fun (mf : Matching.Schema_match.t) -> Matching.Schema_match.same_edge m1 mf)
+          final
+      with
+      | Some mf ->
+        Alcotest.(check bool) "final never below stage 1" true
+          (mf.confidence >= m1.confidence -. 1e-9)
+      | None -> Alcotest.fail "stage-1 edge lost in final")
+    stage1
+
+let test_conjunction_found_for_nested_target () =
+  (* at least one final match into fictionish/referencish must pin both
+     kind and sub *)
+  let _, final = run_conjunctive () in
+  Alcotest.(check bool) "a 2-condition reaches the nested targets" true
+    (List.exists
+       (fun (m : Matching.Schema_match.t) ->
+         (m.tgt_table = "fictionish" || m.tgt_table = "referencish")
+         && Condition.arity m.condition = 2)
+       final)
+
+let test_single_stage_equals_context_match () =
+  let source = Database.make "src-db" [ nested_table 300 ] in
+  let target = target_db 120 in
+  let stages, final =
+    Ctxmatch.Conjunctive.run ~config:conj_config ~stages:1 ~algorithm:`Src_class ~source
+      ~target ()
+  in
+  Alcotest.(check int) "one stage" 1 (List.length stages);
+  let direct =
+    Ctxmatch.Context_match.run ~config:conj_config
+      ~infer:(Ctxmatch.Context_match.infer_of `Src_class ~target)
+      ~source ~target ()
+  in
+  Alcotest.(check int) "same match count as a direct run"
+    (List.length direct.Ctxmatch.Context_match.matches)
+    (List.length final)
+
+let test_reporting_smoke () =
+  (* Reporting prints to stdout; just make sure nothing raises. *)
+  Evalharness.Reporting.section "smoke";
+  Evalharness.Reporting.note "a note";
+  Evalharness.Reporting.series ~x_label:"x" ~columns:[ "a"; "b" ]
+    ~rows:[ (1.0, [ 0.5; 0.25 ]); (2.0, [ 1.0; 0.75 ]) ]
+
+let suite =
+  [
+    Alcotest.test_case "stage count and order" `Slow test_stage_count_and_order;
+    Alcotest.test_case "stage 2 respects fixed attrs" `Slow test_stage2_never_repartitions_fixed_attr;
+    Alcotest.test_case "final condition arity bounded" `Slow test_final_conditions_have_bounded_arity;
+    Alcotest.test_case "final keeps best per edge" `Slow test_final_keeps_best_confidence_per_edge;
+    Alcotest.test_case "conjunction found" `Slow test_conjunction_found_for_nested_target;
+    Alcotest.test_case "single stage = direct run" `Slow test_single_stage_equals_context_match;
+    Alcotest.test_case "reporting smoke" `Quick test_reporting_smoke;
+  ]

@@ -1,0 +1,50 @@
+open Relational
+
+let table name =
+  Table.make (Schema.make name [ Attribute.int "id"; Attribute.string "v" ])
+    [ [| Value.Int 1; Value.String "a" |]; [| Value.Int 2; Value.String "b" |] ]
+
+let db = Database.make "d" [ table "t1"; table "t2" ]
+
+let test_lookup () =
+  Alcotest.(check string) "found" "t1" (Table.name (Database.table db "t1"));
+  Alcotest.(check bool) "mem" true (Database.mem db "t2");
+  Alcotest.(check bool) "not mem" false (Database.mem db "t3");
+  Alcotest.(check bool) "opt none" true (Database.table_opt db "t3" = None)
+
+let test_duplicate_rejected () =
+  Alcotest.check_raises "duplicate" (Invalid_argument "Database.make: duplicate table t1")
+    (fun () -> ignore (Database.make "d" [ table "t1"; table "t1" ]))
+
+let test_add_table () =
+  let d = Database.add_table db (table "t3") in
+  Alcotest.(check (list string)) "names" [ "t1"; "t2"; "t3" ] (Database.table_names d)
+
+let test_replace_table () =
+  let bigger =
+    Table.make (Schema.make "t1" [ Attribute.int "id" ]) [ [| Value.Int 9 |] ]
+  in
+  let d = Database.replace_table db bigger in
+  Alcotest.(check int) "replaced arity" 1 (Table.arity (Database.table d "t1"));
+  Alcotest.(check int) "same table count" 2 (List.length (Database.tables d));
+  (* replacing an absent table adds it *)
+  let d2 = Database.replace_table db (table "t9") in
+  Alcotest.(check bool) "added" true (Database.mem d2 "t9")
+
+let test_map_tables () =
+  let d = Database.map_tables (fun t -> Table.take t 1) db in
+  Alcotest.(check int) "rows halved" 2 (Database.total_rows d)
+
+let test_totals () =
+  Alcotest.(check int) "rows" 4 (Database.total_rows db);
+  Alcotest.(check int) "attrs" 4 (Database.total_attributes db)
+
+let suite =
+  [
+    Alcotest.test_case "lookup" `Quick test_lookup;
+    Alcotest.test_case "duplicate rejected" `Quick test_duplicate_rejected;
+    Alcotest.test_case "add table" `Quick test_add_table;
+    Alcotest.test_case "replace table" `Quick test_replace_table;
+    Alcotest.test_case "map tables" `Quick test_map_tables;
+    Alcotest.test_case "totals" `Quick test_totals;
+  ]

@@ -1,0 +1,99 @@
+let close ?(eps = 1e-9) expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "expected %.6f got %.6f" expected actual)
+    true
+    (Float.abs (expected -. actual) < eps)
+
+let test_summarize_basic () =
+  let s = Stats.Descriptive.summarize [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  Alcotest.(check int) "n" 8 s.Stats.Descriptive.n;
+  close 5.0 s.Stats.Descriptive.mean;
+  close 4.0 s.Stats.Descriptive.variance;
+  close 2.0 s.Stats.Descriptive.stddev;
+  close 2.0 s.Stats.Descriptive.min;
+  close 9.0 s.Stats.Descriptive.max
+
+let test_summarize_empty () =
+  let s = Stats.Descriptive.summarize [||] in
+  Alcotest.(check int) "n" 0 s.Stats.Descriptive.n;
+  close 0.0 s.Stats.Descriptive.mean
+
+let test_summarize_single () =
+  let s = Stats.Descriptive.summarize [| 42.0 |] in
+  close 42.0 s.Stats.Descriptive.mean;
+  close 0.0 s.Stats.Descriptive.variance
+
+let test_summarize_list_matches_array () =
+  let xs = [ 1.0; 2.0; 3.5; -1.0 ] in
+  let a = Stats.Descriptive.summarize (Array.of_list xs) in
+  let l = Stats.Descriptive.summarize_list xs in
+  close a.Stats.Descriptive.mean l.Stats.Descriptive.mean;
+  close a.Stats.Descriptive.variance l.Stats.Descriptive.variance
+
+let test_welford_stability () =
+  (* Large offset: the naive sum-of-squares formula would lose all
+     precision; Welford must not. *)
+  let offset = 1e9 in
+  let xs = Array.init 1000 (fun i -> offset +. float_of_int (i mod 10)) in
+  let s = Stats.Descriptive.summarize xs in
+  close ~eps:1e-3 (offset +. 4.5) s.Stats.Descriptive.mean;
+  close ~eps:1e-3 8.25 s.Stats.Descriptive.variance
+
+let test_median_odd () = close 3.0 (Stats.Descriptive.median [| 5.0; 1.0; 3.0 |])
+let test_median_even () = close 2.5 (Stats.Descriptive.median [| 4.0; 1.0; 2.0; 3.0 |])
+let test_median_empty () = close 0.0 (Stats.Descriptive.median [||])
+
+let test_median_does_not_mutate () =
+  let xs = [| 3.0; 1.0; 2.0 |] in
+  ignore (Stats.Descriptive.median xs);
+  Alcotest.(check bool) "unchanged" true (xs = [| 3.0; 1.0; 2.0 |])
+
+let test_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  close 1.0 (Stats.Descriptive.percentile xs 0.0);
+  close 5.0 (Stats.Descriptive.percentile xs 100.0);
+  close 3.0 (Stats.Descriptive.percentile xs 50.0);
+  close 2.0 (Stats.Descriptive.percentile xs 25.0)
+
+let test_kahan_sum () =
+  close 1.0 (Stats.Descriptive.sum [| 1.0 |]);
+  close 0.0 (Stats.Descriptive.sum [||]);
+  (* many tiny values around a large one: plain summation drifts *)
+  let xs = Array.make 10_000_001 1e-9 in
+  xs.(0) <- 1e9;
+  close ~eps:1e-4 (1e9 +. 0.01) (Stats.Descriptive.sum xs)
+
+let test_stddev_short () =
+  close 0.0 (Stats.Descriptive.stddev [| 5.0 |]);
+  close 0.0 (Stats.Descriptive.stddev [||])
+
+let qcheck_variance_nonneg =
+  QCheck.Test.make ~name:"variance non-negative" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 50) (float_range (-1000.0) 1000.0))
+    (fun xs -> (Stats.Descriptive.summarize (Array.of_list xs)).Stats.Descriptive.variance >= 0.0)
+
+let qcheck_mean_between_min_max =
+  QCheck.Test.make ~name:"mean within [min,max]" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 50) (float_range (-1000.0) 1000.0))
+    (fun xs ->
+      let s = Stats.Descriptive.summarize (Array.of_list xs) in
+      s.Stats.Descriptive.mean >= s.Stats.Descriptive.min -. 1e-9
+      && s.Stats.Descriptive.mean <= s.Stats.Descriptive.max +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "summarize basic" `Quick test_summarize_basic;
+    Alcotest.test_case "summarize empty" `Quick test_summarize_empty;
+    Alcotest.test_case "summarize single" `Quick test_summarize_single;
+    Alcotest.test_case "list matches array" `Quick test_summarize_list_matches_array;
+    Alcotest.test_case "welford stability" `Quick test_welford_stability;
+    Alcotest.test_case "median odd" `Quick test_median_odd;
+    Alcotest.test_case "median even" `Quick test_median_even;
+    Alcotest.test_case "median empty" `Quick test_median_empty;
+    Alcotest.test_case "median does not mutate" `Quick test_median_does_not_mutate;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "kahan sum" `Slow test_kahan_sum;
+    Alcotest.test_case "stddev short input" `Quick test_stddev_short;
+    QCheck_alcotest.to_alcotest qcheck_variance_nonneg;
+    QCheck_alcotest.to_alcotest qcheck_mean_between_min_max;
+  ]

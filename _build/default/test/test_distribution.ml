@@ -1,0 +1,113 @@
+let close ?(eps = 1e-6) expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "expected %.8f got %.8f" expected actual)
+    true
+    (Float.abs (expected -. actual) < eps)
+
+let test_erf_known () =
+  close ~eps:2e-7 0.0 (Stats.Distribution.erf 0.0);
+  close ~eps:2e-7 0.8427008 (Stats.Distribution.erf 1.0);
+  close ~eps:2e-7 (-0.8427008) (Stats.Distribution.erf (-1.0));
+  close ~eps:2e-7 0.9953223 (Stats.Distribution.erf 2.0)
+
+let test_erfc_complement () =
+  List.iter
+    (fun x -> close (1.0 -. Stats.Distribution.erf x) (Stats.Distribution.erfc x))
+    [ -2.0; -0.5; 0.0; 0.3; 1.7 ]
+
+let test_phi_known () =
+  close ~eps:1e-6 0.5 (Stats.Distribution.phi 0.0);
+  close ~eps:1e-6 0.8413447 (Stats.Distribution.phi 1.0);
+  close ~eps:1e-6 0.1586553 (Stats.Distribution.phi (-1.0));
+  close ~eps:1e-6 0.9772499 (Stats.Distribution.phi 2.0);
+  close ~eps:1e-5 0.9986501 (Stats.Distribution.phi 3.0)
+
+let test_phi_monotone () =
+  let prev = ref (-1.0) in
+  for i = -40 to 40 do
+    let p = Stats.Distribution.phi (float_of_int i /. 10.0) in
+    Alcotest.(check bool) "monotone" true (p > !prev);
+    prev := p
+  done
+
+let test_normal_cdf_shift_scale () =
+  close
+    (Stats.Distribution.phi 1.5)
+    (Stats.Distribution.normal_cdf ~mu:10.0 ~sigma:2.0 13.0)
+
+let test_normal_cdf_invalid_sigma () =
+  Alcotest.check_raises "sigma <= 0"
+    (Invalid_argument "Distribution.normal_cdf: sigma <= 0") (fun () ->
+      ignore (Stats.Distribution.normal_cdf ~mu:0.0 ~sigma:0.0 1.0))
+
+let test_phi_inv_roundtrip () =
+  List.iter
+    (fun p -> close ~eps:1e-6 p (Stats.Distribution.phi (Stats.Distribution.phi_inv p)))
+    [ 0.001; 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.95; 0.99; 0.999 ]
+
+let test_phi_inv_invalid () =
+  Alcotest.check_raises "p = 0" (Invalid_argument "Distribution.phi_inv: p outside (0,1)")
+    (fun () -> ignore (Stats.Distribution.phi_inv 0.0))
+
+let test_normal_pdf () =
+  close ~eps:1e-7 0.39894228 (Stats.Distribution.normal_pdf 0.0);
+  close ~eps:1e-7 0.24197072 (Stats.Distribution.normal_pdf 1.0);
+  (* scaled pdf integrates location/scale correctly *)
+  close ~eps:1e-7
+    (0.39894228 /. 2.0)
+    (Stats.Distribution.normal_pdf ~mu:3.0 ~sigma:2.0 3.0)
+
+let test_binomial_moments () =
+  close 50.0 (Stats.Distribution.binomial_mean ~n:100 ~p:0.5);
+  close 5.0 (Stats.Distribution.binomial_stddev ~n:100 ~p:0.5)
+
+let test_binomial_tail () =
+  (* P(X >= 50) for Binomial(100, 0.5) is ~0.54 with continuity correction *)
+  let p = Stats.Distribution.binomial_tail_normal ~n:100 ~p:0.5 ~successes:50 in
+  Alcotest.(check bool) "around half" true (p > 0.5 && p < 0.6);
+  (* far tail is tiny *)
+  let tail = Stats.Distribution.binomial_tail_normal ~n:100 ~p:0.5 ~successes:80 in
+  Alcotest.(check bool) "far tail small" true (tail < 1e-6);
+  (* everything is above 0 successes *)
+  close ~eps:1e-9 1.0 (Stats.Distribution.binomial_tail_normal ~n:100 ~p:0.5 ~successes:0)
+
+let test_binomial_tail_degenerate () =
+  close 1.0 (Stats.Distribution.binomial_tail_normal ~n:10 ~p:0.0 ~successes:0);
+  close 0.0 (Stats.Distribution.binomial_tail_normal ~n:10 ~p:0.0 ~successes:1);
+  close 1.0 (Stats.Distribution.binomial_tail_normal ~n:10 ~p:1.0 ~successes:10)
+
+let test_z_score () =
+  close 2.0 (Stats.Distribution.z_score ~mu:1.0 ~sigma:0.5 2.0);
+  close 0.0 (Stats.Distribution.z_score ~mu:1.0 ~sigma:0.0 42.0)
+
+let qcheck_phi_range =
+  QCheck.Test.make ~name:"phi in (0,1)" ~count:1000
+    QCheck.(float_range (-30.0) 30.0)
+    (fun x ->
+      let p = Stats.Distribution.phi x in
+      p >= 0.0 && p <= 1.0)
+
+let qcheck_phi_symmetry =
+  QCheck.Test.make ~name:"phi(-x) = 1 - phi(x)" ~count:500
+    QCheck.(float_range (-6.0) 6.0)
+    (fun x ->
+      Float.abs (Stats.Distribution.phi (-.x) -. (1.0 -. Stats.Distribution.phi x)) < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "erf known values" `Quick test_erf_known;
+    Alcotest.test_case "erfc complement" `Quick test_erfc_complement;
+    Alcotest.test_case "phi known values" `Quick test_phi_known;
+    Alcotest.test_case "phi monotone" `Quick test_phi_monotone;
+    Alcotest.test_case "normal cdf shift/scale" `Quick test_normal_cdf_shift_scale;
+    Alcotest.test_case "normal cdf invalid sigma" `Quick test_normal_cdf_invalid_sigma;
+    Alcotest.test_case "phi_inv roundtrip" `Quick test_phi_inv_roundtrip;
+    Alcotest.test_case "phi_inv invalid" `Quick test_phi_inv_invalid;
+    Alcotest.test_case "normal pdf" `Quick test_normal_pdf;
+    Alcotest.test_case "binomial moments" `Quick test_binomial_moments;
+    Alcotest.test_case "binomial tail" `Quick test_binomial_tail;
+    Alcotest.test_case "binomial tail degenerate" `Quick test_binomial_tail_degenerate;
+    Alcotest.test_case "z-score" `Quick test_z_score;
+    QCheck_alcotest.to_alcotest qcheck_phi_range;
+    QCheck_alcotest.to_alcotest qcheck_phi_symmetry;
+  ]

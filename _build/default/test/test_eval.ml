@@ -1,0 +1,136 @@
+open Relational
+
+let retail_params = Workload.Retail.default_params
+let truth = Evalharness.Ground_truth.retail retail_params Workload.Retail.Ryan_eyers
+
+let book_match ?(cond = Condition.Eq ("ItemType", Value.String "Book1")) () =
+  Matching.Schema_match.contextual ~view_name:"v" ~src_base:"Inventory" ~src_attr:"Title"
+    ~tgt_table:"Book" ~tgt_attr:"BookTitle" ~condition:cond 0.9
+
+let test_correct_simple_condition () =
+  Alcotest.(check bool) "Book1 condition correct" true
+    (Evalharness.Ground_truth.correct truth (book_match ()))
+
+let test_correct_disjunctive_subset () =
+  let cond = Condition.In ("ItemType", [ Value.String "Book1"; Value.String "Book2" ]) in
+  Alcotest.(check bool) "full book set correct" true
+    (Evalharness.Ground_truth.correct truth (book_match ~cond ()))
+
+let test_incorrect_mixed_condition () =
+  let cond = Condition.In ("ItemType", [ Value.String "Book1"; Value.String "CD1" ]) in
+  Alcotest.(check bool) "mixed labels wrong" false
+    (Evalharness.Ground_truth.correct truth (book_match ~cond ()))
+
+let test_incorrect_wrong_attribute_condition () =
+  let cond = Condition.Eq ("StockStatus", Value.String "Low") in
+  Alcotest.(check bool) "wrong context attribute" false
+    (Evalharness.Ground_truth.correct truth (book_match ~cond ()))
+
+let test_incorrect_wrong_side () =
+  let cond = Condition.Eq ("ItemType", Value.String "CD1") in
+  Alcotest.(check bool) "cd condition on book target" false
+    (Evalharness.Ground_truth.correct truth (book_match ~cond ()))
+
+let test_standard_matches_ignored () =
+  let std =
+    Matching.Schema_match.standard ~src_table:"Inventory" ~src_attr:"Title" ~tgt_table:"Book"
+      ~tgt_attr:"BookTitle" 0.9
+  in
+  Alcotest.(check bool) "standard never correct" false
+    (Evalharness.Ground_truth.correct truth std);
+  (* nor counted as found *)
+  let c = Evalharness.Ground_truth.evaluate truth [ std ] in
+  Alcotest.(check int) "found 0" 0 c.Stats.Fmeasure.found
+
+let test_accuracy_precision () =
+  let good = book_match () in
+  let bad =
+    Matching.Schema_match.contextual ~view_name:"v" ~src_base:"Inventory" ~src_attr:"Quantity"
+      ~tgt_table:"Book" ~tgt_attr:"BookTitle"
+      ~condition:(Condition.Eq ("ItemType", Value.String "Book1"))
+      0.7
+  in
+  let matches = [ good; bad ] in
+  Alcotest.(check (float 1e-9)) "precision half" 0.5
+    (Evalharness.Ground_truth.precision truth matches);
+  Alcotest.(check (float 1e-9)) "accuracy 1/12" (1.0 /. 12.0)
+    (Evalharness.Ground_truth.accuracy truth matches)
+
+let test_duplicate_matches_counted_once () =
+  let matches = [ book_match (); book_match () ] in
+  let c = Evalharness.Ground_truth.evaluate truth matches in
+  Alcotest.(check int) "deduped" 1 c.Stats.Fmeasure.found
+
+let test_multiple_correct_conditions_one_expectation () =
+  (* LateDisjuncts with gamma = 4 returns Book1 and Book2 views for the
+     same edge: both correct, expectation covered once, precision 1. *)
+  let m1 = book_match () in
+  let m2 = book_match ~cond:(Condition.Eq ("ItemType", Value.String "Book2")) () in
+  Alcotest.(check (float 1e-9)) "precision 1" 1.0
+    (Evalharness.Ground_truth.precision truth [ m1; m2 ]);
+  let c = Evalharness.Ground_truth.evaluate truth [ m1; m2 ] in
+  Alcotest.(check int) "covered once" 1 c.Stats.Fmeasure.true_positives
+
+let test_grades_truth () =
+  let gt = Evalharness.Ground_truth.grades Workload.Grades.default_params in
+  Alcotest.(check int) "name + 5 grades" 6 (List.length gt.Evalharness.Ground_truth.expectations);
+  let good =
+    Matching.Schema_match.contextual ~view_name:"v" ~src_base:"grades_narrow" ~src_attr:"grade"
+      ~tgt_table:"grades_wide" ~tgt_attr:"grade2"
+      ~condition:(Condition.Eq ("examNum", Value.Int 2))
+      0.9
+  in
+  Alcotest.(check bool) "aligned exam correct" true (Evalharness.Ground_truth.correct gt good);
+  let misaligned =
+    Matching.Schema_match.contextual ~view_name:"v" ~src_base:"grades_narrow" ~src_attr:"grade"
+      ~tgt_table:"grades_wide" ~tgt_attr:"grade2"
+      ~condition:(Condition.Eq ("examNum", Value.Int 3))
+      0.9
+  in
+  Alcotest.(check bool) "misaligned exam wrong" false
+    (Evalharness.Ground_truth.correct gt misaligned)
+
+let test_experiment_average () =
+  let m1 =
+    { Evalharness.Experiment.fmeasure = 1.0; accuracy = 1.0; precision = 1.0; seconds = 2.0; candidate_views = 4.0 }
+  in
+  let m2 =
+    { Evalharness.Experiment.fmeasure = 0.0; accuracy = 0.5; precision = 0.0; seconds = 4.0; candidate_views = 6.0 }
+  in
+  let avg = Evalharness.Experiment.average [ m1; m2 ] in
+  Alcotest.(check (float 1e-9)) "f" 0.5 avg.Evalharness.Experiment.fmeasure;
+  Alcotest.(check (float 1e-9)) "acc" 0.75 avg.Evalharness.Experiment.accuracy;
+  Alcotest.(check (float 1e-9)) "sec" 3.0 avg.Evalharness.Experiment.seconds;
+  Alcotest.(check bool) "empty is zero" true
+    (Evalharness.Experiment.average [] = Evalharness.Experiment.zero)
+
+let test_experiment_repeat_varies_seed () =
+  let seeds = ref [] in
+  let _ =
+    Evalharness.Experiment.repeat ~reps:3 ~base_seed:10 (fun ~seed ->
+        seeds := seed :: !seeds;
+        Evalharness.Experiment.zero)
+  in
+  Alcotest.(check (list int)) "seeds" [ 12; 11; 10 ] !seeds
+
+let test_timed () =
+  let v, t = Evalharness.Experiment.timed (fun () -> 42) in
+  Alcotest.(check int) "value" 42 v;
+  Alcotest.(check bool) "non-negative" true (t >= 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "correct simple condition" `Quick test_correct_simple_condition;
+    Alcotest.test_case "correct disjunctive subset" `Quick test_correct_disjunctive_subset;
+    Alcotest.test_case "incorrect mixed condition" `Quick test_incorrect_mixed_condition;
+    Alcotest.test_case "incorrect context attribute" `Quick test_incorrect_wrong_attribute_condition;
+    Alcotest.test_case "incorrect side" `Quick test_incorrect_wrong_side;
+    Alcotest.test_case "standard matches ignored" `Quick test_standard_matches_ignored;
+    Alcotest.test_case "accuracy and precision" `Quick test_accuracy_precision;
+    Alcotest.test_case "duplicates counted once" `Quick test_duplicate_matches_counted_once;
+    Alcotest.test_case "multiple correct conditions" `Quick test_multiple_correct_conditions_one_expectation;
+    Alcotest.test_case "grades ground truth" `Quick test_grades_truth;
+    Alcotest.test_case "experiment average" `Quick test_experiment_average;
+    Alcotest.test_case "experiment repeat seeds" `Quick test_experiment_repeat_varies_seed;
+    Alcotest.test_case "timed" `Quick test_timed;
+  ]

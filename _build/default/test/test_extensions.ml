@@ -1,0 +1,216 @@
+(* Extensions beyond the core reproduction: ClusterInfer (the paper's
+   omitted third technique), target-side matching, and the additional
+   scenarios (nested/conjunctive retail, Example 1.2 pricing,
+   real-estate). *)
+open Relational
+
+let test_kmeans_basic () =
+  let rng = Stats.Rng.create 3 in
+  let xs = Array.concat [ Array.make 50 1.0; Array.make 50 10.0; Array.make 50 20.0 ] in
+  let centres = Ctxmatch.Cluster_infer.kmeans_1d rng ~k:3 xs in
+  Alcotest.(check int) "three centres" 3 (Array.length centres);
+  Alcotest.(check bool) "sorted near the modes" true
+    (Float.abs (centres.(0) -. 1.0) < 0.5
+    && Float.abs (centres.(1) -. 10.0) < 0.5
+    && Float.abs (centres.(2) -. 20.0) < 0.5)
+
+let test_kmeans_fewer_distinct () =
+  let rng = Stats.Rng.create 3 in
+  let centres = Ctxmatch.Cluster_infer.kmeans_1d rng ~k:5 [| 1.0; 1.0; 2.0 |] in
+  Alcotest.(check bool) "at most distinct-count centres" true (Array.length centres = 2)
+
+let test_kmeans_empty () =
+  let rng = Stats.Rng.create 3 in
+  Alcotest.(check int) "empty" 0 (Array.length (Ctxmatch.Cluster_infer.kmeans_1d rng ~k:3 [||]))
+
+let test_nearest () =
+  Alcotest.(check int) "nearest" 1 (Ctxmatch.Cluster_infer.nearest [| 0.0; 10.0; 20.0 |] 12.0)
+
+let test_cluster_infer_retail () =
+  let params = { Workload.Retail.default_params with rows = 400; target_rows = 200 } in
+  let source = Workload.Retail.source params in
+  let target = Workload.Retail.target params Workload.Retail.Ryan_eyers in
+  let truth = Evalharness.Ground_truth.retail params Workload.Retail.Ryan_eyers in
+  let infer = Ctxmatch.Context_match.infer_of `Cluster ~target in
+  let r = Ctxmatch.Context_match.run ~config:Ctxmatch.Config.default ~infer ~source ~target () in
+  Alcotest.(check bool) "cluster-infer accuracy similar to src-class (paper §3.2.2)" true
+    (Evalharness.Ground_truth.accuracy truth r.Ctxmatch.Context_match.matches >= 0.75)
+
+let test_target_context_retail () =
+  (* swap the retail schemas: the combined Inventory file is now the
+     *target*, so the conditions land on the target table *)
+  let params = { Workload.Retail.default_params with rows = 400; target_rows = 400 } in
+  let source = Workload.Retail.target params Workload.Retail.Ryan_eyers in
+  let target = Workload.Retail.source params in
+  let matches, _raw =
+    Ctxmatch.Target_context.run ~config:Ctxmatch.Config.default ~algorithm:`Src_class ~source
+      ~target ()
+  in
+  let contextual =
+    List.filter (fun (m : Ctxmatch.Target_context.t) -> m.condition <> Condition.True) matches
+  in
+  Alcotest.(check bool) "target-side contextual matches found" true (contextual <> []);
+  List.iter
+    (fun (m : Ctxmatch.Target_context.t) ->
+      Alcotest.(check string) "condition on the combined target table" "Inventory" m.tgt_base;
+      match Condition.selected_values m.condition with
+      | Some (attr, _) -> Alcotest.(check string) "conditions on ItemType" "ItemType" attr
+      | None -> Alcotest.fail "unexpected condition shape")
+    contextual;
+  (* a book-side pairing must exist: Book.BookTitle -> Inventory.Title
+     under a book-only context *)
+  let books = Workload.Retail.book_labels ~gamma:params.Workload.Retail.gamma in
+  Alcotest.(check bool) "book title edge with book-only condition" true
+    (List.exists
+       (fun (m : Ctxmatch.Target_context.t) ->
+         m.src_table = "Book" && m.src_attr = "BookTitle" && m.tgt_attr = "Title"
+         &&
+         match Condition.selected_values m.condition with
+         | Some ("ItemType", vs) ->
+           vs <> [] && List.for_all (fun v -> List.exists (Value.equal v) books) vs
+         | Some _ | None -> false)
+       contextual)
+
+let nested_expected_title =
+  List.find
+    (fun e -> e.Workload.Nested_retail.tgt_table = "ReferenceBooks" && e.src_attr = "Title")
+    Workload.Nested_retail.expected_matches
+
+let test_nested_condition_ok () =
+  let book = Value.String "Book" in
+  let ok c = Workload.Nested_retail.condition_ok nested_expected_title c in
+  Alcotest.(check bool) "conjunction correct" true
+    (ok (Condition.And (Condition.Eq ("ItemType", book), Condition.Eq ("Fiction", Value.Int 0))));
+  Alcotest.(check bool) "order irrelevant" true
+    (ok (Condition.And (Condition.Eq ("Fiction", Value.Int 0), Condition.Eq ("ItemType", book))));
+  Alcotest.(check bool) "1-condition insufficient" false (ok (Condition.Eq ("ItemType", book)));
+  Alcotest.(check bool) "Fiction=0 alone wrong (includes CDs)" false
+    (ok (Condition.Eq ("Fiction", Value.Int 0)));
+  Alcotest.(check bool) "wrong value" false
+    (ok (Condition.And (Condition.Eq ("ItemType", book), Condition.Eq ("Fiction", Value.Int 1))))
+
+let test_nested_fiction_accepts_flag_alone () =
+  let e =
+    List.find
+      (fun e -> e.Workload.Nested_retail.tgt_table = "FictionBooks" && e.src_attr = "Title")
+      Workload.Nested_retail.expected_matches
+  in
+  Alcotest.(check bool) "Fiction=1 alone accepted" true
+    (Workload.Nested_retail.condition_ok e (Condition.Eq ("Fiction", Value.Int 1)))
+
+let test_nested_source_shape () =
+  let db = Workload.Nested_retail.source { Workload.Nested_retail.default_params with rows = 200 } in
+  let inv = Database.table db "Inventory" in
+  Alcotest.(check int) "rows" 200 (Table.row_count inv);
+  (* CDs never fiction *)
+  let schema = Table.schema inv in
+  Array.iter
+    (fun row ->
+      if Value.equal row.(Schema.index_of schema "ItemType") (Value.String "CD") then
+        Alcotest.(check bool) "cd not fiction" true
+          (Value.equal row.(Schema.index_of schema "Fiction") (Value.Int 0)))
+    (Table.rows inv)
+
+let test_nested_conjunctive_end_to_end () =
+  let np = Workload.Nested_retail.default_params in
+  let source = Workload.Nested_retail.source np in
+  let target = Workload.Nested_retail.target np in
+  let _stages, final =
+    Ctxmatch.Conjunctive.run ~config:Ctxmatch.Config.default ~stages:2 ~algorithm:`Src_class
+      ~source ~target ()
+  in
+  Alcotest.(check bool) "conjunctive accuracy >= 0.6" true
+    (Workload.Nested_retail.accuracy final >= 0.6);
+  (* the 2-condition for ReferenceBooks.title must be among the matches *)
+  Alcotest.(check bool) "reference title has a 2-condition" true
+    (List.exists
+       (fun (m : Matching.Schema_match.t) ->
+         m.tgt_table = "ReferenceBooks" && m.tgt_attr = "title"
+         && Condition.arity m.condition = 2)
+       final)
+
+let test_pricing_example_1_2 () =
+  let pp = Workload.Pricing.default_params in
+  let source = Workload.Pricing.source pp in
+  let target = Workload.Pricing.target pp in
+  (* the price -> sale edge is tenuous (the paper's Example 1.2 notes a
+     standard matcher misses it); a low tau avoids the false negative *)
+  let config =
+    {
+      Ctxmatch.Config.default with
+      tau = 0.15;
+      omega = 0.05;
+      early_disjuncts = false;
+      select = Ctxmatch.Config.Clio_qual_table;
+    }
+  in
+  let infer = Ctxmatch.Context_match.infer_of `Src_class ~target in
+  let r = Ctxmatch.Context_match.run ~config ~infer ~source ~target () in
+  Alcotest.(check (float 1e-9)) "both price contexts found" 1.0
+    (Workload.Pricing.accuracy r.Ctxmatch.Context_match.matches)
+
+let test_pricing_mapping_executes () =
+  let pp = { Workload.Pricing.default_params with items = 120 } in
+  let source = Workload.Pricing.source pp in
+  let target = Workload.Pricing.target pp in
+  let config =
+    {
+      Ctxmatch.Config.default with
+      tau = 0.15;
+      omega = 0.05;
+      early_disjuncts = false;
+      select = Ctxmatch.Config.Clio_qual_table;
+    }
+  in
+  let infer = Ctxmatch.Context_match.infer_of `Src_class ~target in
+  let r = Ctxmatch.Context_match.run ~config ~infer ~source ~target () in
+  let plan =
+    Mapping.Mapping_gen.plan ~source ~target ~matches:r.Ctxmatch.Context_match.matches ()
+  in
+  let mapped = Mapping.Mapping_gen.execute_all plan in
+  let catalog = Database.table mapped "Catalog" in
+  Alcotest.(check int) "one row per item" pp.Workload.Pricing.items (Table.row_count catalog);
+  (* the reg and sale columns must both be populated *)
+  let schema = Table.schema catalog in
+  Array.iter
+    (fun row ->
+      Alcotest.(check bool) "price filled" false
+        (Value.is_null row.(Schema.index_of schema "price"));
+      Alcotest.(check bool) "sale filled" false
+        (Value.is_null row.(Schema.index_of schema "sale")))
+    (Table.rows catalog)
+
+let test_real_estate_scenario () =
+  let rp = Workload.Real_estate.default_params in
+  let source = Workload.Real_estate.source rp in
+  let target = Workload.Real_estate.target rp in
+  let truth = Evalharness.Ground_truth.real_estate () in
+  let infer = Ctxmatch.Context_match.infer_of `Src_class ~target in
+  let r = Ctxmatch.Context_match.run ~config:Ctxmatch.Config.default ~infer ~source ~target () in
+  Alcotest.(check bool) "partition found on at least one side" true
+    (Evalharness.Ground_truth.accuracy truth r.Ctxmatch.Context_match.matches >= 0.4);
+  Alcotest.(check bool) "precision decent" true
+    (Evalharness.Ground_truth.precision truth r.Ctxmatch.Context_match.matches >= 0.6);
+  List.iter
+    (fun (m : Matching.Schema_match.t) ->
+      match Condition.selected_values m.condition with
+      | Some (attr, _) -> Alcotest.(check string) "on PropertyType" "PropertyType" attr
+      | None -> Alcotest.fail "condition shape")
+    (Ctxmatch.Context_match.contextual_matches r)
+
+let suite =
+  [
+    Alcotest.test_case "kmeans basic" `Quick test_kmeans_basic;
+    Alcotest.test_case "kmeans fewer distinct" `Quick test_kmeans_fewer_distinct;
+    Alcotest.test_case "kmeans empty" `Quick test_kmeans_empty;
+    Alcotest.test_case "nearest" `Quick test_nearest;
+    Alcotest.test_case "cluster-infer retail" `Slow test_cluster_infer_retail;
+    Alcotest.test_case "target-side matching" `Slow test_target_context_retail;
+    Alcotest.test_case "nested condition_ok" `Quick test_nested_condition_ok;
+    Alcotest.test_case "nested fiction flag alone" `Quick test_nested_fiction_accepts_flag_alone;
+    Alcotest.test_case "nested source shape" `Quick test_nested_source_shape;
+    Alcotest.test_case "nested conjunctive e2e" `Slow test_nested_conjunctive_end_to_end;
+    Alcotest.test_case "pricing Example 1.2" `Slow test_pricing_example_1_2;
+    Alcotest.test_case "pricing mapping executes" `Slow test_pricing_mapping_executes;
+    Alcotest.test_case "real estate scenario" `Slow test_real_estate_scenario;
+  ]

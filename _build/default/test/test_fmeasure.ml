@@ -1,0 +1,68 @@
+let close ?(eps = 1e-9) expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "expected %.6f got %.6f" expected actual)
+    true
+    (Float.abs (expected -. actual) < eps)
+
+let counts = Stats.Fmeasure.counts ~equal:Int.equal
+
+let test_perfect () =
+  let c = counts ~expected:[ 1; 2; 3 ] ~found:[ 3; 2; 1 ] in
+  close 1.0 (Stats.Fmeasure.precision c);
+  close 1.0 (Stats.Fmeasure.recall c);
+  close 1.0 (Stats.Fmeasure.f1 c)
+
+let test_partial () =
+  let c = counts ~expected:[ 1; 2; 3; 4 ] ~found:[ 1; 2; 9 ] in
+  close (2.0 /. 3.0) (Stats.Fmeasure.precision c);
+  close 0.5 (Stats.Fmeasure.recall c);
+  close (2.0 *. (2.0 /. 3.0) *. 0.5 /. ((2.0 /. 3.0) +. 0.5)) (Stats.Fmeasure.f1 c)
+
+let test_nothing_found () =
+  let c = counts ~expected:[ 1 ] ~found:[] in
+  close 0.0 (Stats.Fmeasure.precision c);
+  close 0.0 (Stats.Fmeasure.recall c);
+  close 0.0 (Stats.Fmeasure.f1 c)
+
+let test_nothing_expected () =
+  let c = counts ~expected:[] ~found:[] in
+  close 1.0 (Stats.Fmeasure.precision c);
+  close 1.0 (Stats.Fmeasure.recall c)
+
+let test_duplicates_deduped () =
+  let c = counts ~expected:[ 1; 1; 2 ] ~found:[ 1; 1; 1 ] in
+  Alcotest.(check int) "found deduped" 1 c.Stats.Fmeasure.found;
+  Alcotest.(check int) "expected deduped" 2 c.Stats.Fmeasure.expected;
+  Alcotest.(check int) "tp" 1 c.Stats.Fmeasure.true_positives
+
+let test_f_beta_weighting () =
+  let c = counts ~expected:[ 1; 2; 3; 4 ] ~found:[ 1; 9 ] in
+  (* precision 0.5, recall 0.25 *)
+  let f_half = Stats.Fmeasure.f_beta ~beta:0.5 c in
+  let f_two = Stats.Fmeasure.f_beta ~beta:2.0 c in
+  Alcotest.(check bool) "beta<1 favours precision" true (f_half > Stats.Fmeasure.f1 c);
+  Alcotest.(check bool) "beta>1 favours recall" true (f_two < Stats.Fmeasure.f1 c)
+
+let test_of_rates () =
+  close 0.0 (Stats.Fmeasure.of_rates ~precision:0.0 ~recall:0.0);
+  close 1.0 (Stats.Fmeasure.of_rates ~precision:1.0 ~recall:1.0);
+  close (2.0 *. 0.5 *. 1.0 /. 1.5) (Stats.Fmeasure.of_rates ~precision:0.5 ~recall:1.0)
+
+let qcheck_f1_bounded_by_pr =
+  QCheck.Test.make ~name:"F1 between min and max of P,R" ~count:300
+    QCheck.(pair (float_range 0.01 1.0) (float_range 0.01 1.0))
+    (fun (p, r) ->
+      let f = Stats.Fmeasure.of_rates ~precision:p ~recall:r in
+      f >= Float.min p r -. 1e-9 && f <= Float.max p r +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "perfect" `Quick test_perfect;
+    Alcotest.test_case "partial" `Quick test_partial;
+    Alcotest.test_case "nothing found" `Quick test_nothing_found;
+    Alcotest.test_case "nothing expected" `Quick test_nothing_expected;
+    Alcotest.test_case "duplicates deduped" `Quick test_duplicates_deduped;
+    Alcotest.test_case "f-beta weighting" `Quick test_f_beta_weighting;
+    Alcotest.test_case "of_rates" `Quick test_of_rates;
+    QCheck_alcotest.to_alcotest qcheck_f1_bounded_by_pr;
+  ]

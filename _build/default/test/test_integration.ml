@@ -1,0 +1,207 @@
+(* End-to-end: the paper's two headline scenarios.
+
+   These assert the qualitative results of §5 — horizontal partitioning
+   (retail) and attribute normalization (grades) are discovered with
+   high accuracy — on reduced sample sizes to keep the suite fast. *)
+open Relational
+
+let retail_params = { Workload.Retail.default_params with rows = 400; target_rows = 200 }
+
+let run_retail ?(config = Ctxmatch.Config.default) algorithm style =
+  let source = Workload.Retail.source retail_params in
+  let target = Workload.Retail.target retail_params style in
+  let infer = Ctxmatch.Context_match.infer_of algorithm ~target in
+  let result = Ctxmatch.Context_match.run ~config ~infer ~source ~target () in
+  let truth = Evalharness.Ground_truth.retail retail_params style in
+  (result, truth)
+
+let test_retail_src_class_early () =
+  let result, truth = run_retail `Src_class Workload.Retail.Ryan_eyers in
+  Alcotest.(check bool) "finds the partition (accuracy >= 0.75)" true
+    (Evalharness.Ground_truth.accuracy truth result.Ctxmatch.Context_match.matches >= 0.75);
+  Alcotest.(check bool) "precision >= 0.5" true
+    (Evalharness.Ground_truth.precision truth result.Ctxmatch.Context_match.matches >= 0.5)
+
+let test_retail_tgt_class_early () =
+  let result, truth = run_retail `Tgt_class Workload.Retail.Ryan_eyers in
+  Alcotest.(check bool) "tgt-class accuracy" true
+    (Evalharness.Ground_truth.accuracy truth result.Ctxmatch.Context_match.matches >= 0.75)
+
+let test_retail_conditions_are_pure () =
+  (* every selected contextual match must condition on ItemType with
+     single-type labels only *)
+  let result, truth = run_retail `Src_class Workload.Retail.Ryan_eyers in
+  let contextual = Ctxmatch.Context_match.contextual_matches result in
+  Alcotest.(check bool) "contextual matches exist" true (contextual <> []);
+  List.iter
+    (fun (m : Matching.Schema_match.t) ->
+      match Condition.selected_values m.condition with
+      | Some (attr, _) -> Alcotest.(check string) "on ItemType" "ItemType" attr
+      | None -> Alcotest.fail "condition not simple-disjunctive")
+    contextual;
+  ignore truth
+
+let test_retail_all_targets () =
+  List.iter
+    (fun style ->
+      let result, truth = run_retail `Src_class style in
+      Alcotest.(check bool)
+        (Printf.sprintf "accuracy on %s" (Workload.Retail.style_name style))
+        true
+        (Evalharness.Ground_truth.accuracy truth result.Ctxmatch.Context_match.matches >= 0.5))
+    Workload.Retail.all_styles
+
+let test_retail_late_disjuncts () =
+  (* Late's omega plateau is narrower (§5.1): at this sample size it
+     needs a lower threshold than Early's default *)
+  let config = Ctxmatch.Config.late (Ctxmatch.Config.with_omega Ctxmatch.Config.default 0.1) in
+  let result, truth = run_retail ~config `Src_class Workload.Retail.Ryan_eyers in
+  Alcotest.(check bool) "late disjuncts works in its plateau" true
+    (Evalharness.Ground_truth.accuracy truth result.Ctxmatch.Context_match.matches >= 0.75)
+
+let test_retail_families_on_item_type () =
+  let result, _ = run_retail `Src_class Workload.Retail.Ryan_eyers in
+  Alcotest.(check bool) "families found" true (result.Ctxmatch.Context_match.families <> []);
+  List.iter
+    (fun f ->
+      Alcotest.(check string) "family conditions on ItemType" "ItemType" f.View.attribute)
+    result.Ctxmatch.Context_match.families
+
+let test_multi_table_worse_than_qual_table () =
+  (* Fig. 11: MultiTable selects per-attribute winners from anywhere and
+     loses coherence.  The effect is statistical, so compare averages
+     over a few seeds with a small tolerance. *)
+  let truth = Evalharness.Ground_truth.retail retail_params Workload.Retail.Ryan_eyers in
+  let avg config =
+    List.fold_left
+      (fun acc seed ->
+        let result, _ =
+          run_retail ~config:(Ctxmatch.Config.with_seed config seed) `Naive
+            Workload.Retail.Ryan_eyers
+        in
+        acc +. Evalharness.Ground_truth.fmeasure truth result.Ctxmatch.Context_match.matches)
+      0.0 [ 42; 43; 44 ]
+    /. 3.0
+  in
+  let qual = avg Ctxmatch.Config.default in
+  let multi = avg { Ctxmatch.Config.default with select = Ctxmatch.Config.Multi_table } in
+  Alcotest.(check bool) "MultiTable does not beat QualTable" true (multi <= qual +. 0.15)
+
+(* Grades matches are tenuous (S5.8): run inside our scale's tau plateau. *)
+let grades_config =
+  {
+    Ctxmatch.Config.default with
+    tau = 0.4;
+    omega = 0.1;
+    early_disjuncts = false;
+    select = Ctxmatch.Config.Clio_qual_table;
+  }
+
+let run_grades ?(params = { Workload.Grades.default_params with students = 120 }) algorithm =
+  let source = Workload.Grades.narrow params in
+  let target = Workload.Grades.wide params in
+  let infer = Ctxmatch.Context_match.infer_of algorithm ~target in
+  let result = Ctxmatch.Context_match.run ~config:grades_config ~infer ~source ~target () in
+  (params, source, target, result)
+
+let test_grades_normalization_low_sigma () =
+  let params, _, _, result = run_grades `Src_class in
+  let truth = Evalharness.Ground_truth.grades params in
+  Alcotest.(check (float 1e-9)) "perfect alignment at sigma 8" 1.0
+    (Evalharness.Ground_truth.accuracy truth result.Ctxmatch.Context_match.matches)
+
+let test_grades_high_sigma_degrades () =
+  let params = { Workload.Grades.default_params with students = 120; sigma = 40.0 } in
+  let _, _, _, result = run_grades ~params `Src_class in
+  let truth = Evalharness.Ground_truth.grades params in
+  let low = Evalharness.Ground_truth.accuracy truth result.Ctxmatch.Context_match.matches in
+  let params8 = { params with sigma = 6.0 } in
+  let _, _, _, result8 = run_grades ~params:params8 `Src_class in
+  let truth8 = Evalharness.Ground_truth.grades params8 in
+  let high = Evalharness.Ground_truth.accuracy truth8 result8.Ctxmatch.Context_match.matches in
+  Alcotest.(check bool) "sigma hurts accuracy" true (low <= high)
+
+let test_grades_mapping_executes () =
+  let params, source, target, result = run_grades `Src_class in
+  let plan =
+    Mapping.Mapping_gen.plan ~source ~target ~matches:result.Ctxmatch.Context_match.matches ()
+  in
+  (* join rule 1 must fire between the exam views *)
+  Alcotest.(check bool) "join1 present" true
+    (List.exists (fun (j : Mapping.Association.join) -> j.rule = "join1") plan.Mapping.Mapping_gen.joins);
+  let mapped = Mapping.Mapping_gen.execute_all plan in
+  let wide = Database.table mapped Workload.Grades.wide_table_name in
+  Alcotest.(check int) "one row per student" params.Workload.Grades.students
+    (Table.row_count wide);
+  (* no nulls: every student has every exam *)
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun v -> Alcotest.(check bool) "cell filled" false (Value.is_null v))
+        row)
+    (Table.rows wide)
+
+let test_grades_mapping_values_faithful () =
+  (* executed mapping must carry the actual source grades: check one
+     student's grade1 against the narrow table *)
+  let _, source, target, result = run_grades `Src_class in
+  let plan =
+    Mapping.Mapping_gen.plan ~source ~target ~matches:result.Ctxmatch.Context_match.matches ()
+  in
+  let mapped = Mapping.Mapping_gen.execute_all plan in
+  let wide = Database.table mapped Workload.Grades.wide_table_name in
+  let narrow = Database.table source Workload.Grades.narrow_table_name in
+  let wide_schema = Table.schema wide in
+  let name_idx = Schema.index_of wide_schema "name" in
+  let g1_idx = Schema.index_of wide_schema "grade1" in
+  let row0 = (Table.rows wide).(0) in
+  let name = row0.(name_idx) and g1 = row0.(g1_idx) in
+  let expected =
+    Table.rows narrow |> Array.to_list
+    |> List.find (fun r -> Value.equal r.(0) name && Value.equal r.(1) (Value.Int 1))
+  in
+  Alcotest.(check bool) "grade value preserved" true (Value.equal g1 expected.(2))
+
+let test_conjunctive_stages_run () =
+  (* nested context: type partitions and within books a fiction flag *)
+  let rng = Stats.Rng.create 99 in
+  let schema =
+    Schema.make "inv"
+      [ Attribute.string "type"; Attribute.string "fiction"; Attribute.string "text" ]
+  in
+  let row _ =
+    let is_book = Stats.Rng.bool rng in
+    let fiction = if is_book && Stats.Rng.bool rng then "1" else "0" in
+    let text =
+      if is_book then
+        if fiction = "1" then (Workload.Corpus.book rng).Workload.Corpus.book_title
+        else (Workload.Corpus.book rng).Workload.Corpus.book_title ^ " handbook edition"
+      else (Workload.Corpus.album rng).Workload.Corpus.album_title
+    in
+    [| Value.String (if is_book then "book" else "cd"); Value.String fiction; Value.String text |]
+  in
+  let source = Database.make "nested" [ Table.of_rows schema (Array.init 240 row) ] in
+  let params = { Workload.Retail.default_params with target_rows = 120 } in
+  let target = Workload.Retail.target params Workload.Retail.Ryan_eyers in
+  let stages, final =
+    Ctxmatch.Conjunctive.run ~config:Ctxmatch.Config.default ~stages:2 ~algorithm:`Src_class
+      ~source ~target ()
+  in
+  Alcotest.(check bool) "at least one stage" true (stages <> []);
+  Alcotest.(check bool) "final matches non-empty" true (final <> [])
+
+let suite =
+  [
+    Alcotest.test_case "retail src-class early" `Slow test_retail_src_class_early;
+    Alcotest.test_case "retail tgt-class early" `Slow test_retail_tgt_class_early;
+    Alcotest.test_case "retail conditions pure" `Slow test_retail_conditions_are_pure;
+    Alcotest.test_case "retail all targets" `Slow test_retail_all_targets;
+    Alcotest.test_case "retail late disjuncts" `Slow test_retail_late_disjuncts;
+    Alcotest.test_case "retail families on ItemType" `Slow test_retail_families_on_item_type;
+    Alcotest.test_case "MultiTable worse than QualTable" `Slow test_multi_table_worse_than_qual_table;
+    Alcotest.test_case "grades normalization" `Slow test_grades_normalization_low_sigma;
+    Alcotest.test_case "grades sigma degrades" `Slow test_grades_high_sigma_degrades;
+    Alcotest.test_case "grades mapping executes" `Slow test_grades_mapping_executes;
+    Alcotest.test_case "grades mapping faithful" `Slow test_grades_mapping_values_faithful;
+    Alcotest.test_case "conjunctive stages" `Slow test_conjunctive_stages_run;
+  ]

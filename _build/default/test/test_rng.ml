@@ -1,0 +1,106 @@
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_determinism () =
+  let a = Stats.Rng.create 7 and b = Stats.Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Stats.Rng.bits64 a) (Stats.Rng.bits64 b)
+  done
+
+let test_different_seeds () =
+  let a = Stats.Rng.create 1 and b = Stats.Rng.create 2 in
+  Alcotest.(check bool) "different output" false (Stats.Rng.bits64 a = Stats.Rng.bits64 b)
+
+let test_int_bounds () =
+  let rng = Stats.Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let v = Stats.Rng.int rng 17 in
+    Alcotest.(check bool) "in bounds" true (v >= 0 && v < 17)
+  done
+
+let test_int_invalid () =
+  let rng = Stats.Rng.create 11 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Stats.Rng.int rng 0))
+
+let test_float_bounds () =
+  let rng = Stats.Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Stats.Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_int_uniformity () =
+  let rng = Stats.Rng.create 5 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Stats.Rng.int rng 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let freq = float_of_int c /. float_of_int n in
+      Alcotest.(check bool) "roughly uniform" true (freq > 0.08 && freq < 0.12))
+    counts
+
+let test_gaussian_moments () =
+  let rng = Stats.Rng.create 13 in
+  let n = 50_000 in
+  let xs = Array.init n (fun _ -> Stats.Rng.gaussian rng ~mu:10.0 ~sigma:3.0) in
+  let s = Stats.Descriptive.summarize xs in
+  check_float "mean" 10.0 (Float.round (s.Stats.Descriptive.mean *. 10.0) /. 10.0);
+  Alcotest.(check bool) "stddev close" true (Float.abs (s.Stats.Descriptive.stddev -. 3.0) < 0.1)
+
+let test_copy_independent () =
+  let a = Stats.Rng.create 21 in
+  ignore (Stats.Rng.bits64 a);
+  let b = Stats.Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Stats.Rng.bits64 a) (Stats.Rng.bits64 b)
+
+let test_split_differs () =
+  let a = Stats.Rng.create 31 in
+  let b = Stats.Rng.split a in
+  Alcotest.(check bool) "split stream differs" false (Stats.Rng.bits64 a = Stats.Rng.bits64 b)
+
+let test_shuffle_permutation () =
+  let rng = Stats.Rng.create 41 in
+  let original = Array.init 50 (fun i -> i) in
+  let shuffled = Stats.Rng.shuffle rng original in
+  Alcotest.(check bool) "input untouched" true (original = Array.init 50 (fun i -> i));
+  let sorted = Array.copy shuffled in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "is permutation" true (sorted = original)
+
+let test_pick_singleton () =
+  let rng = Stats.Rng.create 51 in
+  Alcotest.(check string) "only element" "x" (Stats.Rng.pick rng [| "x" |])
+
+let test_pick_empty () =
+  let rng = Stats.Rng.create 51 in
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty array") (fun () ->
+      ignore (Stats.Rng.pick rng [||]))
+
+let qcheck_int_in_bounds =
+  QCheck.Test.make ~name:"rng int always within bound" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Stats.Rng.create seed in
+      let v = Stats.Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "different seeds" `Quick test_different_seeds;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "int uniformity" `Slow test_int_uniformity;
+    Alcotest.test_case "gaussian moments" `Slow test_gaussian_moments;
+    Alcotest.test_case "copy independent" `Quick test_copy_independent;
+    Alcotest.test_case "split differs" `Quick test_split_differs;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "pick singleton" `Quick test_pick_singleton;
+    Alcotest.test_case "pick empty" `Quick test_pick_empty;
+    QCheck_alcotest.to_alcotest qcheck_int_in_bounds;
+  ]

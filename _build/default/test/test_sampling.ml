@@ -1,0 +1,91 @@
+let test_split_indices_partition () =
+  let rng = Stats.Rng.create 1 in
+  let train, test = Stats.Sampling.split_indices rng ~n:10 ~train_fraction:0.7 in
+  Alcotest.(check int) "total" 10 (Array.length train + Array.length test);
+  let all = Array.to_list train @ Array.to_list test |> List.sort compare in
+  Alcotest.(check (list int)) "covers 0..9" (List.init 10 (fun i -> i)) all
+
+let test_split_indices_nonempty_sides () =
+  let rng = Stats.Rng.create 2 in
+  let train, test = Stats.Sampling.split_indices rng ~n:2 ~train_fraction:0.99 in
+  Alcotest.(check bool) "both non-empty" true (Array.length train = 1 && Array.length test = 1)
+
+let test_split_invalid_fraction () =
+  let rng = Stats.Rng.create 3 in
+  Alcotest.check_raises "fraction 0"
+    (Invalid_argument "Sampling.split_indices: train_fraction outside (0,1)") (fun () ->
+      ignore (Stats.Sampling.split_indices rng ~n:10 ~train_fraction:0.0))
+
+let test_split_items () =
+  let rng = Stats.Rng.create 4 in
+  let items = Array.init 9 (fun i -> Printf.sprintf "item%d" i) in
+  let train, test = Stats.Sampling.split rng ~train_fraction:(2.0 /. 3.0) items in
+  Alcotest.(check int) "train" 6 (Array.length train);
+  Alcotest.(check int) "test" 3 (Array.length test)
+
+let test_sample_without_replacement () =
+  let rng = Stats.Rng.create 5 in
+  let items = Array.init 20 (fun i -> i) in
+  let sample = Stats.Sampling.sample_without_replacement rng ~k:7 items in
+  Alcotest.(check int) "size" 7 (Array.length sample);
+  let sorted = Array.to_list sample |> List.sort_uniq compare in
+  Alcotest.(check int) "distinct" 7 (List.length sorted);
+  (* k >= n returns everything *)
+  let all = Stats.Sampling.sample_without_replacement rng ~k:100 items in
+  Alcotest.(check int) "everything" 20 (Array.length all)
+
+let test_bootstrap () =
+  let rng = Stats.Rng.create 6 in
+  let items = [| 1; 2; 3 |] in
+  let sample = Stats.Sampling.bootstrap rng ~k:50 items in
+  Alcotest.(check int) "size" 50 (Array.length sample);
+  Array.iter (fun v -> Alcotest.(check bool) "from input" true (v >= 1 && v <= 3)) sample
+
+let test_bootstrap_empty () =
+  let rng = Stats.Rng.create 6 in
+  Alcotest.check_raises "empty" (Invalid_argument "Sampling.bootstrap: empty input") (fun () ->
+      ignore (Stats.Sampling.bootstrap rng ~k:1 [||]))
+
+let test_stratified_split_coverage () =
+  let rng = Stats.Rng.create 7 in
+  let items =
+    Array.init 60 (fun i -> (i, if i mod 3 = 0 then "x" else if i mod 3 = 1 then "y" else "z"))
+  in
+  let train, test = Stats.Sampling.stratified_split rng ~label:snd ~train_fraction:0.5 items in
+  Alcotest.(check int) "partition" 60 (Array.length train + Array.length test);
+  List.iter
+    (fun l ->
+      let has arr = Array.exists (fun (_, l') -> l = l') arr in
+      Alcotest.(check bool) (l ^ " in train") true (has train);
+      Alcotest.(check bool) (l ^ " in test") true (has test))
+    [ "x"; "y"; "z" ]
+
+let test_stratified_singleton_label_to_train () =
+  let rng = Stats.Rng.create 8 in
+  let items = [| (1, "rare"); (2, "common"); (3, "common"); (4, "common") |] in
+  let train, test = Stats.Sampling.stratified_split rng ~label:snd ~train_fraction:0.5 items in
+  Alcotest.(check bool) "rare in train" true (Array.exists (fun (_, l) -> l = "rare") train);
+  Alcotest.(check bool) "rare not in test" false (Array.exists (fun (_, l) -> l = "rare") test)
+
+let qcheck_stratified_partition =
+  QCheck.Test.make ~name:"stratified split partitions input" ~count:200
+    QCheck.(pair small_int (list_of_size Gen.(2 -- 50) (int_range 0 4)))
+    (fun (seed, labels) ->
+      let rng = Stats.Rng.create seed in
+      let items = Array.of_list (List.mapi (fun i l -> (i, string_of_int l)) labels) in
+      let train, test = Stats.Sampling.stratified_split rng ~label:snd ~train_fraction:0.6 items in
+      Array.length train + Array.length test = Array.length items)
+
+let suite =
+  [
+    Alcotest.test_case "split indices partition" `Quick test_split_indices_partition;
+    Alcotest.test_case "split both sides non-empty" `Quick test_split_indices_nonempty_sides;
+    Alcotest.test_case "split invalid fraction" `Quick test_split_invalid_fraction;
+    Alcotest.test_case "split items" `Quick test_split_items;
+    Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+    Alcotest.test_case "bootstrap" `Quick test_bootstrap;
+    Alcotest.test_case "bootstrap empty" `Quick test_bootstrap_empty;
+    Alcotest.test_case "stratified coverage" `Quick test_stratified_split_coverage;
+    Alcotest.test_case "stratified singleton" `Quick test_stratified_singleton_label_to_train;
+    QCheck_alcotest.to_alcotest qcheck_stratified_partition;
+  ]

@@ -1,0 +1,159 @@
+open Relational
+
+let std ?(conf = 0.6) src_attr tgt_table tgt_attr =
+  Matching.Schema_match.standard ~src_table:"S" ~src_attr ~tgt_table ~tgt_attr conf
+
+let table =
+  Table.make
+    (Schema.make "S" [ Attribute.string "k"; Attribute.string "id"; Attribute.string "x" ])
+    (List.init 12 (fun i ->
+         [|
+           Value.String (if i mod 2 = 0 then "a" else "b");
+           Value.String (string_of_int (i / 2));
+           Value.String (Printf.sprintf "x%d" i);
+         |]))
+
+let view cond = View.make table cond
+
+let ctx ?(conf = 0.8) view_name cond src_attr tgt_table tgt_attr =
+  Matching.Schema_match.contextual ~view_name ~src_base:"S" ~src_attr ~tgt_table ~tgt_attr
+    ~condition:cond conf
+
+let scored_view ?(family_attr = "k") cond view_matches =
+  { Ctxmatch.Select_matches.view = view cond; family_attr; view_matches }
+
+let test_multi_table_picks_best_per_attr () =
+  let cond = Condition.Eq ("k", Value.String "a") in
+  let standard = [ std ~conf:0.6 "x" "T" "t1"; std ~conf:0.9 "x" "T" "t2" ] in
+  let scored = [ scored_view cond [ ctx ~conf:0.8 "v" cond "x" "T" "t1" ] ] in
+  let selected = Ctxmatch.Select_matches.multi_table ~standard ~scored in
+  Alcotest.(check int) "two target attrs" 2 (List.length selected);
+  let t1 = List.find (fun (m : Matching.Schema_match.t) -> m.tgt_attr = "t1") selected in
+  Alcotest.(check bool) "view won t1" true (Matching.Schema_match.is_contextual t1);
+  let t2 = List.find (fun (m : Matching.Schema_match.t) -> m.tgt_attr = "t2") selected in
+  Alcotest.(check bool) "base kept t2" false (Matching.Schema_match.is_contextual t2)
+
+let test_qual_table_no_view_improvement () =
+  let standard = [ std ~conf:0.9 "x" "T" "t1" ] in
+  let cond = Condition.Eq ("k", Value.String "a") in
+  let scored = [ scored_view cond [ ctx ~conf:0.91 "v" cond "x" "T" "t1" ] ] in
+  let selected =
+    Ctxmatch.Select_matches.qual_table ~omega:0.5 ~early_disjuncts:true ~standard ~scored
+      ~target_tables:[ "T" ]
+  in
+  Alcotest.(check int) "base returned" 1 (List.length selected);
+  Alcotest.(check bool) "standard" false
+    (Matching.Schema_match.is_contextual (List.hd selected))
+
+let test_qual_table_view_selected () =
+  let standard = [ std ~conf:0.5 "x" "T" "t1" ] in
+  let cond = Condition.Eq ("k", Value.String "a") in
+  let scored = [ scored_view cond [ ctx ~conf:0.95 "v" cond "x" "T" "t1" ] ] in
+  let selected =
+    Ctxmatch.Select_matches.qual_table ~omega:0.3 ~early_disjuncts:true ~standard ~scored
+      ~target_tables:[ "T" ]
+  in
+  Alcotest.(check int) "one match" 1 (List.length selected);
+  Alcotest.(check bool) "contextual" true (Matching.Schema_match.is_contextual (List.hd selected))
+
+let test_qual_table_early_picks_single_best () =
+  let standard = [ std ~conf:0.3 "x" "T" "t1" ] in
+  let ca = Condition.Eq ("k", Value.String "a") in
+  let cb = Condition.Eq ("k", Value.String "b") in
+  let scored =
+    [
+      scored_view ca [ ctx ~conf:0.8 "va" ca "x" "T" "t1" ];
+      scored_view cb [ ctx ~conf:0.9 "vb" cb "x" "T" "t1" ];
+    ]
+  in
+  let early =
+    Ctxmatch.Select_matches.qual_table ~omega:0.2 ~early_disjuncts:true ~standard ~scored
+      ~target_tables:[ "T" ]
+  in
+  Alcotest.(check int) "single view" 1 (List.length early);
+  Alcotest.(check string) "best view" "vb"
+    (List.hd early).Matching.Schema_match.src_owner;
+  let late =
+    Ctxmatch.Select_matches.qual_table ~omega:0.2 ~early_disjuncts:false ~standard ~scored
+      ~target_tables:[ "T" ]
+  in
+  Alcotest.(check int) "late keeps both" 2 (List.length late)
+
+let test_qual_table_strongest_source_wins () =
+  let weak = Matching.Schema_match.standard ~src_table:"W" ~src_attr:"x" ~tgt_table:"T" ~tgt_attr:"t1" 0.4 in
+  let strong1 = std ~conf:0.8 "x" "T" "t1" in
+  let strong2 = std ~conf:0.8 "y" "T" "t2" in
+  let selected =
+    Ctxmatch.Select_matches.qual_table ~omega:0.5 ~early_disjuncts:true
+      ~standard:[ weak; strong1; strong2 ] ~scored:[] ~target_tables:[ "T" ]
+  in
+  Alcotest.(check int) "only S matches" 2 (List.length selected);
+  List.iter
+    (fun (m : Matching.Schema_match.t) -> Alcotest.(check string) "from S" "S" m.src_base)
+    selected
+
+let test_joinable_family_key_found () =
+  (* id values repeat across both views (0..5 in each) and (id, k) is a
+     key of the base: attribute-normalization shape *)
+  let va = view (Condition.Eq ("k", Value.String "a")) in
+  let vb = view (Condition.Eq ("k", Value.String "b")) in
+  Alcotest.(check (option string)) "id is the join key" (Some "id")
+    (Ctxmatch.Select_matches.joinable_family_key [ va; vb ])
+
+let test_joinable_family_key_rejects_partition () =
+  (* horizontally partitioned table: ids do not overlap between views *)
+  let part =
+    Table.make
+      (Schema.make "S" [ Attribute.string "k"; Attribute.string "id" ])
+      (List.init 12 (fun i ->
+           [|
+             Value.String (if i < 6 then "a" else "b");
+             Value.String (string_of_int i);
+           |]))
+  in
+  let va = View.make part (Condition.Eq ("k", Value.String "a")) in
+  let vb = View.make part (Condition.Eq ("k", Value.String "b")) in
+  Alcotest.(check (option string)) "no overlap, no join" None
+    (Ctxmatch.Select_matches.joinable_family_key [ va; vb ])
+
+let test_clio_qual_table_selects_group () =
+  (* each view explains a different target attribute; individually
+     neither beats the base, together they do *)
+  let standard = [ std ~conf:0.55 "x" "T" "t1"; std ~conf:0.55 "x" "T" "t2" ] in
+  let ca = Condition.Eq ("k", Value.String "a") in
+  let cb = Condition.Eq ("k", Value.String "b") in
+  let scored =
+    [
+      scored_view ca [ ctx ~conf:0.95 "va" ca "x" "T" "t1"; ctx ~conf:0.2 "va" ca "x" "T" "t2" ];
+      scored_view cb [ ctx ~conf:0.2 "vb" cb "x" "T" "t1"; ctx ~conf:0.95 "vb" cb "x" "T" "t2" ];
+    ]
+  in
+  let qual =
+    Ctxmatch.Select_matches.qual_table ~omega:0.3 ~early_disjuncts:true ~standard ~scored
+      ~target_tables:[ "T" ]
+  in
+  Alcotest.(check bool) "plain QualTable keeps base" true
+    (List.for_all (fun m -> not (Matching.Schema_match.is_contextual m)) qual);
+  let clio =
+    Ctxmatch.Select_matches.clio_qual_table ~omega:0.3 ~early_disjuncts:true ~standard ~scored
+      ~target_tables:[ "T" ]
+  in
+  Alcotest.(check int) "group matches" 2 (List.length clio);
+  List.iter
+    (fun (m : Matching.Schema_match.t) ->
+      Alcotest.(check bool) "contextual" true (Matching.Schema_match.is_contextual m))
+    clio;
+  let t1 = List.find (fun (m : Matching.Schema_match.t) -> m.tgt_attr = "t1") clio in
+  Alcotest.(check string) "t1 from va" "va" t1.Matching.Schema_match.src_owner
+
+let suite =
+  [
+    Alcotest.test_case "multi_table best per attr" `Quick test_multi_table_picks_best_per_attr;
+    Alcotest.test_case "qual_table keeps base" `Quick test_qual_table_no_view_improvement;
+    Alcotest.test_case "qual_table selects view" `Quick test_qual_table_view_selected;
+    Alcotest.test_case "early single vs late all" `Quick test_qual_table_early_picks_single_best;
+    Alcotest.test_case "strongest source wins" `Quick test_qual_table_strongest_source_wins;
+    Alcotest.test_case "joinable family key" `Quick test_joinable_family_key_found;
+    Alcotest.test_case "joinable rejects partition" `Quick test_joinable_family_key_rejects_partition;
+    Alcotest.test_case "clio_qual_table group" `Quick test_clio_qual_table_selects_group;
+  ]

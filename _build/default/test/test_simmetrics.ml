@@ -1,0 +1,89 @@
+let close ?(eps = 1e-6) expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "expected %.6f got %.6f" expected actual)
+    true
+    (Float.abs (expected -. actual) < eps)
+
+let test_levenshtein () =
+  Alcotest.(check int) "kitten/sitting" 3 (Textsim.Simmetrics.levenshtein "kitten" "sitting");
+  Alcotest.(check int) "identical" 0 (Textsim.Simmetrics.levenshtein "abc" "abc");
+  Alcotest.(check int) "to empty" 3 (Textsim.Simmetrics.levenshtein "abc" "");
+  Alcotest.(check int) "from empty" 4 (Textsim.Simmetrics.levenshtein "" "abcd")
+
+let test_levenshtein_similarity () =
+  close 1.0 (Textsim.Simmetrics.levenshtein_similarity "" "");
+  close 1.0 (Textsim.Simmetrics.levenshtein_similarity "x" "x");
+  close 0.0 (Textsim.Simmetrics.levenshtein_similarity "ab" "xy");
+  close (1.0 -. (3.0 /. 7.0)) (Textsim.Simmetrics.levenshtein_similarity "kitten" "sitting")
+
+let test_jaro () =
+  close 1.0 (Textsim.Simmetrics.jaro "abc" "abc");
+  close 0.0 (Textsim.Simmetrics.jaro "abc" "");
+  close 1.0 (Textsim.Simmetrics.jaro "" "");
+  (* classic example *)
+  close ~eps:1e-3 0.944 (Textsim.Simmetrics.jaro "martha" "marhta")
+
+let test_jaro_winkler () =
+  close ~eps:1e-3 0.961 (Textsim.Simmetrics.jaro_winkler "martha" "marhta");
+  (* prefix boost only helps *)
+  Alcotest.(check bool) "boost" true
+    (Textsim.Simmetrics.jaro_winkler "prefix" "prefax" >= Textsim.Simmetrics.jaro "prefix" "prefax")
+
+let test_jaccard_dice_overlap () =
+  close 1.0 (Textsim.Simmetrics.jaccard [] []);
+  close (1.0 /. 3.0) (Textsim.Simmetrics.jaccard [ "a"; "b" ] [ "b"; "c" ]);
+  close (2.0 /. 4.0) (Textsim.Simmetrics.dice [ "a"; "b" ] [ "b"; "c" ]);
+  close 1.0 (Textsim.Simmetrics.overlap [ "a" ] [ "a"; "b"; "c" ]);
+  close 0.0 (Textsim.Simmetrics.overlap [ "x" ] [ "a" ]);
+  close 1.0 (Textsim.Simmetrics.overlap [] [])
+
+let test_cosine_bags () =
+  close 1.0 (Textsim.Simmetrics.cosine_bags [ ("a", 1.0) ] [ ("a", 5.0) ]);
+  close 0.0 (Textsim.Simmetrics.cosine_bags [ ("a", 1.0) ] [ ("b", 1.0) ]);
+  close 0.0 (Textsim.Simmetrics.cosine_bags [] [ ("a", 1.0) ]);
+  (* duplicate keys accumulate *)
+  let c = Textsim.Simmetrics.cosine_bags [ ("a", 1.0); ("a", 1.0); ("b", 2.0) ] [ ("a", 1.0); ("b", 1.0) ] in
+  close (4.0 /. (sqrt 8.0 *. sqrt 2.0)) c
+
+let test_name_similarity () =
+  close 1.0 (Textsim.Simmetrics.name_similarity "ItemType" "item_type");
+  Alcotest.(check bool) "related names score well" true
+    (Textsim.Simmetrics.name_similarity "BookTitle" "title" > 0.6);
+  Alcotest.(check bool) "unrelated names score low" true
+    (Textsim.Simmetrics.name_similarity "quantity" "author" < 0.6)
+
+let qcheck_jaro_symmetric =
+  let word = QCheck.string_gen_of_size QCheck.Gen.(0 -- 10) QCheck.Gen.(char_range 'a' 'e') in
+  QCheck.Test.make ~name:"jaro symmetric" ~count:500 (QCheck.pair word word) (fun (a, b) ->
+      Float.abs (Textsim.Simmetrics.jaro a b -. Textsim.Simmetrics.jaro b a) < 1e-9)
+
+let qcheck_levenshtein_triangle =
+  let word = QCheck.string_gen_of_size QCheck.Gen.(0 -- 8) QCheck.Gen.(char_range 'a' 'c') in
+  QCheck.Test.make ~name:"levenshtein triangle inequality" ~count:300
+    (QCheck.triple word word word) (fun (a, b, c) ->
+      Textsim.Simmetrics.levenshtein a c
+      <= Textsim.Simmetrics.levenshtein a b + Textsim.Simmetrics.levenshtein b c)
+
+let qcheck_similarity_range =
+  let word = QCheck.string_gen_of_size QCheck.Gen.(0 -- 10) QCheck.Gen.printable in
+  QCheck.Test.make ~name:"similarities within [0,1]" ~count:300 (QCheck.pair word word)
+    (fun (a, b) ->
+      let in01 x = x >= 0.0 && x <= 1.0 +. 1e-9 in
+      in01 (Textsim.Simmetrics.levenshtein_similarity a b)
+      && in01 (Textsim.Simmetrics.jaro a b)
+      && in01 (Textsim.Simmetrics.jaro_winkler a b)
+      && in01 (Textsim.Simmetrics.name_similarity a b))
+
+let suite =
+  [
+    Alcotest.test_case "levenshtein" `Quick test_levenshtein;
+    Alcotest.test_case "levenshtein similarity" `Quick test_levenshtein_similarity;
+    Alcotest.test_case "jaro" `Quick test_jaro;
+    Alcotest.test_case "jaro-winkler" `Quick test_jaro_winkler;
+    Alcotest.test_case "jaccard/dice/overlap" `Quick test_jaccard_dice_overlap;
+    Alcotest.test_case "cosine bags" `Quick test_cosine_bags;
+    Alcotest.test_case "name similarity" `Quick test_name_similarity;
+    QCheck_alcotest.to_alcotest qcheck_jaro_symmetric;
+    QCheck_alcotest.to_alcotest qcheck_levenshtein_triangle;
+    QCheck_alcotest.to_alcotest qcheck_similarity_range;
+  ]

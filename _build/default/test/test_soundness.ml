@@ -1,0 +1,155 @@
+(* Property tests of the §4.2 soundness claim: every constraint the
+   propagation rules derive must actually hold on the materialised
+   instances, for arbitrary instances and view conditions.
+
+   Also: structural invariants of the executor's outer joins. *)
+open Relational
+open Mapping
+
+(* Random instances of a small fixed schema R(k, l, v):
+   k quasi-key-ish ints, l low-cardinality labels, v values. *)
+let table_gen =
+  let open QCheck.Gen in
+  let row =
+    triple (int_range 0 30) (int_range 0 3) (int_range 0 5) >|= fun (k, l, v) ->
+    [| Value.Int k; Value.String (Printf.sprintf "l%d" l); Value.Int v |]
+  in
+  list_size (int_range 1 25) row >|= fun rows ->
+  let schema =
+    Schema.make "R" [ Attribute.int "k"; Attribute.string "l"; Attribute.int "v" ]
+  in
+  Table.make schema rows
+
+let condition_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        (int_range 0 3 >|= fun l -> Condition.Eq ("l", Value.String (Printf.sprintf "l%d" l)));
+        (int_range 0 5 >|= fun v -> Condition.Eq ("v", Value.Int v));
+        ( pair (int_range 0 3) (int_range 0 3) >|= fun (a, b) ->
+          Condition.In
+            ("l", [ Value.String (Printf.sprintf "l%d" a); Value.String (Printf.sprintf "l%d" b) ]) );
+      ])
+
+let setup_gen = QCheck.Gen.pair table_gen condition_gen
+
+let arbitrary_setup = QCheck.make setup_gen
+
+let relations_of (table, condition) =
+  let base = Relation.base table in
+  let view = Relation.of_view ~name:"V" (View.make ~name:"V" table condition) in
+  (base, view)
+
+let qcheck_derived_constraints_hold =
+  QCheck.Test.make ~name:"every derived constraint holds on the instance" ~count:300
+    arbitrary_setup (fun setup ->
+      let table, _ = setup in
+      let base, view = relations_of setup in
+      let relations = [ base; view ] in
+      (* base constraints are *mined*, so they hold on the sample by
+         construction; the derived ones must then hold too (soundness) *)
+      let base_constraints = Mining.mine [ base ] in
+      let derived = Propagation.derive ~relations ~base:base_constraints in
+      List.for_all
+        (fun (d : Propagation.derived) ->
+          match d.constr with
+          | Constraints.Key k ->
+            let instance =
+              if k.Constraints.rel = "V" then Relation.table view else table
+            in
+            Constraints.holds_key instance k
+          | Constraints.Fk f ->
+            let instance_of name = if name = "V" then Relation.table view else table in
+            Constraints.holds_fk (instance_of f.Constraints.fk_rel)
+              (instance_of f.Constraints.ref_rel) f
+          | Constraints.Cfk c ->
+            let instance_of name = if name = "V" then Relation.table view else table in
+            Constraints.holds_cfk (instance_of c.Constraints.cfk_rel)
+              (instance_of c.Constraints.cfk_ref_rel) c)
+        derived)
+
+let qcheck_mined_constraints_hold =
+  QCheck.Test.make ~name:"mined constraints hold by construction" ~count:300 arbitrary_setup
+    (fun setup ->
+      let _, view = relations_of setup in
+      let base, _ = relations_of setup in
+      let relations = [ base; view ] in
+      List.for_all
+        (fun c ->
+          let instance_of name = if name = "V" then Relation.table view else Relation.table base in
+          match c with
+          | Constraints.Key k -> Constraints.holds_key (instance_of k.Constraints.rel) k
+          | Constraints.Fk f ->
+            Constraints.holds_fk (instance_of f.Constraints.fk_rel)
+              (instance_of f.Constraints.ref_rel) f
+          | Constraints.Cfk cf ->
+            Constraints.holds_cfk (instance_of cf.Constraints.cfk_rel)
+              (instance_of cf.Constraints.cfk_ref_rel) cf)
+        (Mining.mine relations))
+
+let qcheck_view_rows_subset =
+  QCheck.Test.make ~name:"view rows are a subset of base rows" ~count:300 arbitrary_setup
+    (fun (table, condition) ->
+      let view = View.make table condition in
+      let base_rows = Array.to_list (Table.rows table) in
+      Array.for_all
+        (fun row -> List.memq row base_rows)
+        (Table.rows (View.materialize view)))
+
+(* Executor join bounds: |left outer| >= |left|, and every left row key
+   appears; full outer additionally covers unmatched right rows. *)
+let join_setup_gen =
+  let open QCheck.Gen in
+  let mk_table name rows =
+    Table.make
+      (Schema.make name
+         [ Attribute.string (name ^ ".k"); Attribute.int (name ^ ".x") ])
+      rows
+  in
+  let row = pair (int_range 0 6) (int_range 0 100) >|= fun (k, x) ->
+    [| Value.String (Printf.sprintf "k%d" k); Value.Int x |]
+  in
+  pair (list_size (int_range 0 15) row) (list_size (int_range 0 15) row)
+  >|= fun (l, r) -> (mk_table "L" l, mk_table "R" r)
+
+let arbitrary_join_setup = QCheck.make join_setup_gen
+
+let qcheck_left_outer_keeps_left_rows =
+  QCheck.Test.make ~name:"left outer join keeps every left row" ~count:300
+    arbitrary_join_setup (fun (left, right) ->
+      let j =
+        Executor.join left right ~on:[ ("L.k", "R.k") ] ~right_restrict:[]
+          ~kind:Association.Left_outer
+      in
+      Table.row_count j >= Table.row_count left)
+
+let qcheck_full_outer_covers_both =
+  (* every left row appears at least once, and every (non-null-keyed)
+     right row is either matched or padded, so the output has at least
+     max(|L|, |R|) rows *)
+  QCheck.Test.make ~name:"full outer join covers both sides" ~count:300
+    arbitrary_join_setup (fun (left, right) ->
+      let j =
+        Executor.join left right ~on:[ ("L.k", "R.k") ] ~right_restrict:[]
+          ~kind:Association.Full_outer
+      in
+      Table.row_count j >= max (Table.row_count left) (Table.row_count right))
+
+let qcheck_full_outer_at_least_left_outer =
+  QCheck.Test.make ~name:"full outer >= left outer row count" ~count:300 arbitrary_join_setup
+    (fun (left, right) ->
+      let run kind =
+        Table.row_count
+          (Executor.join left right ~on:[ ("L.k", "R.k") ] ~right_restrict:[] ~kind)
+      in
+      run Association.Full_outer >= run Association.Left_outer)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_derived_constraints_hold;
+    QCheck_alcotest.to_alcotest qcheck_mined_constraints_hold;
+    QCheck_alcotest.to_alcotest qcheck_view_rows_subset;
+    QCheck_alcotest.to_alcotest qcheck_left_outer_keeps_left_rows;
+    QCheck_alcotest.to_alcotest qcheck_full_outer_covers_both;
+    QCheck_alcotest.to_alcotest qcheck_full_outer_at_least_left_outer;
+  ]

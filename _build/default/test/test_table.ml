@@ -1,0 +1,121 @@
+open Relational
+
+let schema =
+  Schema.make "people"
+    [ Attribute.int "id"; Attribute.string "name"; Attribute.float "score" ]
+
+let rows =
+  [
+    [| Value.Int 1; Value.String "ann"; Value.Float 3.5 |];
+    [| Value.Int 2; Value.String "bob"; Value.Float 1.0 |];
+    [| Value.Int 3; Value.String "ann"; Value.Null |];
+  ]
+
+let table = Table.make schema rows
+
+let test_schema_duplicate_attr () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Schema.make: duplicate attribute x") (fun () ->
+      ignore (Schema.make "t" [ Attribute.int "x"; Attribute.string "x" ]))
+
+let test_schema_lookup () =
+  Alcotest.(check int) "index" 1 (Schema.index_of schema "name");
+  Alcotest.(check bool) "mem" true (Schema.mem schema "score");
+  Alcotest.(check bool) "not mem" false (Schema.mem schema "missing");
+  Alcotest.(check (list string)) "names" [ "id"; "name"; "score" ]
+    (Schema.attribute_names schema)
+
+let test_schema_project () =
+  let p = Schema.project schema [ "score"; "id" ] in
+  Alcotest.(check (list string)) "projected order" [ "score"; "id" ] (Schema.attribute_names p)
+
+let test_schema_add_attribute () =
+  let s = Schema.add_attribute schema (Attribute.bool "active") in
+  Alcotest.(check int) "arity" 4 (Schema.arity s);
+  Alcotest.(check bool) "original untouched" true (Schema.arity schema = 3)
+
+let test_table_arity_mismatch () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Table.make schema [ [| Value.Int 1 |] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_cell_and_column () =
+  Alcotest.(check bool) "cell" true (Value.equal (Table.cell table 1 "name") (Value.String "bob"));
+  let col = Table.column table "id" in
+  Alcotest.(check int) "column len" 3 (Array.length col);
+  Alcotest.(check bool) "column values" true
+    (col = [| Value.Int 1; Value.Int 2; Value.Int 3 |])
+
+let test_non_null_column () =
+  Alcotest.(check int) "nulls dropped" 2 (Array.length (Table.non_null_column table "score"))
+
+let test_distinct_and_counts () =
+  Alcotest.(check int) "distinct names" 2 (List.length (Table.distinct_values table "name"));
+  match Table.value_counts table "name" with
+  | (v, n) :: _ ->
+    Alcotest.(check bool) "most common first" true (Value.equal v (Value.String "ann"));
+    Alcotest.(check int) "count" 2 n
+  | [] -> Alcotest.fail "expected counts"
+
+let test_filter () =
+  let f = Table.filter table (fun row -> Value.compare row.(0) (Value.Int 1) > 0) in
+  Alcotest.(check int) "filtered" 2 (Table.row_count f)
+
+let test_project_rows () =
+  let p = Table.project table [ "name" ] in
+  Alcotest.(check int) "arity" 1 (Table.arity p);
+  Alcotest.(check bool) "value" true (Value.equal (Table.cell p 0 "name") (Value.String "ann"))
+
+let test_append_column () =
+  let t =
+    Table.append_column table (Attribute.int "double_id") (fun row ->
+        match row.(0) with Value.Int i -> Value.Int (2 * i) | _ -> Value.Null)
+  in
+  Alcotest.(check bool) "derived" true (Value.equal (Table.cell t 2 "double_id") (Value.Int 6))
+
+let test_take_and_sub () =
+  Alcotest.(check int) "take" 2 (Table.row_count (Table.take table 2));
+  Alcotest.(check int) "take beyond" 3 (Table.row_count (Table.take table 99));
+  let sub = Table.sub_by_indices table [| 2; 0 |] in
+  Alcotest.(check bool) "order preserved" true
+    (Value.equal (Table.cell sub 0 "id") (Value.Int 3))
+
+let test_concat_rows () =
+  let both = Table.concat_rows table table in
+  Alcotest.(check int) "rows doubled" 6 (Table.row_count both)
+
+let test_concat_schema_mismatch () =
+  let other = Table.make (Schema.make "other" [ Attribute.int "id" ]) [] in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Table.concat_rows: schemas differ")
+    (fun () -> ignore (Table.concat_rows table other))
+
+let test_is_unique () =
+  Alcotest.(check bool) "id unique" true (Table.is_unique table [ "id" ]);
+  Alcotest.(check bool) "name not unique" false (Table.is_unique table [ "name" ]);
+  Alcotest.(check bool) "pair unique" true (Table.is_unique table [ "name"; "id" ])
+
+let test_rename () =
+  Alcotest.(check string) "renamed" "p2" (Table.name (Table.rename table "p2"));
+  Alcotest.(check string) "original" "people" (Table.name table)
+
+let suite =
+  [
+    Alcotest.test_case "schema duplicate attribute" `Quick test_schema_duplicate_attr;
+    Alcotest.test_case "schema lookup" `Quick test_schema_lookup;
+    Alcotest.test_case "schema project" `Quick test_schema_project;
+    Alcotest.test_case "schema add attribute" `Quick test_schema_add_attribute;
+    Alcotest.test_case "table arity mismatch" `Quick test_table_arity_mismatch;
+    Alcotest.test_case "cell and column" `Quick test_cell_and_column;
+    Alcotest.test_case "non-null column" `Quick test_non_null_column;
+    Alcotest.test_case "distinct and counts" `Quick test_distinct_and_counts;
+    Alcotest.test_case "filter" `Quick test_filter;
+    Alcotest.test_case "project rows" `Quick test_project_rows;
+    Alcotest.test_case "append column" `Quick test_append_column;
+    Alcotest.test_case "take and sub" `Quick test_take_and_sub;
+    Alcotest.test_case "concat rows" `Quick test_concat_rows;
+    Alcotest.test_case "concat schema mismatch" `Quick test_concat_schema_mismatch;
+    Alcotest.test_case "is_unique" `Quick test_is_unique;
+    Alcotest.test_case "rename" `Quick test_rename;
+  ]

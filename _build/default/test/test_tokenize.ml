@@ -1,0 +1,60 @@
+let check_strings = Alcotest.(check (list string))
+
+let test_normalize () =
+  Alcotest.(check string) "lowercase + collapse" "hello world"
+    (Textsim.Tokenize.normalize "  Hello,   WORLD!! ");
+  Alcotest.(check string) "empty" "" (Textsim.Tokenize.normalize "!!!");
+  Alcotest.(check string) "digits kept" "a1b2" (Textsim.Tokenize.normalize "a1b2")
+
+let test_words () =
+  check_strings "words" [ "the"; "quick"; "fox" ] (Textsim.Tokenize.words "The quick--fox!");
+  check_strings "empty" [] (Textsim.Tokenize.words "   ")
+
+let test_qgrams_padding () =
+  check_strings "trigrams of ab" [ "##a"; "#ab"; "ab#"; "b##" ] (Textsim.Tokenize.trigrams "ab");
+  check_strings "empty string" [] (Textsim.Tokenize.trigrams "");
+  check_strings "unigrams" [ "a"; "b" ] (Textsim.Tokenize.qgrams 1 "ab")
+
+let test_qgrams_count () =
+  (* padded string has length n + 2(q-1); gram count = n + q - 1 *)
+  let grams = Textsim.Tokenize.qgrams 3 "abcdef" in
+  Alcotest.(check int) "count" 8 (List.length grams)
+
+let test_qgrams_invalid () =
+  Alcotest.check_raises "q = 0" (Invalid_argument "Tokenize.qgrams: q must be positive")
+    (fun () -> ignore (Textsim.Tokenize.qgrams 0 "abc"))
+
+let test_name_tokens_underscore () =
+  check_strings "underscores" [ "item"; "type" ] (Textsim.Tokenize.name_tokens "item_type")
+
+let test_name_tokens_camel () =
+  check_strings "camelCase" [ "item"; "type" ] (Textsim.Tokenize.name_tokens "ItemType");
+  check_strings "acronym run" [ "http"; "server" ] (Textsim.Tokenize.name_tokens "HTTPServer");
+  check_strings "mixed" [ "album"; "id" ] (Textsim.Tokenize.name_tokens "AlbumID")
+
+let test_name_tokens_separators () =
+  check_strings "dots and dashes" [ "a"; "b"; "c" ] (Textsim.Tokenize.name_tokens "a.b-c")
+
+let qcheck_qgrams_nonempty =
+  QCheck.Test.make ~name:"non-empty normalised strings yield grams" ~count:300
+    QCheck.(string_gen_of_size Gen.(1 -- 20) Gen.(char_range 'a' 'z'))
+    (fun s -> Textsim.Tokenize.trigrams s <> [])
+
+let qcheck_qgrams_width =
+  QCheck.Test.make ~name:"every gram has width q" ~count:300
+    QCheck.(pair (int_range 1 5) (string_gen_of_size Gen.(0 -- 20) Gen.printable))
+    (fun (q, s) -> List.for_all (fun g -> String.length g = q) (Textsim.Tokenize.qgrams q s))
+
+let suite =
+  [
+    Alcotest.test_case "normalize" `Quick test_normalize;
+    Alcotest.test_case "words" `Quick test_words;
+    Alcotest.test_case "qgrams padding" `Quick test_qgrams_padding;
+    Alcotest.test_case "qgrams count" `Quick test_qgrams_count;
+    Alcotest.test_case "qgrams invalid q" `Quick test_qgrams_invalid;
+    Alcotest.test_case "name tokens underscore" `Quick test_name_tokens_underscore;
+    Alcotest.test_case "name tokens camelCase" `Quick test_name_tokens_camel;
+    Alcotest.test_case "name tokens separators" `Quick test_name_tokens_separators;
+    QCheck_alcotest.to_alcotest qcheck_qgrams_nonempty;
+    QCheck_alcotest.to_alcotest qcheck_qgrams_width;
+  ]

@@ -1,0 +1,92 @@
+open Relational
+
+let schema = Schema.make "inv" [ Attribute.string "type"; Attribute.int "n" ]
+
+let table =
+  Table.make schema
+    [
+      [| Value.String "book"; Value.Int 1 |];
+      [| Value.String "cd"; Value.Int 2 |];
+      [| Value.String "book"; Value.Int 3 |];
+      [| Value.String "cd"; Value.Int 4 |];
+      [| Value.String "book"; Value.Int 5 |];
+    ]
+
+let books = View.make table (Condition.Eq ("type", Value.String "book"))
+
+let test_row_selection () =
+  Alcotest.(check int) "3 books" 3 (View.row_count books);
+  Alcotest.(check bool) "indices" true (View.row_indices books = [| 0; 2; 4 |])
+
+let test_column () =
+  let col = View.column books "n" in
+  Alcotest.(check bool) "filtered column" true (col = [| Value.Int 1; Value.Int 3; Value.Int 5 |])
+
+let test_materialize () =
+  let m = View.materialize books in
+  Alcotest.(check int) "rows" 3 (Table.row_count m);
+  Alcotest.(check string) "named after view" (View.name books) (Table.name m)
+
+let test_selectivity () =
+  Alcotest.(check (float 1e-9)) "3/5" 0.6 (View.selectivity books)
+
+let test_default_name () =
+  Alcotest.(check string) "name" "inv where type = book" (View.name books)
+
+let test_custom_name () =
+  let v = View.make ~name:"b" table Condition.True in
+  Alcotest.(check string) "custom" "b" (View.name v);
+  Alcotest.(check int) "all rows" 5 (View.row_count v)
+
+let test_empty_view () =
+  let v = View.make table (Condition.Eq ("type", Value.String "vinyl")) in
+  Alcotest.(check int) "no rows" 0 (View.row_count v);
+  Alcotest.(check (float 1e-9)) "selectivity 0" 0.0 (View.selectivity v)
+
+let test_family_of_values () =
+  let fam =
+    View.family_of_values table "type"
+      [ [ Value.String "book" ]; [ Value.String "cd"; Value.String "vinyl" ] ]
+  in
+  Alcotest.(check int) "two views" 2 (List.length fam.View.views);
+  match fam.View.views with
+  | [ v1; v2 ] ->
+    Alcotest.(check bool) "simple first" true (Condition.is_simple (View.condition v1));
+    Alcotest.(check bool) "disjunctive second" true
+      (Condition.is_simple_disjunctive (View.condition v2))
+  | _ -> Alcotest.fail "expected 2 views"
+
+let test_family_skips_empty_groups () =
+  let fam = View.family_of_values table "type" [ []; [ Value.String "book" ] ] in
+  Alcotest.(check int) "one view" 1 (List.length fam.View.views)
+
+let test_partition_family () =
+  let fam = View.partition_family table "type" in
+  Alcotest.(check int) "one view per value" 2 (List.length fam.View.views);
+  let total = List.fold_left (fun acc v -> acc + View.row_count v) 0 fam.View.views in
+  Alcotest.(check int) "partition covers table" 5 total
+
+let test_partition_family_disjoint () =
+  let fam = View.partition_family table "type" in
+  match fam.View.views with
+  | [ v1; v2 ] ->
+    let s1 = View.row_indices v1 and s2 = View.row_indices v2 in
+    Array.iter
+      (fun i -> Alcotest.(check bool) "disjoint" false (Array.mem i s2))
+      s1
+  | _ -> Alcotest.fail "expected 2 views"
+
+let suite =
+  [
+    Alcotest.test_case "row selection" `Quick test_row_selection;
+    Alcotest.test_case "column" `Quick test_column;
+    Alcotest.test_case "materialize" `Quick test_materialize;
+    Alcotest.test_case "selectivity" `Quick test_selectivity;
+    Alcotest.test_case "default name" `Quick test_default_name;
+    Alcotest.test_case "custom name / true condition" `Quick test_custom_name;
+    Alcotest.test_case "empty view" `Quick test_empty_view;
+    Alcotest.test_case "family of values" `Quick test_family_of_values;
+    Alcotest.test_case "family skips empty groups" `Quick test_family_skips_empty_groups;
+    Alcotest.test_case "partition family" `Quick test_partition_family;
+    Alcotest.test_case "partition family disjoint" `Quick test_partition_family_disjoint;
+  ]

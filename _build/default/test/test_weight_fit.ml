@@ -1,0 +1,88 @@
+
+(* A labeled retail scenario: the correct standard-match pairings are the
+   informative attribute pairs of both target tables. *)
+let labeled_retail seed =
+  let params = { Workload.Retail.default_params with rows = 250; target_rows = 120; seed } in
+  let source = Workload.Retail.source params in
+  let target = Workload.Retail.target params Workload.Retail.Ryan_eyers in
+  let correct =
+    List.map
+      (fun (src_attr, tgt_table, tgt_attr, _) ->
+        (Workload.Retail.source_table_name, src_attr, tgt_table, tgt_attr))
+      (Workload.Retail.expected_pairs Workload.Retail.Ryan_eyers)
+  in
+  { Matching.Weight_fit.lab_source = source; lab_target = target; correct }
+
+let test_fmeasure_range () =
+  let f =
+    Matching.Weight_fit.fmeasure ~matchers:Matching.Matchers.default_suite ~tau:0.5
+      (labeled_retail 42)
+  in
+  Alcotest.(check bool) "within [0,1]" true (f >= 0.0 && f <= 1.0);
+  Alcotest.(check bool) "defaults do decently" true (f >= 0.5)
+
+let test_reweight () =
+  let reweighted =
+    Matching.Weight_fit.reweight Matching.Matchers.default_suite [ ("name", 0.0); ("qgram", 3.0) ]
+  in
+  let weight name =
+    (List.find (fun (m : Matching.Matcher.t) -> m.name = name) reweighted).Matching.Matcher.weight
+  in
+  Alcotest.(check (float 1e-9)) "name zeroed" 0.0 (weight "name");
+  Alcotest.(check (float 1e-9)) "qgram set" 3.0 (weight "qgram");
+  Alcotest.(check (float 1e-9)) "word untouched" 1.0 (weight "word")
+
+let test_fit_does_not_regress () =
+  let scenarios = [ labeled_retail 42; labeled_retail 43 ] in
+  let before =
+    List.fold_left
+      (fun acc s ->
+        acc +. Matching.Weight_fit.fmeasure ~matchers:Matching.Matchers.default_suite ~tau:0.5 s)
+      0.0 scenarios
+    /. 2.0
+  in
+  let assignment =
+    Matching.Weight_fit.fit ~rounds:1 ~matchers:Matching.Matchers.default_suite scenarios
+  in
+  let fitted = Matching.Weight_fit.reweight Matching.Matchers.default_suite assignment in
+  let after =
+    List.fold_left
+      (fun acc s -> acc +. Matching.Weight_fit.fmeasure ~matchers:fitted ~tau:0.5 s)
+      0.0 scenarios
+    /. 2.0
+  in
+  Alcotest.(check bool) "coordinate ascent never regresses on its own objective" true
+    (after >= before -. 1e-9);
+  Alcotest.(check int) "assignment covers the suite"
+    (List.length Matching.Matchers.default_suite)
+    (List.length assignment)
+
+let test_fit_downweights_misleading_matcher () =
+  (* a sabotage matcher that scores unrelated pairs high: fitting should
+     push its weight to (near) zero *)
+  let sabotage =
+    Matching.Matcher.make ~name:"sabotage" ~weight:2.0
+      ~applicable:(fun _ _ -> true)
+      (fun src tgt ->
+        (* high iff the pair is NOT a same-name pair: actively harmful *)
+        if
+          Textsim.Simmetrics.name_similarity (Matching.Column.name src)
+            (Matching.Column.name tgt)
+          > 0.7
+        then 0.0
+        else 0.9)
+  in
+  let suite = sabotage :: Matching.Matchers.default_suite in
+  let assignment = Matching.Weight_fit.fit ~rounds:2 ~matchers:suite [ labeled_retail 42 ] in
+  let sabotage_weight = List.assoc "sabotage" assignment in
+  Alcotest.(check bool)
+    (Printf.sprintf "sabotage weight reduced (got %g)" sabotage_weight)
+    true (sabotage_weight < 2.0)
+
+let suite =
+  [
+    Alcotest.test_case "fmeasure range" `Slow test_fmeasure_range;
+    Alcotest.test_case "reweight" `Quick test_reweight;
+    Alcotest.test_case "fit does not regress" `Slow test_fit_does_not_regress;
+    Alcotest.test_case "fit downweights sabotage" `Slow test_fit_downweights_misleading_matcher;
+  ]

@@ -1,0 +1,200 @@
+open Relational
+
+let test_corpus_deterministic () =
+  let a = Workload.Corpus.books (Stats.Rng.create 3) 5 in
+  let b = Workload.Corpus.books (Stats.Rng.create 3) 5 in
+  Alcotest.(check bool) "same seed same corpus" true (a = b)
+
+let test_corpus_book_fields () =
+  let b = Workload.Corpus.book (Stats.Rng.create 1) in
+  Alcotest.(check bool) "title non-empty" true (String.length b.Workload.Corpus.book_title > 0);
+  Alcotest.(check bool) "price range" true
+    (b.Workload.Corpus.book_price >= 5.0 && b.Workload.Corpus.book_price <= 40.0);
+  Alcotest.(check bool) "pages range" true
+    (b.Workload.Corpus.pages >= 120 && b.Workload.Corpus.pages < 820)
+
+let test_corpus_album_fields () =
+  let a = Workload.Corpus.album (Stats.Rng.create 2) in
+  Alcotest.(check bool) "tracks range" true
+    (a.Workload.Corpus.tracks >= 8 && a.Workload.Corpus.tracks <= 20);
+  Alcotest.(check bool) "price range" true
+    (a.Workload.Corpus.album_price >= 8.0 && a.Workload.Corpus.album_price <= 25.0)
+
+let test_retail_labels () =
+  Alcotest.(check int) "gamma 2: one book label" 1
+    (List.length (Workload.Retail.book_labels ~gamma:2));
+  Alcotest.(check int) "gamma 6: three cd labels" 3
+    (List.length (Workload.Retail.cd_labels ~gamma:6));
+  Alcotest.(check bool) "gamma 2 plain names" true
+    (Workload.Retail.book_labels ~gamma:2 = [ Value.String "Book" ]);
+  Alcotest.(check bool) "odd gamma rejected" true
+    (try
+       ignore (Workload.Retail.book_labels ~gamma:3);
+       false
+     with Invalid_argument _ -> true)
+
+let test_retail_source_shape () =
+  let params = { Workload.Retail.default_params with rows = 200 } in
+  let db = Workload.Retail.source params in
+  let inv = Database.table db Workload.Retail.source_table_name in
+  Alcotest.(check int) "rows" 200 (Table.row_count inv);
+  let types = Table.distinct_values inv Workload.Retail.item_type_attr in
+  Alcotest.(check int) "gamma labels present" params.Workload.Retail.gamma (List.length types);
+  Alcotest.(check bool) "ItemType categorical" true
+    (Categorical.is_categorical inv Workload.Retail.item_type_attr);
+  Alcotest.(check bool) "StockStatus categorical" true
+    (Categorical.is_categorical inv Workload.Retail.stock_status_attr);
+  Alcotest.(check bool) "Publisher not categorical" false
+    (Categorical.is_categorical inv "Publisher");
+  Alcotest.(check bool) "Title not categorical" false (Categorical.is_categorical inv "Title")
+
+let test_retail_targets () =
+  let params = { Workload.Retail.default_params with target_rows = 50 } in
+  List.iter
+    (fun style ->
+      let db = Workload.Retail.target params style in
+      Alcotest.(check int) "two tables" 2 (List.length (Database.tables db));
+      List.iter
+        (fun t ->
+          Alcotest.(check int) "rows" 50 (Table.row_count t);
+          Alcotest.(check int) "six attrs" 6 (Table.arity t))
+        (Database.tables db))
+    Workload.Retail.all_styles
+
+let test_retail_expected_pairs () =
+  List.iter
+    (fun style ->
+      let pairs = Workload.Retail.expected_pairs style in
+      Alcotest.(check int) "12 expectations" 12 (List.length pairs);
+      let books = List.filter (fun (_, _, _, b) -> b) pairs in
+      Alcotest.(check int) "6 book side" 6 (List.length books))
+    Workload.Retail.all_styles
+
+let test_retail_source_target_disjoint () =
+  let params = { Workload.Retail.default_params with rows = 100; target_rows = 100 } in
+  let src = Database.table (Workload.Retail.source params) Workload.Retail.source_table_name in
+  let tgt =
+    Database.table (Workload.Retail.target params Workload.Retail.Ryan_eyers) "Book"
+  in
+  let src_titles =
+    Table.distinct_values src "Title" |> List.map Value.to_string
+  in
+  let tgt_titles = Table.distinct_values tgt "BookTitle" |> List.map Value.to_string in
+  let overlap = List.filter (fun t -> List.mem t tgt_titles) src_titles in
+  (* independent streams: collisions are possible but must be rare *)
+  Alcotest.(check bool) "mostly disjoint records" true
+    (List.length overlap * 5 < List.length src_titles)
+
+let test_grades_narrow_shape () =
+  let p = { Workload.Grades.default_params with students = 20; exams = 4 } in
+  let db = Workload.Grades.narrow p in
+  let t = Database.table db Workload.Grades.narrow_table_name in
+  Alcotest.(check int) "rows = students x exams" 80 (Table.row_count t);
+  Alcotest.(check bool) "(name, examNum) key" true (Table.is_unique t [ "name"; "examNum" ]);
+  Alcotest.(check bool) "examNum categorical" true
+    (Categorical.is_categorical t Workload.Grades.exam_attr);
+  Alcotest.(check int) "exam values" 4
+    (List.length (Table.distinct_values t Workload.Grades.exam_attr))
+
+let test_grades_wide_shape () =
+  let p = { Workload.Grades.default_params with students = 20; exams = 4 } in
+  let db = Workload.Grades.wide p in
+  let t = Database.table db Workload.Grades.wide_table_name in
+  Alcotest.(check int) "rows" 20 (Table.row_count t);
+  Alcotest.(check int) "1 + exams columns" 5 (Table.arity t);
+  Alcotest.(check bool) "name key" true (Table.is_unique t [ "name" ])
+
+let test_grades_means () =
+  Alcotest.(check (float 1e-9)) "exam 1" 40.0 (Workload.Grades.mean_of_exam 1);
+  Alcotest.(check (float 1e-9)) "exam 5" 80.0 (Workload.Grades.mean_of_exam 5);
+  let p = { Workload.Grades.default_params with students = 400; sigma = 5.0 } in
+  let t = Database.table (Workload.Grades.narrow p) Workload.Grades.narrow_table_name in
+  let exam3 =
+    Table.rows t |> Array.to_list
+    |> List.filter_map (fun row ->
+           if Value.equal row.(1) (Value.Int 3) then Value.to_float row.(2) else None)
+    |> Array.of_list
+  in
+  let s = Stats.Descriptive.summarize exam3 in
+  Alcotest.(check bool) "mean near 60" true (Float.abs (s.Stats.Descriptive.mean -. 60.0) < 1.5);
+  Alcotest.(check bool) "sigma near 5" true (Float.abs (s.Stats.Descriptive.stddev -. 5.0) < 1.0)
+
+let test_grades_clamped () =
+  let p = { Workload.Grades.default_params with sigma = 60.0; students = 100 } in
+  let t = Database.table (Workload.Grades.narrow p) Workload.Grades.narrow_table_name in
+  Array.iter
+    (fun row ->
+      match Value.to_float row.(2) with
+      | Some g -> Alcotest.(check bool) "clamped" true (g >= 0.0 && g <= 100.0)
+      | None -> Alcotest.fail "grade missing")
+    (Table.rows t)
+
+let test_augment_correlated () =
+  let params = { Workload.Retail.default_params with rows = 400 } in
+  let db = Workload.Retail.source params in
+  let perfect =
+    Workload.Augment.add_correlated ~seed:1 ~count:2 ~rho:1.0
+      ~table:Workload.Retail.source_table_name ~reference:Workload.Retail.item_type_attr db
+  in
+  let inv = Database.table perfect Workload.Retail.source_table_name in
+  Alcotest.(check bool) "Corr1 exists" true (Schema.mem (Table.schema inv) "Corr1");
+  let type_idx = Schema.index_of (Table.schema inv) Workload.Retail.item_type_attr in
+  let corr_idx = Schema.index_of (Table.schema inv) "Corr1" in
+  Array.iter
+    (fun row ->
+      Alcotest.(check bool) "rho=1 copies" true (Value.equal row.(type_idx) row.(corr_idx)))
+    (Table.rows inv);
+  (* rho = 0: agreement should be near 1/gamma *)
+  let random =
+    Workload.Augment.add_correlated ~seed:1 ~count:1 ~rho:0.0
+      ~table:Workload.Retail.source_table_name ~reference:Workload.Retail.item_type_attr db
+  in
+  let inv0 = Database.table random Workload.Retail.source_table_name in
+  let c_idx = Schema.index_of (Table.schema inv0) "Corr1" in
+  let agree =
+    Array.fold_left
+      (fun acc row -> if Value.equal row.(type_idx) row.(c_idx) then acc + 1 else acc)
+      0 (Table.rows inv0)
+  in
+  let rate = float_of_int agree /. 400.0 in
+  Alcotest.(check bool) "rho=0 agreement near 1/gamma" true (rate > 0.1 && rate < 0.45)
+
+let test_augment_widen () =
+  let params = { Workload.Retail.default_params with rows = 100 } in
+  let db = Workload.Retail.source params in
+  let widened =
+    Workload.Augment.widen ~seed:2 ~noise_attrs:3 ~categorical_noise:2
+      ~categorical_reference:(Some Workload.Retail.item_type_attr) db
+  in
+  let inv = Database.table widened Workload.Retail.source_table_name in
+  Alcotest.(check bool) "noise attrs" true
+    (Schema.mem (Table.schema inv) "Noise1" && Schema.mem (Table.schema inv) "Noise3");
+  Alcotest.(check bool) "categorical noise" true
+    (Schema.mem (Table.schema inv) "CatNoise1" && Schema.mem (Table.schema inv) "CatNoise2");
+  (* categorical noise draws from the ItemType domain *)
+  let domain = Table.distinct_values inv Workload.Retail.item_type_attr in
+  List.iter
+    (fun v -> Alcotest.(check bool) "from domain" true (List.exists (Value.equal v) domain))
+    (Table.distinct_values inv "CatNoise1");
+  (* no categorical reference: only noise attrs *)
+  let plain = Workload.Augment.widen ~seed:2 ~noise_attrs:1 ~categorical_noise:2 ~categorical_reference:None db in
+  let inv2 = Database.table plain Workload.Retail.source_table_name in
+  Alcotest.(check bool) "no cat noise" false (Schema.mem (Table.schema inv2) "CatNoise1")
+
+let suite =
+  [
+    Alcotest.test_case "corpus deterministic" `Quick test_corpus_deterministic;
+    Alcotest.test_case "corpus book fields" `Quick test_corpus_book_fields;
+    Alcotest.test_case "corpus album fields" `Quick test_corpus_album_fields;
+    Alcotest.test_case "retail labels" `Quick test_retail_labels;
+    Alcotest.test_case "retail source shape" `Quick test_retail_source_shape;
+    Alcotest.test_case "retail targets" `Quick test_retail_targets;
+    Alcotest.test_case "retail expected pairs" `Quick test_retail_expected_pairs;
+    Alcotest.test_case "source/target disjoint" `Quick test_retail_source_target_disjoint;
+    Alcotest.test_case "grades narrow shape" `Quick test_grades_narrow_shape;
+    Alcotest.test_case "grades wide shape" `Quick test_grades_wide_shape;
+    Alcotest.test_case "grades means" `Quick test_grades_means;
+    Alcotest.test_case "grades clamped" `Quick test_grades_clamped;
+    Alcotest.test_case "augment correlated" `Quick test_augment_correlated;
+    Alcotest.test_case "augment widen" `Quick test_augment_widen;
+  ]
