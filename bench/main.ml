@@ -450,7 +450,71 @@ let extensions () =
 
 (* --- Bechamel micro-benchmarks of the hot paths ------------------------ *)
 
+(* worker domains for the parallel sections; set with --jobs=N *)
+let par_jobs = ref 4
+
+(* Sequential vs parallel hot paths and the profile-cache economics of
+   the runtime library (DESIGN.md, "Deterministic multicore runtime").
+   On a single-core container the speedup honestly reports ~1.0x: the
+   deterministic merge guarantees identical results, not extra cores. *)
+let micro_parallel () =
+  R.section
+    (Printf.sprintf
+       "Parallel runtime: sequential vs jobs=%d (%d core(s) available)"
+       !par_jobs
+       (Domain.recommended_domain_count ()));
+  let params = retail_params in
+  let source = Workload.Retail.source params in
+  let target = Workload.Retail.target params Workload.Retail.Ryan_eyers in
+  let time_best f =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let build jobs () = Matching.Standard_match.build ~jobs ~source ~target () in
+  let seq_build = time_best (build 1) in
+  let par_build = time_best (build !par_jobs) in
+  Printf.printf
+    "  standard-match-build (%d rows)       seq %7.1f ms   jobs=%d %7.1f ms   speedup %.2fx\n"
+    params.Workload.Retail.rows (seq_build *. 1e3) !par_jobs (par_build *. 1e3)
+    (seq_build /. Float.max 1e-9 par_build);
+  let run jobs () =
+    let config = Ctxmatch.Config.with_jobs Ctxmatch.Config.default jobs in
+    let infer = Ctxmatch.Context_match.infer_of `Src_class ~target in
+    Ctxmatch.Context_match.run ~config ~infer ~source ~target ()
+  in
+  let seq_run = time_best (run 1) in
+  let par_run = time_best (run !par_jobs) in
+  Printf.printf
+    "  context-match end-to-end             seq %7.1f ms   jobs=%d %7.1f ms   speedup %.2fx\n"
+    (seq_run *. 1e3) !par_jobs (par_run *. 1e3) (seq_run /. Float.max 1e-9 par_run);
+  let result = run 1 () in
+  let hits = result.Ctxmatch.Context_match.cache_hits in
+  let misses = result.Ctxmatch.Context_match.cache_misses in
+  Printf.printf "  profile cache (SrcClassInfer run)    %d hits / %d lookups, hit rate %.1f%%\n"
+    hits (hits + misses)
+    (100.0 *. float_of_int hits /. Float.max 1.0 (float_of_int (hits + misses)));
+  (* NaiveInfer enumerates overlapping families, the shape the subset
+     cache exists for *)
+  let naive =
+    let config =
+      Ctxmatch.Config.with_jobs { Ctxmatch.Config.default with omega = 0.1 } 1
+    in
+    let infer = Ctxmatch.Context_match.infer_of `Naive ~target in
+    Ctxmatch.Context_match.run ~config ~infer ~source ~target ()
+  in
+  let nh = naive.Ctxmatch.Context_match.cache_hits in
+  let nm = naive.Ctxmatch.Context_match.cache_misses in
+  Printf.printf "  profile cache (NaiveInfer run)       %d hits / %d lookups, hit rate %.1f%%\n"
+    nh (nh + nm)
+    (100.0 *. float_of_int nh /. Float.max 1.0 (float_of_int (nh + nm)))
+
 let micro () =
+  micro_parallel ();
   R.section "Micro-benchmarks (Bechamel, monotonic clock)";
   let open Bechamel in
   let open Toolkit in
@@ -528,10 +592,23 @@ let figures =
   ]
 
 let () =
+  let args =
+    Array.to_list Sys.argv |> List.tl
+    |> List.filter (fun arg ->
+           match String.index_opt arg '=' with
+           | Some i when String.sub arg 0 i = "--jobs" ->
+             (match int_of_string_opt (String.sub arg (i + 1) (String.length arg - i - 1)) with
+             | Some j when j >= 1 -> par_jobs := j
+             | Some _ | None ->
+               Printf.eprintf "bench: --jobs expects a positive integer, got %S\n" arg;
+               exit 2);
+             false
+           | _ -> true)
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst figures
+    match args with
+    | _ :: _ as names -> names
+    | [] -> List.map fst figures
   in
   let started = Unix.gettimeofday () in
   List.iter

@@ -23,7 +23,7 @@ let load_tables files =
       else Relational.Csv_io.table_of_file ~name path)
     files
 
-let make_config tau omega late select seed =
+let make_config tau omega late select seed jobs =
   let select =
     match select with
     | "qual" -> Ctxmatch.Config.Qual_table
@@ -31,6 +31,7 @@ let make_config tau omega late select seed =
     | "clio" -> Ctxmatch.Config.Clio_qual_table
     | other -> invalid_arg (Printf.sprintf "unknown selection policy %s" other)
   in
+  let jobs = if jobs <= 0 then Ctxmatch.Config.default.Ctxmatch.Config.jobs else jobs in
   {
     Ctxmatch.Config.default with
     tau;
@@ -38,6 +39,7 @@ let make_config tau omega late select seed =
     early_disjuncts = not late;
     select;
     seed;
+    jobs;
   }
 
 let algorithm_of_string = function
@@ -63,12 +65,12 @@ let apply_where where db =
         else table)
       db
 
-let run_match source_files target_files tau omega late select algorithm seed where =
+let run_match source_files target_files tau omega late select algorithm seed where jobs =
   let source =
     apply_where where (Relational.Database.make "source" (load_tables source_files))
   in
   let target = Relational.Database.make "target" (load_tables target_files) in
-  let config = make_config tau omega late select seed in
+  let config = make_config tau omega late select seed jobs in
   let infer = Ctxmatch.Context_match.infer_of (algorithm_of_string algorithm) ~target in
   let result = Ctxmatch.Context_match.run ~config ~infer ~source ~target () in
   Printf.printf "# standard matches: %d, candidate views scored: %d, %.2fs\n"
@@ -80,11 +82,14 @@ let run_match source_files target_files tau omega late select algorithm seed whe
     result.Ctxmatch.Context_match.matches;
   result
 
-let match_cmd_run source_files target_files tau omega late select algorithm seed where =
-  ignore (run_match source_files target_files tau omega late select algorithm seed where)
+let match_cmd_run source_files target_files tau omega late select algorithm seed where jobs =
+  ignore (run_match source_files target_files tau omega late select algorithm seed where jobs)
 
-let map_cmd_run source_files target_files tau omega late select algorithm seed where out_dir =
-  let result = run_match source_files target_files tau omega late select algorithm seed where in
+let map_cmd_run source_files target_files tau omega late select algorithm seed where jobs
+    out_dir =
+  let result =
+    run_match source_files target_files tau omega late select algorithm seed where jobs
+  in
   let source =
     apply_where where (Relational.Database.make "source" (load_tables source_files))
   in
@@ -195,6 +200,16 @@ let algorithm_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel runtime; 0 (the default) means \
+           auto-detect, 1 forces the sequential path.  Results are identical \
+           for every value.")
+
 let where_arg =
   Arg.(
     value
@@ -210,14 +225,14 @@ let match_cmd =
   Cmd.v (Cmd.info "match" ~doc)
     Term.(
       const match_cmd_run $ source_arg $ target_arg $ tau_arg $ omega_arg $ late_arg
-      $ select_arg $ algorithm_arg $ seed_arg $ where_arg)
+      $ select_arg $ algorithm_arg $ seed_arg $ where_arg $ jobs_arg)
 
 let map_cmd =
   let doc = "match, generate the Clio-style mapping, execute it to CSV" in
   Cmd.v (Cmd.info "map" ~doc)
     Term.(
       const map_cmd_run $ source_arg $ target_arg $ tau_arg $ omega_arg $ late_arg
-      $ select_arg $ algorithm_arg $ seed_arg $ where_arg $ out_dir_arg)
+      $ select_arg $ algorithm_arg $ seed_arg $ where_arg $ jobs_arg $ out_dir_arg)
 
 let demo_cmd =
   let doc = "run a built-in scenario (retail or grades)" in

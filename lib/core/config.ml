@@ -15,6 +15,7 @@ type t = {
   categorical_params : Relational.Categorical.params;
   matchers : Matching.Matcher.t list;
   gated_confidence : bool;
+  jobs : int;
 }
 
 let default =
@@ -30,9 +31,11 @@ let default =
     categorical_params = Relational.Categorical.default_params;
     matchers = Matching.Matchers.default_suite;
     gated_confidence = true;
+    jobs = Domain.recommended_domain_count ();
   }
 
 let with_seed t seed = { t with seed }
+let with_jobs t jobs = { t with jobs }
 let with_tau t tau = { t with tau }
 let with_omega t omega = { t with omega }
 let early t = { t with early_disjuncts = true }

@@ -29,11 +29,17 @@ type t = {
   gated_confidence : bool;
       (** score-gated confidence (phi(z) * sqrt raw) instead of the pure
           z-score confidence; see DESIGN.md and the ablation bench *)
+  jobs : int;
+      (** worker domains for the parallel runtime (default
+          [Domain.recommended_domain_count ()]); [jobs <= 1] runs the
+          exact sequential path.  Results are identical either way —
+          see DESIGN.md, "Deterministic multicore runtime" *)
 }
 
 val default : t
 
 val with_seed : t -> int -> t
+val with_jobs : t -> int -> t
 val with_tau : t -> float -> t
 val with_omega : t -> float -> t
 val early : t -> t

@@ -7,14 +7,18 @@ type result = {
   scored : Select_matches.scored_view list;
   candidate_view_count : int;
   elapsed_seconds : float;
+  cache_hits : int;
+  cache_misses : int;
 }
 
 let run ?(config = Config.default) ~infer ~source ~target () =
   let started = Unix.gettimeofday () in
+  let jobs = config.Config.jobs in
+  let pool = Runtime.Pool.get ~jobs in
   let rng = Stats.Rng.create config.Config.seed in
   let model =
     Matching.Standard_match.build ~gated:config.Config.gated_confidence
-      ~matchers:config.Config.matchers ~source ~target ()
+      ~matchers:config.Config.matchers ~jobs ~source ~target ()
   in
   let all_standard = ref [] in
   let all_families = ref [] in
@@ -39,11 +43,16 @@ let run ?(config = Config.default) ~infer ~source ~target () =
         | None -> ""
       in
       let views = Infer.views_of_families families in
-      List.iter
-        (fun view ->
-          let view_matches =
-            Matching.Standard_match.view_matches model view ~base_matches:m
-          in
+      (* Each view is scored by exactly one task, and the merge below
+         walks the results in view order: the scored list is identical
+         to the sequential loop's whatever the scheduling. *)
+      let scored_matches =
+        Runtime.Pool.map_list pool
+          (fun view -> Matching.Standard_match.view_matches model view ~base_matches:m)
+          views
+      in
+      List.iter2
+        (fun view view_matches ->
           if view_matches <> [] then
             all_scored :=
               {
@@ -52,7 +61,7 @@ let run ?(config = Config.default) ~infer ~source ~target () =
                 view_matches;
               }
               :: !all_scored)
-        views)
+        views scored_matches)
     (Database.tables source);
   let standard = !all_standard in
   let scored = List.rev !all_scored in
@@ -61,14 +70,15 @@ let run ?(config = Config.default) ~infer ~source ~target () =
     match config.Config.select with
     | Config.Multi_table -> Select_matches.multi_table ~standard ~scored
     | Config.Qual_table ->
-      Select_matches.qual_table ~omega:config.Config.omega
+      Select_matches.qual_table ~jobs ~omega:config.Config.omega
         ~early_disjuncts:config.Config.early_disjuncts ~standard ~scored
-        ~target_tables:(Database.table_names target)
+        ~target_tables:(Database.table_names target) ()
     | Config.Clio_qual_table ->
-      Select_matches.clio_qual_table ~omega:config.Config.omega
+      Select_matches.clio_qual_table ~jobs ~omega:config.Config.omega
         ~early_disjuncts:config.Config.early_disjuncts ~standard ~scored
-        ~target_tables:(Database.table_names target)
+        ~target_tables:(Database.table_names target) ()
   in
+  let cache_hits, cache_misses = Matching.Standard_match.cache_stats model in
   {
     matches;
     standard;
@@ -76,6 +86,8 @@ let run ?(config = Config.default) ~infer ~source ~target () =
     scored;
     candidate_view_count = List.length scored;
     elapsed_seconds = Unix.gettimeofday () -. started;
+    cache_hits;
+    cache_misses;
   }
 
 let contextual_matches result =

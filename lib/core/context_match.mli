@@ -15,6 +15,8 @@ type result = {
   scored : Select_matches.scored_view list;  (** RL grouped per view *)
   candidate_view_count : int;
   elapsed_seconds : float;
+  cache_hits : int;  (** profile-cache lookups answered from the cache *)
+  cache_misses : int;  (** profile-cache lookups that had to compute *)
 }
 
 val run :

@@ -54,9 +54,17 @@ let dedup_matches matches =
     matches
 
 (* Shared skeleton of QualTable and ClioQualTable: pick the strongest
-   source table per target, generate candidates, select by omega. *)
-let select_per_target ~omega ~early_disjuncts ~standard ~target_tables ~candidates_of =
-  List.concat_map
+   source table per target, generate candidates, select by omega.  Each
+   target table is independent of the others, so with [jobs > 1] they
+   are selected on the worker pool; the per-target results are merged
+   in target order, exactly as List.concat_map would.  The scored
+   views' row-index caches are forced up front: inside the parallel
+   section the views (shared across targets) are then only read. *)
+let select_per_target ?(jobs = 1) ~omega ~early_disjuncts ~standard ~scored ~target_tables
+    ~candidates_of () =
+  if jobs > 1 then List.iter (fun sv -> ignore (View.row_count sv.view)) scored;
+  Runtime.Pool.concat_map_list
+    (Runtime.Pool.get ~jobs)
     (fun tgt_table ->
       let to_target (m : Matching.Schema_match.t) = String.equal m.tgt_table tgt_table in
       let by_source = Hashtbl.create 8 in
@@ -128,11 +136,12 @@ let single_view_candidates scored ~base_conf ~tgt_table ~src =
       end)
     scored
 
-let qual_table ~omega ~early_disjuncts ~standard ~scored ~target_tables =
+let qual_table ?jobs ~omega ~early_disjuncts ~standard ~scored ~target_tables () =
   let base_conf = base_confidence standard in
-  select_per_target ~omega ~early_disjuncts ~standard ~target_tables
+  select_per_target ?jobs ~omega ~early_disjuncts ~standard ~scored ~target_tables
     ~candidates_of:(fun ~tgt_table ~src ~base_total:_ ->
       single_view_candidates scored ~base_conf ~tgt_table ~src)
+    ()
 
 (* ---- ClioQualTable ---------------------------------------------------- *)
 
@@ -217,7 +226,7 @@ let group_candidate group ~base_conf ~tgt_table =
     let ms = Hashtbl.fold (fun _ m acc -> m :: acc) best_per_attr [] in
     if ms = [] then None else Some { cand_matches = sort_matches ms; improvement }
 
-let clio_qual_table ~omega ~early_disjuncts ~standard ~scored ~target_tables =
+let clio_qual_table ?jobs ~omega ~early_disjuncts ~standard ~scored ~target_tables () =
   let base_conf = base_confidence standard in
   let candidates_of ~tgt_table ~src ~base_total:_ =
     let singles = single_view_candidates scored ~base_conf ~tgt_table ~src in
@@ -246,4 +255,5 @@ let clio_qual_table ~omega ~early_disjuncts ~standard ~scored ~target_tables =
     in
     singles @ grouped
   in
-  select_per_target ~omega ~early_disjuncts ~standard ~target_tables ~candidates_of
+  select_per_target ?jobs ~omega ~early_disjuncts ~standard ~scored ~target_tables
+    ~candidates_of ()

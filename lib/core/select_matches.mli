@@ -19,11 +19,13 @@ val multi_table :
     poorly. *)
 
 val qual_table :
+  ?jobs:int ->
   omega:float ->
   early_disjuncts:bool ->
   standard:Matching.Schema_match.t list ->
   scored:scored_view list ->
   target_tables:string list ->
+  unit ->
   Matching.Schema_match.t list
 (** QualTable: per target table, pick the source table maximising the
     total confidence of its standard matches, then the candidate view(s)
@@ -31,7 +33,10 @@ val qual_table :
     table by at least [omega].  EarlyDisjuncts selects the single best
     improving view (conditions may be disjunctive); LateDisjuncts keeps
     every improving view.  When no view improves enough, the base
-    table's standard matches are returned for that target. *)
+    table's standard matches are returned for that target.
+
+    [jobs] (default 1) selects target tables in parallel on the worker
+    pool; the result is identical to the sequential selection. *)
 
 val joinable_family_key : View.t list -> string option
 (** The join-rule-1 check of ClioQualTable: a single attribute X such
@@ -43,11 +48,13 @@ val joinable_family_key : View.t list -> string option
     in attribute normalization, rather than being partitioned. *)
 
 val clio_qual_table :
+  ?jobs:int ->
   omega:float ->
   early_disjuncts:bool ->
   standard:Matching.Schema_match.t list ->
   scored:scored_view list ->
   target_tables:string list ->
+  unit ->
   Matching.Schema_match.t list
 (** ClioQualTable (paper §5.7): QualTable extended with the §4.3 join
     rules.  In addition to individual candidate views, each view family

@@ -4,21 +4,45 @@ type t = {
   owner : string;
   attribute : Attribute.t;
   values : Value.t array;
+  (* when present, lazy artefacts are shared through the cache under
+     this key instead of being recomputed per column *)
+  cache : (Profile_cache.t * Profile_cache.key) option;
   mutable profile : Textsim.Profile.t option;
   mutable summary : Stats.Descriptive.summary option;
   mutable distinct : string list option;
 }
 
-let make ~owner attribute values =
-  { owner; attribute; values; profile = None; summary = None; distinct = None }
+let make ?cache ~owner attribute values =
+  { owner; attribute; values; cache; profile = None; summary = None; distinct = None }
 
-let of_table table attr_name =
-  make ~owner:(Table.name table)
+let of_table ?cache table attr_name =
+  let cache =
+    (* registered under the full row range, so views selecting every
+       row share the base column's artefacts *)
+    Option.map
+      (fun c ->
+        ( c,
+          Profile_cache.key ~table:(Table.name table) ~attr:attr_name
+            ~indices:(Array.init (Table.row_count table) Fun.id) ))
+      cache
+  in
+  make ?cache
+    ~owner:(Table.name table)
     (Schema.attribute (Table.schema table) attr_name)
     (Table.column table attr_name)
 
-let of_view view attr_name =
-  make ~owner:(View.name view)
+let of_view ?cache view attr_name =
+  let cache =
+    Option.map
+      (fun c ->
+        ( c,
+          Profile_cache.key
+            ~table:(Table.name (View.base view))
+            ~attr:attr_name ~indices:(View.row_indices view) ))
+      cache
+  in
+  make ?cache
+    ~owner:(View.name view)
     (Schema.attribute (Relational.Table.schema (View.base view)) attr_name)
     (View.column view attr_name)
 
@@ -43,7 +67,12 @@ let profile t =
   match t.profile with
   | Some p -> p
   | None ->
-    let p = Textsim.Profile.of_strings_array (strings t) in
+    let compute () = Textsim.Profile.of_strings_array (strings t) in
+    let p =
+      match t.cache with
+      | Some (c, key) -> Runtime.Memo.find_or_add c.Profile_cache.profiles key compute
+      | None -> compute ()
+    in
     t.profile <- Some p;
     p
 
@@ -51,7 +80,12 @@ let summary t =
   match t.summary with
   | Some s -> s
   | None ->
-    let s = Stats.Descriptive.summarize (floats t) in
+    let compute () = Stats.Descriptive.summarize (floats t) in
+    let s =
+      match t.cache with
+      | Some (c, key) -> Runtime.Memo.find_or_add c.Profile_cache.summaries key compute
+      | None -> compute ()
+    in
     t.summary <- Some s;
     s
 
@@ -59,6 +93,20 @@ let distinct_strings t =
   match t.distinct with
   | Some d -> d
   | None ->
-    let d = strings t |> Array.to_list |> List.sort_uniq String.compare in
+    let compute () = strings t |> Array.to_list |> List.sort_uniq String.compare in
+    let d =
+      match t.cache with
+      | Some (c, key) -> Runtime.Memo.find_or_add c.Profile_cache.distincts key compute
+      | None -> compute ()
+    in
     t.distinct <- Some d;
     d
+
+let warm t =
+  let a = t.attribute in
+  if Attribute.is_textual a then begin
+    ignore (profile t);
+    ignore (distinct_strings t)
+  end;
+  if Attribute.is_numeric a then ignore (summary t);
+  if a.Attribute.ty = Value.Tint then ignore (distinct_strings t)

@@ -8,9 +8,16 @@ open Relational
 
 type t
 
-val make : owner:string -> Attribute.t -> Value.t array -> t
-val of_table : Table.t -> string -> t
-val of_view : View.t -> string -> t
+val make : ?cache:Profile_cache.t * Profile_cache.key -> owner:string -> Attribute.t -> Value.t array -> t
+
+(** With [cache], artefacts are shared under the full row-index range
+    of the table, so a view selecting every row hits them. *)
+val of_table : ?cache:Profile_cache.t -> Table.t -> string -> t
+
+(** With [cache], the lazy artefacts are looked up under
+    [(base table, attr, digest of the view's row indices)] before being
+    computed, so views selecting the same rows share one computation. *)
+val of_view : ?cache:Profile_cache.t -> View.t -> string -> t
 val owner : t -> string
 val attribute : t -> Attribute.t
 val name : t -> string
@@ -36,3 +43,9 @@ val summary : t -> Stats.Descriptive.summary
 
 val distinct_strings : t -> string list
 (** Distinct display strings, sorted (cached). *)
+
+val warm : t -> unit
+(** Force the artefacts a matcher of this column's type could ask for
+    (profile/distinct for textual, summary for numeric, distinct for
+    int).  Used to pre-populate shared columns before they are read
+    concurrently from worker domains. *)

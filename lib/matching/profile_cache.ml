@@ -1,0 +1,29 @@
+type key = string * string * string
+
+type t = {
+  profiles : (key, Textsim.Profile.t) Runtime.Memo.t;
+  summaries : (key, Stats.Descriptive.summary) Runtime.Memo.t;
+  distincts : (key, string list) Runtime.Memo.t;
+}
+
+let create () =
+  {
+    profiles = Runtime.Memo.create ();
+    summaries = Runtime.Memo.create ();
+    distincts = Runtime.Memo.create ();
+  }
+
+let subset_digest indices = Digest.to_hex (Digest.string (Marshal.to_string indices []))
+
+let key ~table ~attr ~indices = (table, attr, subset_digest indices)
+
+let hits t =
+  Runtime.Memo.hits t.profiles + Runtime.Memo.hits t.summaries + Runtime.Memo.hits t.distincts
+
+let misses t =
+  Runtime.Memo.misses t.profiles + Runtime.Memo.misses t.summaries
+  + Runtime.Memo.misses t.distincts
+
+let hit_rate t =
+  let total = hits t + misses t in
+  if total = 0 then 0.0 else float_of_int (hits t) /. float_of_int total

@@ -1,0 +1,38 @@
+(** Shared cache of per-column derived artefacts (q-gram profile,
+    numeric summary, distinct set) keyed by
+    [(base table, attribute, row-subset digest)].
+
+    A {!Column.t} caches its artefacts for its own lifetime; this cache
+    extends the reuse across columns — in particular across candidate
+    views whose conditions select the same row subset of the same base
+    table, which recur when several families cover an attribute (and,
+    under correlated attributes, across families).  Entries are keyed by
+    a digest of the exact row-index array, so equal subsets hit and any
+    differing subset misses; a hit returns an artefact computed from the
+    very same value sequence, keeping cached scores bit-identical to
+    freshly computed ones.
+
+    Backed by {!Runtime.Memo}: safe to share across the worker domains
+    of a parallel run. *)
+
+type key = string * string * string
+(** [(base table name, attribute name, row-subset digest)]. *)
+
+type t = {
+  profiles : (key, Textsim.Profile.t) Runtime.Memo.t;
+  summaries : (key, Stats.Descriptive.summary) Runtime.Memo.t;
+  distincts : (key, string list) Runtime.Memo.t;
+}
+
+val create : unit -> t
+
+val subset_digest : int array -> string
+(** Collision-resistant digest of a row-index array. *)
+
+val key : table:string -> attr:string -> indices:int array -> key
+
+val hits : t -> int
+val misses : t -> int
+(** Counters summed over the three tables. *)
+
+val hit_rate : t -> float

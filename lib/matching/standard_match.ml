@@ -8,18 +8,38 @@ type model = {
   source_db : Database.t;
   target_db : Database.t;
   target_cols : target_col list;
+  (* (tgt_table, tgt_attr) -> target_col, for O(1) lookups in ScoreMatch *)
+  target_index : (string * string, target_col) Hashtbl.t;
   (* (src_table, src_attr) -> Column *)
   source_cols : (string * string, Column.t) Hashtbl.t;
   (* (src_table, src_attr, matcher) -> raw-score normalisation stats *)
   stats : (string * string * string, Normalize.t) Hashtbl.t;
   (* (src_table, src_attr, tgt_table, tgt_attr, matcher) -> raw score *)
   raw : (string * string * string * string * string, float) Hashtbl.t;
+  (* view-column artefacts shared across candidate-view scorings *)
+  cache : Profile_cache.t;
 }
 
 let source m = m.source_db
 let target m = m.target_db
+let profile_cache m = m.cache
+let cache_stats m = (Profile_cache.hits m.cache, Profile_cache.misses m.cache)
 
-let build ?(gated = true) ?(matchers = Matchers.default_suite) ~source ~target () =
+(* One fan-out unit of [build]: every raw score and the per-matcher
+   normalisation stats of a single source attribute.  Pure apart from
+   reads of the pre-warmed target columns and writes to its own
+   freshly created source column, so units can run on any domain. *)
+type built_pair = {
+  bp_table : string;
+  bp_attr : string;
+  bp_column : Column.t;
+  (* matcher name, (tgt_table, tgt_attr, raw score) list, stats *)
+  bp_scores : (string * (string * string * float) list * Normalize.t option) list;
+}
+
+let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ~source ~target ()
+    =
+  let cache = Profile_cache.create () in
   let target_cols =
     List.concat_map
       (fun tbl ->
@@ -28,47 +48,90 @@ let build ?(gated = true) ?(matchers = Matchers.default_suite) ~source ~target (
           (Schema.attribute_names (Table.schema tbl)))
       (Database.tables target)
   in
+  (* Warm the shared target columns up front: during the fan-out they
+     are read concurrently, so their lazy artefacts must already be in
+     place (same computations the sequential path performs on first
+     touch). *)
+  List.iter (fun tgt -> Column.warm tgt.column) target_cols;
+  let target_index = Hashtbl.create 64 in
+  List.iter
+    (fun tgt -> Hashtbl.replace target_index (tgt.table, Column.name tgt.column) tgt)
+    target_cols;
+  let pairs =
+    List.concat_map
+      (fun src_tbl ->
+        List.map
+          (fun src_attr -> (src_tbl, src_attr))
+          (Schema.attribute_names (Table.schema src_tbl)))
+      (Database.tables source)
+    |> Array.of_list
+  in
+  let score_pair (src_tbl, src_attr) =
+    let src_name = Table.name src_tbl in
+    let src_col = Column.of_table ~cache src_tbl src_attr in
+    let bp_scores =
+      List.map
+        (fun matcher ->
+          (* Raw scores of this matcher from this source attribute to
+             every applicable target attribute. *)
+          (* Inapplicable pairs count as score 0 in the distribution
+             (they are real alternatives the matcher cannot rank),
+             anchoring the z-normalisation at an absolute floor; but
+             they never contribute a confidence to the combination
+             step. *)
+          let scores = ref [] in
+          let applicable = ref [] in
+          List.iter
+            (fun tgt ->
+              if Matcher.applicable_pair matcher src_col tgt.column then begin
+                let s = Matcher.score matcher src_col tgt.column in
+                applicable := (tgt.table, Column.name tgt.column, s) :: !applicable;
+                scores := s :: !scores
+              end
+              else scores := 0.0 :: !scores)
+            target_cols;
+          let stats =
+            if !applicable <> [] then Some (Normalize.of_scores (Array.of_list !scores))
+            else None
+          in
+          (matcher.Matcher.name, !applicable, stats))
+        matchers
+    in
+    { bp_table = src_name; bp_attr = src_attr; bp_column = src_col; bp_scores }
+  in
+  let built = Runtime.Pool.map_array (Runtime.Pool.get ~jobs) score_pair pairs in
+  (* Deterministic merge: results arrive in pair-index order whatever
+     the scheduling; every hash key is unique, so the tables end up
+     identical to the sequential build's. *)
   let source_cols = Hashtbl.create 64 in
   let stats = Hashtbl.create 256 in
   let raw = Hashtbl.create 4096 in
-  List.iter
-    (fun src_tbl ->
-      let src_name = Table.name src_tbl in
+  Array.iter
+    (fun bp ->
+      Hashtbl.replace source_cols (bp.bp_table, bp.bp_attr) bp.bp_column;
       List.iter
-        (fun src_attr ->
-          let src_col = Column.of_table src_tbl src_attr in
-          Hashtbl.replace source_cols (src_name, src_attr) src_col;
+        (fun (matcher_name, applicable, st) ->
           List.iter
-            (fun matcher ->
-              (* Raw scores of this matcher from this source attribute to
-                 every applicable target attribute. *)
-              (* Inapplicable pairs count as score 0 in the distribution
-                 (they are real alternatives the matcher cannot rank),
-                 anchoring the z-normalisation at an absolute floor; but
-                 they never contribute a confidence to the combination
-                 step. *)
-              let scores = ref [] in
-              let applicable_count = ref 0 in
-              List.iter
-                (fun tgt ->
-                  if Matcher.applicable_pair matcher src_col tgt.column then begin
-                    let s = Matcher.score matcher src_col tgt.column in
-                    Hashtbl.replace raw
-                      (src_name, src_attr, tgt.table, Column.name tgt.column, matcher.Matcher.name)
-                      s;
-                    incr applicable_count;
-                    scores := s :: !scores
-                  end
-                  else scores := 0.0 :: !scores)
-                target_cols;
-              if !applicable_count > 0 then
-                Hashtbl.replace stats
-                  (src_name, src_attr, matcher.Matcher.name)
-                  (Normalize.of_scores (Array.of_list !scores)))
-            matchers)
-        (Schema.attribute_names (Table.schema src_tbl)))
-    (Database.tables source);
-  { gated; matchers; source_db = source; target_db = target; target_cols; source_cols; stats; raw }
+            (fun (tgt_table, tgt_attr, s) ->
+              Hashtbl.replace raw (bp.bp_table, bp.bp_attr, tgt_table, tgt_attr, matcher_name) s)
+            applicable;
+          match st with
+          | Some st -> Hashtbl.replace stats (bp.bp_table, bp.bp_attr, matcher_name) st
+          | None -> ())
+        bp.bp_scores)
+    built;
+  {
+    gated;
+    matchers;
+    source_db = source;
+    target_db = target;
+    target_cols;
+    target_index;
+    source_cols;
+    stats;
+    raw;
+    cache;
+  }
 
 let confidence m ~src_table ~src_attr ~tgt_table ~tgt_attr =
   let weighted =
@@ -114,19 +177,14 @@ let score_view m view ~src_attr ~tgt_table ~tgt_attr =
   if View.row_count view = 0 then 0.0
   else begin
     let src_table = Table.name (View.base view) in
-    let src_col = Column.of_view view src_attr in
+    let src_col = Column.of_view ~cache:m.cache view src_attr in
     let weighted =
       List.filter_map
         (fun (matcher : Matcher.t) ->
           match Hashtbl.find_opt m.stats (src_table, src_attr, matcher.name) with
           | None -> None
           | Some st ->
-            let tgt =
-              List.find_opt
-                (fun tc ->
-                  String.equal tc.table tgt_table && String.equal (Column.name tc.column) tgt_attr)
-                m.target_cols
-            in
+            let tgt = Hashtbl.find_opt m.target_index (tgt_table, tgt_attr) in
             (match tgt with
             | None -> None
             | Some tgt when Matcher.applicable_pair matcher src_col tgt.column ->
@@ -141,13 +199,14 @@ let score_view m view ~src_attr ~tgt_table ~tgt_attr =
 let view_matches m view ~base_matches =
   let base_name = Table.name (View.base view) in
   (* Reuse one Column per source attribute of the view across matchers:
-     the Column caches its profile/summary internally. *)
+     the Column caches its profile/summary internally, and the model's
+     profile cache shares them with any other view on the same rows. *)
   let col_cache = Hashtbl.create 8 in
   let view_column attr =
     match Hashtbl.find_opt col_cache attr with
     | Some c -> c
     | None ->
-      let c = Column.of_view view attr in
+      let c = Column.of_view ~cache:m.cache view attr in
       Hashtbl.add col_cache attr c;
       c
   in
@@ -161,13 +220,7 @@ let view_matches m view ~base_matches =
             match Hashtbl.find_opt m.stats (base_name, bm.src_attr, matcher.name) with
             | None -> None
             | Some st ->
-              let tgt =
-                List.find_opt
-                  (fun tc ->
-                    String.equal tc.table bm.tgt_table
-                    && String.equal (Column.name tc.column) bm.tgt_attr)
-                  m.target_cols
-              in
+              let tgt = Hashtbl.find_opt m.target_index (bm.tgt_table, bm.tgt_attr) in
               (match tgt with
               | Some tgt when Matcher.applicable_pair matcher src_col tgt.column ->
                 let s = Matcher.score matcher src_col tgt.column in

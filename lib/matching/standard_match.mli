@@ -16,16 +16,28 @@ type model
 val build :
   ?gated:bool ->
   ?matchers:Matcher.t list ->
+  ?jobs:int ->
   source:Database.t ->
   target:Database.t ->
   unit ->
   model
 (** Default matchers: {!Matchers.default_suite}.  [gated] (default true)
     selects {!Normalize.gated_confidence} over plain z-score confidence;
-    the ablation bench measures the difference. *)
+    the ablation bench measures the difference.
+
+    [jobs] (default 1) fans the per-(source attribute) scoring out over
+    a {!Runtime.Pool} of that many domains.  The fan-out is
+    deterministic: results are merged in attribute order and the model
+    is bit-identical to the sequential build's. *)
 
 val source : model -> Database.t
 val target : model -> Database.t
+
+val profile_cache : model -> Profile_cache.t
+(** The cache threaded through every view column this model scores. *)
+
+val cache_stats : model -> int * int
+(** [(hits, misses)] of {!profile_cache} so far. *)
 
 val confidence : model -> src_table:string -> src_attr:string -> tgt_table:string ->
   tgt_attr:string -> float

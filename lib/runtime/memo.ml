@@ -1,0 +1,51 @@
+type ('k, 'v) t = {
+  mutex : Mutex.t;
+  table : ('k, 'v) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(initial_size = 64) () =
+  { mutex = Mutex.create (); table = Hashtbl.create initial_size; hits = 0; misses = 0 }
+
+let find_or_add t key compute =
+  Mutex.lock t.mutex;
+  match Hashtbl.find_opt t.table key with
+  | Some v ->
+    t.hits <- t.hits + 1;
+    Mutex.unlock t.mutex;
+    v
+  | None ->
+    t.misses <- t.misses + 1;
+    Mutex.unlock t.mutex;
+    let v = compute () in
+    Mutex.lock t.mutex;
+    let v =
+      match Hashtbl.find_opt t.table key with
+      | Some winner -> winner (* a racing domain inserted first; converge on its copy *)
+      | None ->
+        Hashtbl.add t.table key v;
+        v
+    in
+    Mutex.unlock t.mutex;
+    v
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.mutex;
+  n
+
+let hits t = t.hits
+let misses t = t.misses
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
+
+let clear t =
+  Mutex.lock t.mutex;
+  Hashtbl.reset t.table;
+  t.hits <- 0;
+  t.misses <- 0;
+  Mutex.unlock t.mutex

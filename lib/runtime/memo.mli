@@ -1,0 +1,28 @@
+(** Mutex-protected memo table with hit/miss accounting.
+
+    Safe to share across domains.  [find_or_add] runs the compute
+    function {e outside} the lock, so concurrent misses on distinct
+    keys do not serialise; two domains racing on the {e same} key may
+    both compute, in which case the first insertion wins and both
+    callers return it — with a deterministic compute function every
+    caller observes the same value either way. *)
+
+type ('k, 'v) t
+
+val create : ?initial_size:int -> unit -> ('k, 'v) t
+
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+
+val length : ('k, 'v) t -> int
+
+val hits : ('k, 'v) t -> int
+(** Lookups answered from the table. *)
+
+val misses : ('k, 'v) t -> int
+(** Lookups that had to compute. *)
+
+val hit_rate : ('k, 'v) t -> float
+(** [hits / (hits + misses)]; 0 before any lookup. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop entries and reset the counters. *)

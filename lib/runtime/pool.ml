@@ -1,0 +1,142 @@
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  work_done : Condition.t;
+  tasks : (unit -> unit) Queue.t;
+  mutable outstanding : int;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let jobs t = t.jobs
+
+(* Workers sleep on [work_available]; every finished task decrements
+   [outstanding] under the mutex, and the task that empties a batch
+   wakes the submitter through [work_done]. *)
+let worker_loop t =
+  Mutex.lock t.mutex;
+  let rec loop () =
+    if t.stop then Mutex.unlock t.mutex
+    else
+      match Queue.take_opt t.tasks with
+      | Some task ->
+        Mutex.unlock t.mutex;
+        task ();
+        Mutex.lock t.mutex;
+        t.outstanding <- t.outstanding - 1;
+        if t.outstanding = 0 then Condition.broadcast t.work_done;
+        loop ()
+      | None ->
+        Condition.wait t.work_available t.mutex;
+        loop ()
+  in
+  loop ()
+
+let create ~jobs =
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      work_done = Condition.create ();
+      tasks = Queue.create ();
+      outstanding = 0;
+      stop = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then
+    t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let parallel_init t n f =
+  if n = 0 then [||]
+  else if t.jobs <= 1 || t.stop || n = 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let error = ref None in
+    (* More chunks than domains, so an uneven chunk cannot serialise the
+       batch; which domain runs which chunk never shows in the output. *)
+    let chunks = min n (t.jobs * 4) in
+    let base = n / chunks and extra = n mod chunks in
+    let task lo hi () =
+      try
+        for i = lo to hi - 1 do
+          results.(i) <- Some (f i)
+        done
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Mutex.lock t.mutex;
+        if !error = None then error := Some (e, bt);
+        Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    let lo = ref 0 in
+    for c = 0 to chunks - 1 do
+      let size = base + if c < extra then 1 else 0 in
+      let l = !lo in
+      let h = l + size in
+      lo := h;
+      Queue.add (task l h) t.tasks
+    done;
+    t.outstanding <- t.outstanding + chunks;
+    Condition.broadcast t.work_available;
+    (* The submitting domain drains its share instead of going idle. *)
+    let rec help () =
+      match Queue.take_opt t.tasks with
+      | Some task ->
+        Mutex.unlock t.mutex;
+        task ();
+        Mutex.lock t.mutex;
+        t.outstanding <- t.outstanding - 1;
+        if t.outstanding = 0 then Condition.broadcast t.work_done;
+        help ()
+      | None -> ()
+    in
+    help ();
+    while t.outstanding > 0 do
+      Condition.wait t.work_done t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    match !error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_array t f arr = parallel_init t (Array.length arr) (fun i -> f arr.(i))
+
+let mapi_list t f l =
+  let arr = Array.of_list l in
+  Array.to_list (parallel_init t (Array.length arr) (fun i -> f i arr.(i)))
+
+let map_list t f l = mapi_list t (fun _ x -> f x) l
+
+let concat_map_list t f l = List.concat (map_list t f l)
+
+(* One process-wide pool, re-sized on demand.  Spawned domains would
+   otherwise sleep in [Condition.wait] at process exit, so the hook
+   joins them before the runtime shuts down. *)
+let cached : t option ref = ref None
+let exit_hook = ref false
+
+let get ~jobs =
+  match !cached with
+  | Some p when p.jobs = jobs && not p.stop -> p
+  | prev ->
+    (match prev with Some p -> shutdown p | None -> ());
+    let p = create ~jobs in
+    cached := Some p;
+    if not !exit_hook then begin
+      exit_hook := true;
+      at_exit (fun () -> match !cached with Some p -> shutdown p | None -> ())
+    end;
+    p

@@ -1,0 +1,48 @@
+(** Fixed-size [Domain] worker pool with deterministic, index-ordered
+    fan-out.
+
+    Work is split into contiguous index chunks and the results are
+    written into per-index slots, so every map below returns exactly
+    what its sequential counterpart ([Array.init], [List.map], ...)
+    would return, regardless of how the chunks are scheduled across
+    domains.  The element function must itself be deterministic and
+    must not mutate state shared with other elements; shared state it
+    only {e reads} must be fully initialised before the call (the task
+    hand-off through the pool's mutex establishes the happens-before
+    edge that publishes it to the workers).
+
+    A pool of [jobs <= 1] never spawns a domain: every map degrades to
+    the plain sequential implementation, byte for byte.
+
+    Batches are submitted from one domain at a time (the pool is not
+    re-entrant: do not call a map from inside a task of the same
+    pool). *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn [max 0 (jobs - 1)] worker domains; the submitting domain
+    works through its own share of the chunks, so [jobs] bounds the
+    total number of domains working on a batch. *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Signal and join all workers.  Idempotent.  Maps on a shut-down
+    pool run sequentially. *)
+
+val parallel_init : t -> int -> (int -> 'a) -> 'a array
+(** [parallel_init t n f] = [Array.init n f] (same order, same
+    exceptions — the first raising index re-raises after the batch
+    drains). *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+val mapi_list : t -> (int -> 'a -> 'b) -> 'a list -> 'b list
+val concat_map_list : t -> ('a -> 'b list) -> 'a list -> 'b list
+
+val get : jobs:int -> t
+(** Process-wide cached pool.  Re-sizing (asking for a different
+    [jobs]) shuts the previous pool down and spawns a fresh one; the
+    cached pool is shut down automatically [at_exit].  Call from the
+    main domain only. *)

@@ -23,6 +23,8 @@ let () =
       ("matching", Test_matching.suite);
       ("ctxmatch.core", Test_ctxmatch.suite);
       ("ctxmatch.select", Test_select_matches.suite);
+      ("runtime", Test_runtime.suite);
+      ("runtime.parallel-equiv", Test_parallel_equiv.suite);
       ("ctxmatch.conjunctive", Test_conjunctive.suite);
       ("mapping", Test_mapping.suite);
       ("mapping.gen", Test_mapping_gen.suite);

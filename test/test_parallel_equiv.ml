@@ -1,0 +1,133 @@
+(* Differential oracle for the parallel runtime: ContextMatch with
+   jobs > 1 must produce results *identical* to the sequential path —
+   same matches, same bit-for-bit confidences, same families, same
+   scored views — for every workload, style and seed.  Floats are
+   fingerprinted with %h (hex), so any drift in accumulation order
+   shows up, not just drift above an epsilon. *)
+
+let fp_match (m : Matching.Schema_match.t) =
+  Printf.sprintf "%s|%s|%s|%s.%s|%s|%h" m.src_owner m.src_base m.src_attr m.tgt_table
+    m.tgt_attr
+    (Relational.Condition.to_string m.condition)
+    m.confidence
+
+let fp_view v =
+  Printf.sprintf "%s?%s" (Relational.View.name v)
+    (Relational.Condition.to_string (Relational.View.condition v))
+
+let fp_family (f : Relational.View.family) =
+  Printf.sprintf "%s|%s|%h|[%s]"
+    (Relational.Table.name f.table)
+    f.attribute f.quality
+    (String.concat ";" (List.map fp_view f.views))
+
+let fp_scored (sv : Ctxmatch.Select_matches.scored_view) =
+  Printf.sprintf "%s|%s|[%s]" (fp_view sv.view) sv.family_attr
+    (String.concat ";" (List.map fp_match sv.view_matches))
+
+let fingerprint (r : Ctxmatch.Context_match.result) =
+  String.concat "\n"
+    (("matches:" :: List.map fp_match r.matches)
+    @ ("standard:" :: List.map fp_match r.standard)
+    @ ("families:" :: List.map fp_family r.families)
+    @ (Printf.sprintf "views:%d" r.candidate_view_count :: List.map fp_scored r.scored))
+
+(* jobs values exercised against the sequential oracle; recommended
+   collapses to one of the fixed values on small hosts, sort_uniq keeps
+   the run count stable. *)
+let par_jobs =
+  List.sort_uniq compare (2 :: 4 :: [ Domain.recommended_domain_count () ])
+  |> List.filter (fun j -> j > 1)
+
+let seeds = [ 1; 2; 3; 5; 8 ]
+
+let check_equiv ~what ~run =
+  let oracle = fingerprint (run ~jobs:1) in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s jobs=%d = sequential" what jobs)
+        oracle
+        (fingerprint (run ~jobs)))
+    par_jobs
+
+let retail_run ~style ~infer_kind ~seed ~jobs =
+  let params = { Workload.Retail.default_params with rows = 120; target_rows = 60; seed } in
+  let source = Workload.Retail.source params in
+  let target = Workload.Retail.target params style in
+  let config =
+    Ctxmatch.Config.with_jobs (Ctxmatch.Config.with_seed Ctxmatch.Config.default seed) jobs
+  in
+  let infer = Ctxmatch.Context_match.infer_of infer_kind ~target in
+  Ctxmatch.Context_match.run ~config ~infer ~source ~target ()
+
+let grades_run ~seed ~jobs =
+  let params = { Workload.Grades.default_params with students = 60; seed } in
+  let source = Workload.Grades.narrow params in
+  let target = Workload.Grades.wide params in
+  let config =
+    {
+      (Ctxmatch.Config.with_seed Ctxmatch.Config.default seed) with
+      tau = 0.4;
+      omega = 0.05;
+      early_disjuncts = false;
+      select = Ctxmatch.Config.Clio_qual_table;
+      jobs;
+    }
+  in
+  let infer = Ctxmatch.Context_match.infer_of `Src_class ~target in
+  Ctxmatch.Context_match.run ~config ~infer ~source ~target ()
+
+let test_retail_equivalence style () =
+  List.iter
+    (fun seed ->
+      check_equiv
+        ~what:(Printf.sprintf "retail/%s seed=%d" (Workload.Retail.style_name style) seed)
+        ~run:(fun ~jobs -> retail_run ~style ~infer_kind:`Src_class ~seed ~jobs))
+    seeds
+
+let test_retail_naive_equivalence () =
+  (* NaiveInfer enumerates far more candidate views (the profile
+     cache's best case) and drives the other select policy paths. *)
+  List.iter
+    (fun seed ->
+      check_equiv
+        ~what:(Printf.sprintf "retail/naive seed=%d" seed)
+        ~run:(fun ~jobs -> retail_run ~style:Workload.Retail.Ryan_eyers ~infer_kind:`Naive ~seed ~jobs))
+    [ 3; 11 ]
+
+let test_grades_equivalence () =
+  List.iter
+    (fun seed -> check_equiv ~what:(Printf.sprintf "grades seed=%d" seed) ~run:(grades_run ~seed))
+    seeds
+
+(* Same configuration run twice must be structurally identical — on
+   every jobs value, including the parallel ones where scheduling
+   differs between the two runs. *)
+let test_determinism_regression () =
+  List.iter
+    (fun jobs ->
+      let a =
+        fingerprint (retail_run ~style:Workload.Retail.Aaron_day ~infer_kind:`Src_class ~seed:42 ~jobs)
+      in
+      let b =
+        fingerprint (retail_run ~style:Workload.Retail.Aaron_day ~infer_kind:`Src_class ~seed:42 ~jobs)
+      in
+      Alcotest.(check string) (Printf.sprintf "retail twice, jobs=%d" jobs) a b;
+      let g1 = fingerprint (grades_run ~seed:42 ~jobs) in
+      let g2 = fingerprint (grades_run ~seed:42 ~jobs) in
+      Alcotest.(check string) (Printf.sprintf "grades twice, jobs=%d" jobs) g1 g2)
+    (1 :: par_jobs)
+
+let suite =
+  List.map
+    (fun style ->
+      Alcotest.test_case
+        (Printf.sprintf "retail %s par = seq" (Workload.Retail.style_name style))
+        `Slow (test_retail_equivalence style))
+    Workload.Retail.all_styles
+  @ [
+      Alcotest.test_case "retail naive par = seq" `Slow test_retail_naive_equivalence;
+      Alcotest.test_case "grades par = seq" `Slow test_grades_equivalence;
+      Alcotest.test_case "same run twice is identical" `Slow test_determinism_regression;
+    ]

@@ -1,0 +1,222 @@
+(* The parallel runtime: deterministic pool fan-out, the memo table,
+   and the profile cache threaded through view scoring. *)
+open Relational
+
+(* --- Pool -------------------------------------------------------------- *)
+
+let test_pool_matches_sequential () =
+  List.iter
+    (fun jobs ->
+      let pool = Runtime.Pool.create ~jobs in
+      List.iter
+        (fun n ->
+          let input = List.init n (fun i -> i) in
+          let f x = (x * x) + 1 in
+          Alcotest.(check (list int))
+            (Printf.sprintf "map jobs=%d n=%d" jobs n)
+            (List.map f input)
+            (Runtime.Pool.map_list pool f input))
+        [ 0; 1; 7; 100 ];
+      Runtime.Pool.shutdown pool)
+    [ 1; 2; 4 ]
+
+let test_pool_mapi_and_concat () =
+  let pool = Runtime.Pool.create ~jobs:4 in
+  let input = List.init 50 (fun i -> Printf.sprintf "v%d" i) in
+  Alcotest.(check (list string))
+    "mapi passes the index"
+    (List.mapi (fun i s -> Printf.sprintf "%d:%s" i s) input)
+    (Runtime.Pool.mapi_list pool (fun i s -> Printf.sprintf "%d:%s" i s) input);
+  let f x = [ x; x * 10 ] in
+  let ints = List.init 31 (fun i -> i) in
+  Alcotest.(check (list int))
+    "concat_map preserves order"
+    (List.concat_map f ints)
+    (Runtime.Pool.concat_map_list pool f ints);
+  Runtime.Pool.shutdown pool
+
+let test_pool_deterministic_across_runs () =
+  let pool = Runtime.Pool.create ~jobs:4 in
+  let input = List.init 500 (fun i -> i) in
+  let f x = Printf.sprintf "%d-%d" x (x mod 7) in
+  let first = Runtime.Pool.map_list pool f input in
+  for _ = 1 to 3 do
+    Alcotest.(check (list string)) "same output every run" first
+      (Runtime.Pool.map_list pool f input)
+  done;
+  Runtime.Pool.shutdown pool
+
+let test_pool_propagates_exception () =
+  let pool = Runtime.Pool.create ~jobs:2 in
+  let blew_up =
+    try
+      ignore
+        (Runtime.Pool.map_list pool
+           (fun x -> if x = 57 then failwith "boom" else x)
+           (List.init 100 (fun i -> i)));
+      false
+    with Failure msg -> msg = "boom"
+  in
+  Alcotest.(check bool) "exception re-raised" true blew_up;
+  (* the batch drained: the pool is still usable *)
+  Alcotest.(check (list int)) "pool survives" [ 2; 4 ]
+    (Runtime.Pool.map_list pool (fun x -> 2 * x) [ 1; 2 ]);
+  Runtime.Pool.shutdown pool
+
+let test_pool_get_caches_and_resizes () =
+  let p2 = Runtime.Pool.get ~jobs:2 in
+  Alcotest.(check bool) "same pool returned" true (p2 == Runtime.Pool.get ~jobs:2);
+  Alcotest.(check int) "jobs recorded" 2 (Runtime.Pool.jobs p2);
+  let p3 = Runtime.Pool.get ~jobs:3 in
+  Alcotest.(check int) "resized" 3 (Runtime.Pool.jobs p3);
+  Alcotest.(check (list int)) "resized pool works" [ 1; 2; 3 ]
+    (Runtime.Pool.map_list p3 (fun x -> x) [ 1; 2; 3 ])
+
+(* --- Memo -------------------------------------------------------------- *)
+
+let test_memo_hit_miss_accounting () =
+  let memo = Runtime.Memo.create () in
+  let calls = ref 0 in
+  let compute k () =
+    incr calls;
+    String.length k
+  in
+  Alcotest.(check int) "computed" 3 (Runtime.Memo.find_or_add memo "abc" (compute "abc"));
+  Alcotest.(check int) "cached" 3 (Runtime.Memo.find_or_add memo "abc" (compute "abc"));
+  Alcotest.(check int) "one compute" 1 !calls;
+  Alcotest.(check int) "one hit" 1 (Runtime.Memo.hits memo);
+  Alcotest.(check int) "one miss" 1 (Runtime.Memo.misses memo);
+  Alcotest.(check (float 1e-9)) "hit rate" 0.5 (Runtime.Memo.hit_rate memo);
+  Runtime.Memo.clear memo;
+  Alcotest.(check int) "cleared" 0 (Runtime.Memo.length memo);
+  Alcotest.(check int) "counters reset" 0 (Runtime.Memo.hits memo + Runtime.Memo.misses memo)
+
+let test_memo_returns_first_insertion () =
+  let memo = Runtime.Memo.create () in
+  let a = Runtime.Memo.find_or_add memo 1 (fun () -> ref 10) in
+  let b = Runtime.Memo.find_or_add memo 1 (fun () -> ref 99) in
+  Alcotest.(check bool) "physically shared" true (a == b);
+  Alcotest.(check int) "first value kept" 10 !a
+
+let test_memo_under_concurrency () =
+  let memo = Runtime.Memo.create () in
+  let pool = Runtime.Pool.create ~jobs:4 in
+  let results =
+    Runtime.Pool.map_list pool
+      (fun i -> Runtime.Memo.find_or_add memo (i mod 10) (fun () -> (i mod 10) * 100))
+      (List.init 200 (fun i -> i))
+  in
+  Runtime.Pool.shutdown pool;
+  Alcotest.(check (list int))
+    "every lookup consistent"
+    (List.init 200 (fun i -> i mod 10 * 100))
+    results;
+  Alcotest.(check int) "all lookups accounted" 200
+    (Runtime.Memo.hits memo + Runtime.Memo.misses memo);
+  Alcotest.(check int) "only ten keys" 10 (Runtime.Memo.length memo)
+
+(* --- Profile cache ----------------------------------------------------- *)
+
+(* [flag] and [dup] always agree, so conditions on either attribute can
+   select the same row subset through different conditions. *)
+let cache_table =
+  Table.make
+    (Schema.make "S"
+       [ Attribute.string "flag"; Attribute.string "dup"; Attribute.string "x" ])
+    (List.init 20 (fun i ->
+         let side = if i mod 2 = 0 then "a" else "b" in
+         [|
+           Value.String side;
+           Value.String side;
+           Value.String (Printf.sprintf "title %d of side %s" i side);
+         |]))
+
+let test_cache_hit_on_identical_subset () =
+  let cache = Matching.Profile_cache.create () in
+  let va = View.make cache_table (Condition.Eq ("flag", Value.String "a")) in
+  let vb = View.make cache_table (Condition.Eq ("dup", Value.String "a")) in
+  let ca = Matching.Column.of_view ~cache va "x" in
+  let cb = Matching.Column.of_view ~cache vb "x" in
+  let pa = Matching.Column.profile ca in
+  let pb = Matching.Column.profile cb in
+  Alcotest.(check bool) "same subset shares one profile" true (pa == pb);
+  Alcotest.(check int) "second lookup hit" 1 (Runtime.Memo.hits cache.profiles);
+  Alcotest.(check int) "first lookup missed" 1 (Runtime.Memo.misses cache.profiles)
+
+let test_cache_miss_on_different_subset () =
+  let cache = Matching.Profile_cache.create () in
+  let va = View.make cache_table (Condition.Eq ("flag", Value.String "a")) in
+  let vb = View.make cache_table (Condition.Eq ("flag", Value.String "b")) in
+  ignore (Matching.Column.profile (Matching.Column.of_view ~cache va "x"));
+  ignore (Matching.Column.profile (Matching.Column.of_view ~cache vb "x"));
+  Alcotest.(check int) "no hits" 0 (Runtime.Memo.hits cache.profiles);
+  Alcotest.(check int) "two computes" 2 (Runtime.Memo.misses cache.profiles);
+  Alcotest.(check bool) "distinct digests" true
+    (Matching.Profile_cache.subset_digest (View.row_indices va)
+    <> Matching.Profile_cache.subset_digest (View.row_indices vb))
+
+(* Source rows with embedded commas, quotes and newlines, round-tripped
+   through the CSV layer: cached view scores must equal fresh ones on
+   exactly the bytes users load. *)
+let csv_roundtrip_db () =
+  let header = [ "flag"; "dup"; "title" ] in
+  let rows =
+    List.init 16 (fun i ->
+        let side = if i mod 2 = 0 then "a" else "b" in
+        [
+          side;
+          side;
+          Printf.sprintf "the \"secret, history\"\nvolume %d, side %s" i side;
+        ])
+  in
+  let csv = Relational.Csv_io.to_string (header :: rows) in
+  let table = Relational.Csv_io.table_of_csv ~name:"S" csv in
+  (* round-trip once more to prove quoting is stable *)
+  let table = Relational.Csv_io.table_of_csv ~name:"S" (Relational.Csv_io.table_to_csv table) in
+  let tgt_csv =
+    Relational.Csv_io.to_string
+      ([ "booktitle" ]
+      :: List.init 10 (fun i -> [ Printf.sprintf "a \"quoted, title\"\nnumber %d" i ]))
+  in
+  let target_table = Relational.Csv_io.table_of_csv ~name:"T" tgt_csv in
+  (Database.make "src" [ table ], Database.make "tgt" [ target_table ])
+
+let test_cached_view_score_equals_fresh () =
+  let source, target = csv_roundtrip_db () in
+  let table = Database.table source "S" in
+  let score model view =
+    Matching.Standard_match.score_view model view ~src_attr:"title" ~tgt_table:"T"
+      ~tgt_attr:"booktitle"
+  in
+  (* warm model: scoring [va] populates the cache, [vb] (same subset,
+     different condition) is answered from it *)
+  let warm = Matching.Standard_match.build ~source ~target () in
+  let va = View.make table (Condition.Eq ("flag", Value.String "a")) in
+  let vb = View.make table (Condition.Eq ("dup", Value.String "a")) in
+  let score_cold = score warm va in
+  let hits_before = Matching.Profile_cache.hits (Matching.Standard_match.profile_cache warm) in
+  let score_warm = score warm vb in
+  let hits_after = Matching.Profile_cache.hits (Matching.Standard_match.profile_cache warm) in
+  Alcotest.(check bool) "second view hit the cache" true (hits_after > hits_before);
+  Alcotest.(check bool) "scores bit-identical" true (Float.equal score_cold score_warm);
+  (* and a completely fresh model agrees *)
+  let fresh = Matching.Standard_match.build ~source ~target () in
+  Alcotest.(check bool) "fresh model agrees" true
+    (Float.equal score_cold (score fresh (View.make table (Condition.Eq ("dup", Value.String "a")))));
+  Alcotest.(check bool) "score is meaningful" true (score_cold > 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "pool = sequential map" `Quick test_pool_matches_sequential;
+    Alcotest.test_case "pool mapi/concat" `Quick test_pool_mapi_and_concat;
+    Alcotest.test_case "pool deterministic" `Quick test_pool_deterministic_across_runs;
+    Alcotest.test_case "pool exception" `Quick test_pool_propagates_exception;
+    Alcotest.test_case "pool get/resize" `Quick test_pool_get_caches_and_resizes;
+    Alcotest.test_case "memo accounting" `Quick test_memo_hit_miss_accounting;
+    Alcotest.test_case "memo first insertion wins" `Quick test_memo_returns_first_insertion;
+    Alcotest.test_case "memo under concurrency" `Quick test_memo_under_concurrency;
+    Alcotest.test_case "cache hit on equal subset" `Quick test_cache_hit_on_identical_subset;
+    Alcotest.test_case "cache miss on new subset" `Quick test_cache_miss_on_different_subset;
+    Alcotest.test_case "cached score = fresh score (csv)" `Quick
+      test_cached_view_score_equals_fresh;
+  ]

@@ -39,7 +39,7 @@ let test_qual_table_no_view_improvement () =
   let scored = [ scored_view cond [ ctx ~conf:0.91 "v" cond "x" "T" "t1" ] ] in
   let selected =
     Ctxmatch.Select_matches.qual_table ~omega:0.5 ~early_disjuncts:true ~standard ~scored
-      ~target_tables:[ "T" ]
+      ~target_tables:[ "T" ] ()
   in
   Alcotest.(check int) "base returned" 1 (List.length selected);
   Alcotest.(check bool) "standard" false
@@ -51,7 +51,7 @@ let test_qual_table_view_selected () =
   let scored = [ scored_view cond [ ctx ~conf:0.95 "v" cond "x" "T" "t1" ] ] in
   let selected =
     Ctxmatch.Select_matches.qual_table ~omega:0.3 ~early_disjuncts:true ~standard ~scored
-      ~target_tables:[ "T" ]
+      ~target_tables:[ "T" ] ()
   in
   Alcotest.(check int) "one match" 1 (List.length selected);
   Alcotest.(check bool) "contextual" true (Matching.Schema_match.is_contextual (List.hd selected))
@@ -68,14 +68,14 @@ let test_qual_table_early_picks_single_best () =
   in
   let early =
     Ctxmatch.Select_matches.qual_table ~omega:0.2 ~early_disjuncts:true ~standard ~scored
-      ~target_tables:[ "T" ]
+      ~target_tables:[ "T" ] ()
   in
   Alcotest.(check int) "single view" 1 (List.length early);
   Alcotest.(check string) "best view" "vb"
     (List.hd early).Matching.Schema_match.src_owner;
   let late =
     Ctxmatch.Select_matches.qual_table ~omega:0.2 ~early_disjuncts:false ~standard ~scored
-      ~target_tables:[ "T" ]
+      ~target_tables:[ "T" ] ()
   in
   Alcotest.(check int) "late keeps both" 2 (List.length late)
 
@@ -85,12 +85,74 @@ let test_qual_table_strongest_source_wins () =
   let strong2 = std ~conf:0.8 "y" "T" "t2" in
   let selected =
     Ctxmatch.Select_matches.qual_table ~omega:0.5 ~early_disjuncts:true
-      ~standard:[ weak; strong1; strong2 ] ~scored:[] ~target_tables:[ "T" ]
+      ~standard:[ weak; strong1; strong2 ] ~scored:[] ~target_tables:[ "T" ] ()
   in
   Alcotest.(check int) "only S matches" 2 (List.length selected);
   List.iter
     (fun (m : Matching.Schema_match.t) -> Alcotest.(check string) "from S" "S" m.src_base)
     selected
+
+(* Boundary semantics: a view is accepted when its improvement is
+   {e exactly} omega (>=, not >).  0.75 - 0.5 = 0.25 is exact in binary,
+   so Float.succ gives the tightest possible "just above" probe. *)
+let test_omega_boundary_exact () =
+  let standard = [ std ~conf:0.5 "x" "T" "t1" ] in
+  let cond = Condition.Eq ("k", Value.String "a") in
+  let scored = [ scored_view cond [ ctx ~conf:0.75 "v" cond "x" "T" "t1" ] ] in
+  let run omega =
+    Ctxmatch.Select_matches.qual_table ~omega ~early_disjuncts:true ~standard ~scored
+      ~target_tables:[ "T" ] ()
+  in
+  Alcotest.(check bool) "improvement = omega accepts the view" true
+    (Matching.Schema_match.is_contextual (List.hd (run 0.25)));
+  Alcotest.(check bool) "improvement just below omega keeps the base" false
+    (Matching.Schema_match.is_contextual (List.hd (run (Float.succ 0.25))))
+
+(* And StandardMatch accepts a pair whose confidence is exactly tau. *)
+let test_tau_boundary_exact () =
+  let mk name attrs rows = Table.make (Schema.make name attrs) rows in
+  let words = [| "alpha"; "beta"; "gamma"; "delta"; "epsilon"; "zeta" |] in
+  let source =
+    Database.make "src"
+      [
+        mk "S"
+          [ Attribute.string "name"; Attribute.string "code" ]
+          (List.init 15 (fun i ->
+               [|
+                 Value.String (Printf.sprintf "%s item %d" words.(i mod 6) i);
+                 Value.String (Printf.sprintf "Z%03d" i);
+               |]));
+      ]
+  in
+  let target =
+    Database.make "tgt"
+      [
+        mk "T"
+          [ Attribute.string "fullname"; Attribute.string "junk" ]
+          (List.init 15 (fun i ->
+               [|
+                 Value.String (Printf.sprintf "%s item %d" words.((i + 1) mod 6) (i + 1));
+                 Value.String (Printf.sprintf "qq-%d-qq" (i * 7));
+               |]));
+      ]
+  in
+  let model = Matching.Standard_match.build ~source ~target () in
+  let best = List.hd (Matching.Standard_match.matches model ~tau:0.0) in
+  let conf =
+    Matching.Standard_match.confidence model ~src_table:best.src_base ~src_attr:best.src_attr
+      ~tgt_table:best.tgt_table ~tgt_attr:best.tgt_attr
+  in
+  Alcotest.(check bool) "a real positive confidence" true (conf > 0.0);
+  Alcotest.(check (float 0.0)) "matches carry the model confidence" conf best.confidence;
+  let has tau =
+    List.exists
+      (fun (m : Matching.Schema_match.t) ->
+        m.src_attr = best.src_attr && m.tgt_table = best.tgt_table
+        && m.tgt_attr = best.tgt_attr)
+      (Matching.Standard_match.matches_from model ~src_table:best.src_base ~tau)
+  in
+  Alcotest.(check bool) "tau = confidence includes the pair" true (has conf);
+  Alcotest.(check bool) "tau just above excludes it" false (has (Float.succ conf))
 
 let test_joinable_family_key_found () =
   (* id values repeat across both views (0..5 in each) and (id, k) is a
@@ -130,13 +192,13 @@ let test_clio_qual_table_selects_group () =
   in
   let qual =
     Ctxmatch.Select_matches.qual_table ~omega:0.3 ~early_disjuncts:true ~standard ~scored
-      ~target_tables:[ "T" ]
+      ~target_tables:[ "T" ] ()
   in
   Alcotest.(check bool) "plain QualTable keeps base" true
     (List.for_all (fun m -> not (Matching.Schema_match.is_contextual m)) qual);
   let clio =
     Ctxmatch.Select_matches.clio_qual_table ~omega:0.3 ~early_disjuncts:true ~standard ~scored
-      ~target_tables:[ "T" ]
+      ~target_tables:[ "T" ] ()
   in
   Alcotest.(check int) "group matches" 2 (List.length clio);
   List.iter
@@ -153,6 +215,8 @@ let suite =
     Alcotest.test_case "qual_table selects view" `Quick test_qual_table_view_selected;
     Alcotest.test_case "early single vs late all" `Quick test_qual_table_early_picks_single_best;
     Alcotest.test_case "strongest source wins" `Quick test_qual_table_strongest_source_wins;
+    Alcotest.test_case "omega boundary is inclusive" `Quick test_omega_boundary_exact;
+    Alcotest.test_case "tau boundary is inclusive" `Quick test_tau_boundary_exact;
     Alcotest.test_case "joinable family key" `Quick test_joinable_family_key_found;
     Alcotest.test_case "joinable rejects partition" `Quick test_joinable_family_key_rejects_partition;
     Alcotest.test_case "clio_qual_table group" `Quick test_clio_qual_table_selects_group;
