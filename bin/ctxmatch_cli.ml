@@ -4,32 +4,81 @@
            types inferred), run ContextMatch, print the matches.
    map:    additionally generate the Clio-style mapping plan and execute
            it, writing one CSV per target table.
-   demo:   run the built-in retail or grades scenario. *)
+   demo:   run the built-in retail or grades scenario.
+
+   Exit codes: 0 success, 2 usage error, 3 ingestion error, 4 matching /
+   mapping error.  Degraded-but-successful runs (quarantined rows,
+   skipped views — see DESIGN.md, "Failure semantics") exit 0 with the
+   diagnostics on stderr and a "# degraded" summary on stdout. *)
 
 open Cmdliner
 
+(* Every failure funnels through this so the user always gets ONE
+   diagnostic line and a meaningful exit code instead of a backtrace. *)
+exception Cli_error of { code : int; message : string }
+
+let usage_code = 2
+let ingest_code = 3
+let match_code = 4
+
+let cli_error code fmt =
+  Printf.ksprintf (fun message -> raise (Cli_error { code; message })) fmt
+
+(* Phase wrappers: whatever escapes a phase is tagged with that phase's
+   exit code.  Parse errors keep their line numbers in the message. *)
+let ingest_phase f =
+  try f () with
+  | Cli_error _ as e -> raise e
+  | Relational.Csv_io.Parse_error { line; message } ->
+    cli_error ingest_code "ingestion failed (line %d): %s" line message
+  | Xmlbridge.Xml_doc.Parse_error { position; message } ->
+    cli_error ingest_code "ingestion failed (byte %d): %s" position message
+  | Sys_error message -> cli_error ingest_code "ingestion failed: %s" message
+  | e -> cli_error ingest_code "ingestion failed: %s" (Printexc.to_string e)
+
+let match_phase f =
+  try f () with
+  | Cli_error _ as e -> raise e
+  | e -> cli_error match_code "matching failed: %s" (Printexc.to_string e)
+
+let report_issues issues =
+  List.iter
+    (fun issue -> Printf.eprintf "ctxmatch: %s\n%!" (Robust.Error.to_string issue))
+    issues
+
 (* CSV by default; .xml files are shredded (repeated record elements
-   become rows; see Xmlbridge.Shred). *)
-let load_tables files =
+   become rows; see Xmlbridge.Shred).  Under --lenient, malformed CSV
+   rows are quarantined (reported on stderr) instead of fatal. *)
+let load_tables ~mode files =
+  ingest_phase @@ fun () ->
   List.map
     (fun path ->
       let name = Filename.remove_extension (Filename.basename path) in
       if Filename.check_suffix path ".xml" then begin
-        let ic = open_in_bin path in
-        let text = really_input_string ic (in_channel_length ic) in
-        close_in ic;
+        let text = Relational.Csv_io.read_file path in
         Relational.Table.rename (Xmlbridge.Shred.table_of_string text) name
       end
-      else Relational.Csv_io.table_of_file ~name path)
+      else begin
+        let table, issues = Relational.Csv_io.table_of_file_report ~mode ~name path in
+        report_issues issues;
+        (match mode with
+        | Relational.Csv_io.Lenient
+          when List.exists
+                 (fun (i : Robust.Error.t) -> i.severity = Robust.Error.Fatal)
+                 issues ->
+          cli_error ingest_code "%s: unreadable even leniently" path
+        | _ -> ());
+        table
+      end)
     files
 
-let make_config tau omega late select seed jobs =
+let make_config tau omega late select seed jobs timeout_ms =
   let select =
     match select with
     | "qual" -> Ctxmatch.Config.Qual_table
     | "multi" -> Ctxmatch.Config.Multi_table
     | "clio" -> Ctxmatch.Config.Clio_qual_table
-    | other -> invalid_arg (Printf.sprintf "unknown selection policy %s" other)
+    | other -> cli_error usage_code "unknown selection policy %s (qual|multi|clio)" other
   in
   let jobs = if jobs <= 0 then Ctxmatch.Config.default.Ctxmatch.Config.jobs else jobs in
   {
@@ -40,6 +89,7 @@ let make_config tau omega late select seed jobs =
     select;
     seed;
     jobs;
+    timeout_ms;
   }
 
 let algorithm_of_string = function
@@ -47,7 +97,7 @@ let algorithm_of_string = function
   | "src" -> `Src_class
   | "tgt" -> `Tgt_class
   | "cluster" -> `Cluster
-  | other -> invalid_arg (Printf.sprintf "unknown inference algorithm %s" other)
+  | other -> cli_error usage_code "unknown inference algorithm %s (naive|src|tgt|cluster)" other
 
 (* --where PRE-FILTERS the source tables (any table owning all the
    mentioned attributes) before matching; useful to focus a sample. *)
@@ -55,7 +105,10 @@ let apply_where where db =
   match where with
   | None -> db
   | Some text ->
-    let condition = Relational.Condition_parser.parse text in
+    let condition =
+      try Relational.Condition_parser.parse text
+      with e -> cli_error usage_code "bad --where condition: %s" (Printexc.to_string e)
+    in
     let attrs = Relational.Condition.attributes condition in
     Relational.Database.map_tables
       (fun table ->
@@ -65,35 +118,48 @@ let apply_where where db =
         else table)
       db
 
-let run_match source_files target_files tau omega late select algorithm seed where jobs =
+let print_degraded issues =
+  report_issues issues;
+  if issues <> [] then Printf.printf "# degraded: %d issues\n" (List.length issues)
+
+let run_match source_files target_files tau omega late select algorithm seed where jobs mode
+    timeout_ms =
+  let config = make_config tau omega late select seed jobs timeout_ms in
+  let algorithm = algorithm_of_string algorithm in
   let source =
-    apply_where where (Relational.Database.make "source" (load_tables source_files))
+    apply_where where (Relational.Database.make "source" (load_tables ~mode source_files))
   in
-  let target = Relational.Database.make "target" (load_tables target_files) in
-  let config = make_config tau omega late select seed jobs in
-  let infer = Ctxmatch.Context_match.infer_of (algorithm_of_string algorithm) ~target in
+  let target = Relational.Database.make "target" (load_tables ~mode target_files) in
+  match_phase @@ fun () ->
+  let infer = Ctxmatch.Context_match.infer_of algorithm ~target in
   let result = Ctxmatch.Context_match.run ~config ~infer ~source ~target () in
   Printf.printf "# standard matches: %d, candidate views scored: %d, %.2fs\n"
     (List.length result.Ctxmatch.Context_match.standard)
     result.Ctxmatch.Context_match.candidate_view_count
     result.Ctxmatch.Context_match.elapsed_seconds;
+  print_degraded result.Ctxmatch.Context_match.issues;
   List.iter
     (fun m -> print_endline (Matching.Schema_match.to_string m))
     result.Ctxmatch.Context_match.matches;
   result
 
-let match_cmd_run source_files target_files tau omega late select algorithm seed where jobs =
-  ignore (run_match source_files target_files tau omega late select algorithm seed where jobs)
+let match_cmd_run source_files target_files tau omega late select algorithm seed where jobs
+    mode timeout_ms =
+  ignore
+    (run_match source_files target_files tau omega late select algorithm seed where jobs mode
+       timeout_ms)
 
-let map_cmd_run source_files target_files tau omega late select algorithm seed where jobs
-    out_dir =
+let map_cmd_run source_files target_files tau omega late select algorithm seed where jobs mode
+    timeout_ms out_dir =
   let result =
-    run_match source_files target_files tau omega late select algorithm seed where jobs
+    run_match source_files target_files tau omega late select algorithm seed where jobs mode
+      timeout_ms
   in
   let source =
-    apply_where where (Relational.Database.make "source" (load_tables source_files))
+    apply_where where (Relational.Database.make "source" (load_tables ~mode source_files))
   in
-  let target = Relational.Database.make "target" (load_tables target_files) in
+  let target = Relational.Database.make "target" (load_tables ~mode target_files) in
+  match_phase @@ fun () ->
   let plan =
     Mapping.Mapping_gen.plan ~source ~target ~matches:result.Ctxmatch.Context_match.matches ()
   in
@@ -104,7 +170,8 @@ let map_cmd_run source_files target_files tau omega late select algorithm seed w
     (fun (j : Mapping.Association.join) ->
       Printf.printf "# join [%s] %s -- %s\n" j.rule j.left j.right)
     plan.Mapping.Mapping_gen.joins;
-  let mapped = Mapping.Mapping_gen.execute_all plan in
+  let mapped, map_issues = Mapping.Mapping_gen.execute_all_report plan in
+  print_degraded map_issues;
   if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
   (* the equivalent SQL transformation script, for review/porting *)
   let sql_path = Filename.concat out_dir "mapping.sql" in
@@ -124,6 +191,7 @@ let map_cmd_run source_files target_files tau omega late select algorithm seed w
 let demo_cmd_run scenario =
   match scenario with
   | "retail" ->
+    match_phase @@ fun () ->
     let params = Workload.Retail.default_params in
     let source = Workload.Retail.source params in
     let target = Workload.Retail.target params Workload.Retail.Ryan_eyers in
@@ -131,6 +199,7 @@ let demo_cmd_run scenario =
     let result =
       Ctxmatch.Context_match.run ~config:Ctxmatch.Config.default ~infer ~source ~target ()
     in
+    print_degraded result.Ctxmatch.Context_match.issues;
     List.iter
       (fun m -> print_endline (Matching.Schema_match.to_string m))
       result.Ctxmatch.Context_match.matches;
@@ -138,6 +207,7 @@ let demo_cmd_run scenario =
     Printf.printf "FMeasure %.3f\n"
       (Evalharness.Ground_truth.fmeasure truth result.Ctxmatch.Context_match.matches)
   | "grades" ->
+    match_phase @@ fun () ->
     let params = Workload.Grades.default_params in
     let source = Workload.Grades.narrow params in
     let target = Workload.Grades.wide params in
@@ -154,13 +224,14 @@ let demo_cmd_run scenario =
     in
     let infer = Ctxmatch.Context_match.infer_of `Src_class ~target in
     let result = Ctxmatch.Context_match.run ~config ~infer ~source ~target () in
+    print_degraded result.Ctxmatch.Context_match.issues;
     List.iter
       (fun m -> print_endline (Matching.Schema_match.to_string m))
       result.Ctxmatch.Context_match.matches;
     let truth = Evalharness.Ground_truth.grades params in
     Printf.printf "Accuracy %.3f\n"
       (Evalharness.Ground_truth.accuracy truth result.Ctxmatch.Context_match.matches)
-  | other -> invalid_arg (Printf.sprintf "unknown scenario %s (retail|grades)" other)
+  | other -> cli_error usage_code "unknown scenario %s (retail|grades)" other
 
 (* -- cmdliner wiring ---------------------------------------------------- *)
 
@@ -217,6 +288,31 @@ let where_arg =
     & info [ "where" ] ~docv:"COND"
         ~doc:"Pre-filter source tables with a condition, e.g. \"type = 'book'\".")
 
+let mode_arg =
+  Arg.(
+    value
+    & vflag Relational.Csv_io.Strict
+        [
+          ( Relational.Csv_io.Strict,
+            info [ "strict" ]
+              ~doc:"Abort ingestion on any malformed CSV row (the default)." );
+          ( Relational.Csv_io.Lenient,
+            info [ "lenient" ]
+              ~doc:
+                "Quarantine malformed CSV rows (reported on stderr) instead of \
+                 aborting; the run degrades rather than fails." );
+        ])
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Cooperative matching deadline in milliseconds: scoring units not \
+           started when it expires are skipped and reported, and the partial \
+           result is returned.")
+
 let out_dir_arg =
   Arg.(value & opt string "mapped" & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory.")
 
@@ -225,14 +321,15 @@ let match_cmd =
   Cmd.v (Cmd.info "match" ~doc)
     Term.(
       const match_cmd_run $ source_arg $ target_arg $ tau_arg $ omega_arg $ late_arg
-      $ select_arg $ algorithm_arg $ seed_arg $ where_arg $ jobs_arg)
+      $ select_arg $ algorithm_arg $ seed_arg $ where_arg $ jobs_arg $ mode_arg $ timeout_arg)
 
 let map_cmd =
   let doc = "match, generate the Clio-style mapping, execute it to CSV" in
   Cmd.v (Cmd.info "map" ~doc)
     Term.(
       const map_cmd_run $ source_arg $ target_arg $ tau_arg $ omega_arg $ late_arg
-      $ select_arg $ algorithm_arg $ seed_arg $ where_arg $ jobs_arg $ out_dir_arg)
+      $ select_arg $ algorithm_arg $ seed_arg $ where_arg $ jobs_arg $ mode_arg $ timeout_arg
+      $ out_dir_arg)
 
 let demo_cmd =
   let doc = "run a built-in scenario (retail or grades)" in
@@ -244,4 +341,15 @@ let demo_cmd =
 let () =
   let doc = "contextual schema matching (VLDB 2006 reproduction)" in
   let info = Cmd.info "ctxmatch" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ match_cmd; map_cmd; demo_cmd ]))
+  let code =
+    try Cmd.eval ~catch:false (Cmd.group info [ match_cmd; map_cmd; demo_cmd ]) with
+    | Cli_error { code; message } ->
+      Printf.eprintf "ctxmatch: %s\n%!" message;
+      code
+    | e ->
+      Printf.eprintf "ctxmatch: %s\n%!" (Printexc.to_string e);
+      match_code
+  in
+  (* cmdliner reports its own CLI parse errors as 124; fold them into
+     the documented usage exit code *)
+  exit (if code = Cmd.Exit.cli_error then usage_code else code)

@@ -16,6 +16,8 @@ type t = {
   matchers : Matching.Matcher.t list;
   gated_confidence : bool;
   jobs : int;
+  timeout_ms : int option;
+  faults : Robust.Fault.arming list;
 }
 
 let default =
@@ -32,9 +34,12 @@ let default =
     matchers = Matching.Matchers.default_suite;
     gated_confidence = true;
     jobs = Domain.recommended_domain_count ();
+    timeout_ms = None;
+    faults = [];
   }
 
 let with_seed t seed = { t with seed }
+let with_timeout_ms t timeout_ms = { t with timeout_ms }
 let with_jobs t jobs = { t with jobs }
 let with_tau t tau = { t with tau }
 let with_omega t omega = { t with omega }

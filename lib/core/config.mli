@@ -34,11 +34,22 @@ type t = {
           [Domain.recommended_domain_count ()]); [jobs <= 1] runs the
           exact sequential path.  Results are identical either way —
           see DESIGN.md, "Deterministic multicore runtime" *)
+  timeout_ms : int option;
+      (** cooperative deadline for one {!Context_match.run}: once it
+          expires, not-yet-started scoring units are quarantined and
+          reported instead of computed, and the run returns the partial
+          result (default [None] = unlimited; see DESIGN.md, "Failure
+          semantics") *)
+  faults : Robust.Fault.arming list;
+      (** fault-injection sites armed for the duration of a run
+          (default [[]]); used by the deterministic fault harness —
+          see [test/faults] *)
 }
 
 val default : t
 
 val with_seed : t -> int -> t
+val with_timeout_ms : t -> int option -> t
 val with_jobs : t -> int -> t
 val with_tau : t -> float -> t
 val with_omega : t -> float -> t

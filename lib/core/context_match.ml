@@ -9,16 +9,32 @@ type result = {
   elapsed_seconds : float;
   cache_hits : int;
   cache_misses : int;
+  issues : Robust.Error.t list;
 }
 
+(* Fault containment: every fan-out stage (StandardMatch build,
+   candidate-view scoring) runs through the result-aware pool, so one
+   failing unit quarantines only its source attribute / candidate view;
+   the issue lands in the run's report and the rest of the pipeline sees
+   a correspondingly smaller — but otherwise identical — input.  Issues
+   are recorded from deterministic merge loops in index order, so both
+   the partial result and the report are jobs-invariant (cooperative
+   deadline expiry excepted, which is inherently timing-dependent). *)
 let run ?(config = Config.default) ~infer ~source ~target () =
-  let started = Unix.gettimeofday () in
+  Robust.Fault.with_armed config.Config.faults @@ fun () ->
+  let started = Robust.Deadline.now_ns () in
+  let deadline =
+    match config.Config.timeout_ms with
+    | None -> Robust.Deadline.none
+    | Some ms -> Robust.Deadline.after_ms ms
+  in
+  let report = Robust.Report.create () in
   let jobs = config.Config.jobs in
   let pool = Runtime.Pool.get ~jobs in
   let rng = Stats.Rng.create config.Config.seed in
   let model =
     Matching.Standard_match.build ~gated:config.Config.gated_confidence
-      ~matchers:config.Config.matchers ~jobs ~source ~target ()
+      ~matchers:config.Config.matchers ~jobs ~report ~deadline ~source ~target ()
   in
   let all_standard = ref [] in
   let all_families = ref [] in
@@ -29,9 +45,15 @@ let run ?(config = Config.default) ~infer ~source ~target () =
       (* Fig. 5 line 4: M := StandardMatch(R_S, R_T, tau) *)
       let m = Matching.Standard_match.matches_from model ~src_table:src_name ~tau:config.tau in
       all_standard := !all_standard @ m;
-      (* line 5: C := InferCandidateViews(R_S, M, EarlyDisjuncts) *)
+      (* line 5: C := InferCandidateViews(R_S, M, EarlyDisjuncts) — a
+         raising inference quarantines this source table's views only *)
       let families =
-        infer.Infer.infer (Stats.Rng.split rng) config ~source_table ~matches:m
+        match infer.Infer.infer (Stats.Rng.split rng) config ~source_table ~matches:m with
+        | families -> families
+        | exception e ->
+          Robust.Report.record report ~table:src_name Robust.Error.Infer
+            (Printf.sprintf "candidate-view inference skipped: %s" (Printexc.to_string e));
+          []
       in
       all_families := !all_families @ families;
       (* lines 6-11: score every match of R_S under every candidate view *)
@@ -45,22 +67,30 @@ let run ?(config = Config.default) ~infer ~source ~target () =
       let views = Infer.views_of_families families in
       (* Each view is scored by exactly one task, and the merge below
          walks the results in view order: the scored list is identical
-         to the sequential loop's whatever the scheduling. *)
+         to the sequential loop's whatever the scheduling.  A failing
+         view is quarantined with an issue instead of killing the run. *)
       let scored_matches =
-        Runtime.Pool.map_list pool
+        Runtime.Pool.map_list_results pool ~deadline
           (fun view -> Matching.Standard_match.view_matches model view ~base_matches:m)
           views
       in
       List.iter2
-        (fun view view_matches ->
-          if view_matches <> [] then
-            all_scored :=
-              {
-                Select_matches.view;
-                family_attr = family_attr_of view;
-                view_matches;
-              }
-              :: !all_scored)
+        (fun view outcome ->
+          match outcome with
+          | Error e ->
+            Robust.Report.record report ~table:src_name ~attribute:(family_attr_of view)
+              Robust.Error.Score
+              (Printf.sprintf "candidate view %s skipped: %s" (View.name view)
+                 (Printexc.to_string e))
+          | Ok view_matches ->
+            if view_matches <> [] then
+              all_scored :=
+                {
+                  Select_matches.view;
+                  family_attr = family_attr_of view;
+                  view_matches;
+                }
+                :: !all_scored)
         views scored_matches)
     (Database.tables source);
   let standard = !all_standard in
@@ -85,9 +115,11 @@ let run ?(config = Config.default) ~infer ~source ~target () =
     families = !all_families;
     scored;
     candidate_view_count = List.length scored;
-    elapsed_seconds = Unix.gettimeofday () -. started;
+    elapsed_seconds =
+      Int64.to_float (Int64.sub (Robust.Deadline.now_ns ()) started) /. 1e9;
     cache_hits;
     cache_misses;
+    issues = Robust.Report.issues report;
   }
 
 let contextual_matches result =

@@ -17,10 +17,20 @@ type result = {
   elapsed_seconds : float;
   cache_hits : int;  (** profile-cache lookups answered from the cache *)
   cache_misses : int;  (** profile-cache lookups that had to compute *)
+  issues : Robust.Error.t list;
+      (** units of work quarantined during this run (skipped source
+          attributes, candidate views, inference failures, deadline
+          expiries); empty on a clean run.  The surviving [matches] are
+          exactly what a run without the quarantined units would have
+          produced — see DESIGN.md, "Failure semantics" *)
 }
 
 val run :
   ?config:Config.t -> infer:Infer.t -> source:Database.t -> target:Database.t -> unit -> result
+(** Runs with [config.faults] armed (restored on exit) and, when
+    [config.timeout_ms] is set, under a cooperative deadline checked
+    between scoring units.  Recoverable per-unit failures degrade the
+    result and are listed in [issues] instead of raising. *)
 
 val contextual_matches : result -> Matching.Schema_match.t list
 (** Only the selected matches that originate from views (the edges the

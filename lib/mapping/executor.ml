@@ -11,8 +11,18 @@ let qualify rel =
   let schema = Schema.make prefix attrs in
   Table.of_rows schema (Table.rows table)
 
+(* Schema.index_of raises a bare Not_found; a mapping query assembled
+   from mined constraints can reference an attribute a view projection
+   dropped, and the error must say which one. *)
+let index_of schema attr =
+  match Schema.index_of_opt schema attr with
+  | Some i -> i
+  | None ->
+    failwith
+      (Printf.sprintf "executor: schema %s has no attribute %S" (Schema.name schema) attr)
+
 let key_strings schema attrs row =
-  let vs = List.map (fun a -> row.(Schema.index_of schema a)) attrs in
+  let vs = List.map (fun a -> row.(index_of schema a)) attrs in
   if List.exists Value.is_null vs then None else Some (List.map Value.to_string vs)
 
 let join left right ~on ~right_restrict ~kind =
@@ -22,7 +32,7 @@ let join left right ~on ~right_restrict ~kind =
     |> List.filter (fun row ->
            List.for_all
              (fun (attr, v) ->
-               Value.equal row.(Schema.index_of right_schema attr) v)
+               Value.equal row.(index_of right_schema attr) v)
              right_restrict)
   in
   let left_attrs = List.map fst on and right_attrs = List.map snd on in
@@ -78,7 +88,11 @@ let join left right ~on ~right_restrict ~kind =
   Table.of_rows schema (Array.of_list (List.rev !out))
 
 let join_component relations joins ~start =
-  let rel_of name = List.find (fun r -> String.equal (Relation.name r) name) relations in
+  let rel_of name =
+    match List.find_opt (fun r -> String.equal (Relation.name r) name) relations with
+    | Some r -> r
+    | None -> failwith (Printf.sprintf "executor: unknown relation %S in join plan" name)
+  in
   let incorporated = ref [ start ] in
   let current = ref (qualify (rel_of start)) in
   let qualify_on rel_left rel_right on =

@@ -243,3 +243,21 @@ let execute plan_t mapping =
 let execute_all plan_t =
   let tables = List.map (fun m -> execute plan_t m) plan_t.mappings in
   Database.make (Database.name plan_t.target ^ "-mapped") tables
+
+let execute_all_report plan_t =
+  let report = Robust.Report.create () in
+  let tables =
+    List.map
+      (fun m ->
+        match execute plan_t m with
+        | table -> table
+        | exception e ->
+          Robust.Report.record report ~table:m.target_table Robust.Error.Map
+            (Printf.sprintf "mapping query failed, target left empty: %s"
+               (Printexc.to_string e));
+          let schema = Table.schema (Database.table plan_t.target m.target_table) in
+          Table.of_rows schema [||])
+      plan_t.mappings
+  in
+  ( Database.make (Database.name plan_t.target ^ "-mapped") tables,
+    Robust.Report.issues report )

@@ -51,7 +51,14 @@ val execute : plan -> target_mapping -> Table.t
     instances. *)
 
 val execute_all : plan -> Database.t
-(** Every target table (empty instances for targets with no matches). *)
+(** Every target table (empty instances for targets with no matches).
+    Fail-fast: the first mapping query that raises aborts the whole
+    translation. *)
+
+val execute_all_report : plan -> Database.t * Robust.Error.t list
+(** Fault-contained {!execute_all}: a mapping query that raises leaves
+    its target table empty and records a [Map]-stage issue naming the
+    table, instead of aborting the other targets. *)
 
 val skolem : string -> Value.t list -> Value.t
 (** [skolem attr known_values] — deterministic non-null placeholder

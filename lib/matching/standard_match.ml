@@ -37,8 +37,8 @@ type built_pair = {
   bp_scores : (string * (string * string * float) list * Normalize.t option) list;
 }
 
-let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ~source ~target ()
-    =
+let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ?report
+    ?(deadline = Robust.Deadline.none) ~source ~target () =
   let cache = Profile_cache.create () in
   let target_cols =
     List.concat_map
@@ -68,6 +68,7 @@ let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ~sour
   in
   let score_pair (src_tbl, src_attr) =
     let src_name = Table.name src_tbl in
+    Robust.Fault.check Robust.Fault.Matcher_score ~key:(src_name ^ "." ^ src_attr);
     let src_col = Column.of_table ~cache src_tbl src_attr in
     let bp_scores =
       List.map
@@ -99,26 +100,44 @@ let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ~sour
     in
     { bp_table = src_name; bp_attr = src_attr; bp_column = src_col; bp_scores }
   in
-  let built = Runtime.Pool.map_array (Runtime.Pool.get ~jobs) score_pair pairs in
+  let built =
+    Runtime.Pool.map_array_results (Runtime.Pool.get ~jobs) ~deadline score_pair pairs
+  in
   (* Deterministic merge: results arrive in pair-index order whatever
      the scheduling; every hash key is unique, so the tables end up
-     identical to the sequential build's. *)
+     identical to the sequential build's.  A failed unit quarantines
+     exactly its source attribute: with a [report] the issue is
+     recorded (in index order, so reports are jobs-invariant too) and
+     the attribute simply contributes no raw scores or stats — without
+     one, the first failure re-raises, preserving the legacy
+     fail-fast contract. *)
   let source_cols = Hashtbl.create 64 in
   let stats = Hashtbl.create 256 in
   let raw = Hashtbl.create 4096 in
-  Array.iter
-    (fun bp ->
-      Hashtbl.replace source_cols (bp.bp_table, bp.bp_attr) bp.bp_column;
-      List.iter
-        (fun (matcher_name, applicable, st) ->
-          List.iter
-            (fun (tgt_table, tgt_attr, s) ->
-              Hashtbl.replace raw (bp.bp_table, bp.bp_attr, tgt_table, tgt_attr, matcher_name) s)
-            applicable;
-          match st with
-          | Some st -> Hashtbl.replace stats (bp.bp_table, bp.bp_attr, matcher_name) st
-          | None -> ())
-        bp.bp_scores)
+  Array.iteri
+    (fun i outcome ->
+      match outcome with
+      | Error e ->
+        let src_tbl, src_attr = pairs.(i) in
+        (match report with
+        | None -> raise e
+        | Some r ->
+          Robust.Report.record r ~table:(Table.name src_tbl) ~attribute:src_attr
+            Robust.Error.Build
+            (Printf.sprintf "source attribute skipped: %s" (Printexc.to_string e)))
+      | Ok bp ->
+        Hashtbl.replace source_cols (bp.bp_table, bp.bp_attr) bp.bp_column;
+        List.iter
+          (fun (matcher_name, applicable, st) ->
+            List.iter
+              (fun (tgt_table, tgt_attr, s) ->
+                Hashtbl.replace raw
+                  (bp.bp_table, bp.bp_attr, tgt_table, tgt_attr, matcher_name) s)
+              applicable;
+            match st with
+            | Some st -> Hashtbl.replace stats (bp.bp_table, bp.bp_attr, matcher_name) st
+            | None -> ())
+          bp.bp_scores)
     built;
   {
     gated;

@@ -17,6 +17,8 @@ val build :
   ?gated:bool ->
   ?matchers:Matcher.t list ->
   ?jobs:int ->
+  ?report:Robust.Report.t ->
+  ?deadline:Robust.Deadline.t ->
   source:Database.t ->
   target:Database.t ->
   unit ->
@@ -28,7 +30,15 @@ val build :
     [jobs] (default 1) fans the per-(source attribute) scoring out over
     a {!Runtime.Pool} of that many domains.  The fan-out is
     deterministic: results are merged in attribute order and the model
-    is bit-identical to the sequential build's. *)
+    is bit-identical to the sequential build's.
+
+    Failure containment: with a [report], a fan-out unit that raises (a
+    matcher choking on a pathological column, an injected fault, the
+    [deadline] expiring) quarantines only its source attribute — the
+    attribute contributes no scores, a [build]-stage issue is recorded,
+    and the rest of the model is unaffected.  Without a [report] the
+    first failure re-raises (legacy fail-fast).  Each unit also passes
+    the {!Robust.Fault.Matcher_score} site keyed ["table.attr"]. *)
 
 val source : model -> Database.t
 val target : model -> Database.t

@@ -1,19 +1,37 @@
 exception Parse_error of { line : int; message : string }
 
-let parse_string ?(separator = ',') text =
+type mode = Strict | Lenient
+
+(* Records with their 1-based starting line, plus the ingestion issues a
+   Lenient parse tolerated.  A UTF-8 byte-order mark before the header
+   is skipped; a line holding nothing at all (no field text, separator
+   or quote) is a blank line, not a phantom [""] record; lone \r line
+   separators are accepted alongside \n and \r\n. *)
+let parse_records ?(separator = ',') ~mode text =
+  let issues = ref [] in
   let records = ref [] in
   let fields = ref [] in
   let buf = Buffer.create 64 in
   let line = ref 1 in
+  let record_line = ref 1 in
+  let quote_line = ref 1 in
+  let saw_quote = ref false in
   let n = String.length text in
+  let start =
+    if n >= 3 && String.sub text 0 3 = "\xEF\xBB\xBF" then 3 else 0
+  in
   let push_field () =
     fields := Buffer.contents buf :: !fields;
     Buffer.clear buf
   in
   let push_record () =
     push_field ();
-    records := List.rev !fields :: !records;
-    fields := []
+    records := (!record_line, List.rev !fields) :: !records;
+    fields := [];
+    saw_quote := false
+  in
+  let end_record () =
+    if Buffer.length buf > 0 || !fields <> [] || !saw_quote then push_record ()
   in
   (* States: 0 = unquoted, 1 = inside quotes, 2 = just saw a quote while
      inside quotes (either the closing quote or the first of a doubled
@@ -21,29 +39,46 @@ let parse_string ?(separator = ',') text =
   let rec go i state =
     if i >= n then begin
       match state with
-      | 1 -> raise (Parse_error { line = !line; message = "unterminated quoted field" })
-      | 0 | 2 | _ ->
-        if Buffer.length buf > 0 || !fields <> [] then push_record ()
+      | 1 ->
+        if mode = Strict then
+          raise (Parse_error { line = !quote_line; message = "unterminated quoted field" });
+        issues :=
+          Robust.Error.v ~severity:Robust.Error.Warning ~line:!quote_line
+            Robust.Error.Ingest "unterminated quoted field closed at end of input"
+          :: !issues;
+        push_record ()
+      | 0 | 2 | _ -> end_record ()
     end
     else begin
       let c = text.[i] in
       match state with
       | 0 ->
         if c = separator then begin push_field (); go (i + 1) 0 end
-        else if c = '"' && Buffer.length buf = 0 then go (i + 1) 1
-        else if c = '\n' then begin incr line; push_record (); go (i + 1) 0 end
-        else if c = '\r' then
-          if i + 1 < n && text.[i + 1] = '\n' then begin
-            incr line;
-            push_record ();
-            go (i + 2) 0
-          end
-          else begin incr line; push_record (); go (i + 1) 0 end
+        else if c = '"' && Buffer.length buf = 0 then begin
+          quote_line := !line;
+          saw_quote := true;
+          go (i + 1) 1
+        end
+        else if c = '\n' then begin
+          incr line;
+          end_record ();
+          record_line := !line;
+          go (i + 1) 0
+        end
+        else if c = '\r' then begin
+          incr line;
+          end_record ();
+          record_line := !line;
+          if i + 1 < n && text.[i + 1] = '\n' then go (i + 2) 0 else go (i + 1) 0
+        end
         else begin Buffer.add_char buf c; go (i + 1) 0 end
       | 1 ->
         if c = '"' then go (i + 1) 2
         else begin
-          if c = '\n' then incr line;
+          (* count embedded record separators once, whether \n, \r\n or
+             lone \r, so reported line numbers stay aligned *)
+          if c = '\n' then incr line
+          else if c = '\r' && not (i + 1 < n && text.[i + 1] = '\n') then incr line;
           Buffer.add_char buf c;
           go (i + 1) 1
         end
@@ -52,19 +87,35 @@ let parse_string ?(separator = ',') text =
         else go i 0
     end
   in
-  go 0 0;
-  List.rev !records
+  go start 0;
+  (List.rev !records, List.rev !issues)
 
-let parse_file ?separator path =
-  let ic = open_in_bin path in
-  let text =
-    try really_input_string ic (in_channel_length ic)
-    with e ->
-      close_in_noerr ic;
-      raise e
+let parse_string ?separator text =
+  List.map snd (fst (parse_records ?separator ~mode:Strict text))
+
+(* Bounded retry with exponential backoff around whole-file reads:
+   transient IO errors (and injected File_read faults) are retried
+   [retries] times before the last failure propagates. *)
+let read_file ?(retries = 2) ?(backoff_ms = 10) path =
+  let read () =
+    Robust.Fault.check Robust.Fault.File_read ~key:path;
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
   in
-  close_in ic;
-  parse_string ?separator text
+  let rec attempt k backoff =
+    try read ()
+    with (Sys_error _ | End_of_file | Robust.Fault.Injected _) as e ->
+      if k >= retries then raise e
+      else begin
+        if backoff > 0 then Unix.sleepf (float_of_int backoff /. 1000.0);
+        attempt (k + 1) (backoff * 2)
+      end
+  in
+  attempt 0 backoff_ms
+
+let parse_file ?separator path = parse_string ?separator (read_file path)
 
 let needs_quoting separator field =
   String.exists (fun c -> c = separator || c = '"' || c = '\n' || c = '\r') field
@@ -97,13 +148,55 @@ let write_file ?separator path records =
   output_string oc (to_string ?separator records);
   close_out oc
 
+(* Plain decimal syntax only: int_of_string/float_of_string also accept
+   hex/octal/binary literals, underscores, and nan/inf tokens (plus
+   overflowing exponents like 1e999 turning into infinity), none of
+   which should type a CSV column as numeric. *)
+let is_digit c = c >= '0' && c <= '9'
+
+let is_plain_int s =
+  let n = String.length s in
+  let start = if n > 0 && (s.[0] = '-' || s.[0] = '+') then 1 else 0 in
+  let ok = ref (n > start) in
+  for i = start to n - 1 do
+    if not (is_digit s.[i]) then ok := false
+  done;
+  !ok
+
+let is_plain_float s =
+  let n = String.length s in
+  let i = ref (if n > 0 && (s.[0] = '-' || s.[0] = '+') then 1 else 0) in
+  let digits () =
+    let from = !i in
+    while !i < n && is_digit s.[!i] do incr i done;
+    !i > from
+  in
+  let int_part = digits () in
+  let frac_part =
+    if !i < n && s.[!i] = '.' then begin incr i; digits () || int_part end
+    else int_part
+  in
+  if not (int_part || frac_part) then false
+  else if !i < n && (s.[!i] = 'e' || s.[!i] = 'E') then begin
+    incr i;
+    if !i < n && (s.[!i] = '-' || s.[!i] = '+') then incr i;
+    digits () && !i = n
+  end
+  else !i = n
+
+let parses_as_int s = is_plain_int s && int_of_string_opt s <> None
+
+let parses_as_float s =
+  is_plain_float s
+  && (match float_of_string_opt s with Some f -> Float.is_finite f | None -> false)
+
 let infer_column_type fields =
   let non_empty = List.filter (fun s -> String.trim s <> "") fields in
   if non_empty = [] then Value.Tstring
   else begin
     let all p = List.for_all p non_empty in
-    if all (fun s -> int_of_string_opt (String.trim s) <> None) then Value.Tint
-    else if all (fun s -> float_of_string_opt (String.trim s) <> None) then Value.Tfloat
+    if all (fun s -> parses_as_int (String.trim s)) then Value.Tint
+    else if all (fun s -> parses_as_float (String.trim s)) then Value.Tfloat
     else if
       all (fun s ->
           match String.lowercase_ascii (String.trim s) with
@@ -113,21 +206,53 @@ let infer_column_type fields =
     else Value.Tstring
   end
 
-let table_of_csv ?separator ~name text =
-  match parse_string ?separator text with
-  | [] -> invalid_arg "Csv_io.table_of_csv: empty input"
-  | header :: data ->
+let empty_table name = Table.make (Schema.make name []) []
+
+let table_of_csv_report ?separator ?(mode = Strict) ~name text =
+  let records, parse_issues = parse_records ?separator ~mode text in
+  match records with
+  | [] ->
+    if mode = Strict then invalid_arg "Csv_io.table_of_csv: empty input";
+    ( empty_table name,
+      parse_issues
+      @ [
+          Robust.Error.v ~severity:Robust.Error.Fatal ~table:name Robust.Error.Ingest
+            "empty input: no header record";
+        ] )
+  | (_, header) :: data ->
     let width = List.length header in
-    let normalized =
-      List.map
-        (fun record ->
-          let len = List.length record in
-          if len = width then record
-          else if len < width then record @ List.init (width - len) (fun _ -> "")
-          else List.filteri (fun i _ -> i < width) record)
+    let issues = ref [] in
+    let quarantine ~line msg =
+      issues :=
+        Robust.Error.v ~severity:Robust.Error.Warning ~table:name ~line
+          Robust.Error.Ingest msg
+        :: !issues;
+      None
+    in
+    (* Under Strict, any malformed row aborts with a line-numbered
+       Parse_error; under Lenient it is quarantined with a diagnostic
+       and the rest of the file still loads. *)
+    let kept =
+      List.filter_map
+        (fun (line, record) ->
+          match
+            Robust.Fault.check Robust.Fault.Csv_parse
+              ~key:(Printf.sprintf "%s:%d" name line)
+          with
+          | exception (Robust.Fault.Injected _ as e) ->
+            if mode = Strict then raise e
+            else quarantine ~line "injected parse fault; row quarantined"
+          | () ->
+            let len = List.length record in
+            if len = width then Some record
+            else begin
+              let msg = Printf.sprintf "row has %d fields, expected %d" len width in
+              if mode = Strict then raise (Parse_error { line; message = msg })
+              else quarantine ~line (msg ^ "; row quarantined")
+            end)
         data
     in
-    let column i = List.map (fun record -> List.nth record i) normalized in
+    let column i = List.map (fun record -> List.nth record i) kept in
     let types = List.init width (fun i -> infer_column_type (column i)) in
     let attrs = List.map2 Attribute.make header types in
     let schema = Schema.make name attrs in
@@ -135,20 +260,28 @@ let table_of_csv ?separator ~name text =
       List.map
         (fun record ->
           Array.of_list (List.map2 (fun ty field -> Value.of_string_as ty field) types record))
-        normalized
+        kept
     in
-    Table.make schema rows
+    (Table.make schema rows, parse_issues @ List.rev !issues)
+
+let table_of_csv ?separator ?mode ~name text =
+  fst (table_of_csv_report ?separator ?mode ~name text)
+
+let table_of_file_report ?separator ?(mode = Strict) ?retries ?backoff_ms ~name path =
+  match read_file ?retries ?backoff_ms path with
+  | text -> table_of_csv_report ?separator ~mode ~name text
+  | exception e ->
+    if mode = Strict then raise e
+    else
+      ( empty_table name,
+        [
+          Robust.Error.v ~severity:Robust.Error.Fatal ~table:name Robust.Error.Ingest
+            (Printf.sprintf "reading %s failed after retries: %s" path
+               (Printexc.to_string e));
+        ] )
 
 let table_of_file ?separator ~name path =
-  let ic = open_in_bin path in
-  let text =
-    try really_input_string ic (in_channel_length ic)
-    with e ->
-      close_in_noerr ic;
-      raise e
-  in
-  close_in ic;
-  table_of_csv ?separator ~name text
+  table_of_csv ?separator ~name (read_file path)
 
 let table_to_csv ?separator table =
   let header = Schema.attribute_names (Table.schema table) in

@@ -1,17 +1,36 @@
-(** Minimal RFC-4180 CSV reader/writer with type inference.
+(** Minimal RFC-4180 CSV reader/writer with type inference and
+    fault-contained (lenient) ingestion.
 
     Used by the CLI to load user-supplied samples and by tests for
     round-tripping.  Handles quoted fields, embedded quotes (doubled),
-    embedded separators and newlines inside quotes, and both LF and CRLF
-    line endings. *)
+    embedded separators and newlines inside quotes, LF / CRLF / lone-CR
+    line endings, and a UTF-8 byte-order mark before the header.  Blank
+    lines are skipped (they are not phantom single-field records).
+
+    Two ingestion modes:
+    - {!Strict} (the default): any malformed input — unterminated
+      quote, a row whose field count differs from the header's — raises
+      a line-numbered {!Parse_error}.
+    - {!Lenient}: malformed rows are {e quarantined}: dropped from the
+      table and reported as line-numbered {!Robust.Error.t} diagnostics
+      by the [_report] variants, so one corrupt cell costs one row, not
+      the run. *)
 
 exception Parse_error of { line : int; message : string }
 
+type mode = Strict | Lenient
+
 val parse_string : ?separator:char -> string -> string list list
 (** Raw records as string fields.  Raises {!Parse_error} on an unclosed
-    quote. *)
+    quote (reporting the line the quote opened on). *)
 
 val parse_file : ?separator:char -> string -> string list list
+
+val read_file : ?retries:int -> ?backoff_ms:int -> string -> string
+(** Whole-file read with bounded retry: transient failures are retried
+    [retries] (default 2) more times with exponential backoff starting
+    at [backoff_ms] (default 10) before the last failure propagates.
+    Passes through the {!Robust.Fault.File_read} injection site. *)
 
 val to_string : ?separator:char -> string list list -> string
 (** Render records; fields containing the separator, quotes or newlines
@@ -19,12 +38,37 @@ val to_string : ?separator:char -> string list list -> string
 
 val write_file : ?separator:char -> string -> string list list -> unit
 
-val table_of_csv : ?separator:char -> name:string -> string -> Table.t
+val table_of_csv : ?separator:char -> ?mode:mode -> name:string -> string -> Table.t
 (** Parse CSV text whose first record is the header; column types are
-    inferred from the data (int if all non-empty fields parse as int,
-    else float, else bool, else string).  Empty fields become nulls. *)
+    inferred from the data (int if all non-empty fields parse as a
+    plain decimal int, else float — plain decimal, finite — else bool,
+    else string).  Empty fields become nulls.  [mode] defaults to
+    {!Strict}; under {!Lenient} malformed rows are dropped silently —
+    use {!table_of_csv_report} to capture the diagnostics. *)
+
+val table_of_csv_report :
+  ?separator:char ->
+  ?mode:mode ->
+  name:string ->
+  string ->
+  Table.t * Robust.Error.t list
+(** As {!table_of_csv}, returning the quarantine diagnostics alongside
+    the table.  Under {!Lenient}, empty input yields an empty
+    zero-column table plus a [Fatal] issue instead of raising. *)
 
 val table_of_file : ?separator:char -> name:string -> string -> Table.t
+
+val table_of_file_report :
+  ?separator:char ->
+  ?mode:mode ->
+  ?retries:int ->
+  ?backoff_ms:int ->
+  name:string ->
+  string ->
+  Table.t * Robust.Error.t list
+(** {!table_of_csv_report} over {!read_file}.  Under {!Lenient}, a read
+    that still fails after the retries yields an empty table plus a
+    [Fatal] issue instead of raising. *)
 
 val table_to_csv : ?separator:char -> Table.t -> string
 (** Header + rows in display form. *)

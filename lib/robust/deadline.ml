@@ -1,0 +1,21 @@
+external now_ns : unit -> int64 = "robust_monotonic_ns"
+
+type t = Unlimited | At of int64
+
+exception Expired of { stage : string }
+
+let none = Unlimited
+
+let after_ms ms =
+  if ms < 0 then invalid_arg "Robust.Deadline.after_ms: negative timeout";
+  At (Int64.add (now_ns ()) (Int64.mul (Int64.of_int ms) 1_000_000L))
+
+let expired = function Unlimited -> false | At t -> Int64.compare (now_ns ()) t >= 0
+
+let remaining_ms = function
+  | Unlimited -> None
+  | At t ->
+    let left = Int64.div (Int64.sub t (now_ns ())) 1_000_000L in
+    Some (max 0 (Int64.to_int left))
+
+let check ?(stage = "") t = if expired t then raise (Expired { stage })

@@ -1,0 +1,33 @@
+(** Cooperative deadlines on the monotonic clock.
+
+    A deadline is an absolute instant; work units poll {!expired}
+    between natural quanta (pool chunks, rows, views) and quarantine the
+    remainder once it passes.  Nothing is interrupted pre-emptively:
+    a unit that has already started runs to completion, so results that
+    were produced are never half-written.
+
+    [none] never expires and its checks never touch the clock, so
+    threading a deadline through a hot path costs nothing when no
+    timeout is configured. *)
+
+type t
+
+exception Expired of { stage : string }
+
+val none : t
+
+val after_ms : int -> t
+(** Deadline [ms] milliseconds from now; [after_ms 0] is already
+    expired.  Raises [Invalid_argument] on negative [ms]. *)
+
+val expired : t -> bool
+
+val remaining_ms : t -> int option
+(** [None] for {!none}; [Some 0] once expired. *)
+
+val check : ?stage:string -> t -> unit
+(** Raise {!Expired} if the deadline has passed. *)
+
+val now_ns : unit -> int64
+(** Monotonic nanoseconds (arbitrary origin); exposed for elapsed-time
+    measurement that must not be skewed by wall-clock jumps. *)

@@ -1,0 +1,50 @@
+type stage =
+  | Ingest
+  | Build
+  | Score
+  | Infer
+  | Select
+  | Map
+  | Runtime
+  | Other of string
+
+type severity = Warning | Degraded | Fatal
+
+type t = {
+  stage : stage;
+  severity : severity;
+  table : string option;
+  attribute : string option;
+  line : int option;
+  message : string;
+}
+
+let v ?(severity = Degraded) ?table ?attribute ?line stage message =
+  { stage; severity; table; attribute; line; message }
+
+let stage_name = function
+  | Ingest -> "ingest"
+  | Build -> "build"
+  | Score -> "score"
+  | Infer -> "infer"
+  | Select -> "select"
+  | Map -> "map"
+  | Runtime -> "runtime"
+  | Other s -> s
+
+let severity_name = function
+  | Warning -> "warning"
+  | Degraded -> "degraded"
+  | Fatal -> "fatal"
+
+let to_string e =
+  let context =
+    match (e.table, e.attribute) with
+    | Some t, Some a -> Printf.sprintf " %s.%s" t a
+    | Some t, None -> " " ^ t
+    | None, Some a -> " ." ^ a
+    | None, None -> ""
+  in
+  let line = match e.line with Some l -> Printf.sprintf " line %d" l | None -> "" in
+  Printf.sprintf "%s/%s%s%s: %s" (stage_name e.stage) (severity_name e.severity) context
+    line e.message

@@ -1,0 +1,48 @@
+(** Structured error taxonomy of the matching pipeline.
+
+    Every recoverable failure is described by the stage it occurred in,
+    the table/attribute it concerns (when known), an optional input line
+    number (ingestion), a severity, and a human-readable message.
+    Stages accumulate these in a {!Report} instead of raising, so one
+    bad input degrades the run instead of aborting it. *)
+
+type stage =
+  | Ingest  (** CSV/XML parsing and file reads *)
+  | Build  (** StandardMatch model construction (per source attribute) *)
+  | Score  (** candidate-view (re-)scoring *)
+  | Infer  (** InferCandidateViews *)
+  | Select  (** SelectContextualMatches *)
+  | Map  (** mapping generation / execution *)
+  | Runtime  (** pool / memo / deadline machinery *)
+  | Other of string
+
+type severity =
+  | Warning  (** input anomaly tolerated without losing pipeline output *)
+  | Degraded  (** a unit of work was quarantined; output is partial *)
+  | Fatal  (** a whole stage produced nothing *)
+
+type t = {
+  stage : stage;
+  severity : severity;
+  table : string option;
+  attribute : string option;
+  line : int option;  (** 1-based input line, ingestion issues only *)
+  message : string;
+}
+
+val v :
+  ?severity:severity ->
+  ?table:string ->
+  ?attribute:string ->
+  ?line:int ->
+  stage ->
+  string ->
+  t
+(** [v stage message] with [severity] defaulting to [Degraded]. *)
+
+val stage_name : stage -> string
+val severity_name : severity -> string
+
+val to_string : t -> string
+(** One line: ["stage/severity table.attr line N: message"] (context
+    parts omitted when absent). *)

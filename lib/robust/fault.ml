@@ -1,0 +1,86 @@
+type site = Csv_parse | File_read | Matcher_score | Pool_task | Memo_lookup
+
+let all_sites = [ Csv_parse; File_read; Matcher_score; Pool_task; Memo_lookup ]
+
+let site_name = function
+  | Csv_parse -> "csv-parse"
+  | File_read -> "file-read"
+  | Matcher_score -> "matcher-score"
+  | Pool_task -> "pool-task"
+  | Memo_lookup -> "memo-lookup"
+
+let site_of_string s =
+  List.find_opt (fun site -> String.equal (site_name site) s) all_sites
+
+let site_rank = function
+  | Csv_parse -> 0
+  | File_read -> 1
+  | Matcher_score -> 2
+  | Pool_task -> 3
+  | Memo_lookup -> 4
+
+let n_sites = 5
+
+exception Injected of { site : site; key : string }
+
+let () =
+  Printexc.register_printer (function
+    | Injected { site; key } ->
+      Some (Printf.sprintf "Robust.Fault.Injected(%s, %s)" (site_name site) key)
+    | _ -> None)
+
+type arming = { site : site; rate : float; seed : int }
+
+(* The armed set: per-site (rate, seed), immutable snapshot behind one
+   Atomic so [check] on a hot path is a single load + physical-equality
+   test when nothing is armed. *)
+let nothing : (float * int) option array = Array.make n_sites None
+let state : (float * int) option array Atomic.t = Atomic.make nothing
+
+let snapshot () = Array.copy (Atomic.get state)
+
+let publish a =
+  Atomic.set state (if Array.for_all (( = ) None) a then nothing else a)
+
+let arm ?(rate = 1.0) ?(seed = 0) site =
+  let a = snapshot () in
+  a.(site_rank site) <- Some (rate, seed);
+  publish a
+
+let disarm site =
+  let a = snapshot () in
+  a.(site_rank site) <- None;
+  publish a
+
+let disarm_all () = Atomic.set state nothing
+let armed site = (Atomic.get state).(site_rank site) <> None
+
+(* splitmix64: the decision must depend only on (seed, site, key), so
+   faults fire identically whatever the scheduling or jobs value. *)
+let splitmix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let decide ~seed ~site ~key rate =
+  let h = ref (splitmix64 (Int64.of_int ((seed * 31) + site_rank site + 1))) in
+  String.iter
+    (fun c -> h := splitmix64 (Int64.logxor !h (Int64.of_int (Char.code c))))
+    key;
+  (* top 53 bits -> uniform float in [0, 1) *)
+  let u = Int64.to_float (Int64.shift_right_logical !h 11) /. 9007199254740992.0 in
+  u < rate
+
+let check site ~key =
+  let a = Atomic.get state in
+  if a != nothing then
+    match a.(site_rank site) with
+    | Some (rate, seed) when decide ~seed ~site ~key rate -> raise (Injected { site; key })
+    | Some _ | None -> ()
+
+let with_armed armings f =
+  let saved = Atomic.get state in
+  let a = snapshot () in
+  List.iter (fun { site; rate; seed } -> a.(site_rank site) <- Some (rate, seed)) armings;
+  publish a;
+  Fun.protect ~finally:(fun () -> Atomic.set state saved) f

@@ -1,0 +1,52 @@
+(** Deterministic, seed-driven fault injection.
+
+    Each named {!site} marks a place in the pipeline that is allowed to
+    fail (CSV row parsing, a file read, one matcher fan-out unit, one
+    pool task, one memo lookup).  When a site is armed, {!check}
+    decides per *key* — a stable identifier of the unit of work, such
+    as ["Inventory.Title"] or a row's ["table:line"] — whether to raise
+    {!Injected}, by hashing [(seed, site, key)] into \[0, 1) and
+    comparing against the armed rate.
+
+    Because the decision depends only on the key, never on scheduling,
+    the same faults fire for the same inputs at every [jobs] value:
+    differential tests can compare the surviving partial results of a
+    sequential and a parallel run bit for bit.
+
+    The armed set is global (read through one [Atomic.t], so checks on
+    hot paths cost a single load when nothing is armed) and is intended
+    to be mutated from the main domain only, before the fan-out
+    starts — use {!with_armed} to scope arming to a run. *)
+
+type site =
+  | Csv_parse  (** per ingested CSV row; key ["table:line"] *)
+  | File_read  (** per file-read attempt; key = path *)
+  | Matcher_score  (** per StandardMatch fan-out unit; key ["table.attr"] *)
+  | Pool_task  (** per index of a result-aware pool fan-out; key = index *)
+  | Memo_lookup  (** per memo probe; key = hash of the memo key *)
+
+val all_sites : site list
+val site_name : site -> string
+val site_of_string : string -> site option
+
+exception Injected of { site : site; key : string }
+
+type arming = { site : site; rate : float; seed : int }
+(** [rate] is the per-key fault probability in \[0, 1]. *)
+
+val arm : ?rate:float -> ?seed:int -> site -> unit
+(** Arm one site ([rate] defaults to [1.0], [seed] to [0]); re-arming
+    replaces the previous rate/seed. *)
+
+val disarm : site -> unit
+val disarm_all : unit -> unit
+val armed : site -> bool
+
+val check : site -> key:string -> unit
+(** Raise {!Injected} iff [site] is armed and [(seed, site, key)]
+    hashes below the armed rate.  No-op (one atomic load) otherwise. *)
+
+val with_armed : arming list -> (unit -> 'a) -> 'a
+(** Run the thunk with the given sites armed *in addition to* whatever
+    is already armed, restoring the previous armed set afterwards (also
+    on exceptions). *)

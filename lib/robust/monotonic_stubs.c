@@ -1,0 +1,25 @@
+/* Monotonic clock for Robust.Deadline: wall clocks jump (NTP, manual
+   resets) and CPU clocks stall across blocking IO, so cooperative
+   deadlines need CLOCK_MONOTONIC.  Falls back to gettimeofday on
+   platforms without it (deadlines then degrade to wall time). */
+
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+#include <sys/time.h>
+#include <time.h>
+
+CAMLprim value robust_monotonic_ns(value unit)
+{
+  (void)unit;
+#ifdef CLOCK_MONOTONIC
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_int64((int64_t)tv.tv_sec * 1000000000 +
+                           (int64_t)tv.tv_usec * 1000);
+  }
+}

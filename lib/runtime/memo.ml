@@ -9,6 +9,11 @@ let create ?(initial_size = 64) () =
   { mutex = Mutex.create (); table = Hashtbl.create initial_size; hits = 0; misses = 0 }
 
 let find_or_add t key compute =
+  (* Injection site for the fault harness: the key's structural hash is
+     stable across domains and runs, so an armed fault dooms the same
+     lookups whatever the scheduling. *)
+  Robust.Fault.check Robust.Fault.Memo_lookup
+    ~key:(string_of_int (Hashtbl.hash key));
   Mutex.lock t.mutex;
   match Hashtbl.find_opt t.table key with
   | Some v ->

@@ -58,17 +58,49 @@ let shutdown t =
   List.iter Domain.join t.workers;
   t.workers <- []
 
+(* Split [0, n) into contiguous chunks, queue [run_range lo hi] for
+   each, and drain the batch — the submitting domain works through its
+   own share instead of going idle.  [run_range] must not raise. *)
+let run_chunked t n run_range =
+  (* More chunks than domains, so an uneven chunk cannot serialise the
+     batch; which domain runs which chunk never shows in the output. *)
+  let chunks = min n (t.jobs * 4) in
+  let base = n / chunks and extra = n mod chunks in
+  Mutex.lock t.mutex;
+  let lo = ref 0 in
+  for c = 0 to chunks - 1 do
+    let size = base + if c < extra then 1 else 0 in
+    let l = !lo in
+    let h = l + size in
+    lo := h;
+    Queue.add (fun () -> run_range l h) t.tasks
+  done;
+  t.outstanding <- t.outstanding + chunks;
+  Condition.broadcast t.work_available;
+  let rec help () =
+    match Queue.take_opt t.tasks with
+    | Some task ->
+      Mutex.unlock t.mutex;
+      task ();
+      Mutex.lock t.mutex;
+      t.outstanding <- t.outstanding - 1;
+      if t.outstanding = 0 then Condition.broadcast t.work_done;
+      help ()
+    | None -> ()
+  in
+  help ();
+  while t.outstanding > 0 do
+    Condition.wait t.work_done t.mutex
+  done;
+  Mutex.unlock t.mutex
+
 let parallel_init t n f =
   if n = 0 then [||]
   else if t.jobs <= 1 || t.stop || n = 1 then Array.init n f
   else begin
     let results = Array.make n None in
     let error = ref None in
-    (* More chunks than domains, so an uneven chunk cannot serialise the
-       batch; which domain runs which chunk never shows in the output. *)
-    let chunks = min n (t.jobs * 4) in
-    let base = n / chunks and extra = n mod chunks in
-    let task lo hi () =
+    let run_range lo hi =
       try
         for i = lo to hi - 1 do
           results.(i) <- Some (f i)
@@ -79,46 +111,59 @@ let parallel_init t n f =
         if !error = None then error := Some (e, bt);
         Mutex.unlock t.mutex
     in
-    Mutex.lock t.mutex;
-    let lo = ref 0 in
-    for c = 0 to chunks - 1 do
-      let size = base + if c < extra then 1 else 0 in
-      let l = !lo in
-      let h = l + size in
-      lo := h;
-      Queue.add (task l h) t.tasks
-    done;
-    t.outstanding <- t.outstanding + chunks;
-    Condition.broadcast t.work_available;
-    (* The submitting domain drains its share instead of going idle. *)
-    let rec help () =
-      match Queue.take_opt t.tasks with
-      | Some task ->
-        Mutex.unlock t.mutex;
-        task ();
-        Mutex.lock t.mutex;
-        t.outstanding <- t.outstanding - 1;
-        if t.outstanding = 0 then Condition.broadcast t.work_done;
-        help ()
-      | None -> ()
-    in
-    help ();
-    while t.outstanding > 0 do
-      Condition.wait t.work_done t.mutex
-    done;
-    Mutex.unlock t.mutex;
+    run_chunked t n run_range;
     match !error with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> Array.map (function Some v -> v | None -> assert false) results
   end
 
+(* Fault-contained variant: each index is computed under its own
+   try/catch (plus the Pool_task injection site and a cooperative
+   deadline check), so one failing element quarantines only itself.
+   The per-index outcome depends only on the index and [f], never on
+   scheduling, so the Ok/Error pattern — and every Ok payload — is
+   identical at every [jobs] value (deadline expiry aside, which is
+   inherently timing-dependent). *)
+let eval_result deadline f i =
+  if Robust.Deadline.expired deadline then
+    Error (Robust.Deadline.Expired { stage = "pool" })
+  else
+    match
+      Robust.Fault.check Robust.Fault.Pool_task ~key:(string_of_int i);
+      f i
+    with
+    | v -> Ok v
+    | exception e -> Error e
+
+let parallel_init_results t ?(deadline = Robust.Deadline.none) n f =
+  let eval = eval_result deadline f in
+  if n = 0 then [||]
+  else if t.jobs <= 1 || t.stop || n = 1 then Array.init n eval
+  else begin
+    let results = Array.make n None in
+    let run_range lo hi =
+      for i = lo to hi - 1 do
+        results.(i) <- Some (eval i)
+      done
+    in
+    run_chunked t n run_range;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
 let map_array t f arr = parallel_init t (Array.length arr) (fun i -> f arr.(i))
+
+let map_array_results t ?deadline f arr =
+  parallel_init_results t ?deadline (Array.length arr) (fun i -> f arr.(i))
 
 let mapi_list t f l =
   let arr = Array.of_list l in
   Array.to_list (parallel_init t (Array.length arr) (fun i -> f i arr.(i)))
 
 let map_list t f l = mapi_list t (fun _ x -> f x) l
+
+let map_list_results t ?deadline f l =
+  let arr = Array.of_list l in
+  Array.to_list (parallel_init_results t ?deadline (Array.length arr) (fun i -> f arr.(i)))
 
 let concat_map_list t f l = List.concat (map_list t f l)
 

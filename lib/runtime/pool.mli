@@ -36,10 +36,31 @@ val parallel_init : t -> int -> (int -> 'a) -> 'a array
     exceptions — the first raising index re-raises after the batch
     drains). *)
 
+val parallel_init_results :
+  t -> ?deadline:Robust.Deadline.t -> int -> (int -> 'a) -> ('a, exn) result array
+(** Fault-contained [parallel_init]: every index is computed under its
+    own try/catch, so a raising element yields [Error exn] in its slot
+    while the rest of the batch completes — no exception escapes.  The
+    per-index outcome depends only on the index, so the result array
+    (pattern and [Ok] payloads alike) is identical at every [jobs]
+    value.  Each index also passes through the
+    {!Robust.Fault.Pool_task} injection site (key = the index), and
+    once [deadline] expires the remaining indices are quarantined as
+    [Error (Robust.Deadline.Expired _)] without being computed —
+    deadline placement is the one timing-dependent part. *)
+
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 val mapi_list : t -> (int -> 'a -> 'b) -> 'a list -> 'b list
 val concat_map_list : t -> ('a -> 'b list) -> 'a list -> 'b list
+
+val map_array_results :
+  t -> ?deadline:Robust.Deadline.t -> ('a -> 'b) -> 'a array -> ('b, exn) result array
+
+val map_list_results :
+  t -> ?deadline:Robust.Deadline.t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** Fault-contained counterparts of [map_array] / [map_list]; see
+    {!parallel_init_results}. *)
 
 val get : jobs:int -> t
 (** Process-wide cached pool.  Re-sizing (asking for a different

@@ -1,0 +1,251 @@
+(* Differential fault-injection suite (DESIGN.md, "Failure semantics").
+
+   Every test arms deterministic faults (Robust.Fault) somewhere in the
+   pipeline and proves the two containment invariants:
+
+   - an injected fault NEVER crashes a run: it quarantines one unit of
+     work (a source attribute, a candidate view, a CSV row, a file) and
+     surfaces as an issue in the partial result's report;
+   - because fault decisions hash (seed, site, key) and never depend on
+     scheduling, the surviving partial result AND the issue list are
+     bit-identical at every jobs value — the same differential oracle
+     test_parallel_equiv applies to clean runs;
+
+   plus the converse: arming sites at rate 0.0 is byte-identical to not
+   arming anything at all. *)
+
+let fp_match (m : Matching.Schema_match.t) =
+  Printf.sprintf "%s|%s|%s|%s.%s|%s|%h" m.src_owner m.src_base m.src_attr m.tgt_table
+    m.tgt_attr
+    (Relational.Condition.to_string m.condition)
+    m.confidence
+
+let fp_issue = Robust.Error.to_string
+
+let fingerprint (r : Ctxmatch.Context_match.result) =
+  String.concat "\n"
+    (("matches:" :: List.map fp_match r.Ctxmatch.Context_match.matches)
+    @ ("standard:" :: List.map fp_match r.Ctxmatch.Context_match.standard)
+    @ (Printf.sprintf "views:%d" r.Ctxmatch.Context_match.candidate_view_count
+      :: "issues:" :: List.map fp_issue r.Ctxmatch.Context_match.issues))
+
+(* 1, a fixed parallel width, and whatever this host recommends *)
+let all_jobs = List.sort_uniq compare [ 1; 2; Domain.recommended_domain_count () ]
+
+let retail_run ?(faults = []) ?timeout_ms ~jobs () =
+  let params = { Workload.Retail.default_params with rows = 120; target_rows = 60; seed = 42 } in
+  let source = Workload.Retail.source params in
+  let target = Workload.Retail.target params Workload.Retail.Ryan_eyers in
+  let config = { Ctxmatch.Config.default with jobs; faults; timeout_ms } in
+  let infer = Ctxmatch.Context_match.infer_of `Src_class ~target in
+  Ctxmatch.Context_match.run ~config ~infer ~source ~target ()
+
+(* Shared skeleton: armed site -> partial result + non-empty identical
+   issues at every jobs value, and never an escaped exception. *)
+let check_site_differential site =
+  let faults = [ { Robust.Fault.site; rate = 0.35; seed = 1 } ] in
+  let name = Robust.Fault.site_name site in
+  let oracle = retail_run ~faults ~jobs:1 () in
+  Alcotest.(check bool)
+    (name ^ ": faults actually fired")
+    true
+    (oracle.Ctxmatch.Context_match.issues <> []);
+  let oracle_fp = fingerprint oracle in
+  List.iter
+    (fun jobs ->
+      let r = retail_run ~faults ~jobs () in
+      Alcotest.(check string)
+        (Printf.sprintf "%s: jobs=%d identical to sequential (result + issues)" name jobs)
+        oracle_fp (fingerprint r))
+    all_jobs
+
+let test_matcher_score_faults () = check_site_differential Robust.Fault.Matcher_score
+let test_pool_task_faults () = check_site_differential Robust.Fault.Pool_task
+let test_memo_faults () = check_site_differential Robust.Fault.Memo_lookup
+
+(* Arming at rate 0.0 must be a perfect no-op: byte-identical result,
+   empty issue list. *)
+let test_rate_zero_is_clean () =
+  let clean = retail_run ~jobs:2 () in
+  Alcotest.(check bool) "clean run has no issues" true
+    (clean.Ctxmatch.Context_match.issues = []);
+  let armed_zero =
+    retail_run
+      ~faults:
+        (List.map
+           (fun site -> { Robust.Fault.site; rate = 0.0; seed = 1 })
+           Robust.Fault.all_sites)
+      ~jobs:2 ()
+  in
+  Alcotest.(check string) "rate 0.0 everywhere = unarmed" (fingerprint clean)
+    (fingerprint armed_zero)
+
+(* timeout_ms = Some 0: the deadline is expired before the first scoring
+   unit starts, so EVERY unit is quarantined — the run completes with a
+   (maximally) partial result and a full report, never an exception. *)
+let test_timeout_zero_degrades () =
+  List.iter
+    (fun jobs ->
+      let r = retail_run ~timeout_ms:0 ~jobs () in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d: expiry reported" jobs)
+        true
+        (r.Ctxmatch.Context_match.issues <> []);
+      Alcotest.(check (list string))
+        (Printf.sprintf "jobs=%d: no units survive an expired deadline" jobs)
+        []
+        (List.map fp_match r.Ctxmatch.Context_match.matches))
+    all_jobs
+
+(* --- CSV ingestion sites ---------------------------------------------- *)
+
+let retail_csv () =
+  let params = { Workload.Retail.default_params with rows = 80; seed = 42 } in
+  let table =
+    Relational.Database.table (Workload.Retail.source params)
+      Workload.Retail.source_table_name
+  in
+  (Relational.Csv_io.table_to_csv table, Relational.Table.row_count table)
+
+let test_csv_parse_faults () =
+  let csv, total = retail_csv () in
+  let armings = [ { Robust.Fault.site = Robust.Fault.Csv_parse; rate = 0.3; seed = 7 } ] in
+  let lenient () =
+    Robust.Fault.with_armed armings @@ fun () ->
+    Relational.Csv_io.table_of_csv_report ~mode:Relational.Csv_io.Lenient ~name:"inv" csv
+  in
+  let table, issues = lenient () in
+  let kept = Relational.Table.row_count table in
+  Alcotest.(check bool) "some rows quarantined" true (issues <> []);
+  Alcotest.(check int) "every row accounted for" total (kept + List.length issues);
+  List.iter
+    (fun (i : Robust.Error.t) ->
+      Alcotest.(check bool) "issue carries its line number" true (i.Robust.Error.line <> None))
+    issues;
+  (* seed-determinism: the same faults fire on a second pass *)
+  let table', issues' = lenient () in
+  Alcotest.(check string) "lenient re-ingestion is deterministic"
+    (Relational.Csv_io.table_to_csv table)
+    (Relational.Csv_io.table_to_csv table');
+  Alcotest.(check (list string)) "same issues" (List.map fp_issue issues)
+    (List.map fp_issue issues');
+  (* strict mode propagates the injected fault instead of quarantining *)
+  Alcotest.(check bool) "strict re-raises" true
+    (try
+       Robust.Fault.with_armed armings (fun () ->
+           ignore (Relational.Csv_io.table_of_csv ~name:"inv" csv));
+       false
+     with Robust.Fault.Injected _ -> true)
+
+let test_file_read_faults () =
+  let csv, _ = retail_csv () in
+  let path = Filename.temp_file "ctxmatch_fault" ".csv" in
+  let oc = open_out path in
+  output_string oc csv;
+  close_out oc;
+  let armings = [ { Robust.Fault.site = Robust.Fault.File_read; rate = 1.0; seed = 0 } ] in
+  (* rate 1.0: every attempt fails, the retries are exhausted *)
+  Alcotest.(check bool) "strict read raises after retries" true
+    (try
+       Robust.Fault.with_armed armings (fun () ->
+           ignore (Relational.Csv_io.table_of_file ~name:"inv" path));
+       false
+     with Robust.Fault.Injected _ -> true);
+  let table, issues =
+    Robust.Fault.with_armed armings (fun () ->
+        Relational.Csv_io.table_of_file_report ~mode:Relational.Csv_io.Lenient ~name:"inv"
+          path)
+  in
+  Sys.remove path;
+  Alcotest.(check int) "lenient: empty table" 0 (Relational.Table.row_count table);
+  Alcotest.(check bool) "lenient: one fatal issue" true
+    (match issues with
+    | [ i ] -> i.Robust.Error.severity = Robust.Error.Fatal
+    | _ -> false);
+  (* a fault-free read retries its way past nothing and succeeds *)
+  let path2 = Filename.temp_file "ctxmatch_fault" ".csv" in
+  let oc = open_out path2 in
+  output_string oc csv;
+  close_out oc;
+  let clean = Relational.Csv_io.table_of_file ~name:"inv" path2 in
+  Sys.remove path2;
+  Alcotest.(check bool) "clean read loads" true (Relational.Table.row_count clean > 0)
+
+(* --- pool-level unit tests -------------------------------------------- *)
+
+let test_pool_results_containment () =
+  List.iter
+    (fun jobs ->
+      let pool = Runtime.Pool.create ~jobs in
+      let r =
+        Runtime.Pool.parallel_init_results pool 23 (fun i ->
+            if i mod 3 = 0 then failwith "boom" else i * i)
+      in
+      Array.iteri
+        (fun i slot ->
+          match slot with
+          | Ok v ->
+            Alcotest.(check bool) "ok slot" true (i mod 3 <> 0 && v = i * i)
+          | Error (Failure m) when m = "boom" ->
+            Alcotest.(check bool) "error slot" true (i mod 3 = 0)
+          | Error e -> Alcotest.failf "unexpected error %s" (Printexc.to_string e))
+        r;
+      let l =
+        Runtime.Pool.map_list_results pool
+          (fun s -> if s = "bad" then raise Exit else String.length s)
+          [ "a"; "bad"; "ccc" ]
+      in
+      Alcotest.(check bool) "list slots" true
+        (match l with [ Ok 1; Error Exit; Ok 3 ] -> true | _ -> false);
+      Runtime.Pool.shutdown pool)
+    all_jobs
+
+let test_pool_deadline () =
+  let pool = Runtime.Pool.create ~jobs:2 in
+  let deadline = Robust.Deadline.after_ms 0 in
+  let r = Runtime.Pool.parallel_init_results pool ~deadline 8 (fun i -> i) in
+  Array.iter
+    (fun slot ->
+      Alcotest.(check bool) "expired slot" true
+        (match slot with Error (Robust.Deadline.Expired _) -> true | _ -> false))
+    r;
+  Runtime.Pool.shutdown pool
+
+(* the per-key decision must be a pure function of (seed, site, key) *)
+let test_fault_decisions_are_stable () =
+  let keys = List.init 100 string_of_int in
+  let fired () =
+    Robust.Fault.with_armed
+      [ { Robust.Fault.site = Robust.Fault.Pool_task; rate = 0.5; seed = 3 } ]
+      (fun () ->
+        List.filter
+          (fun key ->
+            match Robust.Fault.check Robust.Fault.Pool_task ~key with
+            | () -> false
+            | exception Robust.Fault.Injected _ -> true)
+          keys)
+  in
+  let a = fired () in
+  Alcotest.(check bool) "rate 0.5 fires some, spares some" true
+    (a <> [] && List.length a < List.length keys);
+  Alcotest.(check (list string)) "same decisions on re-arm" a (fired ());
+  Alcotest.(check bool) "disarmed after with_armed" false
+    (Robust.Fault.armed Robust.Fault.Pool_task)
+
+let () =
+  Alcotest.run "ctxmatch-faults"
+    [
+      ( "faults",
+        [
+          Alcotest.test_case "pool results containment" `Quick test_pool_results_containment;
+          Alcotest.test_case "pool deadline" `Quick test_pool_deadline;
+          Alcotest.test_case "fault decisions stable" `Quick test_fault_decisions_are_stable;
+          Alcotest.test_case "csv-parse faults" `Quick test_csv_parse_faults;
+          Alcotest.test_case "file-read faults" `Quick test_file_read_faults;
+          Alcotest.test_case "rate 0.0 = clean" `Slow test_rate_zero_is_clean;
+          Alcotest.test_case "timeout 0 degrades" `Slow test_timeout_zero_degrades;
+          Alcotest.test_case "matcher-score differential" `Slow test_matcher_score_faults;
+          Alcotest.test_case "pool-task differential" `Slow test_pool_task_faults;
+          Alcotest.test_case "memo-lookup differential" `Slow test_memo_faults;
+        ] );
+    ]

@@ -143,8 +143,32 @@ let test_xml_input () =
         (contains output "title -> books.booktitle"))
 
 let test_bad_input_fails () =
+  (* a nonexistent file is rejected by argument validation: usage (2) *)
   let status, _ = run_capture (cli ^ " match -s /nonexistent.csv -t /nonexistent.csv") in
-  Alcotest.(check bool) "nonzero exit" true (status <> Unix.WEXITED 0)
+  Alcotest.(check bool) "missing file: usage exit" true (status = Unix.WEXITED 2);
+  in_temp_dir (fun dir ->
+      write (Filename.concat dir "good.csv") "a,b\n1,2\n";
+      write (Filename.concat dir "ragged.csv") "a,b\n1,2\n3\n";
+      (* a malformed row is an ingestion error (3) under --strict ... *)
+      let status, _ =
+        run_capture (Printf.sprintf "%s match -s %s/ragged.csv -t %s/good.csv" cli dir dir)
+      in
+      Alcotest.(check bool) "ragged csv: ingestion exit" true (status = Unix.WEXITED 3);
+      (* ... and a quarantined row (exit 0, diagnostic) under --lenient *)
+      let status, output =
+        run_capture
+          (Printf.sprintf "%s match -s %s/ragged.csv -t %s/good.csv --lenient" cli dir dir)
+      in
+      Alcotest.(check bool) "lenient: degraded but successful" true
+        (status = Unix.WEXITED 0);
+      Alcotest.(check bool) "lenient: quarantine diagnostic" true
+        (contains output "row quarantined");
+      (* an unknown selection policy is a usage error (2) *)
+      let status, _ =
+        run_capture
+          (Printf.sprintf "%s match -s %s/good.csv -t %s/good.csv --select bogus" cli dir dir)
+      in
+      Alcotest.(check bool) "bad policy: usage exit" true (status = Unix.WEXITED 2))
 
 let suite =
   [

@@ -62,9 +62,83 @@ let test_table_of_csv_empty_as_null () =
   Alcotest.(check bool) "null 2" true (Value.is_null (Table.cell t 1 "a"))
 
 let test_table_of_csv_ragged_rows () =
-  let t = Csv_io.table_of_csv ~name:"t" "a,b,c\n1,2\n1,2,3,4\n" in
+  let csv = "a,b,c\n1,2\n4,5,6\n1,2,3,4\n" in
+  (* Strict: the first ragged row aborts ingestion with its line number *)
+  Alcotest.(check bool) "strict raises at line 2" true
+    (try
+       ignore (Csv_io.table_of_csv ~name:"t" csv);
+       false
+     with Csv_io.Parse_error { line = 2; _ } -> true);
+  (* Lenient: ragged rows are quarantined with diagnostics, the
+     well-formed row survives *)
+  let t, issues = Csv_io.table_of_csv_report ~mode:Csv_io.Lenient ~name:"t" csv in
   Alcotest.(check int) "arity kept" 3 (Table.arity t);
-  Alcotest.(check bool) "short row padded" true (Value.is_null (Table.cell t 0 "c"))
+  Alcotest.(check int) "one surviving row" 1 (Array.length (Table.rows t));
+  Alcotest.(check bool) "survivor intact" true (Value.equal (Table.cell t 0 "c") (Value.Int 6));
+  Alcotest.(check int) "two quarantined rows" 2 (List.length issues);
+  Alcotest.(check (list (option int))) "line numbers" [ Some 2; Some 4 ]
+    (List.map (fun (i : Robust.Error.t) -> i.Robust.Error.line) issues)
+
+let test_unterminated_quote_line_numbers () =
+  (* the reported line is where the quote opened, and CRLF inside the
+     quoted field counts as one line *)
+  let check_line name input expected =
+    Alcotest.(check int) name expected
+      (try
+         ignore (Csv_io.parse_string input);
+         -1
+       with Csv_io.Parse_error { line; _ } -> line)
+  in
+  check_line "opens line 1" "\"oops\n" 1;
+  check_line "opens line 3" "a,b\nc,d\ne,\"oops\n" 3;
+  check_line "crlf before quote" "a,b\r\nc,d\r\ne,\"oops" 3;
+  check_line "crlf inside quote counts once" "a\r\n\"x\r\ny\r\nz" 2
+
+let test_lone_cr_separators () =
+  Alcotest.(check (list (list string))) "lone cr"
+    [ [ "a"; "b" ]; [ "c"; "d" ]; [ "e"; "f" ] ]
+    (Csv_io.parse_string "a,b\rc,d\re,f\r");
+  Alcotest.(check (list (list string))) "cr inside quotes preserved"
+    [ [ "x\ry" ] ]
+    (Csv_io.parse_string "\"x\ry\"")
+
+let test_bom_header () =
+  let t = Csv_io.table_of_csv ~name:"t" "\xEF\xBB\xBFid,name\n1,ann\n" in
+  let schema = Table.schema t in
+  Alcotest.(check bool) "bom stripped from header" true
+    ((Schema.attribute schema "id").Attribute.ty = Value.Tint);
+  Alcotest.(check (list (list string))) "bom only before header"
+    [ [ "a" ]; [ "b" ] ]
+    (Csv_io.parse_string "\xEF\xBB\xBFa\nb\n")
+
+let test_no_phantom_trailing_row () =
+  Alcotest.(check (list (list string))) "trailing newline" [ [ "a"; "b" ]; [ "1"; "2" ] ]
+    (Csv_io.parse_string "a,b\n1,2\n");
+  Alcotest.(check (list (list string))) "trailing blank line" [ [ "a"; "b" ]; [ "1"; "2" ] ]
+    (Csv_io.parse_string "a,b\n1,2\n\n");
+  Alcotest.(check (list (list string))) "interior blank line" [ [ "a"; "b" ]; [ "1"; "2" ] ]
+    (Csv_io.parse_string "a,b\n\n1,2\n");
+  (* a quoted empty field is a real single-field record, not a blank line *)
+  Alcotest.(check (list (list string))) "quoted empty is a record" [ [ "a" ]; [ "" ] ]
+    (Csv_io.parse_string "a\n\"\"\n")
+
+let test_numeric_inference_edge_cases () =
+  let ty csv col =
+    let t = Csv_io.table_of_csv ~name:"t" csv in
+    (Schema.attribute (Table.schema t) col).Attribute.ty
+  in
+  (* nan / inf / overflow-to-inf literals parse via float_of_string but
+     are not plain decimal data — they must stay strings *)
+  Alcotest.(check bool) "nan is string" true (ty "x\nnan\n" "x" = Value.Tstring);
+  Alcotest.(check bool) "inf is string" true (ty "x\ninf\n" "x" = Value.Tstring);
+  Alcotest.(check bool) "1e999 is string" true (ty "x\n1e999\n" "x" = Value.Tstring);
+  (* hex / underscore literals parse via int_of_string but are ids, not
+     numbers *)
+  Alcotest.(check bool) "0x1A is string" true (ty "x\n0x1A\n" "x" = Value.Tstring);
+  Alcotest.(check bool) "1_000 is string" true (ty "x\n1_000\n" "x" = Value.Tstring);
+  (* plain decimals still infer *)
+  Alcotest.(check bool) "-12 is int" true (ty "x\n-12\n7\n" "x" = Value.Tint);
+  Alcotest.(check bool) "2.5e3 is float" true (ty "x\n2.5e3\n.5\n" "x" = Value.Tfloat)
 
 let test_table_roundtrip () =
   let csv = "id,name\n1,ann\n2,bob\n" in
@@ -104,6 +178,13 @@ let suite =
     Alcotest.test_case "type inference" `Quick test_table_of_csv_types;
     Alcotest.test_case "empty as null" `Quick test_table_of_csv_empty_as_null;
     Alcotest.test_case "ragged rows" `Quick test_table_of_csv_ragged_rows;
+    Alcotest.test_case "unterminated quote line numbers" `Quick
+      test_unterminated_quote_line_numbers;
+    Alcotest.test_case "lone cr separators" `Quick test_lone_cr_separators;
+    Alcotest.test_case "bom header" `Quick test_bom_header;
+    Alcotest.test_case "no phantom trailing row" `Quick test_no_phantom_trailing_row;
+    Alcotest.test_case "numeric inference edge cases" `Quick
+      test_numeric_inference_edge_cases;
     Alcotest.test_case "table roundtrip" `Quick test_table_roundtrip;
     Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
     QCheck_alcotest.to_alcotest qcheck_roundtrip;
