@@ -589,6 +589,41 @@ let micro () =
       | Some _ | None -> Printf.printf "  %-40s (no estimate)\n" name)
     rows
 
+(* --- Observability report (BENCH_obs.json) ----------------------------- *)
+
+(* One instrumented end-to-end retail run under the obs recorder,
+   exported with the degraded-work canary folded in.  The canary is the
+   same counter the final "degraded:" line prints; putting it in the
+   JSON lets CI assert on it without scraping stdout. *)
+let obs_report () =
+  R.section (Printf.sprintf "Observability: instrumented retail run (jobs=%d)" !par_jobs);
+  Obs.Recorder.reset ();
+  Obs.Metrics.reset ();
+  Obs.Recorder.enable ();
+  let params = retail_params in
+  let source = Workload.Retail.source params in
+  let target = Workload.Retail.target params Workload.Retail.Ryan_eyers in
+  let config =
+    Ctxmatch.Config.with_jobs (Ctxmatch.Config.with_seed Ctxmatch.Config.default base_seed)
+      !par_jobs
+  in
+  let infer = Ctxmatch.Context_match.infer_of `Src_class ~target in
+  ignore (count_issues (Ctxmatch.Context_match.run ~config ~infer ~source ~target ()));
+  Obs.Recorder.disable ();
+  let snap = Obs.Metrics.snapshot () in
+  Obs.Export.write_metrics
+    ~extra:
+      [
+        ("degraded_issues", string_of_int !degraded_issues);
+        ("jobs", string_of_int !par_jobs);
+      ]
+    "BENCH_obs.json";
+  R.note
+    (Printf.sprintf "wrote BENCH_obs.json: %d spans, %d pool tasks, %d cache lookups"
+       (Obs.Recorder.event_count ())
+       (Obs.Metrics.counter_value snap "pool.tasks")
+       (Obs.Metrics.counter_value snap "cache.profile.lookups"))
+
 (* --- driver ------------------------------------------------------------ *)
 
 let figures =
@@ -630,5 +665,7 @@ let () =
           (String.concat " " (List.map fst figures));
         exit 1)
     requested;
+  (* always last, so the JSON canary counts every measured run above *)
+  obs_report ();
   Printf.printf "\ndegraded: %d issues\n" !degraded_issues;
   Printf.printf "total bench time: %.1fs\n" (Unix.gettimeofday () -. started)

@@ -118,9 +118,35 @@ let apply_where where db =
         else table)
       db
 
-let print_degraded issues =
+(* Degraded-run summary.  With cache stats available (a matching run)
+   the line also reports the profile-cache economics, so a degraded
+   run's quarantine cost and cache behaviour land in the same place. *)
+let print_degraded ?cache issues =
   report_issues issues;
-  if issues <> [] then Printf.printf "# degraded: %d issues\n" (List.length issues)
+  if issues <> [] then
+    match cache with
+    | Some (hits, misses) ->
+      Printf.printf "# degraded: %d issues (profile cache: %d hits / %d misses)\n"
+        (List.length issues) hits misses
+    | None -> Printf.printf "# degraded: %d issues\n" (List.length issues)
+
+(* Observability: any of --trace/--metrics/--profile switches the
+   recorder on for the whole command (ingestion included); with all
+   three absent the recorder stays off and every instrumentation site
+   costs one branch, keeping output byte-identical to an uninstrumented
+   binary.  [obs_finish] runs after the last pipeline stage so map-mode
+   spans are in the export too. *)
+let obs_enabled trace metrics profile = trace <> None || metrics <> None || profile
+
+let obs_start trace metrics profile =
+  if obs_enabled trace metrics profile then Obs.Recorder.enable ()
+
+let obs_finish trace metrics profile =
+  if obs_enabled trace metrics profile then begin
+    (match trace with Some path -> Obs.Export.write_trace path | None -> ());
+    (match metrics with Some path -> Obs.Export.write_metrics path | None -> ());
+    if profile then prerr_string (Obs.Export.span_tree ())
+  end
 
 let run_match source_files target_files tau omega late select algorithm seed where jobs mode
     timeout_ms =
@@ -137,20 +163,27 @@ let run_match source_files target_files tau omega late select algorithm seed whe
     (List.length result.Ctxmatch.Context_match.standard)
     result.Ctxmatch.Context_match.candidate_view_count
     result.Ctxmatch.Context_match.elapsed_seconds;
-  print_degraded result.Ctxmatch.Context_match.issues;
+  print_degraded
+    ~cache:
+      ( result.Ctxmatch.Context_match.cache_hits,
+        result.Ctxmatch.Context_match.cache_misses )
+    result.Ctxmatch.Context_match.issues;
   List.iter
     (fun m -> print_endline (Matching.Schema_match.to_string m))
     result.Ctxmatch.Context_match.matches;
   result
 
 let match_cmd_run source_files target_files tau omega late select algorithm seed where jobs
-    mode timeout_ms =
+    mode timeout_ms trace metrics profile =
+  obs_start trace metrics profile;
   ignore
     (run_match source_files target_files tau omega late select algorithm seed where jobs mode
-       timeout_ms)
+       timeout_ms);
+  obs_finish trace metrics profile
 
 let map_cmd_run source_files target_files tau omega late select algorithm seed where jobs mode
-    timeout_ms out_dir =
+    timeout_ms trace metrics profile out_dir =
+  obs_start trace metrics profile;
   let result =
     run_match source_files target_files tau omega late select algorithm seed where jobs mode
       timeout_ms
@@ -186,7 +219,8 @@ let map_cmd_run source_files target_files tau omega late select algorithm seed w
       output_string oc (Relational.Csv_io.table_to_csv table);
       close_out oc;
       Printf.printf "# wrote %s (%d rows)\n" path (Relational.Table.row_count table))
-    (Relational.Database.tables mapped)
+    (Relational.Database.tables mapped);
+  obs_finish trace metrics profile
 
 let demo_cmd_run scenario =
   match scenario with
@@ -313,6 +347,34 @@ let timeout_arg =
            started when it expires are skipped and reported, and the partial \
            result is returned.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON-lines span trace of the run to $(docv): one object \
+           per completed span (id, parent, path, ordinal, start_us, dur_us).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write aggregated observability metrics to $(docv) as JSON: \
+           per-stage span durations, counters (rows read, views scored, \
+           cache hits/misses), histograms, and pool utilization.")
+
+let profile_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "profile" ]
+        ~doc:
+          "Print a per-stage span tree (count x total time) on stderr after \
+           the run.")
+
 let out_dir_arg =
   Arg.(value & opt string "mapped" & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory.")
 
@@ -321,7 +383,8 @@ let match_cmd =
   Cmd.v (Cmd.info "match" ~doc)
     Term.(
       const match_cmd_run $ source_arg $ target_arg $ tau_arg $ omega_arg $ late_arg
-      $ select_arg $ algorithm_arg $ seed_arg $ where_arg $ jobs_arg $ mode_arg $ timeout_arg)
+      $ select_arg $ algorithm_arg $ seed_arg $ where_arg $ jobs_arg $ mode_arg $ timeout_arg
+      $ trace_arg $ metrics_arg $ profile_arg)
 
 let map_cmd =
   let doc = "match, generate the Clio-style mapping, execute it to CSV" in
@@ -329,7 +392,7 @@ let map_cmd =
     Term.(
       const map_cmd_run $ source_arg $ target_arg $ tau_arg $ omega_arg $ late_arg
       $ select_arg $ algorithm_arg $ seed_arg $ where_arg $ jobs_arg $ mode_arg $ timeout_arg
-      $ out_dir_arg)
+      $ trace_arg $ metrics_arg $ profile_arg $ out_dir_arg)
 
 let demo_cmd =
   let doc = "run a built-in scenario (retail or grades)" in

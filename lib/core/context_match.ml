@@ -22,6 +22,9 @@ type result = {
    deadline expiry excepted, which is inherently timing-dependent). *)
 let run ?(config = Config.default) ~infer ~source ~target () =
   Robust.Fault.with_armed config.Config.faults @@ fun () ->
+  Obs.Trace.with_span "context_match" @@ fun () ->
+  if !Obs.Recorder.enabled then
+    Obs.Metrics.set_gauge "pool.jobs" (float_of_int config.Config.jobs);
   let started = Robust.Deadline.now_ns () in
   let deadline =
     match config.Config.timeout_ms with
@@ -43,11 +46,18 @@ let run ?(config = Config.default) ~infer ~source ~target () =
     (fun source_table ->
       let src_name = Table.name source_table in
       (* Fig. 5 line 4: M := StandardMatch(R_S, R_T, tau) *)
-      let m = Matching.Standard_match.matches_from model ~src_table:src_name ~tau:config.tau in
+      let m =
+        Obs.Trace.with_span "standard_matches" (fun () ->
+            Matching.Standard_match.matches_from model ~src_table:src_name ~tau:config.tau)
+      in
       all_standard := !all_standard @ m;
+      if !Obs.Recorder.enabled then Obs.Metrics.add "match.standard_matches" (List.length m);
       (* line 5: C := InferCandidateViews(R_S, M, EarlyDisjuncts) — a
-         raising inference quarantines this source table's views only *)
+         raising inference quarantines this source table's views only.
+         The span is the paper's "view generation + condition
+         inference" phase. *)
       let families =
+        Obs.Trace.with_span "infer_views" @@ fun () ->
         match infer.Infer.infer (Stats.Rng.split rng) config ~source_table ~matches:m with
         | families -> families
         | exception e ->
@@ -56,6 +66,7 @@ let run ?(config = Config.default) ~infer ~source ~target () =
           []
       in
       all_families := !all_families @ families;
+      if !Obs.Recorder.enabled then Obs.Metrics.add "match.families" (List.length families);
       (* lines 6-11: score every match of R_S under every candidate view *)
       let family_attr_of view =
         match
@@ -69,10 +80,12 @@ let run ?(config = Config.default) ~infer ~source ~target () =
          walks the results in view order: the scored list is identical
          to the sequential loop's whatever the scheduling.  A failing
          view is quarantined with an issue instead of killing the run. *)
+      if !Obs.Recorder.enabled then Obs.Metrics.add "match.candidate_views" (List.length views);
       let scored_matches =
-        Runtime.Pool.map_list_results pool ~deadline
-          (fun view -> Matching.Standard_match.view_matches model view ~base_matches:m)
-          views
+        Obs.Trace.with_span "score_views" (fun () ->
+            Runtime.Pool.map_list_results pool ~deadline
+              (fun view -> Matching.Standard_match.view_matches model view ~base_matches:m)
+              views)
       in
       List.iter2
         (fun view outcome ->
@@ -97,6 +110,7 @@ let run ?(config = Config.default) ~infer ~source ~target () =
   let scored = List.rev !all_scored in
   (* line 12: SelectContextualMatches *)
   let matches =
+    Obs.Trace.with_span "select_matches" @@ fun () ->
     match config.Config.select with
     | Config.Multi_table -> Select_matches.multi_table ~standard ~scored
     | Config.Qual_table ->
@@ -109,6 +123,16 @@ let run ?(config = Config.default) ~infer ~source ~target () =
         ~target_tables:(Database.table_names target) ()
   in
   let cache_hits, cache_misses = Matching.Standard_match.cache_stats model in
+  (* One-shot export of the run's cache economics and containment
+     outcome.  The lookup total is jobs-invariant; the hit/miss split
+     can shift by same-key compute races (see Runtime.Memo). *)
+  if !Obs.Recorder.enabled then begin
+    Obs.Metrics.add "cache.profile.hits" cache_hits;
+    Obs.Metrics.add "cache.profile.misses" cache_misses;
+    Obs.Metrics.add "cache.profile.lookups" (cache_hits + cache_misses);
+    Obs.Metrics.add "match.selected" (List.length matches);
+    Obs.Metrics.add "robust.issues" (Robust.Report.count report)
+  end;
   {
     matches;
     standard;

@@ -26,6 +26,8 @@ let key_strings schema attrs row =
   if List.exists Value.is_null vs then None else Some (List.map Value.to_string vs)
 
 let join left right ~on ~right_restrict ~kind =
+  Obs.Trace.with_span "mapping.join" @@ fun () ->
+  if !Obs.Recorder.enabled then Obs.Metrics.incr "mapping.joins";
   let left_schema = Table.schema left and right_schema = Table.schema right in
   let right_rows =
     Array.to_list (Table.rows right)

@@ -68,6 +68,7 @@ module Union_find = struct
 end
 
 let plan ?(declared = []) ~source ~target ~matches () =
+  Obs.Trace.with_span "mapping.plan" @@ fun () ->
   let relations = relations_of_matches source matches in
   let base_relations = List.filter (fun r -> not (Relation.is_view r)) relations in
   let base_constraints = declared @ Mining.mine base_relations in
@@ -162,6 +163,7 @@ let plan ?(declared = []) ~source ~target ~matches () =
   { relations; base_constraints; derived; joins; mappings; target }
 
 let execute plan_t mapping =
+  Obs.Trace.with_span "mapping.execute" @@ fun () ->
   let target_table = Database.table plan_t.target mapping.target_table in
   let target_schema = Table.schema target_table in
   let target_attrs = Schema.attributes target_schema in
@@ -238,6 +240,10 @@ let execute plan_t mapping =
             end)
           (Table.rows joined))
     mapping.components;
+  if !Obs.Recorder.enabled then begin
+    Obs.Metrics.incr "mapping.targets";
+    Obs.Metrics.add "mapping.rows_emitted" (List.length !rows)
+  end;
   Table.of_rows target_schema (Array.of_list (List.rev !rows))
 
 let execute_all plan_t =

@@ -27,3 +27,13 @@ let misses t =
 let hit_rate t =
   let total = hits t + misses t in
   if total = 0 then 0.0 else float_of_int (hits t) /. float_of_int total
+
+type stats = { stat_hits : int; stat_misses : int; stat_entries : int }
+
+let stats t =
+  let entry (m : (_, _) Runtime.Memo.t) = Runtime.Memo.length m in
+  {
+    stat_hits = hits t;
+    stat_misses = misses t;
+    stat_entries = entry t.profiles + entry t.summaries + entry t.distincts;
+  }

@@ -39,6 +39,7 @@ type built_pair = {
 
 let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ?report
     ?(deadline = Robust.Deadline.none) ~source ~target () =
+  Obs.Trace.with_span "standard_match.build" @@ fun () ->
   let cache = Profile_cache.create () in
   let target_cols =
     List.concat_map
@@ -52,7 +53,8 @@ let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ?repo
      are read concurrently, so their lazy artefacts must already be in
      place (same computations the sequential path performs on first
      touch). *)
-  List.iter (fun tgt -> Column.warm tgt.column) target_cols;
+  Obs.Trace.with_span "warm_targets" (fun () ->
+      List.iter (fun tgt -> Column.warm tgt.column) target_cols);
   let target_index = Hashtbl.create 64 in
   List.iter
     (fun tgt -> Hashtbl.replace target_index (tgt.table, Column.name tgt.column) tgt)
@@ -101,7 +103,8 @@ let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ?repo
     { bp_table = src_name; bp_attr = src_attr; bp_column = src_col; bp_scores }
   in
   let built =
-    Runtime.Pool.map_array_results (Runtime.Pool.get ~jobs) ~deadline score_pair pairs
+    Obs.Trace.with_span "score_pairs" (fun () ->
+        Runtime.Pool.map_array_results (Runtime.Pool.get ~jobs) ~deadline score_pair pairs)
   in
   (* Deterministic merge: results arrive in pair-index order whatever
      the scheduling; every hash key is unique, so the tables end up
@@ -139,6 +142,13 @@ let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ?repo
             | None -> ())
           bp.bp_scores)
     built;
+  (* Counters recorded from this deterministic merge (main domain,
+     index order), so their values are identical at every jobs count. *)
+  if !Obs.Recorder.enabled then begin
+    Obs.Metrics.add "match.source_attrs" (Array.length pairs);
+    Obs.Metrics.add "match.target_cols" (List.length target_cols);
+    Obs.Metrics.add "match.raw_scores" (Hashtbl.length raw)
+  end;
   {
     gated;
     matchers;
@@ -216,6 +226,20 @@ let score_view m view ~src_attr ~tgt_table ~tgt_attr =
   end
 
 let view_matches m view ~base_matches =
+  (* Runs inside pool tasks: metrics only (sharded counters sum the
+     same whatever the scheduling), no per-view span, to keep traces
+     readable.  Each view is scored exactly once, so the counter is
+     jobs-invariant. *)
+  let observed = !Obs.Recorder.enabled in
+  let score_start = if observed then Robust.Deadline.now_ns () else 0L in
+  Fun.protect
+    ~finally:(fun () ->
+      if observed then begin
+        Obs.Metrics.incr "match.views_scored";
+        Obs.Metrics.observe_ns "match.view_score_ns"
+          (Int64.sub (Robust.Deadline.now_ns ()) score_start)
+      end)
+  @@ fun () ->
   let base_name = Table.name (View.base view) in
   (* Reuse one Column per source attribute of the view across matchers:
      the Column caches its profile/summary internally, and the model's

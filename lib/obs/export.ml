@@ -1,0 +1,241 @@
+(* Exporters are pure readers over Recorder.events () and
+   Metrics.snapshot (); they never mutate observability state, so a
+   trace file, a metrics file and a terminal tree can all be produced
+   from the same run. *)
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  json_escape b s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+(* JSON has no inf/nan tokens; clamp the degenerate cases to 0. *)
+let json_float f = if Float.is_finite f then Printf.sprintf "%.6g" f else "0"
+
+let ms_of_ns ns = Int64.to_float ns /. 1e6
+
+(* -- JSON-lines trace --------------------------------------------------- *)
+
+let trace_line (e : Recorder.event) =
+  Printf.sprintf
+    "{\"id\":%d,\"parent\":%d,\"name\":%s,\"path\":%s,\"ordinal\":%d,\"domain\":%d,\"start_us\":%s,\"dur_us\":%s}"
+    e.id e.parent (json_string e.name) (json_string e.path) e.ordinal e.domain
+    (json_float (Int64.to_float e.start_ns /. 1e3))
+    (json_float (Int64.to_float e.dur_ns /. 1e3))
+
+let trace_jsonl () =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string b (trace_line e);
+      Buffer.add_char b '\n')
+    (Recorder.events ());
+  Buffer.contents b
+
+(* -- per-path span aggregates ------------------------------------------- *)
+
+type span_agg = {
+  sa_path : string;
+  sa_count : int;
+  sa_total_ns : int64;
+  sa_min_ns : int64;
+  sa_max_ns : int64;
+  sa_first_id : int; (* creation order of the first instance, for display *)
+}
+
+let span_aggregates () =
+  let tbl : (string, span_agg ref) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun (e : Recorder.event) ->
+      match Hashtbl.find_opt tbl e.path with
+      | None ->
+        Hashtbl.add tbl e.path
+          (ref
+             {
+               sa_path = e.path;
+               sa_count = 1;
+               sa_total_ns = e.dur_ns;
+               sa_min_ns = e.dur_ns;
+               sa_max_ns = e.dur_ns;
+               sa_first_id = e.id;
+             });
+        order := e.path :: !order
+      | Some a ->
+        a :=
+          {
+            !a with
+            sa_count = !a.sa_count + 1;
+            sa_total_ns = Int64.add !a.sa_total_ns e.dur_ns;
+            sa_min_ns = (if e.dur_ns < !a.sa_min_ns then e.dur_ns else !a.sa_min_ns);
+            sa_max_ns = (if e.dur_ns > !a.sa_max_ns then e.dur_ns else !a.sa_max_ns);
+          })
+    (Recorder.events ());
+  List.rev_map (fun p -> !(Hashtbl.find tbl p)) !order
+  |> List.sort (fun a b -> compare a.sa_first_id b.sa_first_id)
+
+(* -- aggregated metrics JSON -------------------------------------------- *)
+
+let add_fields b fields =
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (json_string k);
+      Buffer.add_char b ':';
+      Buffer.add_string b v)
+    fields
+
+let obj fields =
+  let b = Buffer.create 256 in
+  Buffer.add_char b '{';
+  add_fields b fields;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let span_json a =
+  obj
+    [
+      ("count", string_of_int a.sa_count);
+      ("total_ms", json_float (ms_of_ns a.sa_total_ns));
+      ("mean_ms", json_float (ms_of_ns a.sa_total_ns /. float_of_int (max 1 a.sa_count)));
+      ("min_ms", json_float (ms_of_ns a.sa_min_ns));
+      ("max_ms", json_float (ms_of_ns a.sa_max_ns));
+    ]
+
+let hist_json (h : Metrics.hist_summary) =
+  let buckets =
+    "["
+    ^ String.concat ","
+        (List.map
+           (fun (ub, n) -> Printf.sprintf "[%s,%d]" (json_float ub) n)
+           h.Metrics.buckets)
+    ^ "]"
+  in
+  obj
+    [
+      ("count", string_of_int h.Metrics.count);
+      ("sum", json_float h.Metrics.sum);
+      ("mean", json_float (h.Metrics.sum /. float_of_int (max 1 h.Metrics.count)));
+      ("min", json_float h.Metrics.min);
+      ("max", json_float h.Metrics.max);
+      ("buckets", buckets);
+    ]
+
+(* Pool utilization: the share of the pool's capacity (batch wall time
+   times worker count, summed over batches) actually spent running
+   tasks.  1.0 when no batch ran: an idle pool wasted nothing. *)
+let pool_json snap =
+  let busy = float_of_int (Metrics.counter_value snap "pool.busy_ns") in
+  let capacity = float_of_int (Metrics.counter_value snap "pool.capacity_ns") in
+  let utilization = if capacity <= 0.0 then 1.0 else busy /. capacity in
+  obj
+    [
+      ("tasks", string_of_int (Metrics.counter_value snap "pool.tasks"));
+      ("batches", string_of_int (Metrics.counter_value snap "pool.batches"));
+      ("busy_ms", json_float (busy /. 1e6));
+      ("capacity_ms", json_float (capacity /. 1e6));
+      ("utilization", json_float utilization);
+    ]
+
+let metrics_json ?(extra = []) () =
+  let snap = Metrics.snapshot () in
+  let spans =
+    obj (List.map (fun a -> (a.sa_path, span_json a)) (span_aggregates ()))
+  in
+  let counters =
+    obj (List.map (fun (k, v) -> (k, string_of_int v)) snap.Metrics.counters)
+  in
+  let gauges = obj (List.map (fun (k, v) -> (k, json_float v)) snap.Metrics.gauges) in
+  let histograms =
+    obj (List.map (fun (k, h) -> (k, hist_json h)) snap.Metrics.histograms)
+  in
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  add_fields b
+    ([
+       ("spans", spans);
+       ("counters", counters);
+       ("gauges", gauges);
+       ("histograms", histograms);
+       ("pool", pool_json snap);
+     ]
+    @ extra);
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b
+
+(* -- pretty span tree for the terminal ---------------------------------- *)
+
+let parent_path path =
+  match String.rindex_opt path '/' with
+  | None -> None
+  | Some i -> Some (String.sub path 0 i)
+
+let leaf_name path =
+  match String.rindex_opt path '/' with
+  | None -> path
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+
+let span_tree () =
+  let aggs = span_aggregates () in
+  let children : (string option, span_agg list ref) Hashtbl.t = Hashtbl.create 32 in
+  let have = Hashtbl.create 32 in
+  List.iter (fun a -> Hashtbl.replace have a.sa_path ()) aggs;
+  List.iter
+    (fun a ->
+      (* an orphan path (parent pruned or cross-domain root) prints at
+         the top level rather than disappearing *)
+      let parent =
+        match parent_path a.sa_path with
+        | Some p when Hashtbl.mem have p -> Some p
+        | Some _ | None -> None
+      in
+      let key = parent in
+      match Hashtbl.find_opt children key with
+      | Some l -> l := a :: !l
+      | None -> Hashtbl.add children key (ref [ a ]))
+    aggs;
+  let b = Buffer.create 1024 in
+  let rec emit depth a =
+    Buffer.add_string b
+      (Printf.sprintf "%s%-*s %6d x %10.2f ms  (mean %8.3f ms)\n"
+         (String.make (2 * depth) ' ')
+         (max 1 (42 - (2 * depth)))
+         (leaf_name a.sa_path) a.sa_count
+         (ms_of_ns a.sa_total_ns)
+         (ms_of_ns a.sa_total_ns /. float_of_int (max 1 a.sa_count)));
+    match Hashtbl.find_opt children (Some a.sa_path) with
+    | None -> ()
+    | Some l ->
+      List.iter (emit (depth + 1))
+        (List.sort (fun x y -> compare x.sa_first_id y.sa_first_id) (List.rev !l))
+  in
+  Buffer.add_string b "span tree (count x total):\n";
+  (match Hashtbl.find_opt children None with
+  | None -> Buffer.add_string b "  (no spans recorded)\n"
+  | Some roots ->
+    List.iter (emit 1)
+      (List.sort (fun x y -> compare x.sa_first_id y.sa_first_id) (List.rev !roots)));
+  Buffer.contents b
+
+(* -- file writers -------------------------------------------------------- *)
+
+let write_file path text =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc text)
+
+let write_trace path = write_file path (trace_jsonl ())
+let write_metrics ?extra path = write_file path (metrics_json ?extra ())

@@ -1,0 +1,42 @@
+(** Exporters over the recorder's events and the metrics registry.
+
+    Three formats, all derivable from one run:
+
+    - {!trace_jsonl}: one JSON object per completed span, in creation
+      order — [{"id","parent","name","path","ordinal","domain",
+      "start_us","dur_us"}].  Load it with any JSONL tool.
+    - {!metrics_json}: a single aggregated JSON document with
+      per-path span statistics ([spans]), merged [counters], [gauges]
+      and [histograms], and a derived [pool] section
+      (tasks/batches/busy/capacity/utilization).
+    - {!span_tree}: an indented, per-path aggregate tree for the
+      terminal ([--profile]).
+
+    Exporters only read; they can be called repeatedly and in any
+    combination.  Call them from the main domain with no batch in
+    flight (same contract as {!Metrics.snapshot}). *)
+
+type span_agg = {
+  sa_path : string;
+  sa_count : int;
+  sa_total_ns : int64;
+  sa_min_ns : int64;
+  sa_max_ns : int64;
+  sa_first_id : int;
+}
+
+val span_aggregates : unit -> span_agg list
+(** Per-path aggregates of all recorded spans, ordered by first
+    appearance. *)
+
+val trace_jsonl : unit -> string
+
+val metrics_json : ?extra:(string * string) list -> unit -> string
+(** Aggregated metrics document.  [extra] appends top-level fields as
+    [(key, raw JSON value)] pairs — e.g.
+    [("degraded_issues", "3")]. *)
+
+val span_tree : unit -> string
+
+val write_trace : string -> unit
+val write_metrics : ?extra:(string * string) list -> string -> unit

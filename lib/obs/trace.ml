@@ -1,0 +1,37 @@
+type span = { id : int; path : string }
+
+(* Each domain keeps its own stack of open spans; nesting within a
+   domain is implicit.  Fan-out across domains passes the parent span
+   explicitly (see Runtime.Pool), since a worker's stack says nothing
+   about the batch it is serving. *)
+let stack : span list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let current () =
+  match !(Domain.DLS.get stack) with [] -> None | s :: _ -> Some s
+
+let with_span ?parent name f =
+  if not !Recorder.enabled then f ()
+  else begin
+    let st = Domain.DLS.get stack in
+    let parent = match parent with Some _ as p -> p | None -> current () in
+    let path = match parent with Some p -> p.path ^ "/" ^ name | None -> name in
+    let id, ordinal = Recorder.fresh_span path in
+    st := { id; path } :: !st;
+    let start = Robust.Deadline.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let stop = Robust.Deadline.now_ns () in
+        (match !st with _ :: rest -> st := rest | [] -> ());
+        Recorder.record
+          {
+            Recorder.id;
+            parent = (match parent with Some p -> p.id | None -> -1);
+            name;
+            path;
+            ordinal;
+            domain = (Domain.self () :> int);
+            start_ns = Int64.sub start (Recorder.epoch_ns ());
+            dur_ns = Int64.sub stop start;
+          })
+      f
+  end

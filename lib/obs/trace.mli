@@ -1,0 +1,27 @@
+(** Hierarchical trace spans on the monotonic clock.
+
+    [with_span name f] times [f] and records one {!Recorder.event} when
+    the recorder is enabled; when disabled it is exactly [f ()] after
+    one branch.  Nesting is tracked per domain (domain-local stack of
+    open spans): a span opened while another is open on the same domain
+    becomes its child, and its [path] extends the parent's.
+
+    Cross-domain nesting is explicit: capture {!current} on the
+    submitting domain and pass it as [?parent] to spans opened on
+    worker domains (Runtime.Pool does this for its chunk spans), so a
+    batch's work nests under the span that submitted it regardless of
+    which domain ran it.
+
+    Spans survive exceptions: the event is recorded (with the duration
+    up to the raise) and the stack popped before the exception
+    propagates. *)
+
+type span = { id : int; path : string }
+
+val current : unit -> span option
+(** Innermost open span of the calling domain, if any. *)
+
+val with_span : ?parent:span -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span called [name].  [?parent]
+    overrides the domain-local nesting (cross-domain fan-out); without
+    it the parent is {!current}, or the span is a root. *)

@@ -109,11 +109,12 @@ let read_file ?(retries = 2) ?(backoff_ms = 10) path =
     with (Sys_error _ | End_of_file | Robust.Fault.Injected _) as e ->
       if k >= retries then raise e
       else begin
+        Obs.Metrics.incr "csv.read_retries";
         if backoff > 0 then Unix.sleepf (float_of_int backoff /. 1000.0);
         attempt (k + 1) (backoff * 2)
       end
   in
-  attempt 0 backoff_ms
+  Obs.Trace.with_span "csv.read" (fun () -> attempt 0 backoff_ms)
 
 let parse_file ?separator path = parse_string ?separator (read_file path)
 
@@ -209,6 +210,7 @@ let infer_column_type fields =
 let empty_table name = Table.make (Schema.make name []) []
 
 let table_of_csv_report ?separator ?(mode = Strict) ~name text =
+  Obs.Trace.with_span "csv.table" @@ fun () ->
   let records, parse_issues = parse_records ?separator ~mode text in
   match records with
   | [] ->
@@ -252,6 +254,11 @@ let table_of_csv_report ?separator ?(mode = Strict) ~name text =
             end)
         data
     in
+    if !Obs.Recorder.enabled then begin
+      Obs.Metrics.add "csv.rows_read" (List.length data);
+      Obs.Metrics.add "csv.rows_quarantined" (List.length data - List.length kept);
+      Obs.Metrics.incr "csv.tables"
+    end;
     let column i = List.map (fun record -> List.nth record i) kept in
     let types = List.init width (fun i -> infer_column_type (column i)) in
     let attrs = List.map2 Attribute.make header types in

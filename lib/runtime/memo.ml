@@ -14,15 +14,18 @@ let find_or_add t key compute =
      lookups whatever the scheduling. *)
   Robust.Fault.check Robust.Fault.Memo_lookup
     ~key:(string_of_int (Hashtbl.hash key));
+  if !Obs.Recorder.enabled then Obs.Metrics.incr "memo.lookups";
   Mutex.lock t.mutex;
   match Hashtbl.find_opt t.table key with
   | Some v ->
     t.hits <- t.hits + 1;
     Mutex.unlock t.mutex;
+    Obs.Metrics.incr "memo.hits";
     v
   | None ->
     t.misses <- t.misses + 1;
     Mutex.unlock t.mutex;
+    Obs.Metrics.incr "memo.misses";
     let v = compute () in
     Mutex.lock t.mutex;
     let v =
@@ -44,13 +47,23 @@ let length t =
 let hits t = t.hits
 let misses t = t.misses
 
+type stats = { stat_hits : int; stat_misses : int; stat_entries : int }
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s = { stat_hits = t.hits; stat_misses = t.misses; stat_entries = Hashtbl.length t.table } in
+  Mutex.unlock t.mutex;
+  s
+
 let hit_rate t =
   let total = t.hits + t.misses in
   if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
 
 let clear t =
   Mutex.lock t.mutex;
+  let evicted = Hashtbl.length t.table in
   Hashtbl.reset t.table;
   t.hits <- 0;
   t.misses <- 0;
-  Mutex.unlock t.mutex
+  Mutex.unlock t.mutex;
+  if evicted > 0 then Obs.Metrics.add "memo.evicted" evicted

@@ -21,8 +21,21 @@ val hits : ('k, 'v) t -> int
 val misses : ('k, 'v) t -> int
 (** Lookups that had to compute. *)
 
+type stats = { stat_hits : int; stat_misses : int; stat_entries : int }
+
+val stats : ('k, 'v) t -> stats
+(** One consistent view of the counters and the entry count, read
+    under the table's lock. *)
+
 val hit_rate : ('k, 'v) t -> float
 (** [hits / (hits + misses)]; 0 before any lookup. *)
 
 val clear : ('k, 'v) t -> unit
-(** Drop entries and reset the counters. *)
+(** Drop entries and reset the counters.  With observability enabled,
+    the dropped entries are counted on the [memo.evicted] metric.
+
+    When the recorder ({!Obs.Recorder.enabled}) is on, every lookup
+    also feeds the global [memo.lookups] / [memo.hits] / [memo.misses]
+    metrics; [memo.lookups] is jobs-invariant, while the hit/miss
+    split can shift by the (rare) same-key compute races described
+    above. *)

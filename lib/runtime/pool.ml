@@ -58,10 +58,33 @@ let shutdown t =
   List.iter Domain.join t.workers;
   t.workers <- []
 
+(* Observability wrapper around a chunk body: queue-wait and run-time
+   histograms, busy-time accounting, and a span that nests under the
+   span open on the SUBMITTING domain (captured here, passed explicitly,
+   since the worker's own span stack is empty).  Only built when the
+   recorder is on; the disabled cost of instrumentation is the single
+   [!Obs.Recorder.enabled] branch at each site. *)
+let instrument_chunk run_range =
+  let parent = Obs.Trace.current () in
+  let submitted = Robust.Deadline.now_ns () in
+  fun lo hi ->
+    let started = Robust.Deadline.now_ns () in
+    Obs.Metrics.observe_ns "pool.task_wait_ns" (Int64.sub started submitted);
+    Fun.protect
+      ~finally:(fun () ->
+        let dur = Int64.sub (Robust.Deadline.now_ns ()) started in
+        Obs.Metrics.incr "pool.tasks";
+        Obs.Metrics.observe_ns "pool.task_run_ns" dur;
+        Obs.Metrics.add "pool.busy_ns" (Int64.to_int dur))
+      (fun () -> Obs.Trace.with_span ?parent "pool.chunk" (fun () -> run_range lo hi))
+
 (* Split [0, n) into contiguous chunks, queue [run_range lo hi] for
    each, and drain the batch — the submitting domain works through its
    own share instead of going idle.  [run_range] must not raise. *)
 let run_chunked t n run_range =
+  let observed = !Obs.Recorder.enabled in
+  let batch_start = if observed then Robust.Deadline.now_ns () else 0L in
+  let run_range = if observed then instrument_chunk run_range else run_range in
   (* More chunks than domains, so an uneven chunk cannot serialise the
      batch; which domain runs which chunk never shows in the output. *)
   let chunks = min n (t.jobs * 4) in
@@ -92,11 +115,37 @@ let run_chunked t n run_range =
   while t.outstanding > 0 do
     Condition.wait t.work_done t.mutex
   done;
-  Mutex.unlock t.mutex
+  Mutex.unlock t.mutex;
+  if observed then begin
+    let wall = Int64.sub (Robust.Deadline.now_ns ()) batch_start in
+    Obs.Metrics.incr "pool.batches";
+    (* capacity = batch wall time x worker count; utilization (exported
+       as busy/capacity) says how much of it ran tasks *)
+    Obs.Metrics.add "pool.capacity_ns" (Int64.to_int wall * t.jobs)
+  end
+
+(* The sequential fallback of a map is the whole batch run as one task
+   on the submitting domain: same span/counter taxonomy as the chunked
+   path, so jobs=1 runs still report utilization (trivially ~1). *)
+let seq_init n eval =
+  if not !Obs.Recorder.enabled then Array.init n eval
+  else begin
+    let started = Robust.Deadline.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur = Int64.sub (Robust.Deadline.now_ns ()) started in
+        Obs.Metrics.incr "pool.batches";
+        Obs.Metrics.incr "pool.tasks";
+        Obs.Metrics.observe_ns "pool.task_wait_ns" 0L;
+        Obs.Metrics.observe_ns "pool.task_run_ns" dur;
+        Obs.Metrics.add "pool.busy_ns" (Int64.to_int dur);
+        Obs.Metrics.add "pool.capacity_ns" (Int64.to_int dur))
+      (fun () -> Obs.Trace.with_span "pool.chunk" (fun () -> Array.init n eval))
+  end
 
 let parallel_init t n f =
   if n = 0 then [||]
-  else if t.jobs <= 1 || t.stop || n = 1 then Array.init n f
+  else if t.jobs <= 1 || t.stop || n = 1 then seq_init n f
   else begin
     let results = Array.make n None in
     let error = ref None in
@@ -138,7 +187,7 @@ let eval_result deadline f i =
 let parallel_init_results t ?(deadline = Robust.Deadline.none) n f =
   let eval = eval_result deadline f in
   if n = 0 then [||]
-  else if t.jobs <= 1 || t.stop || n = 1 then Array.init n eval
+  else if t.jobs <= 1 || t.stop || n = 1 then seq_init n eval
   else begin
     let results = Array.make n None in
     let run_range lo hi =

@@ -142,6 +142,42 @@ let test_xml_input () =
       Alcotest.(check bool) "shredded title column matched" true
         (contains output "title -> books.booktitle"))
 
+let test_observability_flags () =
+  in_temp_dir (fun dir ->
+      grades_fixture dir;
+      let base =
+        Printf.sprintf "%s match -s %s/narrow.csv -t %s/wide.csv --tau 0.4 --omega 0.05 --late --select clio"
+          cli dir dir
+      in
+      (* plain run is the oracle: the obs flags must not change matches *)
+      let status, plain = run_capture base in
+      Alcotest.(check bool) "plain exit 0" true (status = Unix.WEXITED 0);
+      let metrics_file = Filename.concat dir "metrics.json" in
+      let trace_file = Filename.concat dir "trace.jsonl" in
+      let status, instrumented =
+        run_capture (Printf.sprintf "%s --metrics %s --trace %s" base metrics_file trace_file)
+      in
+      Alcotest.(check bool) "instrumented exit 0" true (status = Unix.WEXITED 0);
+      Alcotest.(check string) "output unchanged under instrumentation" plain instrumented;
+      (* the span tree goes to stderr; run it separately so interleaving
+         with block-buffered stdout cannot perturb the byte comparison *)
+      let status, profiled = run_capture (base ^ " --profile") in
+      Alcotest.(check bool) "profile exit 0" true (status = Unix.WEXITED 0);
+      Alcotest.(check bool) "profile tree printed" true (contains profiled "context_match");
+      let slurp path =
+        let ic = open_in_bin path in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      in
+      let metrics = slurp metrics_file in
+      List.iter
+        (fun field ->
+          Alcotest.(check bool) ("metrics has " ^ field) true (contains metrics field))
+        [ "\"spans\""; "\"pool\""; "\"utilization\""; "cache.profile.lookups" ];
+      Alcotest.(check bool) "trace written" true
+        (contains (slurp trace_file) "\"path\""))
+
 let test_bad_input_fails () =
   (* a nonexistent file is rejected by argument validation: usage (2) *)
   let status, _ = run_capture (cli ^ " match -s /nonexistent.csv -t /nonexistent.csv") in
@@ -177,5 +213,6 @@ let suite =
     Alcotest.test_case "--where filter" `Slow test_where_filter;
     Alcotest.test_case "demo grades" `Slow test_demo_command;
     Alcotest.test_case "xml input" `Slow test_xml_input;
+    Alcotest.test_case "observability flags" `Slow test_observability_flags;
     Alcotest.test_case "bad input fails" `Quick test_bad_input_fails;
   ]
