@@ -589,6 +589,82 @@ let micro () =
       | Some _ | None -> Printf.printf "  %-40s (no estimate)\n" name)
     rows
 
+(* --- Persistent store: cold vs warm (BENCH_store.json) ----------------- *)
+
+(* One cold run populating a fresh store, then a warm run over the same
+   inputs.  The JSON records both timings and the warm run's store
+   economics; the figure itself is the CI gate — it exits non-zero if
+   the warm run hit the store zero times, recomputed any artefact, or
+   produced different matches. *)
+let store_report () =
+  R.section "Persistent store: cold vs warm run over unchanged inputs";
+  let dir = Filename.temp_file "ctxstore_bench" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+  @@ fun () ->
+  let params = retail_params in
+  let source = Workload.Retail.source params in
+  let target = Workload.Retail.target params Workload.Retail.Ryan_eyers in
+  let infer = Ctxmatch.Context_match.infer_of `Src_class ~target in
+  let config = Ctxmatch.Config.with_seed Ctxmatch.Config.default base_seed in
+  let timed store =
+    let t0 = Unix.gettimeofday () in
+    let r = count_issues (Ctxmatch.Context_match.run ~config ~store ~infer ~source ~target ()) in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let fp (r : Ctxmatch.Context_match.result) =
+    String.concat "\n"
+      (List.map
+         (fun (m : Matching.Schema_match.t) ->
+           Printf.sprintf "%s|%s|%s|%s.%s|%h" m.src_owner m.src_base m.src_attr m.tgt_table
+             m.tgt_attr m.confidence)
+         r.Ctxmatch.Context_match.matches)
+  in
+  let cold_store = Store.open_dir dir in
+  let cold_s, cold = timed cold_store in
+  Store.flush cold_store;
+  let warm_store = Store.open_dir dir in
+  let warm_s, warm = timed warm_store in
+  let cst = Store.stats cold_store in
+  let wst = Store.stats warm_store in
+  let identical = fp cold = fp warm in
+  let warm_builds = warm.Ctxmatch.Context_match.profile_builds in
+  let oc = open_out "BENCH_store.json" in
+  Printf.fprintf oc
+    {|{
+  "cold_seconds": %.6f,
+  "warm_seconds": %.6f,
+  "speedup": %.3f,
+  "cold": { "hits": %d, "misses": %d, "added": %d, "profile_builds": %d },
+  "warm": { "hits": %d, "misses": %d, "shard_loads": %d, "profile_builds": %d },
+  "identical_matches": %b
+}
+|}
+    cold_s warm_s
+    (cold_s /. Float.max 1e-9 warm_s)
+    cst.Store.st_hits cst.Store.st_misses cst.Store.st_adds
+    cold.Ctxmatch.Context_match.profile_builds wst.Store.st_hits wst.Store.st_misses
+    wst.Store.st_shard_loads warm_builds identical;
+  close_out oc;
+  R.note
+    (Printf.sprintf
+       "wrote BENCH_store.json: cold %.1f ms -> warm %.1f ms; warm run %d store hits, %d builds"
+       (cold_s *. 1e3) (warm_s *. 1e3) wst.Store.st_hits warm_builds);
+  if wst.Store.st_hits = 0 then begin
+    Printf.eprintf "bench: store canary failed: warm run never hit the store\n";
+    exit 1
+  end;
+  if warm_builds <> 0 then begin
+    Printf.eprintf "bench: store canary failed: warm run recomputed %d artefacts\n" warm_builds;
+    exit 1
+  end;
+  if not identical then begin
+    Printf.eprintf "bench: store canary failed: warm matches differ from cold\n";
+    exit 1
+  end
+
 (* --- Observability report (BENCH_obs.json) ----------------------------- *)
 
 (* One instrumented end-to-end retail run under the obs recorder,
@@ -634,6 +710,7 @@ let figures =
     ("fig20", fig20); ("fig21", fig21); ("fig22", fig22);
     ("abl-gating", ablation_gating); ("abl-range", ablation_range);
     ("abl-clio", ablation_clio); ("ext", extensions); ("micro", micro);
+    ("store", store_report);
   ]
 
 let () =

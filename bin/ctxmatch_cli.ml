@@ -149,7 +149,7 @@ let obs_finish trace metrics profile =
   end
 
 let run_match source_files target_files tau omega late select algorithm seed where jobs mode
-    timeout_ms =
+    timeout_ms store_dir store_readonly =
   let config = make_config tau omega late select seed jobs timeout_ms in
   let algorithm = algorithm_of_string algorithm in
   let source =
@@ -157,12 +157,26 @@ let run_match source_files target_files tau omega late select algorithm seed whe
   in
   let target = Relational.Database.make "target" (load_tables ~mode target_files) in
   match_phase @@ fun () ->
+  let store =
+    Option.map (fun dir -> Store.open_dir ~readonly:store_readonly dir) store_dir
+  in
   let infer = Ctxmatch.Context_match.infer_of algorithm ~target in
-  let result = Ctxmatch.Context_match.run ~config ~infer ~source ~target () in
+  let result = Ctxmatch.Context_match.run ~config ?store ~infer ~source ~target () in
   Printf.printf "# standard matches: %d, candidate views scored: %d, %.2fs\n"
     (List.length result.Ctxmatch.Context_match.standard)
     result.Ctxmatch.Context_match.candidate_view_count
     result.Ctxmatch.Context_match.elapsed_seconds;
+  (match store with
+  | None -> ()
+  | Some s ->
+    Store.flush s;
+    let st = Store.stats s in
+    Printf.printf
+      "# store: %d hits / %d misses, %d added, %d shards loaded, %d flushed, %d quarantined, \
+       %d profile builds\n"
+      st.Store.st_hits st.Store.st_misses st.Store.st_adds st.Store.st_shard_loads
+      st.Store.st_flushed st.Store.st_quarantined
+      result.Ctxmatch.Context_match.profile_builds);
   print_degraded
     ~cache:
       ( result.Ctxmatch.Context_match.cache_hits,
@@ -174,19 +188,19 @@ let run_match source_files target_files tau omega late select algorithm seed whe
   result
 
 let match_cmd_run source_files target_files tau omega late select algorithm seed where jobs
-    mode timeout_ms trace metrics profile =
+    mode timeout_ms store_dir store_readonly trace metrics profile =
   obs_start trace metrics profile;
   ignore
     (run_match source_files target_files tau omega late select algorithm seed where jobs mode
-       timeout_ms);
+       timeout_ms store_dir store_readonly);
   obs_finish trace metrics profile
 
 let map_cmd_run source_files target_files tau omega late select algorithm seed where jobs mode
-    timeout_ms trace metrics profile out_dir =
+    timeout_ms store_dir store_readonly trace metrics profile out_dir =
   obs_start trace metrics profile;
   let result =
     run_match source_files target_files tau omega late select algorithm seed where jobs mode
-      timeout_ms
+      timeout_ms store_dir store_readonly
   in
   let source =
     apply_where where (Relational.Database.make "source" (load_tables ~mode source_files))
@@ -347,6 +361,27 @@ let timeout_arg =
            started when it expires are skipped and reported, and the partial \
            result is returned.")
 
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Persistent profile store directory (created if missing): column \
+           artefacts computed by this run are saved there, and a later run \
+           over unchanged inputs starts warm, skipping profile recomputation \
+           while producing byte-identical matches.  Corrupt or stale shard \
+           files are quarantined and rebuilt, never fatal.")
+
+let store_readonly_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "store-readonly" ]
+        ~doc:
+          "Open --store without writing anything back: no flush, and \
+           quarantined files are left in place.")
+
 let trace_arg =
   Arg.(
     value
@@ -384,7 +419,7 @@ let match_cmd =
     Term.(
       const match_cmd_run $ source_arg $ target_arg $ tau_arg $ omega_arg $ late_arg
       $ select_arg $ algorithm_arg $ seed_arg $ where_arg $ jobs_arg $ mode_arg $ timeout_arg
-      $ trace_arg $ metrics_arg $ profile_arg)
+      $ store_arg $ store_readonly_arg $ trace_arg $ metrics_arg $ profile_arg)
 
 let map_cmd =
   let doc = "match, generate the Clio-style mapping, execute it to CSV" in
@@ -392,7 +427,7 @@ let map_cmd =
     Term.(
       const map_cmd_run $ source_arg $ target_arg $ tau_arg $ omega_arg $ late_arg
       $ select_arg $ algorithm_arg $ seed_arg $ where_arg $ jobs_arg $ mode_arg $ timeout_arg
-      $ trace_arg $ metrics_arg $ profile_arg $ out_dir_arg)
+      $ store_arg $ store_readonly_arg $ trace_arg $ metrics_arg $ profile_arg $ out_dir_arg)
 
 let demo_cmd =
   let doc = "run a built-in scenario (retail or grades)" in

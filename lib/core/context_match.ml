@@ -9,6 +9,7 @@ type result = {
   elapsed_seconds : float;
   cache_hits : int;
   cache_misses : int;
+  profile_builds : int;
   issues : Robust.Error.t list;
 }
 
@@ -20,7 +21,7 @@ type result = {
    are recorded from deterministic merge loops in index order, so both
    the partial result and the report are jobs-invariant (cooperative
    deadline expiry excepted, which is inherently timing-dependent). *)
-let run ?(config = Config.default) ~infer ~source ~target () =
+let run ?(config = Config.default) ?store ~infer ~source ~target () =
   Robust.Fault.with_armed config.Config.faults @@ fun () ->
   Obs.Trace.with_span "context_match" @@ fun () ->
   if !Obs.Recorder.enabled then
@@ -37,7 +38,7 @@ let run ?(config = Config.default) ~infer ~source ~target () =
   let rng = Stats.Rng.create config.Config.seed in
   let model =
     Matching.Standard_match.build ~gated:config.Config.gated_confidence
-      ~matchers:config.Config.matchers ~jobs ~report ~deadline ~source ~target ()
+      ~matchers:config.Config.matchers ~jobs ~report ~deadline ?store ~source ~target ()
   in
   let all_standard = ref [] in
   let all_families = ref [] in
@@ -143,7 +144,12 @@ let run ?(config = Config.default) ~infer ~source ~target () =
       Int64.to_float (Int64.sub (Robust.Deadline.now_ns ()) started) /. 1e9;
     cache_hits;
     cache_misses;
-    issues = Robust.Report.issues report;
+    profile_builds = Matching.Standard_match.profile_builds model;
+    (* store quarantines (if any) ride along with the run's own issues,
+       so callers see every degradation in one place *)
+    issues =
+      (Robust.Report.issues report
+      @ match store with Some s -> Store.issues s | None -> []);
   }
 
 let contextual_matches result =

@@ -17,6 +17,10 @@ type result = {
   elapsed_seconds : float;
   cache_hits : int;  (** profile-cache lookups answered from the cache *)
   cache_misses : int;  (** profile-cache lookups that had to compute *)
+  profile_builds : int;
+      (** column artefacts computed from raw values: lookups that
+          missed both the in-memory caches and the persistent store.
+          0 on a fully warm [store] run over unchanged inputs *)
   issues : Robust.Error.t list;
       (** units of work quarantined during this run (skipped source
           attributes, candidate views, inference failures, deadline
@@ -26,11 +30,22 @@ type result = {
 }
 
 val run :
-  ?config:Config.t -> infer:Infer.t -> source:Database.t -> target:Database.t -> unit -> result
+  ?config:Config.t ->
+  ?store:Store.t ->
+  infer:Infer.t ->
+  source:Database.t ->
+  target:Database.t ->
+  unit ->
+  result
 (** Runs with [config.faults] armed (restored on exit) and, when
     [config.timeout_ms] is set, under a cooperative deadline checked
     between scoring units.  Recoverable per-unit failures degrade the
-    result and are listed in [issues] instead of raising. *)
+    result and are listed in [issues] instead of raising.
+
+    With a [store], column artefacts are served from / written through
+    to the persistent store (see {!Matching.Standard_match.build});
+    store quarantine issues are appended to [issues].  The caller still
+    owns {!Store.flush}. *)
 
 val contextual_matches : result -> Matching.Schema_match.t list
 (** Only the selected matches that originate from views (the edges the

@@ -6,6 +6,21 @@ type scored_view = {
   view_matches : Matching.Schema_match.t list;
 }
 
+(* All confidence comparisons below go through [Float.compare]: a total
+   order (nan below everything, nan equal to itself), so a nan produced
+   by a degenerate score can never displace a real match and never
+   poisons a fold with the asymmetric false-everywhere answers of the
+   IEEE predicates.  Exact ties break on match identity, keeping every
+   selection independent of hash-table fold order and of [--jobs]. *)
+let better_match (m : Matching.Schema_match.t) (current : Matching.Schema_match.t) =
+  let c = Float.compare m.confidence current.confidence in
+  c > 0
+  || c = 0
+     && compare
+          (m.src_owner, m.src_attr, m.tgt_table, m.tgt_attr)
+          (current.src_owner, current.src_attr, current.tgt_table, current.tgt_attr)
+        < 0
+
 let multi_table ~standard ~scored =
   let all = standard @ List.concat_map (fun sv -> sv.view_matches) scored in
   let best = Hashtbl.create 32 in
@@ -13,7 +28,7 @@ let multi_table ~standard ~scored =
     (fun (m : Matching.Schema_match.t) ->
       let key = (m.tgt_table, m.tgt_attr) in
       match Hashtbl.find_opt best key with
-      | Some (current : Matching.Schema_match.t) when current.confidence >= m.confidence -> ()
+      | Some current when not (better_match m current) -> ()
       | Some _ | None -> Hashtbl.replace best key m)
     all;
   Hashtbl.fold (fun _ m acc -> m :: acc) best []
@@ -80,9 +95,14 @@ let select_per_target ?(jobs = 1) ~omega ~early_disjuncts ~standard ~scored ~tar
           (fun src ms best ->
             let t = total_confidence ms in
             match best with
-            | Some (_, _, bt) when bt > t -> best
-            | Some (bsrc, _, bt) when bt = t && String.compare bsrc src <= 0 -> best
-            | Some _ | None -> Some (src, ms, t))
+            | Some (bsrc, _, bt) ->
+              (* Float.compare, not the IEEE predicates: a nan total
+                 must lose to every real one (and to another nan the
+                 name decides), whatever order the fold visits *)
+              let c = Float.compare t bt in
+              if c > 0 || (c = 0 && String.compare src bsrc < 0) then Some (src, ms, t)
+              else best
+            | None -> Some (src, ms, t))
           by_source None
       in
       match best_source with
@@ -92,8 +112,25 @@ let select_per_target ?(jobs = 1) ~omega ~early_disjuncts ~standard ~scored ~tar
         let improving = List.filter (fun c -> c.improvement >= omega) candidates in
         let chosen =
           if early_disjuncts then
+            (* secondary key on the candidate's match identities, so an
+               exact improvement tie picks the same winner whatever
+               order [candidates_of] emitted them in *)
+            let cand_key c =
+              List.map
+                (fun (m : Matching.Schema_match.t) ->
+                  ( m.src_owner,
+                    m.src_attr,
+                    m.tgt_table,
+                    m.tgt_attr,
+                    Condition.to_string (Condition.normalize m.condition) ))
+                c.cand_matches
+            in
             match
-              List.sort (fun c1 c2 -> Float.compare c2.improvement c1.improvement) improving
+              List.sort
+                (fun c1 c2 ->
+                  let c = Float.compare c2.improvement c1.improvement in
+                  if c <> 0 then c else compare (cand_key c1) (cand_key c2))
+                improving
             with
             | [] -> []
             | best :: _ -> [ best ]
@@ -205,7 +242,7 @@ let group_candidate group ~base_conf ~tgt_table =
     let best_per_attr = Hashtbl.create 16 in
     let keep table key (m : Matching.Schema_match.t) =
       match Hashtbl.find_opt table key with
-      | Some (current : Matching.Schema_match.t) when current.confidence >= m.confidence -> ()
+      | Some current when not (better_match m current) -> ()
       | Some _ | None -> Hashtbl.replace table key m
     in
     List.iter

@@ -70,7 +70,7 @@ let profile t =
     let compute () = Textsim.Profile.of_strings_array (strings t) in
     let p =
       match t.cache with
-      | Some (c, key) -> Runtime.Memo.find_or_add c.Profile_cache.profiles key compute
+      | Some (c, key) -> Profile_cache.profile c key compute
       | None -> compute ()
     in
     t.profile <- Some p;
@@ -83,7 +83,7 @@ let summary t =
     let compute () = Stats.Descriptive.summarize (floats t) in
     let s =
       match t.cache with
-      | Some (c, key) -> Runtime.Memo.find_or_add c.Profile_cache.summaries key compute
+      | Some (c, key) -> Profile_cache.summary c key compute
       | None -> compute ()
     in
     t.summary <- Some s;
@@ -96,7 +96,7 @@ let distinct_strings t =
     let compute () = strings t |> Array.to_list |> List.sort_uniq String.compare in
     let d =
       match t.cache with
-      | Some (c, key) -> Runtime.Memo.find_or_add c.Profile_cache.distincts key compute
+      | Some (c, key) -> Profile_cache.distinct c key compute
       | None -> compute ()
     in
     t.distinct <- Some d;

@@ -4,6 +4,10 @@ type t = {
   profiles : (key, Textsim.Profile.t) Runtime.Memo.t;
   summaries : (key, Stats.Descriptive.summary) Runtime.Memo.t;
   distincts : (key, string list) Runtime.Memo.t;
+  mutable store : Store.t option;
+  digests : (string, string) Hashtbl.t;
+  digests_lock : Mutex.t;
+  builds : int Atomic.t;
 }
 
 let create () =
@@ -11,9 +15,76 @@ let create () =
     profiles = Runtime.Memo.create ();
     summaries = Runtime.Memo.create ();
     distincts = Runtime.Memo.create ();
+    store = None;
+    digests = Hashtbl.create 8;
+    digests_lock = Mutex.create ();
+    builds = Atomic.make 0;
   }
 
-let subset_digest indices = Digest.to_hex (Digest.string (Marshal.to_string indices []))
+let attach_store t store = t.store <- Some store
+
+let register_table t table =
+  let name = Relational.Table.name table in
+  Mutex.lock t.digests_lock;
+  if not (Hashtbl.mem t.digests name) then
+    Hashtbl.replace t.digests name (Store.table_digest table);
+  Mutex.unlock t.digests_lock
+
+let store_key t ((tbl, attr, subset) : key) =
+  match t.store with
+  | None -> None
+  | Some store ->
+    Mutex.lock t.digests_lock;
+    let digest = Hashtbl.find_opt t.digests tbl in
+    Mutex.unlock t.digests_lock;
+    (match digest with
+    | None -> None
+    | Some data -> Some (store, { Store.table = tbl; attr; subset; data }))
+
+(* The build counter is bumped only when [compute] actually runs —
+   neither a memo hit nor a store hit counts — so a fully warm run
+   reports zero builds. *)
+let built t v =
+  Atomic.incr t.builds;
+  if !Obs.Recorder.enabled then Obs.Metrics.incr "cache.profile.builds";
+  v
+
+let builds t = Atomic.get t.builds
+
+let through t memo k ~find ~add compute =
+  Runtime.Memo.find_or_add memo k (fun () ->
+      match store_key t k with
+      | None -> built t (compute ())
+      | Some (store, skey) -> (
+        match find store skey with
+        | Some v -> v
+        | None ->
+          let v = built t (compute ()) in
+          add store skey v;
+          v))
+
+let profile t k compute =
+  through t t.profiles k ~find:Store.find_profile ~add:Store.add_profile compute
+
+let summary t k compute =
+  through t t.summaries k ~find:Store.find_summary ~add:Store.add_summary compute
+
+let distinct t k compute =
+  through t t.distincts k ~find:Store.find_distinct ~add:Store.add_distinct compute
+
+(* Canonical textual encoding, NOT [Marshal]: marshalled byte layout is
+   not stable across OCaml versions or architectures, which is
+   unacceptable for a digest that doubles as an on-disk store key.  The
+   exact index order is preserved — the cache contract is "same value
+   sequence", not "same value set". *)
+let subset_digest indices =
+  let buf = Buffer.create (8 * Array.length indices) in
+  Array.iter
+    (fun i ->
+      Buffer.add_string buf (string_of_int i);
+      Buffer.add_char buf ',')
+    indices;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let key ~table ~attr ~indices = (table, attr, subset_digest indices)
 

@@ -13,7 +13,12 @@
     freshly computed ones.
 
     Backed by {!Runtime.Memo}: safe to share across the worker domains
-    of a parallel run. *)
+    of a parallel run.
+
+    Optionally backed a second level down by a persistent {!Store}
+    (see {!attach_store}): an in-memory miss then consults the store
+    before computing, and a computed artefact is written through, so a
+    later process run on the same inputs starts warm. *)
 
 type key = string * string * string
 (** [(base table name, attribute name, row-subset digest)]. *)
@@ -22,12 +27,42 @@ type t = {
   profiles : (key, Textsim.Profile.t) Runtime.Memo.t;
   summaries : (key, Stats.Descriptive.summary) Runtime.Memo.t;
   distincts : (key, string list) Runtime.Memo.t;
+  mutable store : Store.t option;  (** second-level persistent backing *)
+  digests : (string, string) Hashtbl.t;  (** table name -> {!Store.table_digest} *)
+  digests_lock : Mutex.t;
+  builds : int Atomic.t;  (** artefacts actually computed (no cache/store hit) *)
 }
 
 val create : unit -> t
 
+val attach_store : t -> Store.t -> unit
+(** Back in-memory misses by a persistent store.  Only tables passed to
+    {!register_table} participate (the on-disk key needs their data
+    digest); lookups for unregistered tables skip the store. *)
+
+val register_table : t -> Relational.Table.t -> unit
+(** Compute and remember the table's {!Store.table_digest}.  Call
+    before the parallel fan-out touches the table's columns. *)
+
+val profile : t -> key -> (unit -> Textsim.Profile.t) -> Textsim.Profile.t
+val summary : t -> key -> (unit -> Stats.Descriptive.summary) -> Stats.Descriptive.summary
+
+val distinct : t -> key -> (unit -> string list) -> string list
+(** Memo lookup, then (when a store is attached and the table
+    registered) store lookup, then [compute] — which bumps the build
+    counter and writes the artefact through to the store. *)
+
+val builds : t -> int
+(** Artefacts computed from raw values so far: lookups that missed both
+    the memo and the store.  Zero on a fully warm run.  Mirrored on the
+    [cache.profile.builds] metric (which, like the hit/miss split, can
+    shift by same-key compute races under parallel runs). *)
+
 val subset_digest : int array -> string
-(** Collision-resistant digest of a row-index array. *)
+(** Collision-resistant digest of a row-index array, computed over a
+    canonical textual encoding of the indices (never [Marshal], whose
+    byte layout is OCaml-version- and architecture-dependent), so the
+    digest is stable enough to double as an on-disk store key. *)
 
 val key : table:string -> attr:string -> indices:int array -> key
 

@@ -18,12 +18,17 @@ type model = {
   raw : (string * string * string * string * string, float) Hashtbl.t;
   (* view-column artefacts shared across candidate-view scorings *)
   cache : Profile_cache.t;
+  (* target-column artefacts; a separate cache instance so a source
+     and a target table with the same name can never collide on the
+     in-memory (table, attr, subset) key *)
+  tgt_cache : Profile_cache.t;
 }
 
 let source m = m.source_db
 let target m = m.target_db
 let profile_cache m = m.cache
 let cache_stats m = (Profile_cache.hits m.cache, Profile_cache.misses m.cache)
+let profile_builds m = Profile_cache.builds m.cache + Profile_cache.builds m.tgt_cache
 
 (* One fan-out unit of [build]: every raw score and the per-matcher
    normalisation stats of a single source attribute.  Pure apart from
@@ -38,23 +43,49 @@ type built_pair = {
 }
 
 let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ?report
-    ?(deadline = Robust.Deadline.none) ~source ~target () =
+    ?(deadline = Robust.Deadline.none) ?store ~source ~target () =
   Obs.Trace.with_span "standard_match.build" @@ fun () ->
   let cache = Profile_cache.create () in
+  let tgt_cache = Profile_cache.create () in
+  (match store with
+  | None -> ()
+  | Some s ->
+    (* register before the fan-out: worker domains only read digests *)
+    Profile_cache.attach_store cache s;
+    List.iter (Profile_cache.register_table cache) (Database.tables source);
+    Profile_cache.attach_store tgt_cache s;
+    List.iter (Profile_cache.register_table tgt_cache) (Database.tables target));
   let target_cols =
     List.concat_map
       (fun tbl ->
         List.map
-          (fun attr -> { table = Table.name tbl; column = Column.of_table tbl attr })
+          (fun attr ->
+            { table = Table.name tbl; column = Column.of_table ~cache:tgt_cache tbl attr })
           (Schema.attribute_names (Table.schema tbl)))
       (Database.tables target)
   in
   (* Warm the shared target columns up front: during the fan-out they
      are read concurrently, so their lazy artefacts must already be in
      place (same computations the sequential path performs on first
-     touch). *)
-  Obs.Trace.with_span "warm_targets" (fun () ->
-      List.iter (fun tgt -> Column.warm tgt.column) target_cols);
+     touch).  Warming runs through the memo (and its fault-injection
+     site), so a failing warm quarantines exactly that target column —
+     sequentially on the main domain, hence jobs-invariant. *)
+  let target_cols =
+    Obs.Trace.with_span "warm_targets" (fun () ->
+        List.filter
+          (fun tgt ->
+            match Column.warm tgt.column with
+            | () -> true
+            | exception e ->
+              (match report with
+              | None -> raise e
+              | Some r ->
+                Robust.Report.record r ~table:tgt.table ~attribute:(Column.name tgt.column)
+                  Robust.Error.Build
+                  (Printf.sprintf "target column skipped: %s" (Printexc.to_string e));
+                false))
+          target_cols)
+  in
   let target_index = Hashtbl.create 64 in
   List.iter
     (fun tgt -> Hashtbl.replace target_index (tgt.table, Column.name tgt.column) tgt)
@@ -160,6 +191,7 @@ let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ?repo
     stats;
     raw;
     cache;
+    tgt_cache;
   }
 
 let confidence m ~src_table ~src_attr ~tgt_table ~tgt_attr =

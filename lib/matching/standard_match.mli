@@ -19,6 +19,7 @@ val build :
   ?jobs:int ->
   ?report:Robust.Report.t ->
   ?deadline:Robust.Deadline.t ->
+  ?store:Store.t ->
   source:Database.t ->
   target:Database.t ->
   unit ->
@@ -38,7 +39,14 @@ val build :
     attribute contributes no scores, a [build]-stage issue is recorded,
     and the rest of the model is unaffected.  Without a [report] the
     first failure re-raises (legacy fail-fast).  Each unit also passes
-    the {!Robust.Fault.Matcher_score} site keyed ["table.attr"]. *)
+    the {!Robust.Fault.Matcher_score} site keyed ["table.attr"].
+
+    With a [store], every column artefact lookup (source, target and
+    view columns alike) falls back from the in-memory caches to the
+    persistent store before computing, and computed artefacts are
+    written through — a later [build] over unchanged inputs starts
+    warm ({!profile_builds} stays 0).  The caller owns the store's
+    lifecycle ({!Store.flush}). *)
 
 val source : model -> Database.t
 val target : model -> Database.t
@@ -48,6 +56,12 @@ val profile_cache : model -> Profile_cache.t
 
 val cache_stats : model -> int * int
 (** [(hits, misses)] of {!profile_cache} so far. *)
+
+val profile_builds : model -> int
+(** Column artefacts computed from raw values so far, summed over the
+    source/view cache and the target-column cache: lookups that missed
+    both the in-memory caches and the persistent store (if any).  Zero
+    when a warm store answered everything. *)
 
 val confidence : model -> src_table:string -> src_attr:string -> tgt_table:string ->
   tgt_attr:string -> float

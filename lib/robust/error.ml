@@ -6,6 +6,7 @@ type stage =
   | Select
   | Map
   | Runtime
+  | Store
   | Other of string
 
 type severity = Warning | Degraded | Fatal
@@ -30,6 +31,7 @@ let stage_name = function
   | Select -> "select"
   | Map -> "map"
   | Runtime -> "runtime"
+  | Store -> "store"
   | Other s -> s
 
 let severity_name = function

@@ -14,6 +14,7 @@ type stage =
   | Select  (** SelectContextualMatches *)
   | Map  (** mapping generation / execution *)
   | Runtime  (** pool / memo / deadline machinery *)
+  | Store  (** persistent profile store: shard load/flush/quarantine *)
   | Other of string
 
 type severity =

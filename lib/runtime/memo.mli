@@ -1,5 +1,13 @@
 (** Mutex-protected memo table with hit/miss accounting.
 
+    Keys are in-memory structural values only — they are hashed with
+    [Hashtbl.hash] for the table (and for the fault-injection site's
+    per-key arming) but are never serialised or written to disk, so
+    their byte layout does not need cross-version stability.  Anything
+    that persists across processes must derive its key through a
+    canonical textual encoding instead (see
+    {!Matching.Profile_cache.subset_digest} and [Store.address]).
+
     Safe to share across domains.  [find_or_add] runs the compute
     function {e outside} the lock, so concurrent misses on distinct
     keys do not serialise; two domains racing on the {e same} key may

@@ -1,0 +1,477 @@
+let format_version = 1
+
+type key = { table : string; attr : string; subset : string; data : string }
+
+type artefact =
+  | Profile of Textsim.Profile.t
+  | Summary of Stats.Descriptive.summary
+  | Distinct of string list
+
+type shard = {
+  mutable state : [ `Unloaded | `Loaded of (string, artefact) Hashtbl.t ];
+  mutable dirty : bool;
+}
+
+type t = {
+  dir : string;
+  nshards : int;
+  ro : bool;
+  report : Robust.Report.t option;
+  mutex : Mutex.t;
+  shards : shard array;
+  mutable rev_issues : Robust.Error.t list;
+  mutable hits : int;
+  mutable misses : int;
+  mutable adds : int;
+  mutable loads : int;
+  mutable quarantined : int;
+  mutable flushed : int;
+}
+
+let dir t = t.dir
+let readonly t = t.ro
+
+(* Local parse failure; every raiser is caught by the shard loader and
+   turned into a quarantine, never a user-visible exception. *)
+exception Corrupt of string
+
+(* ---- canonical encodings ---------------------------------------------- *)
+
+let hex_digit = "0123456789abcdef"
+
+let to_hex s =
+  let b = Bytes.create (2 * String.length s) in
+  String.iteri
+    (fun i c ->
+      let x = Char.code c in
+      Bytes.set b (2 * i) hex_digit.[x lsr 4];
+      Bytes.set b ((2 * i) + 1) hex_digit.[x land 15])
+    s;
+  Bytes.to_string b
+
+let of_hex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then raise (Corrupt "odd hex length");
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | _ -> raise (Corrupt "bad hex digit")
+  in
+  String.init (n / 2) (fun i ->
+      Char.chr ((digit s.[2 * i] lsl 4) lor digit s.[(2 * i) + 1]))
+
+(* The address binds every component of the identity — kind, table,
+   attribute, row subset, data digest and the format version — through
+   length-prefixed fields, so no concatenation of differing components
+   can collide textually. *)
+let address ~kind k =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "ctxstore|%d|%c|%d:%s|%d:%s|%s|%s" format_version kind
+          (String.length k.table) k.table (String.length k.attr) k.attr k.subset k.data))
+
+let table_digest table =
+  let open Relational in
+  let buf = Buffer.create 4096 in
+  let add_str s =
+    Buffer.add_string buf (string_of_int (String.length s));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf s
+  in
+  add_str (Table.name table);
+  let schema = Table.schema table in
+  List.iter
+    (fun name ->
+      add_str name;
+      Buffer.add_string buf (Value.ty_to_string (Schema.attribute schema name).Attribute.ty);
+      Buffer.add_char buf ';')
+    (Schema.attribute_names schema);
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun v ->
+          (match v with
+          | Value.Null -> Buffer.add_string buf "n"
+          | Value.Int i ->
+            Buffer.add_char buf 'i';
+            Buffer.add_string buf (string_of_int i)
+          | Value.Float f ->
+            (* IEEE bits, not a decimal rendering: two floats that print
+               the same must not collide *)
+            Buffer.add_char buf 'f';
+            Buffer.add_string buf (Int64.to_string (Int64.bits_of_float f))
+          | Value.Bool b -> Buffer.add_string buf (if b then "b1" else "b0")
+          | Value.String s ->
+            Buffer.add_char buf 's';
+            add_str s);
+          Buffer.add_char buf ',')
+        row;
+      Buffer.add_char buf '|')
+    (Table.rows table);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* ---- shard serialisation ---------------------------------------------- *)
+
+let shard_path t i = Filename.concat t.dir (Printf.sprintf "shard-%04d.dat" i)
+let index_path dir = Filename.concat dir "store.index"
+
+let emit_entry buf addr art =
+  match art with
+  | Profile p ->
+    let counts = Textsim.Profile.counts p in
+    Buffer.add_string buf
+      (Printf.sprintf "P %s %d %d %d\n" addr (Textsim.Profile.q p) (Textsim.Profile.total p)
+         (Array.length counts));
+    Array.iter
+      (fun (gram, n) -> Buffer.add_string buf (Printf.sprintf "G %s %d\n" (to_hex gram) n))
+      counts
+  | Summary s ->
+    Buffer.add_string buf
+      (Printf.sprintf "S %s %d %h %h %h %h %h\n" addr s.Stats.Descriptive.n
+         s.Stats.Descriptive.mean s.Stats.Descriptive.variance s.Stats.Descriptive.stddev
+         s.Stats.Descriptive.min s.Stats.Descriptive.max)
+  | Distinct l ->
+    Buffer.add_string buf (Printf.sprintf "D %s %d\n" addr (List.length l));
+    List.iter (fun v -> Buffer.add_string buf (Printf.sprintf "V %s\n" (to_hex v))) l
+
+let render_shard t i table =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "ctxstore %d shard %d/%d\n" format_version i t.nshards);
+  let entries =
+    Hashtbl.fold (fun addr art acc -> (addr, art) :: acc) table []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter (fun (addr, art) -> emit_entry buf addr art) entries;
+  Buffer.add_string buf (Printf.sprintf "END %d\n" (List.length entries));
+  Buffer.contents buf
+
+let int_field what s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> raise (Corrupt (Printf.sprintf "bad %s %S" what s))
+
+let float_field what s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> raise (Corrupt (Printf.sprintf "bad %s %S" what s))
+
+(* Parse one serialised shard.  Every anomaly — wrong magic, foreign
+   format version, wrong shard coordinates, malformed line, a count
+   that does not match, missing END terminator (truncation) — raises
+   [Corrupt]. *)
+let parse_shard ~index ~nshards text =
+  let lines = String.split_on_char '\n' text in
+  let lines = ref lines in
+  let next what =
+    match !lines with
+    | [] -> raise (Corrupt (Printf.sprintf "truncated: missing %s" what))
+    | l :: rest ->
+      lines := rest;
+      l
+  in
+  let header = String.split_on_char ' ' (next "header") in
+  (match header with
+  | [ "ctxstore"; v; "shard"; coords ] ->
+    let v = int_field "version" v in
+    if v <> format_version then
+      raise (Corrupt (Printf.sprintf "format version %d, expected %d" v format_version));
+    if coords <> Printf.sprintf "%d/%d" index nshards then
+      raise (Corrupt (Printf.sprintf "shard coordinates %s, expected %d/%d" coords index nshards))
+  | _ -> raise (Corrupt "bad magic"));
+  let table = Hashtbl.create 64 in
+  let entries = ref 0 in
+  let rec entry () =
+    match String.split_on_char ' ' (next "entry") with
+    | [ "END"; n ] ->
+      if int_field "END count" n <> !entries then raise (Corrupt "entry count mismatch");
+      (match !lines with
+      | [] | [ "" ] -> ()
+      | _ -> raise (Corrupt "trailing garbage after END"))
+    | [ "P"; addr; q; total; n ] ->
+      let n = int_field "gram count" n in
+      let counts =
+        Array.init n (fun _ ->
+            match String.split_on_char ' ' (next "gram") with
+            | [ "G"; gram; c ] -> (of_hex gram, int_field "gram occurrences" c)
+            | _ -> raise (Corrupt "bad gram line"))
+      in
+      let p = Textsim.Profile.of_counts ~q:(int_field "q" q) counts in
+      if Textsim.Profile.total p <> int_field "total" total then
+        raise (Corrupt "profile total mismatch");
+      Hashtbl.replace table addr (Profile p);
+      incr entries;
+      entry ()
+    | [ "S"; addr; n; mean; variance; stddev; min; max ] ->
+      Hashtbl.replace table addr
+        (Summary
+           {
+             Stats.Descriptive.n = int_field "summary n" n;
+             mean = float_field "mean" mean;
+             variance = float_field "variance" variance;
+             stddev = float_field "stddev" stddev;
+             min = float_field "min" min;
+             max = float_field "max" max;
+           });
+      incr entries;
+      entry ()
+    | [ "D"; addr; n ] ->
+      let n = int_field "distinct count" n in
+      let values =
+        List.init n (fun _ ->
+            match String.split_on_char ' ' (next "distinct value") with
+            | [ "V"; v ] -> of_hex v
+            | _ -> raise (Corrupt "bad distinct line"))
+      in
+      Hashtbl.replace table addr (Distinct values);
+      incr entries;
+      entry ()
+    | _ -> raise (Corrupt "unrecognised entry line")
+  in
+  entry ();
+  table
+
+(* ---- quarantine -------------------------------------------------------- *)
+
+let record_issue t message =
+  let issue = Robust.Error.v ~severity:Robust.Error.Warning Robust.Error.Store message in
+  t.rev_issues <- issue :: t.rev_issues;
+  (match t.report with Some r -> Robust.Report.add r issue | None -> ());
+  t.quarantined <- t.quarantined + 1;
+  Obs.Metrics.incr "store.quarantined"
+
+(* Move a bad file aside so the rebuild never rereads it.  Read-only
+   stores leave the file in place (they must not touch disk); failures
+   to rename fall back to removal, and a file we can neither rename nor
+   remove is simply overwritten by the next flush. *)
+let set_aside t path =
+  if not t.ro then begin
+    let target = path ^ ".quarantined" in
+    try
+      if Sys.file_exists target then Sys.remove target;
+      Sys.rename path target
+    with Sys_error _ -> ( try Sys.remove path with Sys_error _ -> ())
+  end
+
+let quarantine t path reason =
+  record_issue t (Printf.sprintf "%s quarantined (%s); rebuilding" (Filename.basename path) reason);
+  set_aside t path
+
+(* ---- open -------------------------------------------------------------- *)
+
+let rec mkdir_p path =
+  if not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Sys.mkdir path 0o755 with Sys_error _ when Sys.file_exists path -> ()
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_index text =
+  match String.split_on_char ' ' (String.trim text) with
+  | [ "ctxstore-index"; v; "shards"; n ] ->
+    let v = int_field "index version" v in
+    if v <> format_version then
+      raise (Corrupt (Printf.sprintf "index format version %d, expected %d" v format_version));
+    let n = int_field "shard count" n in
+    if n < 1 || n > 4096 then raise (Corrupt "implausible shard count");
+    n
+  | _ -> raise (Corrupt "bad index magic")
+
+let open_dir ?(shards = 8) ?(readonly = false) ?report dir =
+  if shards < 1 then invalid_arg "Store.open_dir: shards must be >= 1";
+  if not readonly then mkdir_p dir;
+  let t =
+    {
+      dir;
+      nshards = shards;
+      ro = readonly;
+      report;
+      mutex = Mutex.create ();
+      shards = [||];
+      rev_issues = [];
+      hits = 0;
+      misses = 0;
+      adds = 0;
+      loads = 0;
+      quarantined = 0;
+      flushed = 0;
+    }
+  in
+  let nshards =
+    let path = index_path dir in
+    if not (Sys.file_exists path) then shards
+    else begin
+      match parse_index (read_file path) with
+      | n -> n
+      | exception (Corrupt reason | Sys_error reason) ->
+        (* a foreign or corrupt index invalidates the whole layout:
+           quarantine it and every shard file, then start fresh *)
+        quarantine t path reason;
+        Array.iter
+          (fun f ->
+            if
+              String.length f >= 6
+              && String.sub f 0 6 = "shard-"
+              && Filename.check_suffix f ".dat"
+            then set_aside t (Filename.concat dir f))
+          (Sys.readdir dir);
+        shards
+    end
+  in
+  {
+    t with
+    nshards;
+    shards = Array.init nshards (fun _ -> { state = `Unloaded; dirty = false });
+  }
+
+(* ---- lookups / adds ---------------------------------------------------- *)
+
+let shard_of t addr = int_of_string ("0x" ^ String.sub addr 0 4) mod t.nshards
+
+(* Under [t.mutex]. *)
+let loaded_shard t i =
+  let shard = t.shards.(i) in
+  match shard.state with
+  | `Loaded table -> table
+  | `Unloaded ->
+    let path = shard_path t i in
+    let table =
+      if not (Sys.file_exists path) then Hashtbl.create 64
+      else begin
+        Obs.Trace.with_span "store.load" @@ fun () ->
+        match parse_shard ~index:i ~nshards:t.nshards (read_file path) with
+        | table ->
+          t.loads <- t.loads + 1;
+          Obs.Metrics.incr "store.shard_loads";
+          table
+        | exception (Corrupt reason | Sys_error reason) ->
+          quarantine t path reason;
+          shard.dirty <- not t.ro;
+          Hashtbl.create 64
+      end
+    in
+    shard.state <- `Loaded table;
+    table
+
+let find t ~kind key =
+  Mutex.lock t.mutex;
+  let result =
+    match Hashtbl.find_opt (loaded_shard t (shard_of t (address ~kind key))) (address ~kind key) with
+    | Some art ->
+      t.hits <- t.hits + 1;
+      Some art
+    | None ->
+      t.misses <- t.misses + 1;
+      None
+  in
+  Mutex.unlock t.mutex;
+  (if !Obs.Recorder.enabled then
+     match result with
+     | Some _ -> Obs.Metrics.incr "store.hits"
+     | None -> Obs.Metrics.incr "store.misses");
+  result
+
+let add t ~kind key art =
+  if not t.ro then begin
+    Mutex.lock t.mutex;
+    let addr = address ~kind key in
+    let i = shard_of t addr in
+    let table = loaded_shard t i in
+    if not (Hashtbl.mem table addr) then begin
+      Hashtbl.replace table addr art;
+      t.shards.(i).dirty <- true;
+      t.adds <- t.adds + 1;
+      if !Obs.Recorder.enabled then Obs.Metrics.incr "store.adds"
+    end;
+    Mutex.unlock t.mutex
+  end
+
+let find_profile t key =
+  match find t ~kind:'p' key with Some (Profile p) -> Some p | Some _ | None -> None
+
+let find_summary t key =
+  match find t ~kind:'s' key with Some (Summary s) -> Some s | Some _ | None -> None
+
+let find_distinct t key =
+  match find t ~kind:'d' key with Some (Distinct d) -> Some d | Some _ | None -> None
+
+let add_profile t key p = add t ~kind:'p' key (Profile p)
+let add_summary t key s = add t ~kind:'s' key (Summary s)
+let add_distinct t key d = add t ~kind:'d' key (Distinct d)
+
+(* ---- flush ------------------------------------------------------------- *)
+
+let write_atomic ~dir ~path content =
+  let tmp = Filename.temp_file ~temp_dir:dir "store" ".tmp" in
+  let oc = open_out_bin tmp in
+  (try output_string oc content
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  close_out oc;
+  Sys.rename tmp path
+
+let flush t =
+  if not t.ro then begin
+    Obs.Trace.with_span "store.flush" @@ fun () ->
+    Mutex.lock t.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
+    Array.iteri
+      (fun i shard ->
+        match shard.state with
+        | `Loaded table when shard.dirty ->
+          write_atomic ~dir:t.dir ~path:(shard_path t i) (render_shard t i table);
+          shard.dirty <- false;
+          t.flushed <- t.flushed + 1;
+          if !Obs.Recorder.enabled then Obs.Metrics.incr "store.flushed_shards"
+        | `Loaded _ | `Unloaded -> ())
+      t.shards;
+    write_atomic ~dir:t.dir ~path:(index_path t.dir)
+      (Printf.sprintf "ctxstore-index %d shards %d\n" format_version t.nshards)
+  end
+
+(* ---- stats ------------------------------------------------------------- *)
+
+type stats = {
+  st_hits : int;
+  st_misses : int;
+  st_adds : int;
+  st_shard_loads : int;
+  st_quarantined : int;
+  st_flushed : int;
+  st_entries : int;
+}
+
+let stats t =
+  Mutex.lock t.mutex;
+  let entries =
+    Array.fold_left
+      (fun acc shard ->
+        match shard.state with `Loaded table -> acc + Hashtbl.length table | `Unloaded -> acc)
+      0 t.shards
+  in
+  let s =
+    {
+      st_hits = t.hits;
+      st_misses = t.misses;
+      st_adds = t.adds;
+      st_shard_loads = t.loads;
+      st_quarantined = t.quarantined;
+      st_flushed = t.flushed;
+      st_entries = entries;
+    }
+  in
+  Mutex.unlock t.mutex;
+  s
+
+let issues t =
+  Mutex.lock t.mutex;
+  let l = List.rev t.rev_issues in
+  Mutex.unlock t.mutex;
+  l

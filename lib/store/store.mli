@@ -1,0 +1,99 @@
+(** Persistent, sharded on-disk profile store.
+
+    Extends the in-memory {!Matching.Profile_cache} across process
+    runs: the per-attribute artefacts the matchers derive (q-gram
+    profile, numeric summary, distinct set) are serialised under
+    content-addressed keys into [N] shard files plus a small index,
+    loaded lazily (a shard is read the first time a key hashes into
+    it) and written back atomically — temp file + rename — by
+    {!flush}.
+
+    {2 Key derivation}
+
+    An entry's address is the digest of a canonical textual encoding
+    of [(format version, artefact kind, table, attr, row-subset
+    digest, data digest)].  The row-subset digest is
+    {!Matching.Profile_cache.subset_digest} (canonical index
+    encoding, stable across OCaml versions and architectures); the
+    data digest ({!table_digest}) covers the backing table's schema
+    and every cell, so editing one value of the input invalidates
+    exactly that table's entries.  No [Marshal] anywhere: both the
+    keys and the shard payloads are version-stable text.
+
+    {2 Failure semantics}
+
+    A corrupted, truncated or version-mismatched shard is never
+    fatal: it is quarantined (renamed to [<shard>.quarantined] unless
+    the store is read-only), reported through the {!Robust.Error}
+    taxonomy (stage [Store], severity [Warning]), and the shard
+    restarts empty — the run recomputes and the next {!flush} writes
+    a clean replacement.  The same applies to an index written by a
+    different format version, which quarantines every shard.
+
+    {2 Concurrency}
+
+    All operations are mutex-protected and may be called from worker
+    domains; artefact values are immutable once stored.  Duplicate
+    adds of the same address are idempotent. *)
+
+type t
+
+val format_version : int
+
+val open_dir : ?shards:int -> ?readonly:bool -> ?report:Robust.Report.t -> string -> t
+(** [open_dir dir] opens (creating the directory if needed) a store
+    rooted at [dir].  [shards] (default 8) only applies to a fresh
+    store; an existing index fixes the count.  With [readonly] the
+    store never touches disk beyond reads: {!flush} is a no-op and
+    quarantine leaves corrupt files in place.  [report] additionally
+    receives every quarantine issue as it happens.  Raises [Sys_error]
+    only when the directory itself cannot be created or listed. *)
+
+val dir : t -> string
+val readonly : t -> bool
+
+type key = {
+  table : string;  (** base table name *)
+  attr : string;  (** attribute name *)
+  subset : string;  (** {!Matching.Profile_cache.subset_digest} of the row subset *)
+  data : string;  (** {!table_digest} of the backing table *)
+}
+
+val table_digest : Relational.Table.t -> string
+(** Canonical digest of a table's name, schema and every cell value
+    (floats by their IEEE bits, strings length-prefixed), so equal
+    digests imply the very same sample the profiles were computed
+    from. *)
+
+val find_profile : t -> key -> Textsim.Profile.t option
+val find_summary : t -> key -> Stats.Descriptive.summary option
+val find_distinct : t -> key -> string list option
+(** Lookups load the owning shard on first touch; a corrupt shard is
+    quarantined and the lookup misses. *)
+
+val add_profile : t -> key -> Textsim.Profile.t -> unit
+val add_summary : t -> key -> Stats.Descriptive.summary -> unit
+val add_distinct : t -> key -> string list -> unit
+(** No-ops on a read-only store. *)
+
+val flush : t -> unit
+(** Write every dirty shard back (temp file + atomic rename) and
+    refresh the index.  No-op on a read-only store; untouched shards
+    are not rewritten. *)
+
+type stats = {
+  st_hits : int;  (** lookups answered from a shard *)
+  st_misses : int;  (** lookups that found nothing *)
+  st_adds : int;  (** new entries recorded since open *)
+  st_shard_loads : int;  (** shard files read *)
+  st_quarantined : int;  (** shards quarantined as corrupt/stale *)
+  st_flushed : int;  (** shards written back *)
+  st_entries : int;  (** entries across currently loaded shards *)
+}
+
+val stats : t -> stats
+
+val issues : t -> Robust.Error.t list
+(** Quarantine events since open, oldest first (also mirrored to the
+    [report] passed at {!open_dir}, and to the [store.*] observability
+    counters). *)

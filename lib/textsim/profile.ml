@@ -1,8 +1,19 @@
-type t = { q : int; counts : (string, int) Hashtbl.t; mutable total : int }
+type t = {
+  q : int;
+  counts : (string, int) Hashtbl.t;
+  mutable total : int;
+  (* gram-sorted view of [counts], memoised on first use and dropped on
+     mutation: similarity folds run over it in one fixed order, so a
+     profile rebuilt from serialised counts scores bit-identically to
+     the freshly accumulated original whatever the hashtable's internal
+     layout *)
+  mutable sorted : (string * int) array option;
+}
 
-let create q = { q; counts = Hashtbl.create 256; total = 0 }
+let create q = { q; counts = Hashtbl.create 256; total = 0; sorted = None }
 
 let add t s =
+  t.sorted <- None;
   List.iter
     (fun gram ->
       let n = try Hashtbl.find t.counts gram with Not_found -> 0 in
@@ -22,52 +33,89 @@ let of_strings_array ?(q = 3) strings =
 
 let gram_count t = Hashtbl.length t.counts
 let total t = t.total
+let q t = t.q
+
+let sorted_counts t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+    let a =
+      Hashtbl.fold (fun gram n acc -> (gram, n) :: acc) t.counts []
+      |> List.sort (fun (g1, _) (g2, _) -> String.compare g1 g2)
+      |> Array.of_list
+    in
+    t.sorted <- Some a;
+    a
+
+let counts t = sorted_counts t
+
+let of_counts ~q pairs =
+  let t = create q in
+  Array.iter
+    (fun (gram, n) ->
+      Hashtbl.replace t.counts gram n;
+      t.total <- t.total + n)
+    pairs;
+  t
 
 let to_weighted_bag t =
   if t.total = 0 then []
   else begin
     let denom = float_of_int t.total in
-    Hashtbl.fold (fun gram n acc -> (gram, float_of_int n /. denom) :: acc) t.counts []
-    |> List.sort (fun (g1, _) (g2, _) -> String.compare g1 g2)
+    Array.to_list (sorted_counts t)
+    |> List.map (fun (gram, n) -> (gram, float_of_int n /. denom))
   end
 
+(* Similarities walk the two sorted-count arrays with a merge join: no
+   hashtable iteration, so the float accumulation order is a function of
+   the profile's *contents* alone. *)
 let cosine a b =
   if a.total = 0 || b.total = 0 then 0.0
   else begin
-    (* Iterate the smaller table for the dot product. *)
-    let small, large = if Hashtbl.length a.counts <= Hashtbl.length b.counts then (a, b) else (b, a) in
+    let ca = sorted_counts a and cb = sorted_counts b in
+    let ta = float_of_int a.total and tb = float_of_int b.total in
     let dot = ref 0.0 in
-    Hashtbl.iter
-      (fun gram n ->
-        match Hashtbl.find_opt large.counts gram with
-        | None -> ()
-        | Some m ->
-          dot :=
-            !dot
-            +. (float_of_int n /. float_of_int small.total)
-               *. (float_of_int m /. float_of_int large.total))
-      small.counts;
-    let norm t =
+    let i = ref 0 and j = ref 0 in
+    while !i < Array.length ca && !j < Array.length cb do
+      let ga, na = ca.(!i) and gb, nb = cb.(!j) in
+      let c = String.compare ga gb in
+      if c = 0 then begin
+        dot := !dot +. (float_of_int na /. ta *. (float_of_int nb /. tb));
+        incr i;
+        incr j
+      end
+      else if c < 0 then incr i
+      else incr j
+    done;
+    let norm total cs =
       sqrt
-        (Hashtbl.fold
-           (fun _ n acc ->
-             let f = float_of_int n /. float_of_int t.total in
+        (Array.fold_left
+           (fun acc (_, n) ->
+             let f = float_of_int n /. total in
              acc +. (f *. f))
-           t.counts 0.0)
+           0.0 cs)
     in
-    let na = norm a and nb = norm b in
+    let na = norm ta ca and nb = norm tb cb in
     if na = 0.0 || nb = 0.0 then 0.0 else !dot /. (na *. nb)
   end
 
 let jaccard a b =
-  let ca = Hashtbl.length a.counts and cb = Hashtbl.length b.counts in
-  if ca = 0 && cb = 0 then 1.0
+  let ca = sorted_counts a and cb = sorted_counts b in
+  let la = Array.length ca and lb = Array.length cb in
+  if la = 0 && lb = 0 then 1.0
   else begin
     let inter = ref 0 in
-    let small, large = if ca <= cb then (a, b) else (b, a) in
-    Hashtbl.iter
-      (fun gram _ -> if Hashtbl.mem large.counts gram then incr inter)
-      small.counts;
-    let union = ca + cb - !inter in
+    let i = ref 0 and j = ref 0 in
+    while !i < la && !j < lb do
+      let c = String.compare (fst ca.(!i)) (fst cb.(!j)) in
+      if c = 0 then begin
+        incr inter;
+        incr i;
+        incr j
+      end
+      else if c < 0 then incr i
+      else incr j
+    done;
+    let union = la + lb - !inter in
     if union = 0 then 0.0 else float_of_int !inter /. float_of_int union
   end

@@ -21,6 +21,20 @@ val gram_count : t -> int
 val total : t -> int
 (** Total gram occurrences. *)
 
+val q : t -> int
+(** Gram length the profile accumulates. *)
+
+val counts : t -> (string * int) array
+(** Distinct grams with occurrence counts, sorted by gram.  The array
+    is the canonical representation the similarity folds run over (and
+    the one the persistent store serialises); callers must not mutate
+    it. *)
+
+val of_counts : q:int -> (string * int) array -> t
+(** Rebuild a profile from [counts] output.  Similarities computed from
+    the rebuilt profile are bit-identical to the original's: the folds
+    iterate gram-sorted counts, never raw hashtable order. *)
+
 val to_weighted_bag : t -> (string * float) list
 (** Relative frequencies (sum to 1 when non-empty). *)
 

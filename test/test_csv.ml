@@ -153,6 +153,51 @@ let test_file_roundtrip () =
   Sys.remove path;
   Alcotest.(check (list (list string))) "file roundtrip" records back
 
+(* Quoted-field corners audited for the persistent-store PR: the parser
+   already handled all three, these pin the behaviour down. *)
+let test_crlf_inside_quotes () =
+  (* a CRLF inside quotes is field content (RFC 4180), preserved
+     verbatim — not a record boundary, not normalized to \n *)
+  Alcotest.(check (list (list string))) "crlf preserved in field"
+    [ [ "a\r\nb"; "c" ]; [ "d"; "e" ] ]
+    (Csv_io.parse_string "\"a\r\nb\",c\r\nd,e\r\n");
+  (* and the line accounting stays aligned for errors after it *)
+  Alcotest.(check bool) "later error on the right line" true
+    (try
+       ignore (Csv_io.parse_string "\"a\r\nb\",c\r\n\"oops\n");
+       false
+     with Csv_io.Parse_error { line = 3; _ } -> true)
+
+let test_closing_quote_at_eof () =
+  (* closing quote is the last byte of input: the record must flush *)
+  Alcotest.(check (list (list string))) "quote at eof"
+    [ [ "a"; "b" ] ]
+    (Csv_io.parse_string "a,\"b\"");
+  (* even when the quoted field is empty *)
+  Alcotest.(check (list (list string))) "empty quoted field at eof"
+    [ [ "a"; "" ] ]
+    (Csv_io.parse_string "a,\"\"");
+  (* a record that is just one empty quoted field still counts *)
+  Alcotest.(check (list (list string))) "lone empty quoted field"
+    [ [ "x" ]; [ "" ] ]
+    (Csv_io.parse_string "x\n\"\"")
+
+let test_empty_trailing_field () =
+  (* separator immediately before the record end yields an empty last
+     field, with \n, \r\n and at eof *)
+  Alcotest.(check (list (list string))) "lf" [ [ "a"; "b"; "" ] ] (Csv_io.parse_string "a,b,\n");
+  Alcotest.(check (list (list string))) "crlf"
+    [ [ "a"; "b"; "" ] ]
+    (Csv_io.parse_string "a,b,\r\n");
+  Alcotest.(check (list (list string))) "eof" [ [ "a"; "b"; "" ] ] (Csv_io.parse_string "a,b,");
+  (* lenient ingestion sees the same shape: no quarantines, the CRLF
+     cell intact, the empty trailing field ingested as null *)
+  let t, issues = Csv_io.table_of_csv_report ~mode:Csv_io.Lenient ~name:"t" "a,b\n\"x\r\ny\",\n" in
+  Alcotest.(check int) "no issues" 0 (List.length issues);
+  Alcotest.(check bool) "crlf cell intact" true
+    (Value.equal (Table.cell t 0 "a") (Value.String "x\r\ny"));
+  Alcotest.(check bool) "empty trailing field is null" true (Value.is_null (Table.cell t 0 "b"))
+
 let qcheck_roundtrip =
   let field = QCheck.string_gen_of_size (QCheck.Gen.int_range 0 8) QCheck.Gen.printable in
   let record = QCheck.list_of_size (QCheck.Gen.int_range 1 5) field in
@@ -185,6 +230,9 @@ let suite =
     Alcotest.test_case "no phantom trailing row" `Quick test_no_phantom_trailing_row;
     Alcotest.test_case "numeric inference edge cases" `Quick
       test_numeric_inference_edge_cases;
+    Alcotest.test_case "crlf inside quotes" `Quick test_crlf_inside_quotes;
+    Alcotest.test_case "closing quote at eof" `Quick test_closing_quote_at_eof;
+    Alcotest.test_case "empty trailing field" `Quick test_empty_trailing_field;
     Alcotest.test_case "table roundtrip" `Quick test_table_roundtrip;
     Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
     QCheck_alcotest.to_alcotest qcheck_roundtrip;

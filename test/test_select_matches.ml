@@ -154,6 +154,85 @@ let test_tau_boundary_exact () =
   Alcotest.(check bool) "tau = confidence includes the pair" true (has conf);
   Alcotest.(check bool) "tau just above excludes it" false (has (Float.succ conf))
 
+(* Regression: best-source selection used the polymorphic (>) / (=) on
+   float totals, so a tie's winner depended on hash-fold order and a nan
+   total could poison the fold.  Both must now be deterministic at every
+   jobs count and for every input order. *)
+let test_source_tie_break_deterministic () =
+  let a =
+    Matching.Schema_match.standard ~src_table:"A" ~src_attr:"x" ~tgt_table:"T" ~tgt_attr:"t1" 0.5
+  in
+  let b =
+    Matching.Schema_match.standard ~src_table:"B" ~src_attr:"x" ~tgt_table:"T" ~tgt_attr:"t1" 0.5
+  in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun standard ->
+          let sel =
+            Ctxmatch.Select_matches.qual_table ~jobs ~omega:0.2 ~early_disjuncts:true ~standard
+              ~scored:[] ~target_tables:[ "T" ] ()
+          in
+          Alcotest.(check int) "one match" 1 (List.length sel);
+          Alcotest.(check string) "smaller source name wins the tie" "A"
+            (List.hd sel).Matching.Schema_match.src_base)
+        [ [ a; b ]; [ b; a ] ])
+    [ 1; 4 ]
+
+let test_nan_never_displaces_real () =
+  let nan_m =
+    Matching.Schema_match.standard ~src_table:"S" ~src_attr:"y" ~tgt_table:"T" ~tgt_attr:"t1"
+      Float.nan
+  in
+  let real = std ~conf:0.4 "x" "T" "t1" in
+  (* multi_table: with the old (>=) keep rule, [real; nan] let the nan
+     replace the real match (nan compares false both ways) *)
+  List.iter
+    (fun standard ->
+      let sel = Ctxmatch.Select_matches.multi_table ~standard ~scored:[] in
+      Alcotest.(check int) "one match" 1 (List.length sel);
+      Alcotest.(check string) "real match wins" "x" (List.hd sel).Matching.Schema_match.src_attr)
+    [ [ nan_m; real ]; [ real; nan_m ] ];
+  (* qual_table: a source whose total went nan loses to a real source *)
+  let w =
+    Matching.Schema_match.standard ~src_table:"W" ~src_attr:"x" ~tgt_table:"T" ~tgt_attr:"t1"
+      Float.nan
+  in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun standard ->
+          let sel =
+            Ctxmatch.Select_matches.qual_table ~jobs ~omega:0.2 ~early_disjuncts:true ~standard
+              ~scored:[] ~target_tables:[ "T" ] ()
+          in
+          Alcotest.(check int) "one match" 1 (List.length sel);
+          Alcotest.(check string) "real source selected" "S"
+            (List.hd sel).Matching.Schema_match.src_base)
+        [ [ w; real ]; [ real; w ] ])
+    [ 1; 4 ]
+
+let test_improvement_tie_order_independent () =
+  let standard = [ std ~conf:0.3 "x" "T" "t1" ] in
+  let ca = Condition.Eq ("k", Value.String "a") in
+  let cb = Condition.Eq ("k", Value.String "b") in
+  let sva = scored_view ca [ ctx ~conf:0.8 "va" ca "x" "T" "t1" ] in
+  let svb = scored_view cb [ ctx ~conf:0.8 "vb" cb "x" "T" "t1" ] in
+  let winner jobs scored =
+    let sel =
+      Ctxmatch.Select_matches.qual_table ~jobs ~omega:0.2 ~early_disjuncts:true ~standard ~scored
+        ~target_tables:[ "T" ] ()
+    in
+    (List.hd sel).Matching.Schema_match.src_owner
+  in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string) "EarlyDisjuncts winner independent of candidate order"
+        (winner jobs [ sva; svb ])
+        (winner jobs [ svb; sva ]);
+      Alcotest.(check string) "and of jobs" (winner 1 [ sva; svb ]) (winner jobs [ sva; svb ]))
+    [ 1; 4 ]
+
 let test_joinable_family_key_found () =
   (* id values repeat across both views (0..5 in each) and (id, k) is a
      key of the base: attribute-normalization shape *)
@@ -217,6 +296,10 @@ let suite =
     Alcotest.test_case "strongest source wins" `Quick test_qual_table_strongest_source_wins;
     Alcotest.test_case "omega boundary is inclusive" `Quick test_omega_boundary_exact;
     Alcotest.test_case "tau boundary is inclusive" `Quick test_tau_boundary_exact;
+    Alcotest.test_case "source tie-break deterministic" `Quick test_source_tie_break_deterministic;
+    Alcotest.test_case "nan never displaces a real match" `Quick test_nan_never_displaces_real;
+    Alcotest.test_case "improvement tie order-independent" `Quick
+      test_improvement_tie_order_independent;
     Alcotest.test_case "joinable family key" `Quick test_joinable_family_key_found;
     Alcotest.test_case "joinable rejects partition" `Quick test_joinable_family_key_rejects_partition;
     Alcotest.test_case "clio_qual_table group" `Quick test_clio_qual_table_selects_group;
