@@ -18,6 +18,7 @@ type t = {
   jobs : int;
   timeout_ms : int option;
   faults : Robust.Fault.arming list;
+  kernel : bool;
 }
 
 let default =
@@ -36,6 +37,7 @@ let default =
     jobs = Domain.recommended_domain_count ();
     timeout_ms = None;
     faults = [];
+    kernel = true;
   }
 
 let with_seed t seed = { t with seed }
@@ -45,3 +47,4 @@ let with_tau t tau = { t with tau }
 let with_omega t omega = { t with omega }
 let early t = { t with early_disjuncts = true }
 let late t = { t with early_disjuncts = false }
+let with_kernel t kernel = { t with kernel }

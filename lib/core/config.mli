@@ -44,6 +44,12 @@ type t = {
       (** fault-injection sites armed for the duration of a run
           (default [[]]); used by the deterministic fault harness —
           see [test/faults] *)
+  kernel : bool;
+      (** interned q-gram scoring kernel + partitioned view profiles
+          (default true).  Scores are bit-identical either way — the
+          switch trades nothing but time, and exists for the kernel
+          bench's baseline and for differential tests; see DESIGN.md,
+          "Scoring kernel" *)
 }
 
 val default : t
@@ -55,3 +61,4 @@ val with_tau : t -> float -> t
 val with_omega : t -> float -> t
 val early : t -> t
 val late : t -> t
+val with_kernel : t -> bool -> t

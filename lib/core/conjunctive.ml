@@ -82,6 +82,11 @@ let run ?(config = Config.default) ?(stages = 2) ~algorithm ~source ~target () =
           Config.with_omega config
             (config.Config.omega /. Float.pow 4.0 (float_of_int (stage_index - 1)))
         in
+        (* Each stage's run builds its own StandardMatch model — and
+           with it a fresh interner dictionary and condition-attribute
+           partitions over the materialised stage tables, so the scoring
+           kernel applies to every conjunctive stage, not just the
+           first. *)
         let result =
           Context_match.run ~config:stage_config ~infer:restricted ~source:next_db ~target ()
         in

@@ -38,10 +38,14 @@ let run ?(config = Config.default) ?store ~infer ~source ~target () =
   let rng = Stats.Rng.create config.Config.seed in
   let model =
     Matching.Standard_match.build ~gated:config.Config.gated_confidence
-      ~matchers:config.Config.matchers ~jobs ~report ~deadline ?store ~source ~target ()
+      ~matchers:config.Config.matchers ~jobs ~report ~deadline ?store
+      ~kernel:config.Config.kernel ~source ~target ()
   in
-  let all_standard = ref [] in
-  let all_families = ref [] in
+  (* Per-table chunks are prepended and concatenated once at the end:
+     appending with [@] inside the loop would re-copy the accumulated
+     prefix per table (quadratic in the table count). *)
+  let rev_standard = ref [] in
+  let rev_families = ref [] in
   let all_scored = ref [] in
   List.iter
     (fun source_table ->
@@ -51,7 +55,7 @@ let run ?(config = Config.default) ?store ~infer ~source ~target () =
         Obs.Trace.with_span "standard_matches" (fun () ->
             Matching.Standard_match.matches_from model ~src_table:src_name ~tau:config.tau)
       in
-      all_standard := !all_standard @ m;
+      rev_standard := m :: !rev_standard;
       if !Obs.Recorder.enabled then Obs.Metrics.add "match.standard_matches" (List.length m);
       (* line 5: C := InferCandidateViews(R_S, M, EarlyDisjuncts) — a
          raising inference quarantines this source table's views only.
@@ -66,7 +70,7 @@ let run ?(config = Config.default) ?store ~infer ~source ~target () =
             (Printf.sprintf "candidate-view inference skipped: %s" (Printexc.to_string e));
           []
       in
-      all_families := !all_families @ families;
+      rev_families := families :: !rev_families;
       if !Obs.Recorder.enabled then Obs.Metrics.add "match.families" (List.length families);
       (* lines 6-11: score every match of R_S under every candidate view *)
       let family_attr_of view =
@@ -107,7 +111,7 @@ let run ?(config = Config.default) ?store ~infer ~source ~target () =
                 :: !all_scored)
         views scored_matches)
     (Database.tables source);
-  let standard = !all_standard in
+  let standard = List.concat (List.rev !rev_standard) in
   let scored = List.rev !all_scored in
   (* line 12: SelectContextualMatches *)
   let matches =
@@ -137,7 +141,7 @@ let run ?(config = Config.default) ?store ~infer ~source ~target () =
   {
     matches;
     standard;
-    families = !all_families;
+    families = List.concat (List.rev !rev_families);
     scored;
     candidate_view_count = List.length scored;
     elapsed_seconds =

@@ -7,13 +7,31 @@ type t = {
   (* when present, lazy artefacts are shared through the cache under
      this key instead of being recomputed per column *)
   cache : (Profile_cache.t * Profile_cache.key) option;
+  (* the view this column was cut from, when it was; lets the profile
+     of a categorical view be composed from partition profiles *)
+  view : View.t option;
+  mutable strings_memo : string array option;
+  mutable floats_memo : float array option;
   mutable profile : Textsim.Profile.t option;
   mutable summary : Stats.Descriptive.summary option;
   mutable distinct : string list option;
+  mutable words_memo : string list option;
 }
 
-let make ?cache ~owner attribute values =
-  { owner; attribute; values; cache; profile = None; summary = None; distinct = None }
+let make ?cache ?view ~owner attribute values =
+  {
+    owner;
+    attribute;
+    values;
+    cache;
+    view;
+    strings_memo = None;
+    floats_memo = None;
+    profile = None;
+    summary = None;
+    distinct = None;
+    words_memo = None;
+  }
 
 let of_table ?cache table attr_name =
   let cache =
@@ -41,7 +59,7 @@ let of_view ?cache view attr_name =
             ~attr:attr_name ~indices:(View.row_indices view) ))
       cache
   in
-  make ?cache
+  make ?cache ~view
     ~owner:(View.name view)
     (Schema.attribute (Relational.Table.schema (View.base view)) attr_name)
     (View.column view attr_name)
@@ -56,18 +74,110 @@ let non_null_count t =
   Array.fold_left (fun acc v -> if Value.is_null v then acc else acc + 1) 0 t.values
 
 let strings t =
-  Array.to_list t.values
-  |> List.filter_map (fun v -> if Value.is_null v then None else Some (Value.to_string v))
-  |> Array.of_list
+  match t.strings_memo with
+  | Some s -> s
+  | None ->
+    let s =
+      Array.to_list t.values
+      |> List.filter_map (fun v -> if Value.is_null v then None else Some (Value.to_string v))
+      |> Array.of_list
+    in
+    t.strings_memo <- Some s;
+    s
 
 let floats t =
-  Array.to_list t.values |> List.filter_map Value.to_float |> Array.of_list
+  match t.floats_memo with
+  | Some f -> f
+  | None ->
+    let f = Array.to_list t.values |> List.filter_map Value.to_float |> Array.of_list in
+    t.floats_memo <- Some f;
+    f
+
+(* The marker keeps word sets in the distinct-set memo (and store)
+   without colliding with an attribute name: attribute names come from
+   schema/CSV headers, which never contain a tab. *)
+let words_attr attr = attr ^ "\twords"
+
+(* ---- partition composition -------------------------------------------- *)
+
+(* When the column belongs to a view whose condition selects values of
+   one *other* categorical attribute, its rows are the disjoint union of
+   that attribute's per-value partitions, so any artefact that adds up —
+   integer gram counts, distinct-string sets — can be composed from the
+   per-partition artefacts instead of re-scanning the rows.  Composition
+   is exact: summed counts equal rescanned counts bag-for-bag, and the
+   scoring folds only ever see the (gram-sorted) counts, so scores are
+   bit-identical either way.  The per-partition artefacts are shared
+   through the cache across every view and family that selects the same
+   attribute, which is where the asymptotic win comes from. *)
+let compose_plan t =
+  match (t.cache, t.view) with
+  | Some (c, _), Some view when Profile_cache.partitioning c -> (
+    match Condition.selected_values (View.condition view) with
+    | Some (cond_attr, vs) when cond_attr <> name t && vs <> [] ->
+      (* [Value.compare]-dedup: [In] lists may repeat a row group (e.g.
+         [Int 1] next to [Float 1.]), which would double-count *)
+      Some (c, View.base view, cond_attr, List.sort_uniq Value.compare vs)
+    | _ -> None)
+  | _ -> None
+
+let partition_slices c base cond_attr vs =
+  let part = Profile_cache.partition c ~table:base ~cond_attr in
+  List.map
+    (fun v ->
+      match Profile_cache.partition_indices part v with
+      | Some indices -> indices
+      | None -> [||])
+    vs
+
+let sub_strings base attr indices =
+  let rows = Table.rows base in
+  let col = Schema.index_of (Table.schema base) attr in
+  Array.to_list indices
+  |> List.filter_map (fun i ->
+         let v = rows.(i).(col) in
+         if Value.is_null v then None else Some (Value.to_string v))
+
+let composed_profile t c base cond_attr vs =
+  if !Obs.Recorder.enabled then begin
+    Obs.Metrics.incr "column.partition.composed";
+    Obs.Metrics.add "column.partition.parts" (List.length vs)
+  end;
+  let attr = name t in
+  let tname = Table.name base in
+  let subs =
+    List.map
+      (fun indices ->
+        Profile_cache.profile c
+          (Profile_cache.key ~table:tname ~attr ~indices)
+          (fun () -> Textsim.Profile.of_strings (sub_strings base attr indices)))
+      (partition_slices c base cond_attr vs)
+  in
+  match subs with [ p ] -> p | ps -> Textsim.Profile.sum ps
+
+let composed_distinct c base cond_attr vs ~attr_key ~of_slice =
+  let tname = Table.name base in
+  let subs =
+    List.map
+      (fun indices ->
+        Profile_cache.distinct c
+          (Profile_cache.key ~table:tname ~attr:attr_key ~indices)
+          (fun () -> of_slice indices))
+      (partition_slices c base cond_attr vs)
+  in
+  match subs with
+  | [ d ] -> d
+  | ds -> List.concat ds |> List.sort_uniq String.compare
 
 let profile t =
   match t.profile with
   | Some p -> p
   | None ->
-    let compute () = Textsim.Profile.of_strings_array (strings t) in
+    let compute () =
+      match compose_plan t with
+      | Some (c, base, cond_attr, vs) -> composed_profile t c base cond_attr vs
+      | None -> Textsim.Profile.of_strings_array (strings t)
+    in
     let p =
       match t.cache with
       | Some (c, key) -> Profile_cache.profile c key compute
@@ -93,7 +203,13 @@ let distinct_strings t =
   match t.distinct with
   | Some d -> d
   | None ->
-    let compute () = strings t |> Array.to_list |> List.sort_uniq String.compare in
+    let compute () =
+      match compose_plan t with
+      | Some (c, base, cond_attr, vs) ->
+        composed_distinct c base cond_attr vs ~attr_key:(name t) ~of_slice:(fun indices ->
+            sub_strings base (name t) indices |> List.sort_uniq String.compare)
+      | None -> strings t |> Array.to_list |> List.sort_uniq String.compare
+    in
     let d =
       match t.cache with
       | Some (c, key) -> Profile_cache.distinct c key compute
@@ -102,11 +218,36 @@ let distinct_strings t =
     t.distinct <- Some d;
     d
 
+let words t =
+  match t.words_memo with
+  | Some w -> w
+  | None ->
+    let word_list strs = List.concat_map Textsim.Tokenize.words strs |> List.sort_uniq String.compare in
+    let compute () =
+      match compose_plan t with
+      | Some (c, base, cond_attr, vs) ->
+        composed_distinct c base cond_attr vs ~attr_key:(words_attr (name t))
+          ~of_slice:(fun indices -> word_list (sub_strings base (name t) indices))
+      | None -> word_list (strings t |> Array.to_list)
+    in
+    let w =
+      match t.cache with
+      | Some (c, (tbl, attr, subset)) ->
+        Profile_cache.distinct c (tbl, words_attr attr, subset) compute
+      | None -> compute ()
+    in
+    t.words_memo <- Some w;
+    w
+
 let warm t =
   let a = t.attribute in
   if Attribute.is_textual a then begin
     ignore (profile t);
-    ignore (distinct_strings t)
+    ignore (distinct_strings t);
+    ignore (words t)
   end;
-  if Attribute.is_numeric a then ignore (summary t);
+  if Attribute.is_numeric a then begin
+    ignore (summary t);
+    ignore (floats t)
+  end;
   if a.Attribute.ty = Value.Tint then ignore (distinct_strings t)

@@ -8,7 +8,13 @@ open Relational
 
 type t
 
-val make : ?cache:Profile_cache.t * Profile_cache.key -> owner:string -> Attribute.t -> Value.t array -> t
+val make :
+  ?cache:Profile_cache.t * Profile_cache.key ->
+  ?view:View.t ->
+  owner:string ->
+  Attribute.t ->
+  Value.t array ->
+  t
 
 (** With [cache], artefacts are shared under the full row-index range
     of the table, so a view selecting every row hits them. *)
@@ -16,7 +22,14 @@ val of_table : ?cache:Profile_cache.t -> Table.t -> string -> t
 
 (** With [cache], the lazy artefacts are looked up under
     [(base table, attr, digest of the view's row indices)] before being
-    computed, so views selecting the same rows share one computation. *)
+    computed, so views selecting the same rows share one computation.
+    When the cache has {!Profile_cache.partitioning} on and the view's
+    condition selects values of one other attribute, the profile,
+    distinct set and word set are {e composed} from that attribute's
+    per-partition artefacts (shared across all views and families over
+    it) instead of re-scanning the view's rows; composition is exact —
+    integer counts add and sets union — so every downstream score is
+    bit-identical to the re-scan path. *)
 val of_view : ?cache:Profile_cache.t -> View.t -> string -> t
 val owner : t -> string
 val attribute : t -> Attribute.t
@@ -30,10 +43,10 @@ val size : t -> int
 val non_null_count : t -> int
 
 val strings : t -> string array
-(** Display strings of non-null values. *)
+(** Display strings of non-null values (cached after the first call). *)
 
 val floats : t -> float array
-(** Numeric images of the values that have one. *)
+(** Numeric images of the values that have one (cached). *)
 
 val profile : t -> Textsim.Profile.t
 (** 3-gram profile over {!strings} (cached). *)
@@ -44,8 +57,13 @@ val summary : t -> Stats.Descriptive.summary
 val distinct_strings : t -> string list
 (** Distinct display strings, sorted (cached). *)
 
+val words : t -> string list
+(** Distinct word tokens over {!strings}, sorted (cached, and shared
+    through the profile cache like {!distinct_strings}, so the word
+    matcher stops re-tokenising the same row subset per pair). *)
+
 val warm : t -> unit
 (** Force the artefacts a matcher of this column's type could ask for
-    (profile/distinct for textual, summary for numeric, distinct for
-    int).  Used to pre-populate shared columns before they are read
+    (profile/distinct/words for textual, summary for numeric, distinct
+    for int).  Used to pre-populate shared columns before they are read
     concurrently from worker domains. *)

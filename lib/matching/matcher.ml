@@ -1,13 +1,17 @@
 open Relational
 
+type kernel_hint = No_kernel | Qgram_cosine
+
 type t = {
   name : string;
   weight : float;
+  kernel : kernel_hint;
   applicable : Attribute.t -> Attribute.t -> bool;
   score : Column.t -> Column.t -> float;
 }
 
-let make ~name ?(weight = 1.0) ~applicable score = { name; weight; applicable; score }
+let make ~name ?(weight = 1.0) ?(kernel = No_kernel) ~applicable score =
+  { name; weight; kernel; applicable; score }
 
 let applicable_pair t src tgt = t.applicable (Column.attribute src) (Column.attribute tgt)
 

@@ -5,9 +5,18 @@
 
 open Relational
 
+type kernel_hint =
+  | No_kernel  (** always scored through [score] *)
+  | Qgram_cosine
+      (** [score] equals q-gram profile cosine of the pair, so a model
+          holding a {!Score_kernel} may batch-score the matcher against
+          all its indexed targets at once (bit-identical by the kernel's
+          contract); [score] remains the semantics of record *)
+
 type t = {
   name : string;
   weight : float;  (** relative weight in the combination step *)
+  kernel : kernel_hint;  (** batch-scoring shortcut, when one applies *)
   applicable : Attribute.t -> Attribute.t -> bool;
       (** whether this matcher produces a meaningful score for a pair of
           attributes (e.g. the numeric matcher needs numeric columns) *)
@@ -17,6 +26,7 @@ type t = {
 val make :
   name:string ->
   ?weight:float ->
+  ?kernel:kernel_hint ->
   applicable:(Attribute.t -> Attribute.t -> bool) ->
   (Column.t -> Column.t -> float) ->
   t

@@ -13,17 +13,12 @@ let name_matcher =
       Textsim.Simmetrics.name_similarity (Column.name src) (Column.name tgt))
 
 let qgram_matcher =
-  Matcher.make ~name:"qgram" ~weight:1.5 ~applicable:both_textual (fun src tgt ->
-      Textsim.Profile.cosine (Column.profile src) (Column.profile tgt))
+  Matcher.make ~name:"qgram" ~weight:1.5 ~kernel:Matcher.Qgram_cosine ~applicable:both_textual
+    (fun src tgt -> Textsim.Profile.cosine (Column.profile src) (Column.profile tgt))
 
 let word_matcher =
   Matcher.make ~name:"word" ~weight:1.0 ~applicable:both_textual (fun src tgt ->
-      let words col =
-        Column.strings col |> Array.to_list
-        |> List.concat_map Textsim.Tokenize.words
-        |> List.sort_uniq String.compare
-      in
-      Textsim.Simmetrics.jaccard (words src) (words tgt))
+      Textsim.Simmetrics.jaccard (Column.words src) (Column.words tgt))
 
 (* Bhattacharyya coefficient of the two fitted normals: 1 when the
    distributions coincide, decaying with both mean separation and

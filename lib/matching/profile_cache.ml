@@ -1,9 +1,16 @@
 type key = string * string * string
 
+type partition = {
+  part_values : Relational.Value.t array;
+  part_indices : int array array;
+}
+
 type t = {
   profiles : (key, Textsim.Profile.t) Runtime.Memo.t;
   summaries : (key, Stats.Descriptive.summary) Runtime.Memo.t;
   distincts : (key, string list) Runtime.Memo.t;
+  partitions : (string * string, partition) Runtime.Memo.t;
+  mutable partitioning : bool;
   mutable store : Store.t option;
   digests : (string, string) Hashtbl.t;
   digests_lock : Mutex.t;
@@ -15,11 +22,16 @@ let create () =
     profiles = Runtime.Memo.create ();
     summaries = Runtime.Memo.create ();
     distincts = Runtime.Memo.create ();
+    partitions = Runtime.Memo.create ();
+    partitioning = false;
     store = None;
     digests = Hashtbl.create 8;
     digests_lock = Mutex.create ();
     builds = Atomic.make 0;
   }
+
+let set_partitioning t on = t.partitioning <- on
+let partitioning t = t.partitioning
 
 let attach_store t store = t.store <- Some store
 
@@ -87,6 +99,59 @@ let subset_digest indices =
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let key ~table ~attr ~indices = (table, attr, subset_digest indices)
+
+(* Partition of a table's row indices by the values of one (condition)
+   attribute: groups are keyed by distinct non-null values under
+   [Value.compare] — which treats [Int n] and [Float n.] as equal, like
+   condition evaluation does — and each group's indices stay ascending,
+   so a singleton group is index-for-index the row set of the
+   corresponding [Eq] view. *)
+let partition t ~table ~cond_attr =
+  Runtime.Memo.find_or_add t.partitions (Relational.Table.name table, cond_attr)
+    (fun () ->
+      if !Obs.Recorder.enabled then Obs.Metrics.incr "cache.partition.builds";
+      let col = Relational.Table.column table cond_attr in
+      let idxs = ref [] in
+      for i = Array.length col - 1 downto 0 do
+        if not (Relational.Value.is_null col.(i)) then idxs := i :: !idxs
+      done;
+      (* stable sort by value keeps each group's indices ascending *)
+      let sorted =
+        List.stable_sort (fun i j -> Relational.Value.compare col.(i) col.(j)) !idxs
+      in
+      let groups = ref [] in
+      let cur = ref [] in
+      let curv = ref None in
+      let flush () =
+        match !curv with
+        | None -> ()
+        | Some v -> groups := (v, Array.of_list (List.rev !cur)) :: !groups
+      in
+      List.iter
+        (fun i ->
+          (match !curv with
+          | Some v when Relational.Value.compare v col.(i) = 0 -> ()
+          | _ ->
+            flush ();
+            curv := Some col.(i);
+            cur := []);
+          cur := i :: !cur)
+        sorted;
+      flush ();
+      let groups = Array.of_list (List.rev !groups) in
+      { part_values = Array.map fst groups; part_indices = Array.map snd groups })
+
+let partition_indices p v =
+  let lo = ref 0 and hi = ref (Array.length p.part_values - 1) in
+  let found = ref None in
+  while !found = None && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = Relational.Value.compare v p.part_values.(mid) in
+    if c = 0 then found := Some p.part_indices.(mid)
+    else if c < 0 then hi := mid - 1
+    else lo := mid + 1
+  done;
+  !found
 
 let hits t =
   Runtime.Memo.hits t.profiles + Runtime.Memo.hits t.summaries + Runtime.Memo.hits t.distincts

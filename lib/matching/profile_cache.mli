@@ -23,10 +23,23 @@
 type key = string * string * string
 (** [(base table name, attribute name, row-subset digest)]. *)
 
+type partition = {
+  part_values : Relational.Value.t array;
+      (** distinct non-null values, ascending under [Value.compare] *)
+  part_indices : int array array;  (** per value: matching row indices, ascending *)
+}
+(** Partition of a base table's rows by one condition attribute's values
+    (see {!partition}). *)
+
 type t = {
   profiles : (key, Textsim.Profile.t) Runtime.Memo.t;
   summaries : (key, Stats.Descriptive.summary) Runtime.Memo.t;
   distincts : (key, string list) Runtime.Memo.t;
+  partitions : (string * string, partition) Runtime.Memo.t;
+      (** keyed by (table name, condition attribute) *)
+  mutable partitioning : bool;
+      (** when set, {!Column} composes categorical-view artefacts from
+          per-partition artefacts instead of re-scanning rows *)
   mutable store : Store.t option;  (** second-level persistent backing *)
   digests : (string, string) Hashtbl.t;  (** table name -> {!Store.table_digest} *)
   digests_lock : Mutex.t;
@@ -65,6 +78,25 @@ val subset_digest : int array -> string
     digest is stable enough to double as an on-disk store key. *)
 
 val key : table:string -> attr:string -> indices:int array -> key
+
+val set_partitioning : t -> bool -> unit
+(** Enable composing categorical-view artefacts from per-partition
+    artefacts (off by default; {!Standard_match.build} switches it on
+    together with the scoring kernel). *)
+
+val partitioning : t -> bool
+
+val partition : t -> table:Relational.Table.t -> cond_attr:string -> partition
+(** Partition of [table]'s rows by the values of [cond_attr], computed
+    once per (table, attribute) pair and memoised.  Grouping uses
+    [Value.compare] — the same equality condition evaluation applies
+    (so [Int 1] and [Float 1.] land in one group) — null rows belong to
+    no group, and each group's indices are ascending: the group of [v]
+    is exactly [View.row_indices] of the [Eq (cond_attr, v)] view. *)
+
+val partition_indices : partition -> Relational.Value.t -> int array option
+(** Row indices of one value's group ([None] when the value never
+    occurs non-null in the sample). *)
 
 val hits : t -> int
 val misses : t -> int

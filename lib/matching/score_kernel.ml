@@ -1,0 +1,43 @@
+type t = {
+  index : Textsim.Gram_index.t;
+  names : (string * string) array;
+  slots : (string * string, int) Hashtbl.t;
+}
+
+let build targets =
+  let names = Array.map fst targets in
+  let index = Textsim.Gram_index.build (Array.map snd targets) in
+  let slots = Hashtbl.create (2 * Array.length targets) in
+  Array.iteri (fun i name -> Hashtbl.replace slots name i) names;
+  if !Obs.Recorder.enabled then begin
+    Obs.Metrics.add "kernel.targets" (Array.length names);
+    Obs.Metrics.add "kernel.vocabulary" (Textsim.Gram_index.gram_count index)
+  end;
+  { index; names; slots }
+
+let size t = Array.length t.names
+let dict t = Textsim.Gram_index.dict t.index
+let vocabulary t = Textsim.Gram_index.gram_count t.index
+let slot t ~table ~attr = Hashtbl.find_opt t.slots (table, attr)
+let name t i = t.names.(i)
+
+let intern t p = Textsim.Profile.intern (Textsim.Gram_index.dict t.index) p
+
+let scores t cand =
+  let cosines, touched = Textsim.Gram_index.scores t.index cand in
+  if !Obs.Recorder.enabled then begin
+    Obs.Metrics.incr "kernel.batch.queries";
+    Obs.Metrics.add "kernel.batch.scored" touched;
+    Obs.Metrics.add "kernel.batch.pruned" (Array.length cosines - touched)
+  end;
+  cosines
+
+let top_k t cand ~k ~tau =
+  let top, stats = Textsim.Gram_index.top_k t.index cand ~k ~tau in
+  if !Obs.Recorder.enabled then begin
+    Obs.Metrics.incr "kernel.topk.queries";
+    Obs.Metrics.add "kernel.topk.scored" stats.Textsim.Gram_index.scored;
+    Obs.Metrics.add "kernel.topk.pruned" stats.Textsim.Gram_index.pruned;
+    if stats.Textsim.Gram_index.bound_skip then Obs.Metrics.incr "kernel.topk.bound_skips"
+  end;
+  List.map (fun (i, s) -> (t.names.(i), s)) top

@@ -1,0 +1,37 @@
+(** The per-model scoring kernel: a frozen {!Textsim.Gram_index} over
+    the model's (textual) target columns, addressed by
+    [(target table, attribute)].
+
+    Built once on the main domain at the end of
+    {!Standard_match.build}'s target warm-up — before the per-attribute
+    fan-out — and immutable afterwards, so worker domains read it
+    without locks (the interner lifecycle is "freeze after build").
+    Batch {!scores} and {!top_k} record [kernel.*] observability
+    counters; in particular [kernel.batch.pruned] /
+    [kernel.topk.pruned] count the pairs skipped as provable zeros (or
+    provably below threshold) — the differential suite checks those
+    skips never change a score. *)
+
+type t
+
+val build : ((string * string) * Textsim.Profile.t) array -> t
+(** [(table, attr), profile] per target column.  Interns every target
+    profile against the freshly frozen dictionary. *)
+
+val size : t -> int
+val vocabulary : t -> int
+val dict : t -> Textsim.Gram_dict.t
+val slot : t -> table:string -> attr:string -> int option
+val name : t -> int -> string * string
+
+val intern : t -> Textsim.Profile.t -> unit
+(** Attach the kernel's interned view to a candidate profile so its
+    pairwise cosines against the targets take the int merge join. *)
+
+val scores : t -> Textsim.Profile.t -> float array
+(** Exact cosine against every target, indexed by {!slot}; bit-identical
+    to the pairwise string path (see {!Textsim.Gram_index.scores}). *)
+
+val top_k : t -> Textsim.Profile.t -> k:int -> tau:float -> ((string * string) * float) list
+(** Up to [k] targets with cosine >= [tau], best first, ties broken on
+    target slot order; equals exhaustive scoring + filter + sort. *)

@@ -22,11 +22,15 @@ type model = {
      and a target table with the same name can never collide on the
      in-memory (table, attr, subset) key *)
   tgt_cache : Profile_cache.t;
+  (* interned q-gram index over the textual target columns; None when
+     the kernel is disabled or no textual target exists *)
+  kernel : Score_kernel.t option;
 }
 
 let source m = m.source_db
 let target m = m.target_db
 let profile_cache m = m.cache
+let kernel_enabled m = m.kernel <> None
 let cache_stats m = (Profile_cache.hits m.cache, Profile_cache.misses m.cache)
 let profile_builds m = Profile_cache.builds m.cache + Profile_cache.builds m.tgt_cache
 
@@ -43,7 +47,7 @@ type built_pair = {
 }
 
 let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ?report
-    ?(deadline = Robust.Deadline.none) ?store ~source ~target () =
+    ?(deadline = Robust.Deadline.none) ?store ?(kernel = true) ~source ~target () =
   Obs.Trace.with_span "standard_match.build" @@ fun () ->
   let cache = Profile_cache.create () in
   let tgt_cache = Profile_cache.create () in
@@ -90,6 +94,33 @@ let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ?repo
   List.iter
     (fun tgt -> Hashtbl.replace target_index (tgt.table, Column.name tgt.column) tgt)
     target_cols;
+  (* Freeze the scoring kernel on the main domain, after the warm-up and
+     before the fan-out: the interner dictionary and inverted index are
+     immutable from here on, so worker domains read them lock-free.
+     Partition composition of view profiles rides the same switch — the
+     bench's kernel-off mode measures the legacy path. *)
+  Profile_cache.set_partitioning cache kernel;
+  let score_kernel =
+    if not kernel then None
+    else begin
+      let textual =
+        List.filter
+          (fun tgt -> Relational.Attribute.is_textual (Column.attribute tgt.column))
+          target_cols
+      in
+      match textual with
+      | [] -> None
+      | _ ->
+        Obs.Trace.with_span "build_kernel" (fun () ->
+            Some
+              (Score_kernel.build
+                 (Array.of_list
+                    (List.map
+                       (fun tgt ->
+                         ((tgt.table, Column.name tgt.column), Column.profile tgt.column))
+                       textual))))
+    end
+  in
   let pairs =
     List.concat_map
       (fun src_tbl ->
@@ -115,14 +146,38 @@ let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ?repo
              step. *)
           let scores = ref [] in
           let applicable = ref [] in
+          (* The q-gram matcher is batch-scored through the inverted
+             index: one pass over the source profile's postings replaces
+             a merge join per target.  A target has a kernel slot iff it
+             is textual, exactly the matcher's applicability for a
+             textual source, and the batched cosines are bit-identical
+             to the pairwise ones (see {!Textsim.Gram_index}), so this
+             branch changes cost only. *)
+          let batch =
+            match (matcher.Matcher.kernel, score_kernel) with
+            | Matcher.Qgram_cosine, Some k
+              when Relational.Attribute.is_textual (Column.attribute src_col) ->
+              Some (k, Score_kernel.scores k (Column.profile src_col))
+            | _ -> None
+          in
           List.iter
             (fun tgt ->
-              if Matcher.applicable_pair matcher src_col tgt.column then begin
-                let s = Matcher.score matcher src_col tgt.column in
-                applicable := (tgt.table, Column.name tgt.column, s) :: !applicable;
-                scores := s :: !scores
-              end
-              else scores := 0.0 :: !scores)
+              match batch with
+              | Some (k, arr) -> (
+                match Score_kernel.slot k ~table:tgt.table ~attr:(Column.name tgt.column) with
+                | Some slot ->
+                  (* same clamp [Matcher.score] applies *)
+                  let s = Float.min 1.0 (Float.max 0.0 arr.(slot)) in
+                  applicable := (tgt.table, Column.name tgt.column, s) :: !applicable;
+                  scores := s :: !scores
+                | None -> scores := 0.0 :: !scores)
+              | None ->
+                if Matcher.applicable_pair matcher src_col tgt.column then begin
+                  let s = Matcher.score matcher src_col tgt.column in
+                  applicable := (tgt.table, Column.name tgt.column, s) :: !applicable;
+                  scores := s :: !scores
+                end
+                else scores := 0.0 :: !scores)
             target_cols;
           let stats =
             if !applicable <> [] then Some (Normalize.of_scores (Array.of_list !scores))
@@ -192,7 +247,43 @@ let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ?repo
     raw;
     cache;
     tgt_cache;
+    kernel = score_kernel;
   }
+
+(* Top-k retrieval by raw q-gram cosine.  With a kernel, one pass over
+   the inverted index scores only the targets sharing a gram with the
+   source column (the rest are pruned as provable zeros, counted on
+   [kernel.topk.pruned]); without one, every textual target is scored
+   pairwise.  Both paths run the identical exact accumulation and the
+   identical (score desc, slot asc) order, so their results coincide —
+   the differential suite asserts it. *)
+let top_qgram_matches m ~src_table ~src_attr ~k ~tau =
+  match Hashtbl.find_opt m.source_cols (src_table, src_attr) with
+  | None -> []
+  | Some src_col when not (Relational.Attribute.is_textual (Column.attribute src_col)) -> []
+  | Some src_col -> (
+    let cand = Column.profile src_col in
+    match m.kernel with
+    | Some kern -> Score_kernel.top_k kern cand ~k ~tau
+    | None ->
+      (* exact fallback: same candidate order as the kernel's slots *)
+      let textual =
+        List.filter
+          (fun tgt -> Relational.Attribute.is_textual (Column.attribute tgt.column))
+          m.target_cols
+      in
+      let scored =
+        List.mapi
+          (fun i tgt ->
+            (i, (tgt.table, Column.name tgt.column), Textsim.Profile.cosine cand (Column.profile tgt.column)))
+          textual
+      in
+      List.filter (fun (_, _, s) -> s >= tau) scored
+      |> List.sort (fun (i, _, a) (j, _, b) ->
+             let c = Float.compare b a in
+             if c <> 0 then c else Int.compare i j)
+      |> List.filteri (fun i _ -> i < k)
+      |> List.map (fun (_, name, s) -> (name, s)))
 
 let confidence m ~src_table ~src_attr ~tgt_table ~tgt_attr =
   let weighted =

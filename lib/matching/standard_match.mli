@@ -20,6 +20,7 @@ val build :
   ?report:Robust.Report.t ->
   ?deadline:Robust.Deadline.t ->
   ?store:Store.t ->
+  ?kernel:bool ->
   source:Database.t ->
   target:Database.t ->
   unit ->
@@ -46,13 +47,38 @@ val build :
     persistent store before computing, and computed artefacts are
     written through — a later [build] over unchanged inputs starts
     warm ({!profile_builds} stays 0).  The caller owns the store's
-    lifecycle ({!Store.flush}). *)
+    lifecycle ({!Store.flush}).
+
+    [kernel] (default true) freezes a {!Score_kernel} over the textual
+    target columns after the warm-up — the q-gram matcher is then
+    batch-scored through its inverted index during the fan-out and view
+    profiles are composed from per-partition profiles
+    ({!Profile_cache.set_partitioning}) instead of re-scanning rows.
+    Every score either way is bit-identical: the kernel accumulates the
+    same dot terms in the same order as the string merge join, and
+    partition counts add exactly.  [kernel:false] selects the legacy
+    string path (the kernel bench's baseline). *)
 
 val source : model -> Database.t
 val target : model -> Database.t
 
 val profile_cache : model -> Profile_cache.t
 (** The cache threaded through every view column this model scores. *)
+
+val kernel_enabled : model -> bool
+(** Whether the model holds a frozen {!Score_kernel} (built with
+    [kernel:true] and at least one textual target column). *)
+
+val top_qgram_matches :
+  model -> src_table:string -> src_attr:string -> k:int -> tau:float ->
+  ((string * string) * float) list
+(** Up to [k] target columns by raw q-gram cosine against the source
+    column, best first, cosine >= [tau] only.  With a kernel the
+    candidates are pruned through the inverted index (targets sharing no
+    gram are skipped as provable zeros); without one every textual
+    target is scored pairwise.  Both paths return identical results —
+    pruning decides what {e not} to score, never a score's value.  [[]]
+    for unknown or non-textual source attributes. *)
 
 val cache_stats : model -> int * int
 (** [(hits, misses)] of {!profile_cache} so far. *)

@@ -30,6 +30,16 @@
     a clean replacement.  The same applies to an index written by a
     different format version, which quarantines every shard.
 
+    {2 Interner independence}
+
+    Profiles are serialised by gram {e string}
+    ({!Textsim.Profile.counts}), never by the dense ids a scoring
+    kernel's {!Textsim.Gram_dict} assigns in-process: dictionaries are
+    per-model and per-run, while stored artefacts outlive both.  A
+    store written by a kernel run therefore warms a legacy run
+    byte-identically and vice versa, and re-reading an entry under a
+    differently-built dictionary is impossible by construction.
+
     {2 Concurrency}
 
     All operations are mutex-protected and may be called from worker

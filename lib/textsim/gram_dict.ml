@@ -1,0 +1,16 @@
+type t = {
+  grams : string array;
+  ids : (string, int) Hashtbl.t;
+}
+
+let of_grams grams =
+  let sorted = List.sort_uniq String.compare grams in
+  let grams = Array.of_list sorted in
+  let ids = Hashtbl.create (max 16 (2 * Array.length grams)) in
+  Array.iteri (fun i g -> Hashtbl.replace ids g i) grams;
+  { grams; ids }
+
+let find t g = Hashtbl.find_opt t.ids g
+let mem t g = Hashtbl.mem t.ids g
+let gram t i = t.grams.(i)
+let size t = Array.length t.grams

@@ -1,0 +1,145 @@
+type t = {
+  dict : Gram_dict.t;
+  targets : Profile.t array;
+  totals : float array;
+  norms : float array;
+  (* per gram id: target slots (ascending) and the matching relative
+     frequency [count / total] of that target — the exact float the
+     string merge join multiplies by *)
+  post_tgt : int array array;
+  post_freq : float array array;
+  (* per gram id: max posting frequency, for the top-k upper bound *)
+  post_max : float array;
+  (* smallest non-zero target norm, for the top-k upper bound *)
+  min_norm : float;
+}
+
+let build targets =
+  let grams =
+    Array.fold_left
+      (fun acc p ->
+        Array.fold_left (fun acc (g, _) -> g :: acc) acc (Profile.counts p))
+      [] targets
+  in
+  let dict = Gram_dict.of_grams grams in
+  Array.iter (Profile.intern dict) targets;
+  let n_grams = Gram_dict.size dict in
+  let buckets = Array.make n_grams [] in
+  Array.iteri
+    (fun slot p ->
+      let total = float_of_int (Profile.total p) in
+      if Profile.total p > 0 then
+        match Profile.interned_ids p dict with
+        | None -> assert false
+        | Some (ids, counts) ->
+          Array.iteri
+            (fun k id -> buckets.(id) <- (slot, float_of_int counts.(k) /. total) :: buckets.(id))
+            ids)
+    targets;
+  let post_tgt = Array.make n_grams [||] in
+  let post_freq = Array.make n_grams [||] in
+  let post_max = Array.make n_grams 0.0 in
+  Array.iteri
+    (fun id bucket ->
+      (* buckets were prepended in ascending slot order *)
+      let entries = Array.of_list (List.rev bucket) in
+      post_tgt.(id) <- Array.map fst entries;
+      post_freq.(id) <- Array.map snd entries;
+      post_max.(id) <- Array.fold_left (fun m (_, f) -> Float.max m f) 0.0 entries)
+    buckets;
+  let norms = Array.map Profile.norm targets in
+  let totals = Array.map (fun p -> float_of_int (Profile.total p)) targets in
+  let min_norm =
+    Array.fold_left (fun m n -> if n > 0.0 && n < m then n else m) infinity norms
+  in
+  { dict; targets; totals; norms; post_tgt; post_freq; post_max; min_norm }
+
+let dict t = t.dict
+let length t = Array.length t.targets
+let gram_count t = Gram_dict.size t.dict
+let target t i = t.targets.(i)
+
+(* Term-at-a-time accumulation.  For each target, the terms that reach
+   its accumulator are exactly the candidate∩target grams, visited in
+   the candidate's gram-sorted order — the same terms, in the same
+   order, as the string merge join of [Profile.cosine], so the final
+   quotients agree bit for bit.  Targets never touched share no gram
+   with the candidate: their cosine is exactly 0, with no computation
+   spent proving it. *)
+let scores t cand =
+  let n = Array.length t.targets in
+  let acc = Array.make n 0.0 in
+  let touched = Array.make n false in
+  let cand_total = Profile.total cand in
+  if cand_total > 0 then begin
+    let tc = float_of_int cand_total in
+    Array.iter
+      (fun (g, c) ->
+        match Gram_dict.find t.dict g with
+        | None -> ()
+        | Some id ->
+          let fc = float_of_int c /. tc in
+          let tgts = t.post_tgt.(id) and freqs = t.post_freq.(id) in
+          for k = 0 to Array.length tgts - 1 do
+            let s = tgts.(k) in
+            acc.(s) <- acc.(s) +. (fc *. freqs.(k));
+            touched.(s) <- true
+          done)
+      (Profile.counts cand)
+  end;
+  let nc = Profile.norm cand in
+  let touched_n = ref 0 in
+  for s = 0 to n - 1 do
+    if touched.(s) then incr touched_n;
+    acc.(s) <-
+      (if cand_total = 0 || Profile.total t.targets.(s) = 0 then 0.0
+       else if nc = 0.0 || t.norms.(s) = 0.0 then 0.0
+       else acc.(s) /. (nc *. t.norms.(s)))
+  done;
+  (acc, !touched_n)
+
+(* Upper bound on [cosine cand target] for *any* target: every dot term
+   is at most the candidate frequency times the gram's largest posting
+   frequency, and dividing by the smallest target norm can only
+   overestimate the quotient.  Sound, so a bound below the threshold
+   proves no target can qualify. *)
+let cosine_upper_bound t cand =
+  let cand_total = Profile.total cand in
+  if cand_total = 0 then 0.0
+  else begin
+    let tc = float_of_int cand_total in
+    let dot_ub =
+      Array.fold_left
+        (fun acc (g, c) ->
+          match Gram_dict.find t.dict g with
+          | None -> acc
+          | Some id -> acc +. (float_of_int c /. tc *. t.post_max.(id)))
+        0.0 (Profile.counts cand)
+    in
+    let nc = Profile.norm cand in
+    if nc = 0.0 || t.min_norm = infinity then 0.0 else dot_ub /. (nc *. t.min_norm)
+  end
+
+type topk_stats = { scored : int; pruned : int; bound_skip : bool }
+
+let top_k t cand ~k ~tau =
+  let n = Array.length t.targets in
+  if tau > 0.0 && cosine_upper_bound t cand < tau then
+    (* no target can reach tau: prove it once, skip all postings *)
+    ([], { scored = 0; pruned = n; bound_skip = true })
+  else begin
+    let all, touched = scores t cand in
+    let hits = ref [] in
+    for s = n - 1 downto 0 do
+      if all.(s) >= tau then hits := (s, all.(s)) :: !hits
+    done;
+    let sorted =
+      List.sort
+        (fun (i, a) (j, b) ->
+          let c = Float.compare b a in
+          if c <> 0 then c else Int.compare i j)
+        !hits
+    in
+    let top = List.filteri (fun i _ -> i < k) sorted in
+    (top, { scored = touched; pruned = n - touched; bound_skip = false })
+  end

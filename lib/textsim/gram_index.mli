@@ -1,0 +1,56 @@
+(** Gram-based inverted index over a fixed set of target profiles, with
+    batch cosine scoring and threshold/top-k retrieval.
+
+    [build] freezes a {!Gram_dict} over every target gram, interns the
+    targets in place (so pairwise {!Profile.cosine} against them takes
+    the int fast path too), and indexes gram id → (target, relative
+    frequency) postings.
+
+    {2 Soundness}
+
+    {!scores} is {e exact}: per target it accumulates the identical dot
+    terms, in the identical gram-sorted order, as the string merge join
+    of {!Profile.cosine}, so its cosines are bit-identical — including
+    the implicit 0.0 of targets that share no gram with the candidate,
+    which are pruned without being visited.  {!top_k} only decides
+    {e which} pairs are worth returning; every score it returns comes
+    from the same exact accumulation, and its upper-bound skip is
+    conservative (a bound below [tau] proves no target qualifies), so
+    pruned retrieval equals exhaustive scoring followed by
+    filter/sort/take.
+
+    Immutable after [build]; safe to read from worker domains. *)
+
+type t
+
+val build : Profile.t array -> t
+
+val dict : t -> Gram_dict.t
+val length : t -> int
+(** Number of indexed targets. *)
+
+val gram_count : t -> int
+(** Vocabulary size. *)
+
+val target : t -> int -> Profile.t
+
+val scores : t -> Profile.t -> float array * int
+(** [(cosines, touched)]: [cosines.(i)] is bit-identical to
+    [Profile.cosine cand (target t i)]; [touched] counts targets
+    sharing at least one gram — the remaining [length t - touched]
+    pairs were pruned as exact zeros. *)
+
+val cosine_upper_bound : t -> Profile.t -> float
+(** Sound upper bound on the candidate's cosine against {e any} target
+    (max-posting-frequency dot bound over the smallest target norm). *)
+
+type topk_stats = {
+  scored : int;  (** targets whose exact cosine was accumulated *)
+  pruned : int;  (** targets skipped (no shared gram, or bound skip) *)
+  bound_skip : bool;  (** whole query rejected by {!cosine_upper_bound} *)
+}
+
+val top_k : t -> Profile.t -> k:int -> tau:float -> (int * float) list * topk_stats
+(** Up to [k] targets with cosine >= [tau], sorted by decreasing score
+    (ties broken on ascending target slot).  Equal to exhaustively
+    scoring every target, filtering by [tau], sorting and truncating. *)

@@ -3,7 +3,22 @@
     A profile summarises the textual content of a column as a normalised
     q-gram frequency vector; two columns are compared with cosine
     similarity.  This is the core signal of the instance matcher and of
-    TgtClassInfer's string classifier. *)
+    TgtClassInfer's string classifier.
+
+    {2 Scoring kernel}
+
+    A profile can additionally carry an {e interned} view against a
+    frozen {!Gram_dict}: its grams as dense int ids, id-sorted (which is
+    gram-sorted, by the dictionary's construction), alongside a cached
+    L2 norm of the frequency vector.  When two profiles share a
+    dictionary and at least one of them is fully in-vocabulary,
+    {!cosine} and {!jaccard} switch from the string merge join to an int
+    merge join — no [String.compare] per gram, no per-call norm folds —
+    and, because both joins add the identical terms in the identical
+    (gram-lexicographic) order, the interned scores are bit-identical to
+    the string-path scores.  Profiles serialise by gram {e string}
+    ({!counts}/{!of_counts}), never by id, so persisted artefacts are
+    independent of any particular interner. *)
 
 type t
 
@@ -13,7 +28,8 @@ val of_strings : ?q:int -> string list -> t
 val of_strings_array : ?q:int -> string array -> t
 
 val add : t -> string -> unit
-(** Fold one more string into the profile. *)
+(** Fold one more string into the profile.  Drops the memoised sorted
+    view, cached norm and interned view. *)
 
 val gram_count : t -> int
 (** Number of distinct grams. *)
@@ -35,11 +51,40 @@ val of_counts : q:int -> (string * int) array -> t
     the rebuilt profile are bit-identical to the original's: the folds
     iterate gram-sorted counts, never raw hashtable order. *)
 
+val sum : ?q:int -> t list -> t
+(** Exact profile addition: the result's count for every gram is the
+    integer sum of the inputs' counts ([total] likewise).  Because a
+    profile is a pure function of its counts, summing the per-category
+    partition profiles of a column reproduces — bit for bit — the
+    profile a re-scan of the union of those categories' rows would
+    build.  [q] defaults to the first input's gram length (3 when the
+    list is empty); raises [Invalid_argument] on mixed gram lengths. *)
+
 val to_weighted_bag : t -> (string * float) list
 (** Relative frequencies (sum to 1 when non-empty). *)
 
+val norm : t -> float
+(** L2 norm of the relative-frequency vector, cached after the first
+    call (and recomputed after {!add}).  Equal — bitwise — to the fold
+    {!cosine} historically performed per call. *)
+
+val intern : Gram_dict.t -> t -> unit
+(** Attach the interned view against [dict].  Idempotent for the same
+    dictionary; re-interning against another dictionary replaces the
+    view.  Safe to call concurrently from worker domains for the same
+    frozen dictionary (same-value racy writes are benign). *)
+
+val interned_with : t -> Gram_dict.t -> bool
+
+val interned_ids : t -> Gram_dict.t -> (int array * int array) option
+(** [(ids, counts)] of the interned view on [dict], id-sorted, covering
+    the profile's in-vocabulary grams only. *)
+
 val cosine : t -> t -> float
-(** Cosine similarity of the two frequency vectors. *)
+(** Cosine similarity of the two frequency vectors.  Uses the int
+    merge join when an interned fast path applies (see above), the
+    string merge join otherwise; the two agree bit for bit. *)
 
 val jaccard : t -> t -> float
-(** Set Jaccard over distinct grams. *)
+(** Set Jaccard over distinct grams; same fast-path contract as
+    {!cosine}. *)

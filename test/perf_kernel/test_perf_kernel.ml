@@ -1,0 +1,348 @@
+(* Differential oracle for the interned scoring kernel (DESIGN.md,
+   "Scoring kernel").  Every fast path — int merge joins over interned
+   profiles, batch scoring through the gram inverted index, top-k
+   retrieval with upper-bound pruning, view profiles composed from
+   condition-attribute partitions — must produce results *bit-identical*
+   to the legacy string path: same grams, same counts, same float bits.
+   Floats are compared via their IEEE bits (or %h fingerprints), so any
+   accumulation-order drift fails loudly, not just drift above an
+   epsilon. *)
+
+open Relational
+
+let check_bits what a b =
+  Alcotest.(check string) what (Printf.sprintf "%h" a) (Printf.sprintf "%h" b)
+
+(* A copy of [p] through the serialisation surface: same counts, no
+   interned view, so scoring it takes the pure string path. *)
+let fresh p = Textsim.Profile.of_counts ~q:(Textsim.Profile.q p) (Textsim.Profile.counts p)
+
+let grams_of p = Array.to_list (Textsim.Profile.counts p) |> List.map fst
+
+let corpus =
+  [
+    [ "Systems of Highway Engineering"; "Aerodynamics for Engineers"; "The Art of OCaml" ];
+    [ "Greatest Hits Vol. 2"; "Live at the Fillmore"; "Symphony No. 9 in D minor" ];
+    [ "aaa"; "aab"; "aba" ];
+    [ "" ];
+    [];
+    [ "xyzzy" ];
+  ]
+
+(* --- interned merge joins ---------------------------------------------- *)
+
+let test_interned_pairwise () =
+  let profiles = List.map Textsim.Profile.of_strings corpus in
+  List.iteri
+    (fun i p1 ->
+      List.iteri
+        (fun j p2 ->
+          let tag op = Printf.sprintf "%s %d~%d" op i j in
+          let oracle_cos = Textsim.Profile.cosine (fresh p1) (fresh p2) in
+          let oracle_jac = Textsim.Profile.jaccard (fresh p1) (fresh p2) in
+          (* both sides interned against a shared dictionary *)
+          let a = fresh p1 and b = fresh p2 in
+          let dict = Textsim.Gram_dict.of_grams (grams_of a @ grams_of b) in
+          Textsim.Profile.intern dict a;
+          Textsim.Profile.intern dict b;
+          check_bits (tag "cosine interned") oracle_cos (Textsim.Profile.cosine a b);
+          check_bits (tag "jaccard interned") oracle_jac (Textsim.Profile.jaccard a b);
+          (* one-sided: only [d] is interned (and complete — the dict is
+             its own vocabulary); the dispatch interns [c] on the fly *)
+          let c = fresh p1 and d = fresh p2 in
+          let dict2 = Textsim.Gram_dict.of_grams (grams_of d) in
+          Textsim.Profile.intern dict2 d;
+          check_bits (tag "cosine one-sided") oracle_cos (Textsim.Profile.cosine c d);
+          check_bits (tag "jaccard one-sided") oracle_jac (Textsim.Profile.jaccard c d))
+        profiles)
+    (List.map Textsim.Profile.of_strings corpus)
+
+(* Two profiles interned against different dictionaries that are both
+   incomplete for the other's grams must fall back to the string path,
+   not silently drop shared out-of-vocabulary grams. *)
+let test_incomplete_fallback () =
+  let p1 = Textsim.Profile.of_strings [ "shared gram soup"; "alpha" ] in
+  let p2 = Textsim.Profile.of_strings [ "shared gram soup"; "omega" ] in
+  let oracle = Textsim.Profile.cosine (fresh p1) (fresh p2) in
+  let a = fresh p1 and b = fresh p2 in
+  (* dictionary built from an unrelated profile: both sides incomplete *)
+  let dict = Textsim.Gram_dict.of_grams (grams_of (Textsim.Profile.of_strings [ "zzz" ])) in
+  Textsim.Profile.intern dict a;
+  Textsim.Profile.intern dict b;
+  check_bits "incomplete dictionaries fall back" oracle (Textsim.Profile.cosine a b);
+  Alcotest.(check bool) "oracle is non-trivial" true (oracle > 0.0)
+
+(* --- inverted index ---------------------------------------------------- *)
+
+let index_fixture () =
+  let targets = List.map Textsim.Profile.of_strings corpus |> Array.of_list in
+  let index = Textsim.Gram_index.build targets in
+  let candidates =
+    List.map Textsim.Profile.of_strings
+      ([ "Highway Engineers of OCaml" ] :: [ "Qqq Www" ] :: [ "" ] :: corpus)
+  in
+  (targets, index, candidates)
+
+let test_index_scores () =
+  let targets, index, candidates = index_fixture () in
+  List.iteri
+    (fun ci cand ->
+      let scores, touched = Textsim.Gram_index.scores index (fresh cand) in
+      Alcotest.(check int) "one score per target" (Array.length targets) (Array.length scores);
+      Alcotest.(check bool) "touched within range" true
+        (touched >= 0 && touched <= Array.length targets);
+      Array.iteri
+        (fun s tgt ->
+          check_bits
+            (Printf.sprintf "cand %d vs target %d" ci s)
+            (Textsim.Profile.cosine (fresh cand) (fresh tgt))
+            scores.(s))
+        targets)
+    candidates;
+  (* a candidate sharing no gram is never accumulated: all zeros, all
+     pruned *)
+  let scores, touched = Textsim.Gram_index.scores index (Textsim.Profile.of_strings [ "QQQ" ]) in
+  Alcotest.(check int) "disjoint candidate touches nothing" 0 touched;
+  Array.iter (fun s -> check_bits "disjoint scores are exact zeros" 0.0 s) scores
+
+let test_top_k_equals_exhaustive () =
+  let _, index, candidates = index_fixture () in
+  List.iteri
+    (fun ci cand ->
+      let scores, _ = Textsim.Gram_index.scores index cand in
+      List.iter
+        (fun (k, tau) ->
+          let oracle =
+            Array.to_list (Array.mapi (fun i s -> (i, s)) scores)
+            |> List.filter (fun (_, s) -> s >= tau)
+            |> List.sort (fun (i, a) (j, b) ->
+                   let c = Float.compare b a in
+                   if c <> 0 then c else Int.compare i j)
+            |> List.filteri (fun i _ -> i < k)
+          in
+          let got, stats = Textsim.Gram_index.top_k index cand ~k ~tau in
+          Alcotest.(check int)
+            (Printf.sprintf "cand %d k=%d tau=%.2f: size" ci k tau)
+            (List.length oracle) (List.length got);
+          List.iter2
+            (fun (i, s) (i', s') ->
+              Alcotest.(check int) "slot" i i';
+              check_bits "score" s s')
+            oracle got;
+          Alcotest.(check bool) "stats account for every target"
+            true
+            (stats.Textsim.Gram_index.scored + stats.Textsim.Gram_index.pruned
+            = Textsim.Gram_index.length index))
+        [ (1, 0.0); (3, 0.0); (100, 0.0); (3, 0.2); (3, 0.99); (0, 0.0) ])
+    candidates
+
+(* --- partitioned view profiles ----------------------------------------- *)
+
+let retail_table () =
+  let params = { Workload.Retail.default_params with rows = 150; target_rows = 60 } in
+  Database.table (Workload.Retail.source params) Workload.Retail.source_table_name
+
+let columns_agree what legacy composed =
+  Alcotest.(check bool)
+    (what ^ ": profile counts identical")
+    true
+    (Textsim.Profile.counts (Matching.Column.profile legacy)
+    = Textsim.Profile.counts (Matching.Column.profile composed));
+  let probe = Textsim.Profile.of_strings [ "Probe of Engineering Hits 9" ] in
+  check_bits
+    (what ^ ": cosine vs probe bit-identical")
+    (Textsim.Profile.cosine (fresh (Matching.Column.profile legacy)) probe)
+    (Textsim.Profile.cosine (fresh (Matching.Column.profile composed)) probe);
+  Alcotest.(check (list string))
+    (what ^ ": distinct identical")
+    (Matching.Column.distinct_strings legacy)
+    (Matching.Column.distinct_strings composed);
+  Alcotest.(check (list string))
+    (what ^ ": words identical")
+    (Matching.Column.words legacy)
+    (Matching.Column.words composed)
+
+let test_partition_compose () =
+  let tbl = retail_table () in
+  let item_type = Workload.Retail.item_type_attr in
+  let families =
+    View.partition_family tbl item_type
+    :: View.partition_family tbl Workload.Retail.stock_status_attr
+    :: [
+         View.family_of_values tbl item_type
+           [
+             Workload.Retail.book_labels ~gamma:4;
+             Workload.Retail.cd_labels ~gamma:4;
+           ];
+       ]
+  in
+  let composed_cache = Matching.Profile_cache.create () in
+  Matching.Profile_cache.set_partitioning composed_cache true;
+  let legacy_cache = Matching.Profile_cache.create () in
+  List.iter
+    (fun family ->
+      List.iter
+        (fun view ->
+          List.iter
+            (fun attr ->
+              columns_agree
+                (Printf.sprintf "%s / %s" (View.name view) attr)
+                (Matching.Column.of_view ~cache:legacy_cache view attr)
+                (Matching.Column.of_view ~cache:composed_cache view attr))
+            [ "Title"; "Creator"; "Price"; "ItemID" ])
+        family.View.views)
+    families
+
+(* Condition values that are equal under [Value.compare] but distinct
+   constructors ([In (k, [1; 1.])]) select each row once; composition
+   must not double-count the shared partition. *)
+let test_partition_compose_mixed_numeric () =
+  let schema =
+    Schema.make "mixed" [ Attribute.int "k"; Attribute.string "txt" ]
+  in
+  let tbl =
+    Table.make schema
+      [
+        [| Value.Int 1; Value.String "one one" |];
+        [| Value.Int 2; Value.String "two" |];
+        [| Value.Null; Value.String "null row" |];
+        [| Value.Int 1; Value.String "uno" |];
+      ]
+  in
+  let view = View.make tbl (Condition.In ("k", [ Value.Int 1; Value.Float 1.0 ])) in
+  let composed_cache = Matching.Profile_cache.create () in
+  Matching.Profile_cache.set_partitioning composed_cache true;
+  let legacy_cache = Matching.Profile_cache.create () in
+  Alcotest.(check int) "view selects the Int 1 rows" 2 (View.row_count view);
+  columns_agree "mixed numeric In"
+    (Matching.Column.of_view ~cache:legacy_cache view "txt")
+    (Matching.Column.of_view ~cache:composed_cache view "txt")
+
+(* --- end-to-end -------------------------------------------------------- *)
+
+let fp_match (m : Matching.Schema_match.t) =
+  Printf.sprintf "%s|%s|%s|%s.%s|%s|%h" m.src_owner m.src_base m.src_attr m.tgt_table
+    m.tgt_attr
+    (Condition.to_string m.condition)
+    m.confidence
+
+let fp_scored (sv : Ctxmatch.Select_matches.scored_view) =
+  Printf.sprintf "%s|%s|[%s]" (View.name sv.view) sv.family_attr
+    (String.concat ";" (List.map fp_match sv.view_matches))
+
+let fingerprint (r : Ctxmatch.Context_match.result) =
+  String.concat "\n"
+    (("matches:" :: List.map fp_match r.matches)
+    @ ("standard:" :: List.map fp_match r.standard)
+    @ (Printf.sprintf "views:%d" r.candidate_view_count :: List.map fp_scored r.scored))
+
+let retail_run ?store ~kernel ~jobs ~seed () =
+  let params = { Workload.Retail.default_params with rows = 120; target_rows = 60; seed } in
+  let source = Workload.Retail.source params in
+  let target = Workload.Retail.target params Workload.Retail.Ryan_eyers in
+  let config =
+    Ctxmatch.Config.with_kernel
+      (Ctxmatch.Config.with_jobs (Ctxmatch.Config.with_seed Ctxmatch.Config.default seed) jobs)
+      kernel
+  in
+  let infer = Ctxmatch.Context_match.infer_of `Src_class ~target in
+  Ctxmatch.Context_match.run ~config ?store ~infer ~source ~target ()
+
+let test_end_to_end_identical () =
+  List.iter
+    (fun seed ->
+      let oracle = fingerprint (retail_run ~kernel:false ~jobs:1 ~seed ()) in
+      List.iter
+        (fun (kernel, jobs) ->
+          Alcotest.(check string)
+            (Printf.sprintf "seed=%d kernel=%b jobs=%d = legacy sequential" seed kernel jobs)
+            oracle
+            (fingerprint (retail_run ~kernel ~jobs ~seed ())))
+        [ (true, 1); (true, 4); (false, 4) ])
+    [ 1; 7 ]
+
+let in_temp_dir f =
+  let dir = Filename.temp_file "ctxkernel" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () -> f dir)
+
+(* Stored artefacts serialise by gram string, never by interner id, so a
+   store written by a kernel run warms a legacy run (and vice versa)
+   with byte-identical results and zero recomputation. *)
+let test_store_interner_independent () =
+  in_temp_dir @@ fun dir ->
+  let cold_store = Store.open_dir dir in
+  let cold = retail_run ~store:cold_store ~kernel:true ~jobs:1 ~seed:3 () in
+  Store.flush cold_store;
+  List.iter
+    (fun kernel ->
+      let warm_store = Store.open_dir dir in
+      let warm = retail_run ~store:warm_store ~kernel ~jobs:1 ~seed:3 () in
+      Alcotest.(check string)
+        (Printf.sprintf "warm kernel=%b identical to cold" kernel)
+        (fingerprint cold) (fingerprint warm);
+      Alcotest.(check int)
+        (Printf.sprintf "warm kernel=%b recomputes nothing" kernel)
+        0 warm.Ctxmatch.Context_match.profile_builds)
+    [ true; false ]
+
+(* --- model-level top-k ------------------------------------------------- *)
+
+let test_model_top_k () =
+  let params = { Workload.Retail.default_params with rows = 120; target_rows = 60 } in
+  let source = Workload.Retail.source params in
+  let target = Workload.Retail.target params Workload.Retail.Ryan_eyers in
+  let pruned = Matching.Standard_match.build ~kernel:true ~source ~target () in
+  let exhaustive = Matching.Standard_match.build ~kernel:false ~source ~target () in
+  Alcotest.(check bool) "kernel model holds an index" true
+    (Matching.Standard_match.kernel_enabled pruned);
+  Alcotest.(check bool) "legacy model holds none" false
+    (Matching.Standard_match.kernel_enabled exhaustive);
+  let fp l =
+    String.concat ";" (List.map (fun ((t, a), s) -> Printf.sprintf "%s.%s=%h" t a s) l)
+  in
+  let src_tbl = Database.table source Workload.Retail.source_table_name in
+  List.iter
+    (fun src_attr ->
+      List.iter
+        (fun (k, tau) ->
+          Alcotest.(check string)
+            (Printf.sprintf "top-%d tau=%.2f of %s pruned = exhaustive" k tau src_attr)
+            (fp
+               (Matching.Standard_match.top_qgram_matches exhaustive
+                  ~src_table:Workload.Retail.source_table_name ~src_attr ~k ~tau))
+            (fp
+               (Matching.Standard_match.top_qgram_matches pruned
+                  ~src_table:Workload.Retail.source_table_name ~src_attr ~k ~tau)))
+        [ (1, 0.0); (3, 0.0); (50, 0.0); (3, 0.3); (3, 0.95) ])
+    (Schema.attribute_names (Table.schema src_tbl))
+
+let () =
+  Alcotest.run "perf_kernel"
+    [
+      ( "interned",
+        [
+          Alcotest.test_case "pairwise bit-identity" `Quick test_interned_pairwise;
+          Alcotest.test_case "incomplete fallback" `Quick test_incomplete_fallback;
+        ] );
+      ( "index",
+        [
+          Alcotest.test_case "batch scores bit-identical" `Quick test_index_scores;
+          Alcotest.test_case "top-k = exhaustive" `Quick test_top_k_equals_exhaustive;
+        ] );
+      ( "partitions",
+        [
+          Alcotest.test_case "composed view artefacts" `Quick test_partition_compose;
+          Alcotest.test_case "mixed numeric In" `Quick test_partition_compose_mixed_numeric;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "kernel x jobs identical" `Slow test_end_to_end_identical;
+          Alcotest.test_case "store interner-independent" `Slow test_store_interner_independent;
+        ] );
+      ("top-k", [ Alcotest.test_case "model top-k pruned = exhaustive" `Quick test_model_top_k ]);
+    ]

@@ -28,6 +28,19 @@ let run_capture cmd =
   let status = Unix.close_process_in ic in
   (status, Buffer.contents buf)
 
+(* summary lines end with a wall-clock duration ("# ..., 0.01s"); strip
+   it so byte-comparing two runs cannot flake on a rounding boundary *)
+let strip_timing s =
+  String.split_on_char '\n' s
+  |> List.map (fun line ->
+         let n = String.length line in
+         if n > 0 && line.[0] = '#' && line.[n - 1] = 's' then
+           match String.rindex_opt line ',' with
+           | Some i -> String.sub line 0 i
+           | None -> line
+         else line)
+  |> String.concat "\n"
+
 let contains haystack needle =
   let nh = String.length haystack and nn = String.length needle in
   let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
@@ -158,7 +171,8 @@ let test_observability_flags () =
         run_capture (Printf.sprintf "%s --metrics %s --trace %s" base metrics_file trace_file)
       in
       Alcotest.(check bool) "instrumented exit 0" true (status = Unix.WEXITED 0);
-      Alcotest.(check string) "output unchanged under instrumentation" plain instrumented;
+      Alcotest.(check string) "output unchanged under instrumentation"
+        (strip_timing plain) (strip_timing instrumented);
       (* the span tree goes to stderr; run it separately so interleaving
          with block-buffered stdout cannot perturb the byte comparison *)
       let status, profiled = run_capture (base ^ " --profile") in
