@@ -784,6 +784,137 @@ let kernel_report () =
     exit 1
   end
 
+(* --- Match-serving daemon under load (BENCH_serve.json) ----------------- *)
+
+(* An in-process daemon with a registered prepared target, hammered by
+   concurrent clients over a Unix socket.  Two claims are gated: every
+   served reply is byte-identical to the one-shot oracle over the same
+   inputs (the prepared-target artefact buys latency, never drift), and
+   the daemon actually clears load (nonzero throughput, no errors, no
+   admission rejects at this queue depth).  The JSON records client-side
+   p50/p99 latency and throughput at [clients] concurrent connections. *)
+let serve_report () =
+  R.section "Serve daemon: identity + latency/throughput under concurrent clients";
+  let dir = Filename.temp_file "ctxserve_bench" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+  @@ fun () ->
+  let params = { retail_params with Workload.Retail.rows = 200; target_rows = 100 } in
+  let source = Workload.Retail.source params in
+  let target = Workload.Retail.target params Workload.Retail.Ryan_eyers in
+  let payload db =
+    List.map
+      (fun table -> (Relational.Table.name table, Relational.Csv_io.table_to_csv table))
+      (Relational.Database.tables db)
+  in
+  let source_payload = payload source and target_payload = payload target in
+  (* the one-shot oracle, while the daemon is idle (one pool submitter) *)
+  let want =
+    let infer = Ctxmatch.Context_match.infer_of `Src_class ~target in
+    let config = Ctxmatch.Config.with_seed Ctxmatch.Config.default base_seed in
+    let r = count_issues (Ctxmatch.Context_match.run ~config ~infer ~source ~target ()) in
+    List.map Matching.Schema_match.to_string r.Ctxmatch.Context_match.matches
+  in
+  let address = Serve.Server.Unix_sock (Filename.concat dir "bench.sock") in
+  let server =
+    Serve.Server.create
+      { (Serve.Server.default_config address) with Serve.Server.queue_capacity = 256 }
+  in
+  let server_thread = Serve.Server.start server in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.stop server;
+      Thread.join server_thread)
+  @@ fun () ->
+  let with_client f =
+    let client = Serve.Client.connect ~retries:100 ~retry_delay_s:0.05 address in
+    Fun.protect ~finally:(fun () -> Serve.Client.close client) (fun () -> f client)
+  in
+  let served_matches reply =
+    match Serve.Json.member "matches" reply with
+    | Some (Serve.Json.List l) -> Some (List.filter_map Serve.Json.to_string_opt l)
+    | _ -> None
+  in
+  let match_request = Serve.Protocol.match_json ~seed:base_seed ~target:"retail" source_payload in
+  let identical =
+    with_client @@ fun client ->
+    let reply =
+      Serve.Client.request client (Serve.Protocol.register_json ~name:"retail" target_payload)
+    in
+    (match Serve.Json.member "ok" reply with
+    | Some (Serve.Json.Bool true) -> ()
+    | _ -> failwith ("register failed: " ^ Serve.Json.to_string reply));
+    (* identity gate + warmup in one: the first served match *)
+    served_matches (Serve.Client.request client match_request) = Some want
+  in
+  let clients = 4 and per_client = 10 in
+  let latencies = Array.make (clients * per_client) 0.0 in
+  let errors = Atomic.make 0 in
+  let worker k =
+    with_client @@ fun client ->
+    for i = 0 to per_client - 1 do
+      let t0 = Unix.gettimeofday () in
+      let reply = Serve.Client.request client match_request in
+      latencies.((k * per_client) + i) <- Unix.gettimeofday () -. t0;
+      if served_matches reply <> Some want then Atomic.incr errors
+    done
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init clients (fun k -> Thread.create worker k) in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  Array.sort compare latencies;
+  let percentile q =
+    latencies.(int_of_float (q *. float_of_int (Array.length latencies - 1)))
+  in
+  let p50 = percentile 0.50 and p99 = percentile 0.99 in
+  let total = clients * per_client in
+  let throughput = float_of_int total /. Float.max 1e-9 wall in
+  let counters = Serve.Server.counters server in
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    {|{
+  "clients": %d,
+  "requests": %d,
+  "wall_seconds": %.6f,
+  "throughput_rps": %.3f,
+  "p50_ms": %.3f,
+  "p99_ms": %.3f,
+  "identical_matches": %b,
+  "reply_errors": %d,
+  "rejected": %d,
+  "protocol_errors": %d
+}
+|}
+    clients total wall throughput (p50 *. 1e3) (p99 *. 1e3) identical (Atomic.get errors)
+    counters.Serve.Server.c_rejected counters.Serve.Server.c_protocol_errors;
+  close_out oc;
+  R.note
+    (Printf.sprintf
+       "wrote BENCH_serve.json: %d clients, %.1f req/s, p50 %.1f ms, p99 %.1f ms, identical = %b"
+       clients throughput (p50 *. 1e3) (p99 *. 1e3) identical);
+  if not identical then begin
+    Printf.eprintf "bench: serve canary failed: served matches differ from one-shot run\n";
+    exit 1
+  end;
+  if Atomic.get errors > 0 then begin
+    Printf.eprintf "bench: serve canary failed: %d replies under load were wrong or not ok\n"
+      (Atomic.get errors);
+    exit 1
+  end;
+  if throughput <= 0.0 then begin
+    Printf.eprintf "bench: serve canary failed: zero throughput\n";
+    exit 1
+  end;
+  if counters.Serve.Server.c_rejected > 0 || counters.Serve.Server.c_protocol_errors > 0 then begin
+    Printf.eprintf "bench: serve canary failed: %d rejected, %d protocol errors\n"
+      counters.Serve.Server.c_rejected counters.Serve.Server.c_protocol_errors;
+    exit 1
+  end
+
 (* --- Observability report (BENCH_obs.json) ----------------------------- *)
 
 (* One instrumented end-to-end retail run under the obs recorder,
@@ -831,6 +962,7 @@ let figures =
     ("abl-clio", ablation_clio); ("ext", extensions); ("micro", micro);
     ("store", store_report);
     ("kernel", kernel_report);
+    ("serve", serve_report);
   ]
 
 let () =

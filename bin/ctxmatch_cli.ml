@@ -5,11 +5,16 @@
    map:    additionally generate the Clio-style mapping plan and execute
            it, writing one CSV per target table.
    demo:   run the built-in retail or grades scenario.
+   serve:  long-lived match daemon on a Unix/TCP socket (line-delimited
+           JSON protocol; see DESIGN.md, "Serving").
+   client: talk to a running daemon (one-off ping/stats/shutdown, or
+           pipe request lines through stdin).
 
    Exit codes: 0 success, 2 usage error, 3 ingestion error, 4 matching /
-   mapping error.  Degraded-but-successful runs (quarantined rows,
-   skipped views — see DESIGN.md, "Failure semantics") exit 0 with the
-   diagnostics on stderr and a "# degraded" summary on stdout. *)
+   mapping error, 5 serve error (bind failure, lost daemon).
+   Degraded-but-successful runs (quarantined rows, skipped views — see
+   DESIGN.md, "Failure semantics") exit 0 with the diagnostics on stderr
+   and a "# degraded" summary on stdout. *)
 
 open Cmdliner
 
@@ -20,6 +25,7 @@ exception Cli_error of { code : int; message : string }
 let usage_code = 2
 let ingest_code = 3
 let match_code = 4
+let serve_code = 5
 
 let cli_error code fmt =
   Printf.ksprintf (fun message -> raise (Cli_error { code; message })) fmt
@@ -281,6 +287,86 @@ let demo_cmd_run scenario =
       (Evalharness.Ground_truth.accuracy truth result.Ctxmatch.Context_match.matches)
   | other -> cli_error usage_code "unknown scenario %s (retail|grades)" other
 
+(* -- serve / client ----------------------------------------------------- *)
+
+let serve_address socket port host =
+  match (socket, port) with
+  | Some _, Some _ -> cli_error usage_code "--socket and --port are mutually exclusive"
+  | Some path, None -> Serve.Server.Unix_sock path
+  | None, Some port -> Serve.Server.Tcp (host, port)
+  | None, None -> cli_error usage_code "one of --socket PATH or --port PORT is required"
+
+let serve_phase f =
+  try f () with
+  | Cli_error _ as e -> raise e
+  | Serve.Server.Bind_error { address; reason } ->
+    cli_error serve_code "cannot serve on %s: %s" address reason
+  | e -> cli_error serve_code "serve failed: %s" (Printexc.to_string e)
+
+let serve_cmd_run socket port host jobs queue timeout_ms max_request_bytes store_dir
+    store_readonly trace metrics profile =
+  obs_start trace metrics profile;
+  serve_phase @@ fun () ->
+  let address = serve_address socket port host in
+  let default_jobs =
+    if jobs <= 0 then Ctxmatch.Config.default.Ctxmatch.Config.jobs else jobs
+  in
+  let config =
+    {
+      (Serve.Server.default_config address) with
+      Serve.Server.default_jobs;
+      queue_capacity = queue;
+      default_timeout_ms = timeout_ms;
+      max_request_bytes;
+      store_dir;
+      store_readonly;
+    }
+  in
+  let server = Serve.Server.create config in
+  (* Graceful shutdown on SIGTERM/SIGINT: the handler only flips an
+     atomic flag (async-signal-safe); run's accept loop notices it,
+     drains admitted work, answers every waiting client and flushes the
+     store before returning. *)
+  let request_stop _ = Serve.Server.stop server in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  (* SIGPIPE would kill the daemon when a client disconnects mid-reply *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let bound =
+    match (address, Serve.Server.port server) with
+    | Serve.Server.Tcp (host, _), Some p -> Printf.sprintf "tcp:%s:%d" host p
+    | _ -> Serve.Server.address_to_string address
+  in
+  Printf.printf "# serving on %s (jobs %d, queue %d)\n%!" bound default_jobs queue;
+  Serve.Server.run server;
+  let c = Serve.Server.counters server in
+  Printf.printf "# drained: %d requests, %d executed, %d rejected, %d protocol errors\n%!"
+    c.Serve.Server.c_requests c.Serve.Server.c_completed c.Serve.Server.c_rejected
+    c.Serve.Server.c_protocol_errors;
+  obs_finish trace metrics profile
+
+let client_cmd_run socket port host command =
+  serve_phase @@ fun () ->
+  let address = serve_address socket port host in
+  let client = Serve.Client.connect address in
+  Fun.protect
+    ~finally:(fun () -> Serve.Client.close client)
+    (fun () ->
+      match command with
+      | Some "ping" -> print_endline (Serve.Client.request_line client (Serve.Json.to_string Serve.Protocol.ping_json))
+      | Some "stats" -> print_endline (Serve.Client.request_line client (Serve.Json.to_string Serve.Protocol.stats_json))
+      | Some "shutdown" ->
+        print_endline (Serve.Client.request_line client (Serve.Json.to_string Serve.Protocol.shutdown_json))
+      | Some other -> cli_error usage_code "unknown client command %s (ping|stats|shutdown)" other
+      | None -> (
+        (* pipe mode: one JSON request per stdin line, one reply per line *)
+        try
+          while true do
+            let line = String.trim (input_line stdin) in
+            if line <> "" then print_endline (Serve.Client.request_line client line)
+          done
+        with End_of_file -> ()))
+
 (* -- cmdliner wiring ---------------------------------------------------- *)
 
 let source_arg =
@@ -436,11 +522,92 @@ let demo_cmd =
   in
   Cmd.v (Cmd.info "demo" ~doc) Term.(const demo_cmd_run $ scenario)
 
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path to serve on / connect to.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"TCP port to serve on / connect to (0 binds an ephemeral port).")
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"TCP host to bind / connect to.")
+
+let queue_arg =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "queue" ] ~docv:"N"
+        ~doc:
+          "Bounded executor queue (admission control): a match arriving while \
+           $(docv) requests are already pending is rejected immediately with a \
+           structured \"busy\" reply instead of queueing without bound.")
+
+let max_request_bytes_arg =
+  Arg.(
+    value
+    & opt int (64 * 1024 * 1024)
+    & info [ "max-request-bytes" ] ~docv:"BYTES"
+        ~doc:
+          "Request lines larger than this are answered with a structured \
+           \"oversized\" reply and skipped; the connection (and the daemon) \
+           live on.")
+
+let serve_cmd =
+  let doc = "serve schema matching over a Unix/TCP socket" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Long-lived daemon speaking a line-delimited JSON protocol: \
+         $(b,register-target) prepares a target schema once (warmed profiles, \
+         frozen scoring kernel); $(b,match) runs ContextMatch of the posted \
+         source sample against a registered target, with the same knobs and \
+         defaults as the one-shot $(b,match) command and byte-identical \
+         results; $(b,stats) reports counters; $(b,shutdown) drains and \
+         exits.  SIGTERM/SIGINT also drain gracefully: admitted requests \
+         finish, replies are written, the store is flushed.";
+      `P
+        "With $(b,--timeout-ms), each request gets a deadline starting at \
+         admission — time spent queued counts against it.";
+    ]
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const serve_cmd_run $ socket_arg $ port_arg $ host_arg $ jobs_arg $ queue_arg
+      $ timeout_arg $ max_request_bytes_arg $ store_arg $ store_readonly_arg $ trace_arg
+      $ metrics_arg $ profile_arg)
+
+let client_cmd =
+  let doc = "talk to a running ctxmatch daemon" in
+  let command =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"CMD"
+          ~doc:
+            "One-off command: ping|stats|shutdown.  Omit to pipe raw JSON \
+             request lines from stdin (one reply line each).")
+  in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(const client_cmd_run $ socket_arg $ port_arg $ host_arg $ command)
+
 let () =
   let doc = "contextual schema matching (VLDB 2006 reproduction)" in
   let info = Cmd.info "ctxmatch" ~version:"1.0.0" ~doc in
   let code =
-    try Cmd.eval ~catch:false (Cmd.group info [ match_cmd; map_cmd; demo_cmd ]) with
+    try
+      Cmd.eval ~catch:false
+        (Cmd.group info [ match_cmd; map_cmd; demo_cmd; serve_cmd; client_cmd ])
+    with
     | Cli_error { code; message } ->
       Printf.eprintf "ctxmatch: %s\n%!" message;
       code

@@ -21,16 +21,22 @@ type result = {
    are recorded from deterministic merge loops in index order, so both
    the partial result and the report are jobs-invariant (cooperative
    deadline expiry excepted, which is inherently timing-dependent). *)
-let run ?(config = Config.default) ?store ~infer ~source ~target () =
+let run ?(config = Config.default) ?store ?prepared ?deadline ~infer ~source ~target () =
   Robust.Fault.with_armed config.Config.faults @@ fun () ->
   Obs.Trace.with_span "context_match" @@ fun () ->
   if !Obs.Recorder.enabled then
     Obs.Metrics.set_gauge "pool.jobs" (float_of_int config.Config.jobs);
   let started = Robust.Deadline.now_ns () in
+  (* An explicit [deadline] (the serve daemon's per-request admission
+     deadline, which must keep counting queue wait) overrides the
+     config-derived one. *)
   let deadline =
-    match config.Config.timeout_ms with
-    | None -> Robust.Deadline.none
-    | Some ms -> Robust.Deadline.after_ms ms
+    match deadline with
+    | Some d -> d
+    | None -> (
+      match config.Config.timeout_ms with
+      | None -> Robust.Deadline.none
+      | Some ms -> Robust.Deadline.after_ms ms)
   in
   let report = Robust.Report.create () in
   let jobs = config.Config.jobs in
@@ -39,7 +45,7 @@ let run ?(config = Config.default) ?store ~infer ~source ~target () =
   let model =
     Matching.Standard_match.build ~gated:config.Config.gated_confidence
       ~matchers:config.Config.matchers ~jobs ~report ~deadline ?store
-      ~kernel:config.Config.kernel ~source ~target ()
+      ~kernel:config.Config.kernel ?prepared ~source ~target ()
   in
   (* Per-table chunks are prepended and concatenated once at the end:
      appending with [@] inside the loop would re-copy the accumulated

@@ -32,6 +32,8 @@ type result = {
 val run :
   ?config:Config.t ->
   ?store:Store.t ->
+  ?prepared:Matching.Standard_match.prepared_target ->
+  ?deadline:Robust.Deadline.t ->
   infer:Infer.t ->
   source:Database.t ->
   target:Database.t ->
@@ -45,7 +47,15 @@ val run :
     With a [store], column artefacts are served from / written through
     to the persistent store (see {!Matching.Standard_match.build});
     store quarantine issues are appended to [issues].  The caller still
-    owns {!Store.flush}. *)
+    owns {!Store.flush}.
+
+    With [prepared] (a registered target in the serve daemon), the
+    target-side preparation is skipped and the shared artefact is
+    consumed; the result is bit-identical to an inline run over the
+    same target.  An explicit [deadline] overrides the one derived from
+    [config.timeout_ms] — the daemon threads its per-request admission
+    deadline through here so queue wait counts against the request
+    budget. *)
 
 val contextual_matches : result -> Matching.Schema_match.t list
 (** Only the selected matches that originate from views (the edges the

@@ -34,29 +34,33 @@ let kernel_enabled m = m.kernel <> None
 let cache_stats m = (Profile_cache.hits m.cache, Profile_cache.misses m.cache)
 let profile_builds m = Profile_cache.builds m.cache + Profile_cache.builds m.tgt_cache
 
-(* One fan-out unit of [build]: every raw score and the per-matcher
-   normalisation stats of a single source attribute.  Pure apart from
-   reads of the pre-warmed target columns and writes to its own
-   freshly created source column, so units can run on any domain. *)
-type built_pair = {
-  bp_table : string;
-  bp_attr : string;
-  bp_column : Column.t;
-  (* matcher name, (tgt_table, tgt_attr, raw score) list, stats *)
-  bp_scores : (string * (string * string * float) list * Normalize.t option) list;
+(* Immutable prepared-target artefact: everything [build] derives from
+   the target database alone — warmed columns, the (table, attr) index,
+   the target-side profile cache and the frozen scoring kernel.  A
+   long-lived process (the serve daemon) prepares a target once and
+   shares the artefact across requests, which then only score their own
+   source against it; [build] over the same target with the same flags
+   produces a bit-identical model either way, because the preparation
+   below is exactly the code [build] used to run inline. *)
+type prepared_target = {
+  pt_target_db : Database.t;
+  pt_cols : target_col list;
+  pt_index : (string * string, target_col) Hashtbl.t;
+  pt_cache : Profile_cache.t;
+  pt_kernel : Score_kernel.t option;
+  pt_issues : Robust.Error.t list;
+      (* target columns quarantined while warming, in column order;
+         replayed into every consuming build's report so a run over a
+         shared prepared target reports the same issues a one-shot run
+         over the same target would *)
 }
 
-let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ?report
-    ?(deadline = Robust.Deadline.none) ?store ?(kernel = true) ~source ~target () =
-  Obs.Trace.with_span "standard_match.build" @@ fun () ->
-  let cache = Profile_cache.create () in
+let prepare_target ?store ?(kernel = true) ?(fail_fast = false) ~target () =
+  Obs.Trace.with_span "prepare_target" @@ fun () ->
   let tgt_cache = Profile_cache.create () in
   (match store with
   | None -> ()
   | Some s ->
-    (* register before the fan-out: worker domains only read digests *)
-    Profile_cache.attach_store cache s;
-    List.iter (Profile_cache.register_table cache) (Database.tables source);
     Profile_cache.attach_store tgt_cache s;
     List.iter (Profile_cache.register_table tgt_cache) (Database.tables target));
   let target_cols =
@@ -68,12 +72,13 @@ let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ?repo
           (Schema.attribute_names (Table.schema tbl)))
       (Database.tables target)
   in
-  (* Warm the shared target columns up front: during the fan-out they
-     are read concurrently, so their lazy artefacts must already be in
-     place (same computations the sequential path performs on first
-     touch).  Warming runs through the memo (and its fault-injection
-     site), so a failing warm quarantines exactly that target column —
-     sequentially on the main domain, hence jobs-invariant. *)
+  (* Warm the shared target columns up front: consumers read them
+     concurrently, so their lazy artefacts must already be in place
+     (same computations the sequential path performs on first touch).
+     Warming runs through the memo (and its fault-injection site), so a
+     failing warm quarantines exactly that target column — sequentially
+     on the calling domain, hence jobs-invariant. *)
+  let rev_issues = ref [] in
   let target_cols =
     Obs.Trace.with_span "warm_targets" (fun () ->
         List.filter
@@ -81,25 +86,22 @@ let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ?repo
             match Column.warm tgt.column with
             | () -> true
             | exception e ->
-              (match report with
-              | None -> raise e
-              | Some r ->
-                Robust.Report.record r ~table:tgt.table ~attribute:(Column.name tgt.column)
+              if fail_fast then raise e;
+              rev_issues :=
+                Robust.Error.v ~table:tgt.table ~attribute:(Column.name tgt.column)
                   Robust.Error.Build
-                  (Printf.sprintf "target column skipped: %s" (Printexc.to_string e));
-                false))
+                  (Printf.sprintf "target column skipped: %s" (Printexc.to_string e))
+                :: !rev_issues;
+              false)
           target_cols)
   in
   let target_index = Hashtbl.create 64 in
   List.iter
     (fun tgt -> Hashtbl.replace target_index (tgt.table, Column.name tgt.column) tgt)
     target_cols;
-  (* Freeze the scoring kernel on the main domain, after the warm-up and
-     before the fan-out: the interner dictionary and inverted index are
-     immutable from here on, so worker domains read them lock-free.
-     Partition composition of view profiles rides the same switch — the
-     bench's kernel-off mode measures the legacy path. *)
-  Profile_cache.set_partitioning cache kernel;
+  (* Freeze the scoring kernel after the warm-up: the interner
+     dictionary and inverted index are immutable from here on, so
+     worker domains (and every later consumer) read them lock-free. *)
   let score_kernel =
     if not kernel then None
     else begin
@@ -121,6 +123,68 @@ let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ?repo
                        textual))))
     end
   in
+  {
+    pt_target_db = target;
+    pt_cols = target_cols;
+    pt_index = target_index;
+    pt_cache = tgt_cache;
+    pt_kernel = score_kernel;
+    pt_issues = List.rev !rev_issues;
+  }
+
+let prepared_target_db p = p.pt_target_db
+let prepared_issues p = p.pt_issues
+let prepared_columns p = List.length p.pt_cols
+let prepared_kernel p = p.pt_kernel <> None
+
+(* One fan-out unit of [build]: every raw score and the per-matcher
+   normalisation stats of a single source attribute.  Pure apart from
+   reads of the pre-warmed target columns and writes to its own
+   freshly created source column, so units can run on any domain. *)
+type built_pair = {
+  bp_table : string;
+  bp_attr : string;
+  bp_column : Column.t;
+  (* matcher name, (tgt_table, tgt_attr, raw score) list, stats *)
+  bp_scores : (string * (string * string * float) list * Normalize.t option) list;
+}
+
+let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ?report
+    ?(deadline = Robust.Deadline.none) ?store ?(kernel = true) ?prepared ~source ~target () =
+  Obs.Trace.with_span "standard_match.build" @@ fun () ->
+  let cache = Profile_cache.create () in
+  (match store with
+  | None -> ()
+  | Some s ->
+    (* register before the fan-out: worker domains only read digests *)
+    Profile_cache.attach_store cache s;
+    List.iter (Profile_cache.register_table cache) (Database.tables source));
+  (* Target-side artefacts: reuse the shared prepared artefact when the
+     caller holds one (the serve daemon prepares a registered target
+     once), otherwise prepare inline — fail-fast exactly when there is
+     no report to absorb a warm failure, preserving the legacy
+     contract.  Prepared warm issues are replayed into this build's
+     report (in their original column order, before any fan-out issue),
+     so the report is identical whether the target was prepared by this
+     very call or minutes earlier by another one. *)
+  let prepared =
+    match prepared with
+    | Some p -> p
+    | None -> prepare_target ?store ~kernel ~fail_fast:(report = None) ~target ()
+  in
+  (match report with
+  | Some r -> List.iter (Robust.Report.add r) prepared.pt_issues
+  | None -> ());
+  let target_cols = prepared.pt_cols in
+  let target_index = prepared.pt_index in
+  let tgt_cache = prepared.pt_cache in
+  (* Partition composition of view profiles rides the kernel switch —
+     the bench's kernel-off mode measures the legacy path.  A kernel
+     disabled for this build also ignores a prepared index: pruning and
+     batching decide cost only, never a score, so results stay
+     bit-identical either way. *)
+  Profile_cache.set_partitioning cache kernel;
+  let score_kernel = if kernel then prepared.pt_kernel else None in
   let pairs =
     List.concat_map
       (fun src_tbl ->

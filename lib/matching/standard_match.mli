@@ -13,6 +13,41 @@ open Relational
 
 type model
 
+type prepared_target
+(** Immutable target-side artefact of {!build}: warmed target columns,
+    their (table, attr) index, the target profile cache and the frozen
+    scoring kernel.  Prepared once (registration in the serve daemon,
+    or inline by {!build} itself), then shared read-only across any
+    number of builds — a build consuming a prepared target is
+    bit-identical to one preparing the same target inline. *)
+
+val prepare_target :
+  ?store:Store.t ->
+  ?kernel:bool ->
+  ?fail_fast:bool ->
+  target:Database.t ->
+  unit ->
+  prepared_target
+(** Warm every target column, freeze the scoring kernel over the
+    textual ones ([kernel] defaults to true), and capture the result as
+    a shareable artefact.  With a [store], target artefacts are served
+    from / written through to it.  A target column whose warm-up raises
+    is quarantined into {!prepared_issues} — unless [fail_fast] (default
+    false), which re-raises instead (the legacy no-report contract of
+    {!build}). *)
+
+val prepared_target_db : prepared_target -> Database.t
+val prepared_columns : prepared_target -> int
+(** Surviving (warmed) target columns. *)
+
+val prepared_kernel : prepared_target -> bool
+(** Whether a scoring kernel was frozen (kernel enabled and at least
+    one textual target column). *)
+
+val prepared_issues : prepared_target -> Robust.Error.t list
+(** Target columns quarantined while warming, in column order; replayed
+    into the report of every build that consumes this artefact. *)
+
 val build :
   ?gated:bool ->
   ?matchers:Matcher.t list ->
@@ -21,6 +56,7 @@ val build :
   ?deadline:Robust.Deadline.t ->
   ?store:Store.t ->
   ?kernel:bool ->
+  ?prepared:prepared_target ->
   source:Database.t ->
   target:Database.t ->
   unit ->
@@ -57,7 +93,15 @@ val build :
     Every score either way is bit-identical: the kernel accumulates the
     same dot terms in the same order as the string merge join, and
     partition counts add exactly.  [kernel:false] selects the legacy
-    string path (the kernel bench's baseline). *)
+    string path (the kernel bench's baseline).
+
+    With [prepared], the target-side work (warming, kernel freeze,
+    store registration of target tables) is skipped entirely and the
+    shared artefact is consumed instead — [target] should be
+    {!prepared_target_db}.  The resulting model, report and matches are
+    bit-identical to an inline build over the same target; only the
+    cost moves (to registration time, once).  [kernel:false] ignores a
+    prepared kernel for this build without affecting any score. *)
 
 val source : model -> Database.t
 val target : model -> Database.t

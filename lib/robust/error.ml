@@ -7,6 +7,7 @@ type stage =
   | Map
   | Runtime
   | Store
+  | Serve
   | Other of string
 
 type severity = Warning | Degraded | Fatal
@@ -32,6 +33,7 @@ let stage_name = function
   | Map -> "map"
   | Runtime -> "runtime"
   | Store -> "store"
+  | Serve -> "serve"
   | Other s -> s
 
 let severity_name = function

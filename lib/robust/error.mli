@@ -15,6 +15,7 @@ type stage =
   | Map  (** mapping generation / execution *)
   | Runtime  (** pool / memo / deadline machinery *)
   | Store  (** persistent profile store: shard load/flush/quarantine *)
+  | Serve  (** match-serving daemon: protocol, admission, lifecycle *)
   | Other of string
 
 type severity =

@@ -218,11 +218,19 @@ let concat_map_list t f l = List.concat (map_list t f l)
 
 (* One process-wide pool, re-sized on demand.  Spawned domains would
    otherwise sleep in [Condition.wait] at process exit, so the hook
-   joins them before the runtime shuts down. *)
+   joins them before the runtime shuts down.  The cache is
+   mutex-protected so the serve daemon's executor thread — a systhread,
+   not the thread that ran module initialisation — can resize it
+   between requests without racing a concurrent caller; batches are
+   still submitted from one thread at a time (the executor serialises
+   them). *)
 let cached : t option ref = ref None
+let cached_mutex = Mutex.create ()
 let exit_hook = ref false
 
 let get ~jobs =
+  Mutex.lock cached_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cached_mutex) @@ fun () ->
   match !cached with
   | Some p when p.jobs = jobs && not p.stop -> p
   | prev ->

@@ -65,5 +65,7 @@ val map_list_results :
 val get : jobs:int -> t
 (** Process-wide cached pool.  Re-sizing (asking for a different
     [jobs]) shuts the previous pool down and spawns a fresh one; the
-    cached pool is shut down automatically [at_exit].  Call from the
-    main domain only. *)
+    cached pool is shut down automatically [at_exit].  The cache itself
+    is mutex-protected (the serve daemon resizes it from its executor
+    thread), but batches must still be submitted from one thread at a
+    time. *)

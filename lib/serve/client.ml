@@ -1,0 +1,65 @@
+type t = { fd : Unix.file_descr; buf : Buffer.t; chunk : Bytes.t }
+
+let sockaddr_of = function
+  | Server.Unix_sock path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | Server.Tcp (host, port) ->
+    let inet =
+      if host = "" || host = "*" then Unix.inet_addr_loopback
+      else
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list; _ } when Array.length h_addr_list > 0 -> h_addr_list.(0)
+          | _ | (exception Not_found) -> failwith ("unknown host " ^ host))
+    in
+    (Unix.PF_INET, Unix.ADDR_INET (inet, port))
+
+let connect ?(retries = 50) ?(retry_delay_s = 0.1) address =
+  let domain, sockaddr = sockaddr_of address in
+  let rec attempt remaining =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sockaddr with
+    | () -> fd
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) when remaining > 0 ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Thread.delay retry_delay_s;
+      attempt (remaining - 1)
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  { fd = attempt retries; buf = Buffer.create 4096; chunk = Bytes.create 65536 }
+
+let send_raw t data =
+  let data = Bytes.of_string data in
+  let len = Bytes.length data in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write t.fd data !off (len - !off)
+  done
+
+let read_reply t =
+  let rec take_line () =
+    match String.index_opt (Buffer.contents t.buf) '\n' with
+    | Some i ->
+      let all = Buffer.contents t.buf in
+      let line = String.sub all 0 i in
+      Buffer.clear t.buf;
+      Buffer.add_string t.buf (String.sub all (i + 1) (String.length all - i - 1));
+      line
+    | None -> (
+      match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+      | 0 -> raise End_of_file
+      | n ->
+        Buffer.add_subbytes t.buf t.chunk 0 n;
+        take_line ())
+  in
+  take_line ()
+
+let request_line t line =
+  send_raw t (line ^ "\n");
+  read_reply t
+
+let request t value = Json.parse (request_line t (Json.to_string value))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

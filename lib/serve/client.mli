@@ -1,0 +1,32 @@
+(** Blocking client for the serve protocol.
+
+    One connection, one request in flight: [request] writes a line and
+    reads the reply line.  Used by the `ctxmatch client` subcommand,
+    the differential/soak tests and the bench load generator — each
+    concurrent bench client owns its own [t]. *)
+
+type t
+
+val connect : ?retries:int -> ?retry_delay_s:float -> Server.address -> t
+(** Connect, retrying [retries] times (default 50) with
+    [retry_delay_s] (default 0.1) between attempts — enough to cover a
+    daemon that is still binding when the client starts.  Raises
+    [Unix.Unix_error] once the retries are exhausted. *)
+
+val request : t -> Json.t -> Json.t
+(** Send one request value as a line and block for the reply line.
+    Raises [End_of_file] if the server closes the connection first, and
+    {!Json.Parse_error} on an unparseable reply. *)
+
+val request_line : t -> string -> string
+(** Raw form of {!request} — the robustness tests use it to send
+    deliberately malformed bytes. *)
+
+val send_raw : t -> string -> unit
+(** Write bytes verbatim (no newline added, no reply awaited) — for
+    truncated-request tests. *)
+
+val read_reply : t -> string
+(** Read the next reply line (raises [End_of_file] at EOF). *)
+
+val close : t -> unit

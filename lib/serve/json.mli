@@ -1,0 +1,43 @@
+(** Minimal JSON codec for the serve protocol.
+
+    The repo deliberately has no third-party JSON dependency (the obs
+    exporters print JSON by hand); the daemon needs to {e parse} as
+    well, so this module implements the small subset of RFC 8259 the
+    line protocol uses: objects, arrays, strings (with escapes,
+    including [\uXXXX] decoded to UTF-8), numbers, booleans and null.
+
+    Values are printed on one line — the protocol is line-delimited, so
+    a rendered value must never contain a raw newline; [to_string]
+    escapes them inside strings. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Parse one JSON value; trailing non-whitespace raises
+    {!Parse_error}, as does any malformed input. *)
+
+val to_string : t -> string
+(** Compact single-line rendering.  Non-finite floats render as
+    [null] (JSON has no representation for them). *)
+
+(** {2 Accessors} — total, returning [option] instead of raising. *)
+
+val member : string -> t -> t option
+(** Field of an object; [None] for absent fields and non-objects. *)
+
+val to_int : t -> int option
+(** [Int] directly, or a [Float] with zero fractional part. *)
+
+val to_float : t -> float option
+val to_bool : t -> bool option
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option

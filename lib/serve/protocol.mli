@@ -1,0 +1,94 @@
+(** The serve daemon's line-delimited JSON protocol.
+
+    One request per line, one response line per request, in order.
+    Requests are objects with a ["cmd"] field:
+
+    - [{"cmd":"ping"}] — liveness probe.
+    - [{"cmd":"register-target","name":N,"tables":[{"name":..,"csv":..}],
+       "kernel":B}] — prepare a target schema once; later matches
+      reference it by name.  Re-registering a name replaces it.
+    - [{"cmd":"match","target":N,"tables":[...],"tau":..,"omega":..,
+       "late":B,"select":S,"algorithm":A,"seed":I,"jobs":I,
+       "timeout_ms":I,"kernel":B,"lenient":B,"faults":[...]}] — run
+      ContextMatch of the payload tables (the source sample) against a
+      registered target.  Every knob mirrors the one-shot CLI flag of
+      the same name and defaults identically.
+    - [{"cmd":"stats"}] — server counters and queue state.
+    - [{"cmd":"shutdown"}] — begin graceful shutdown (drain, flush).
+
+    Every parse or validation failure is a structured {!reject} carrying
+    a {!Robust.Error.t} (stage [Serve]) plus a machine-readable code;
+    the daemon replies and lives on. *)
+
+type table_payload = { tp_name : string; tp_csv : string }
+
+type match_request = {
+  mr_target : string;  (** registered target name *)
+  mr_tables : table_payload list;  (** source sample *)
+  mr_tau : float;
+  mr_omega : float;
+  mr_late : bool;
+  mr_select : Ctxmatch.Config.select_policy;
+  mr_algorithm : [ `Naive | `Src_class | `Tgt_class | `Cluster ];
+  mr_seed : int;
+  mr_jobs : int option;  (** [None]: the server's default *)
+  mr_timeout_ms : int option;  (** [None]: the server's default *)
+  mr_kernel : bool;
+  mr_lenient : bool;
+  mr_faults : Robust.Fault.arming list;
+      (** fault sites to arm for this request only (the deterministic
+          fault harness drives the daemon through this) *)
+}
+
+type request =
+  | Ping
+  | Register_target of { rt_name : string; rt_tables : table_payload list; rt_kernel : bool }
+  | Match of match_request
+  | Stats
+  | Shutdown
+
+type reject = {
+  rj_code : string;
+      (** machine-readable: [invalid-json], [bad-request],
+          [unknown-command], [oversized], [busy], [unknown-target],
+          [shutting-down], [internal] *)
+  rj_error : Robust.Error.t;
+}
+
+val reject : ?severity:Robust.Error.severity -> code:string -> string -> reject
+
+val request_of_line : string -> (request, reject) result
+(** Parse and validate one request line. *)
+
+val reject_to_json : reject -> Json.t
+(** [{"ok":false,"code":..,"error":{"stage","severity","message"}}]. *)
+
+val error_strings : Robust.Error.t list -> Json.t
+(** Issues as a list of {!Robust.Error.to_string} lines — the very
+    strings the one-shot CLI prints, so differential tests compare
+    byte-for-byte. *)
+
+(** {2 Request builders} (clients, tests, the bench loadgen) *)
+
+val ping_json : Json.t
+val stats_json : Json.t
+val shutdown_json : Json.t
+
+val register_json : ?kernel:bool -> name:string -> (string * string) list -> Json.t
+(** Tables as [(name, csv)] pairs. *)
+
+val match_json :
+  ?tau:float ->
+  ?omega:float ->
+  ?late:bool ->
+  ?select:string ->
+  ?algorithm:string ->
+  ?seed:int ->
+  ?jobs:int ->
+  ?timeout_ms:int ->
+  ?kernel:bool ->
+  ?lenient:bool ->
+  ?faults:Robust.Fault.arming list ->
+  target:string ->
+  (string * string) list ->
+  Json.t

@@ -1,0 +1,659 @@
+type address = Unix_sock of string | Tcp of string * int
+
+let address_to_string = function
+  | Unix_sock path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+type config = {
+  address : address;
+  default_jobs : int;
+  queue_capacity : int;
+  default_timeout_ms : int option;
+  max_request_bytes : int;
+  store_dir : string option;
+  store_readonly : bool;
+}
+
+let default_config address =
+  {
+    address;
+    default_jobs = 1;
+    queue_capacity = 64;
+    default_timeout_ms = None;
+    max_request_bytes = 64 * 1024 * 1024;
+    store_dir = None;
+    store_readonly = false;
+  }
+
+exception Bind_error of { address : string; reason : string }
+
+(* A registered target: the immutable prepared artefact plus the
+   database it was prepared from (needed again at match time for view
+   inference). *)
+type target_entry = {
+  te_db : Relational.Database.t;
+  te_prepared : Matching.Standard_match.prepared_target;
+  te_issues : Robust.Error.t list;  (* ingest quarantine at registration *)
+}
+
+type work =
+  | W_register of {
+      w_name : string;
+      w_db : Relational.Database.t;
+      w_kernel : bool;
+      w_ingest : Robust.Error.t list;
+    }
+  | W_match of {
+      w_mr : Protocol.match_request;
+      w_source : Relational.Database.t;
+      w_ingest : Robust.Error.t list;
+    }
+
+type job = {
+  work : work;
+  deadline : Robust.Deadline.t;  (* starts at admission: queue wait counts *)
+  enqueued_ns : int64;
+  jm : Mutex.t;
+  jc : Condition.t;
+  mutable reply : Json.t option;
+}
+
+type counters = {
+  c_requests : int;
+  c_accepted : int;
+  c_completed : int;
+  c_rejected : int;
+  c_protocol_errors : int;
+  c_queue_depth : int;
+  c_inflight : int;
+  c_connections : int;
+  c_targets : int;
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  bound_port : int option;
+  store : Store.t option;
+  stopping : bool Atomic.t;
+  (* executor queue; qm also guards [inflight] *)
+  qm : Mutex.t;
+  qc : Condition.t;
+  queue : job Queue.t;
+  mutable inflight : bool;
+  (* registry of prepared targets *)
+  tm : Mutex.t;
+  targets : (string, target_entry) Hashtbl.t;
+  (* live connections, so shutdown can unblock their readers *)
+  cm : Mutex.t;
+  conns : (int, Unix.file_descr) Hashtbl.t;
+  mutable conn_threads : Thread.t list;
+  mutable next_conn : int;
+  (* counters *)
+  sm : Mutex.t;
+  mutable n_requests : int;
+  mutable n_accepted : int;
+  mutable n_completed : int;
+  mutable n_rejected : int;
+  mutable n_protocol_errors : int;
+}
+
+let obs_incr name = if !Obs.Recorder.enabled then Obs.Metrics.incr name
+let obs_observe_ns name ns = if !Obs.Recorder.enabled then Obs.Metrics.observe_ns name ns
+
+let count t f =
+  Mutex.lock t.sm;
+  f t;
+  Mutex.unlock t.sm
+
+(* --- socket setup ------------------------------------------------------ *)
+
+let bind_error address e =
+  raise (Bind_error { address; reason = Unix.error_message e })
+
+(* A Unix-socket file survives an unclean daemon death.  Probe it: if a
+   connect succeeds someone is serving — genuine address-in-use; if it
+   is refused the file is stale and may be reclaimed. *)
+let reclaim_stale_socket path =
+  match (Unix.stat path).Unix.st_kind with
+  | Unix.S_SOCK ->
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      Fun.protect
+        ~finally:(fun () -> try Unix.close probe with Unix.Unix_error _ -> ())
+        (fun () ->
+          match Unix.connect probe (Unix.ADDR_UNIX path) with
+          | () -> true
+          | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> false
+          | exception Unix.Unix_error _ -> true)
+    in
+    if live then bind_error ("unix:" ^ path) Unix.EADDRINUSE else Unix.unlink path
+  | _ | (exception Unix.Unix_error (Unix.ENOENT, _, _)) -> ()
+
+let listen_on address =
+  let addr_string = address_to_string address in
+  match address with
+  | Unix_sock path ->
+    reclaim_stale_socket path;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try
+       Unix.bind fd (Unix.ADDR_UNIX path);
+       Unix.listen fd 64
+     with Unix.Unix_error (e, _, _) ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       bind_error addr_string e);
+    (fd, None)
+  | Tcp (host, port) ->
+    let inet =
+      if host = "" || host = "*" then Unix.inet_addr_loopback
+      else
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+            raise (Bind_error { address = addr_string; reason = "unknown host " ^ host })
+          | { Unix.h_addr_list; _ } -> h_addr_list.(0))
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt fd Unix.SO_REUSEADDR true;
+       Unix.bind fd (Unix.ADDR_INET (inet, port));
+       Unix.listen fd 64
+     with Unix.Unix_error (e, _, _) ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       bind_error addr_string e);
+    let bound =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> Some p
+      | _ -> None
+    in
+    (fd, bound)
+
+let create cfg =
+  let store =
+    Option.map (fun dir -> Store.open_dir ~readonly:cfg.store_readonly dir) cfg.store_dir
+  in
+  let listen_fd, bound_port = listen_on cfg.address in
+  {
+    cfg;
+    listen_fd;
+    bound_port;
+    store;
+    stopping = Atomic.make false;
+    qm = Mutex.create ();
+    qc = Condition.create ();
+    queue = Queue.create ();
+    inflight = false;
+    tm = Mutex.create ();
+    targets = Hashtbl.create 8;
+    cm = Mutex.create ();
+    conns = Hashtbl.create 16;
+    conn_threads = [];
+    next_conn = 0;
+    sm = Mutex.create ();
+    n_requests = 0;
+    n_accepted = 0;
+    n_completed = 0;
+    n_rejected = 0;
+    n_protocol_errors = 0;
+  }
+
+let port t = t.bound_port
+let stop t = Atomic.set t.stopping true
+
+(* --- replies ------------------------------------------------------------ *)
+
+let reject_reply t r =
+  count t (fun t -> t.n_protocol_errors <- t.n_protocol_errors + 1);
+  obs_incr "serve.protocol_errors";
+  Protocol.reject_to_json r
+
+(* Admission rejections (busy / shutting-down / timeout) are service
+   answers, not protocol errors — counted separately. *)
+let admission_reply t r =
+  count t (fun t -> t.n_rejected <- t.n_rejected + 1);
+  obs_incr "serve.rejected";
+  Protocol.reject_to_json r
+
+let internal_reject e =
+  Protocol.reject ~severity:Robust.Error.Fatal ~code:"internal"
+    (Printf.sprintf "request failed: %s" (Printexc.to_string e))
+
+(* --- the executor ------------------------------------------------------- *)
+
+let store_flush t =
+  match t.store with
+  | Some store when not (Store.readonly store) -> Store.flush store
+  | _ -> ()
+
+let register_reply t ~name ~db ~kernel ~ingest =
+  let prepared = Matching.Standard_match.prepare_target ?store:t.store ~kernel ~target:db () in
+  let entry = { te_db = db; te_prepared = prepared; te_issues = ingest } in
+  Mutex.lock t.tm;
+  Hashtbl.replace t.targets name entry;
+  Mutex.unlock t.tm;
+  store_flush t;
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ("target", Json.String name);
+      ("tables", Json.Int (List.length (Relational.Database.tables db)));
+      ("columns", Json.Int (Matching.Standard_match.prepared_columns prepared));
+      ("kernel", Json.Bool (Matching.Standard_match.prepared_kernel prepared));
+      ( "issues",
+        Protocol.error_strings (ingest @ Matching.Standard_match.prepared_issues prepared) );
+    ]
+
+let match_reply t ~(mr : Protocol.match_request) ~source ~ingest ~deadline =
+  Mutex.lock t.tm;
+  let entry = Hashtbl.find_opt t.targets mr.Protocol.mr_target in
+  Mutex.unlock t.tm;
+  match entry with
+  | None ->
+    admission_reply t
+      (Protocol.reject ~code:"unknown-target"
+         (Printf.sprintf "unknown target %S (register-target first)" mr.Protocol.mr_target))
+  | Some entry ->
+    if Robust.Deadline.expired deadline then
+      admission_reply t
+        (Protocol.reject ~code:"timeout" "request deadline expired while queued")
+    else begin
+      let jobs =
+        match mr.Protocol.mr_jobs with
+        | Some j when j > 0 -> j
+        | Some _ | None -> t.cfg.default_jobs
+      in
+      let config =
+        {
+          Ctxmatch.Config.default with
+          tau = mr.Protocol.mr_tau;
+          omega = mr.Protocol.mr_omega;
+          early_disjuncts = not mr.Protocol.mr_late;
+          select = mr.Protocol.mr_select;
+          seed = mr.Protocol.mr_seed;
+          jobs;
+          timeout_ms = mr.Protocol.mr_timeout_ms;
+          kernel = mr.Protocol.mr_kernel;
+          faults = mr.Protocol.mr_faults;
+        }
+      in
+      let infer = Ctxmatch.Context_match.infer_of mr.Protocol.mr_algorithm ~target:entry.te_db in
+      let result =
+        Ctxmatch.Context_match.run ~config ?store:t.store ~prepared:entry.te_prepared ~deadline
+          ~infer ~source ~target:entry.te_db ()
+      in
+      let open Ctxmatch.Context_match in
+      Json.Obj
+        [
+          ("ok", Json.Bool true);
+          ("target", Json.String mr.Protocol.mr_target);
+          ( "matches",
+            Json.List
+              (List.map
+                 (fun m -> Json.String (Matching.Schema_match.to_string m))
+                 result.matches) );
+          ("standard", Json.Int (List.length result.standard));
+          ("views_scored", Json.Int result.candidate_view_count);
+          ("elapsed_ms", Json.Float (result.elapsed_seconds *. 1e3));
+          ("cache_hits", Json.Int result.cache_hits);
+          ("cache_misses", Json.Int result.cache_misses);
+          ("profile_builds", Json.Int result.profile_builds);
+          ("issues", Protocol.error_strings result.issues);
+          ("ingest_issues", Protocol.error_strings ingest);
+        ]
+    end
+
+let execute t job =
+  obs_observe_ns "serve.queue_wait_ns" (Int64.sub (Robust.Deadline.now_ns ()) job.enqueued_ns);
+  let started = Robust.Deadline.now_ns () in
+  let reply =
+    try
+      match job.work with
+      | W_register { w_name; w_db; w_kernel; w_ingest } ->
+        register_reply t ~name:w_name ~db:w_db ~kernel:w_kernel ~ingest:w_ingest
+      | W_match { w_mr; w_source; w_ingest } ->
+        match_reply t ~mr:w_mr ~source:w_source ~ingest:w_ingest ~deadline:job.deadline
+    with
+    | Robust.Deadline.Expired { stage } ->
+      admission_reply t
+        (Protocol.reject ~code:"timeout" ("request deadline expired during " ^ stage))
+    | e -> admission_reply t (internal_reject e)
+  in
+  obs_observe_ns "serve.request_ns" (Int64.sub (Robust.Deadline.now_ns ()) started);
+  count t (fun t -> t.n_completed <- t.n_completed + 1);
+  obs_incr "serve.completed";
+  Mutex.lock job.jm;
+  job.reply <- Some reply;
+  Condition.broadcast job.jc;
+  Mutex.unlock job.jm
+
+(* All match execution happens here, on one thread: Runtime.Pool takes
+   batches from one submitter at a time, and Fault arming is global
+   state scoped per run — one executor keeps both safe under any number
+   of client connections while the pool parallelises within a request. *)
+let executor_loop t =
+  let rec loop () =
+    Mutex.lock t.qm;
+    while Queue.is_empty t.queue && not (Atomic.get t.stopping) do
+      Condition.wait t.qc t.qm
+    done;
+    if Queue.is_empty t.queue then (* stopping && drained *)
+      Mutex.unlock t.qm
+    else begin
+      let job = Queue.pop t.queue in
+      t.inflight <- true;
+      Mutex.unlock t.qm;
+      execute t job;
+      Mutex.lock t.qm;
+      t.inflight <- false;
+      Condition.broadcast t.qc;
+      Mutex.unlock t.qm;
+      loop ()
+    end
+  in
+  loop ()
+
+(* --- admission ---------------------------------------------------------- *)
+
+let admit t work ~timeout_ms =
+  let deadline =
+    match timeout_ms with
+    | Some ms -> Robust.Deadline.after_ms ms
+    | None -> (
+      match t.cfg.default_timeout_ms with
+      | Some ms -> Robust.Deadline.after_ms ms
+      | None -> Robust.Deadline.none)
+  in
+  let job =
+    {
+      work;
+      deadline;
+      enqueued_ns = Robust.Deadline.now_ns ();
+      jm = Mutex.create ();
+      jc = Condition.create ();
+      reply = None;
+    }
+  in
+  Mutex.lock t.qm;
+  let verdict =
+    if Atomic.get t.stopping then
+      Error (Protocol.reject ~code:"shutting-down" "server is shutting down")
+    else if Queue.length t.queue >= t.cfg.queue_capacity then
+      Error
+        (Protocol.reject ~code:"busy"
+           (Printf.sprintf "queue full (%d requests pending)" t.cfg.queue_capacity))
+    else begin
+      Queue.add job t.queue;
+      Condition.broadcast t.qc;
+      Ok job
+    end
+  in
+  Mutex.unlock t.qm;
+  match verdict with
+  | Error r -> admission_reply t r
+  | Ok job ->
+    count t (fun t -> t.n_accepted <- t.n_accepted + 1);
+    obs_incr "serve.accepted";
+    Mutex.lock job.jm;
+    while job.reply = None do
+      Condition.wait job.jc job.jm
+    done;
+    let reply = Option.get job.reply in
+    Mutex.unlock job.jm;
+    reply
+
+(* --- per-request handling (connection threads) -------------------------- *)
+
+let counters t =
+  Mutex.lock t.sm;
+  let c_requests = t.n_requests
+  and c_accepted = t.n_accepted
+  and c_completed = t.n_completed
+  and c_rejected = t.n_rejected
+  and c_protocol_errors = t.n_protocol_errors in
+  Mutex.unlock t.sm;
+  Mutex.lock t.qm;
+  let c_queue_depth = Queue.length t.queue
+  and c_inflight = if t.inflight then 1 else 0 in
+  Mutex.unlock t.qm;
+  Mutex.lock t.cm;
+  let c_connections = Hashtbl.length t.conns in
+  Mutex.unlock t.cm;
+  Mutex.lock t.tm;
+  let c_targets = Hashtbl.length t.targets in
+  Mutex.unlock t.tm;
+  {
+    c_requests;
+    c_accepted;
+    c_completed;
+    c_rejected;
+    c_protocol_errors;
+    c_queue_depth;
+    c_inflight;
+    c_connections;
+    c_targets;
+  }
+
+let stats_reply t =
+  let c = counters t in
+  Mutex.lock t.tm;
+  let targets = Hashtbl.fold (fun name _ acc -> name :: acc) t.targets [] in
+  Mutex.unlock t.tm;
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ( "stats",
+        Json.Obj
+          [
+            ("requests", Json.Int c.c_requests);
+            ("accepted", Json.Int c.c_accepted);
+            ("completed", Json.Int c.c_completed);
+            ("rejected", Json.Int c.c_rejected);
+            ("protocol_errors", Json.Int c.c_protocol_errors);
+            ("queue_depth", Json.Int c.c_queue_depth);
+            ("queue_capacity", Json.Int t.cfg.queue_capacity);
+            ("inflight", Json.Int c.c_inflight);
+            ("connections", Json.Int c.c_connections);
+            ("targets", Json.Int c.c_targets);
+          ] );
+      ("targets", Json.List (List.map (fun n -> Json.String n) (List.sort compare targets)));
+    ]
+
+(* CSV payloads parse on the connection thread (cheap relative to
+   matching, and it keeps malformed-payload replies off the executor's
+   critical path).  Mirrors the CLI's ingestion semantics: Strict
+   raises on the first malformed row; Lenient quarantines rows but a
+   Fatal issue (unreadable input) still fails the request. *)
+exception Ingest_failed of Protocol.reject
+
+let parse_tables ~lenient tables =
+  let mode = if lenient then Relational.Csv_io.Lenient else Relational.Csv_io.Strict in
+  let parsed =
+    List.map
+      (fun { Protocol.tp_name; tp_csv } ->
+        match Relational.Csv_io.table_of_csv_report ~mode ~name:tp_name tp_csv with
+        | table, issues ->
+          if
+            List.exists
+              (fun (i : Robust.Error.t) -> i.Robust.Error.severity = Robust.Error.Fatal)
+              issues
+          then
+            raise
+              (Ingest_failed
+                 {
+                   Protocol.rj_code = "ingest";
+                   rj_error =
+                     Robust.Error.v ~severity:Robust.Error.Fatal ~table:tp_name
+                       Robust.Error.Ingest
+                       (Printf.sprintf "table %S unreadable even leniently" tp_name);
+                 });
+          (table, issues)
+        | exception Relational.Csv_io.Parse_error { line; message } ->
+          raise
+            (Ingest_failed
+               {
+                 Protocol.rj_code = "ingest";
+                 rj_error =
+                   Robust.Error.v ~severity:Robust.Error.Fatal ~table:tp_name
+                     Robust.Error.Ingest
+                     (Printf.sprintf "table %S line %d: %s" tp_name line message);
+               }))
+      tables
+  in
+  (List.map fst parsed, List.concat_map snd parsed)
+
+let handle_line t line =
+  count t (fun t -> t.n_requests <- t.n_requests + 1);
+  obs_incr "serve.requests";
+  match Protocol.request_of_line line with
+  | Error r -> reject_reply t r
+  | Ok Protocol.Ping -> Json.Obj [ ("ok", Json.Bool true); ("pong", Json.Bool true) ]
+  | Ok Protocol.Stats -> stats_reply t
+  | Ok Protocol.Shutdown ->
+    stop t;
+    (* wake the executor so an idle daemon drains immediately; the
+       accept loop notices the flag on its next select tick *)
+    Mutex.lock t.qm;
+    Condition.broadcast t.qc;
+    Mutex.unlock t.qm;
+    Json.Obj [ ("ok", Json.Bool true); ("stopping", Json.Bool true) ]
+  | Ok (Protocol.Register_target { rt_name; rt_tables; rt_kernel }) -> (
+    match parse_tables ~lenient:false rt_tables with
+    | tables, ingest ->
+      let db = Relational.Database.make "target" tables in
+      admit t (W_register { w_name = rt_name; w_db = db; w_kernel = rt_kernel; w_ingest = ingest })
+        ~timeout_ms:None
+    | exception Ingest_failed r -> reject_reply t r)
+  | Ok (Protocol.Match mr) -> (
+    match parse_tables ~lenient:mr.Protocol.mr_lenient mr.Protocol.mr_tables with
+    | tables, ingest ->
+      let source = Relational.Database.make "source" tables in
+      admit t
+        (W_match { w_mr = mr; w_source = source; w_ingest = ingest })
+        ~timeout_ms:mr.Protocol.mr_timeout_ms
+    | exception Ingest_failed r -> reject_reply t r)
+
+(* --- connection I/O ----------------------------------------------------- *)
+
+let write_line fd line =
+  let data = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length data in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd data !off (len - !off)
+  done
+
+let oversized_reject max_bytes =
+  Protocol.reject ~code:"oversized"
+    (Printf.sprintf "request exceeds %d bytes" max_bytes)
+
+(* Buffered line reader with an explicit oversize mode: once a line
+   outgrows [max_request_bytes] we reply immediately, drop bytes until
+   the next newline, and keep serving — a client bug costs one request,
+   not the connection (and certainly not the daemon). *)
+let connection_loop t fd =
+  let chunk = Bytes.create 65536 in
+  let buf = Buffer.create 4096 in
+  let discarding = ref false in
+  let process_line line =
+    let line =
+      (* tolerate CRLF clients *)
+      let n = String.length line in
+      if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+    in
+    if line <> "" then write_line fd (Json.to_string (handle_line t line))
+  in
+  let rec drain_buffer () =
+    match String.index_opt (Buffer.contents buf) '\n' with
+    | Some i ->
+      let all = Buffer.contents buf in
+      let line = String.sub all 0 i in
+      let rest = String.sub all (i + 1) (String.length all - i - 1) in
+      Buffer.clear buf;
+      Buffer.add_string buf rest;
+      if !discarding then discarding := false
+      else if String.length line > t.cfg.max_request_bytes then
+        write_line fd (Json.to_string (reject_reply t (oversized_reject t.cfg.max_request_bytes)))
+      else process_line line;
+      drain_buffer ()
+    | None ->
+      if (not !discarding) && Buffer.length buf > t.cfg.max_request_bytes then begin
+        write_line fd (Json.to_string (reject_reply t (oversized_reject t.cfg.max_request_bytes)));
+        Buffer.clear buf;
+        discarding := true
+      end
+      else if !discarding then Buffer.clear buf
+  in
+  let rec read_loop () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      drain_buffer ();
+      read_loop ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _) -> ()
+  in
+  try read_loop () with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+
+let spawn_connection t fd =
+  Mutex.lock t.cm;
+  let id = t.next_conn in
+  t.next_conn <- id + 1;
+  Hashtbl.replace t.conns id fd;
+  Mutex.unlock t.cm;
+  let thread =
+    Thread.create
+      (fun () ->
+        Fun.protect
+          ~finally:(fun () ->
+            Mutex.lock t.cm;
+            Hashtbl.remove t.conns id;
+            Mutex.unlock t.cm;
+            try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () -> connection_loop t fd))
+      ()
+  in
+  Mutex.lock t.cm;
+  t.conn_threads <- thread :: t.conn_threads;
+  Mutex.unlock t.cm
+
+(* --- lifecycle ---------------------------------------------------------- *)
+
+let accept_loop t =
+  while not (Atomic.get t.stopping) do
+    match Unix.select [ t.listen_fd ] [] [] 0.2 with
+    | [ _ ], _, _ -> (
+      match Unix.accept t.listen_fd with
+      | fd, _ -> spawn_connection t fd
+      | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _) -> ())
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let run t =
+  let executor = Thread.create executor_loop t in
+  accept_loop t;
+  (* Drain, in dependency order: no new connections, no new work (the
+     stopping flag rejects admissions), finish every admitted job so
+     all waiting connection threads get their reply... *)
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match t.cfg.address with
+  | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ());
+  Mutex.lock t.qm;
+  Condition.broadcast t.qc;
+  Mutex.unlock t.qm;
+  Thread.join executor;
+  (* ... then unblock the readers (write side stays open — replies are
+     already written by now) and wait for them to finish. *)
+  Mutex.lock t.cm;
+  Hashtbl.iter
+    (fun _ fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    t.conns;
+  let threads = t.conn_threads in
+  t.conn_threads <- [];
+  Mutex.unlock t.cm;
+  List.iter Thread.join threads;
+  store_flush t
+
+let start t = Thread.create run t
