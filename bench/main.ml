@@ -915,6 +915,196 @@ let serve_report () =
     exit 1
   end
 
+(* --- Crash-recovery chaos (BENCH_chaos.json) ---------------------------- *)
+
+(* The tentpole gate: a real `ctxmatch serve` subprocess soaks with
+   torn-write faults armed and the store flushing after every match,
+   gets SIGKILLed mid-flight (a request still being processed, no
+   drain, no shutdown flush), and is warm-restarted over the damaged
+   directory.  Three claims must hold or the figure exits 1:
+
+   - zero corruption: the post-kill audit may find truncated shards
+     (torn writes the END canary caught) but NEVER parseable garbage;
+   - byte-identical recovery: every reply the restarted daemon serves
+     equals the one-shot oracle over the same inputs;
+   - clean final audit: after recovery + clean shutdown every store
+     file is clean or quarantined and the index parses. *)
+let chaos_report () =
+  R.section "Chaos: SIGKILL mid-soak under torn-write faults, recovery audit";
+  (* the real executable, located next to this bench binary so the
+     figure works from any cwd *)
+  let cli =
+    Filename.concat (Filename.dirname Sys.executable_name) "../bin/ctxmatch_cli.exe"
+  in
+  if not (Sys.file_exists cli) then begin
+    Printf.eprintf "bench: chaos needs %s (run `dune build` first)\n" cli;
+    exit 1
+  end;
+  let dir = Filename.temp_file "ctxchaos_bench" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+  @@ fun () ->
+  let store_dir = Filename.concat dir "store" in
+  let socket = Filename.concat dir "chaos.sock" in
+  let address = Serve.Server.Unix_sock socket in
+  let params = { retail_params with Workload.Retail.rows = 200; target_rows = 100 } in
+  let target = Workload.Retail.target params Workload.Retail.Ryan_eyers in
+  let payload db =
+    List.map
+      (fun table -> (Relational.Table.name table, Relational.Csv_io.table_to_csv table))
+      (Relational.Database.tables db)
+  in
+  let target_payload = payload target in
+  let soak_seeds = [ base_seed; base_seed + 1; base_seed + 2; base_seed + 3 ] in
+  let source seed = Workload.Retail.source { params with Workload.Retail.seed } in
+  let oracle seed =
+    let infer = Ctxmatch.Context_match.infer_of `Src_class ~target in
+    let config = Ctxmatch.Config.with_seed Ctxmatch.Config.default base_seed in
+    let r =
+      count_issues (Ctxmatch.Context_match.run ~config ~infer ~source:(source seed) ~target ())
+    in
+    List.map Matching.Schema_match.to_string r.Ctxmatch.Context_match.matches
+  in
+  let spawn_daemon extra =
+    Unix.create_process "sh"
+      [|
+        "sh"; "-c";
+        Printf.sprintf "exec %s serve --socket %s --store %s --flush-every 1 %s > %s 2>&1"
+          (Filename.quote cli) (Filename.quote socket) (Filename.quote store_dir) extra
+          (Filename.quote (Filename.concat dir "daemon.log"));
+      |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  let with_client f =
+    let client = Serve.Client.connect ~retries:200 ~retry_delay_s:0.05 address in
+    Fun.protect ~finally:(fun () -> Serve.Client.close client) (fun () -> f client)
+  in
+  let expect_ok reply =
+    match Serve.Json.member "ok" reply with
+    | Some (Serve.Json.Bool true) -> ()
+    | _ -> failwith ("chaos: request failed: " ^ Serve.Json.to_string reply)
+  in
+  let served_matches reply =
+    match Serve.Json.member "matches" reply with
+    | Some (Serve.Json.List l) -> Some (List.filter_map Serve.Json.to_string_opt l)
+    | _ -> None
+  in
+  let match_request seed =
+    Serve.Protocol.match_json ~seed:base_seed ~target:"retail" (payload (source seed))
+  in
+  (* phase 1: soak under armed torn-write faults, then SIGKILL while a
+     request is in flight *)
+  let pid = spawn_daemon "--fault store-shard-write:1.0:3:torn=0.5" in
+  let soak_completed = ref 0 in
+  with_client (fun client ->
+      expect_ok
+        (Serve.Client.request client (Serve.Protocol.register_json ~name:"retail" target_payload));
+      List.iter
+        (fun seed ->
+          expect_ok (Serve.Client.request client (match_request seed));
+          incr soak_completed)
+        soak_seeds;
+      (* the mid-flight kill: one more request goes out, and the daemon
+         dies while (or before) processing it — the client sees EOF or a
+         reset, never a reply *)
+      let killer =
+        Thread.create
+          (fun () ->
+            Thread.delay 0.05;
+            Unix.kill pid Sys.sigkill)
+          ()
+      in
+      (match Serve.Client.request client (match_request base_seed) with
+      | _ -> ()
+      | exception (End_of_file | Unix.Unix_error (_, _, _) | Serve.Json.Parse_error _) -> ());
+      Thread.join killer);
+  let _, status = Unix.waitpid [] pid in
+  if status <> Unix.WSIGNALED Sys.sigkill then begin
+    Printf.eprintf "bench: chaos canary failed: daemon did not die by SIGKILL\n";
+    exit 1
+  end;
+  let damaged = Store.verify store_dir in
+  (* phase 2: warm restart over the damaged store, faults disarmed;
+     replay the soak and hold every reply to the oracle *)
+  let pid2 = spawn_daemon "" in
+  let identical = ref true in
+  let recovered = ref 0 in
+  with_client (fun client ->
+      expect_ok
+        (Serve.Client.request client (Serve.Protocol.register_json ~name:"retail" target_payload));
+      List.iter
+        (fun seed ->
+          let reply = Serve.Client.request client (match_request seed) in
+          if served_matches reply <> Some (oracle seed) then identical := false;
+          incr recovered)
+        soak_seeds;
+      expect_ok (Serve.Client.request client Serve.Protocol.shutdown_json));
+  let _, status2 = Unix.waitpid [] pid2 in
+  let clean_exit = status2 = Unix.WEXITED 0 in
+  let healed = Store.verify store_dir in
+  let only_clean_or_quarantined =
+    List.for_all
+      (fun (e : Store.verify_entry) ->
+        match e.Store.ve_status with
+        | Store.Shard_clean | Store.Shard_quarantined -> true
+        | Store.Shard_truncated | Store.Shard_corrupt -> false)
+      healed.Store.vr_entries
+  in
+  let oc = open_out "BENCH_chaos.json" in
+  Printf.fprintf oc
+    {|{
+  "soak_requests": %d,
+  "post_kill_truncated": %d,
+  "post_kill_corrupt": %d,
+  "recovered_requests": %d,
+  "replies_identical": %b,
+  "recovered_clean_exit": %b,
+  "final_clean": %d,
+  "final_quarantined": %d,
+  "final_truncated": %d,
+  "final_corrupt": %d,
+  "final_index_ok": %b,
+  "final_healthy": %b
+}
+|}
+    !soak_completed damaged.Store.vr_truncated damaged.Store.vr_corrupt !recovered !identical
+    clean_exit healed.Store.vr_clean healed.Store.vr_quarantined healed.Store.vr_truncated
+    healed.Store.vr_corrupt healed.Store.vr_index_ok
+    (Store.verify_healthy healed);
+  close_out oc;
+  R.note
+    (Printf.sprintf
+       "wrote BENCH_chaos.json: kill left %d truncated / %d corrupt; recovery identical = %b, \
+        final audit healthy = %b"
+       damaged.Store.vr_truncated damaged.Store.vr_corrupt !identical
+       (Store.verify_healthy healed));
+  if damaged.Store.vr_corrupt > 0 then begin
+    Printf.eprintf
+      "bench: chaos canary failed: %d shards are parseable garbage after SIGKILL (torn \
+       writes must truncate, never corrupt)\n"
+      damaged.Store.vr_corrupt;
+    exit 1
+  end;
+  if not !identical then begin
+    Printf.eprintf
+      "bench: chaos canary failed: post-restart replies differ from the one-shot oracle\n";
+    exit 1
+  end;
+  if not clean_exit then begin
+    Printf.eprintf "bench: chaos canary failed: recovered daemon did not drain cleanly\n";
+    exit 1
+  end;
+  if not (only_clean_or_quarantined && Store.verify_healthy healed) then begin
+    Printf.eprintf
+      "bench: chaos canary failed: final audit is not clean (%d truncated, %d corrupt, \
+       index ok = %b)\n"
+      healed.Store.vr_truncated healed.Store.vr_corrupt healed.Store.vr_index_ok;
+    exit 1
+  end
+
 (* --- Observability report (BENCH_obs.json) ----------------------------- *)
 
 (* One instrumented end-to-end retail run under the obs recorder,
@@ -963,6 +1153,7 @@ let figures =
     ("store", store_report);
     ("kernel", kernel_report);
     ("serve", serve_report);
+    ("chaos", chaos_report);
   ]
 
 let () =

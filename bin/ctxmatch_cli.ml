@@ -10,8 +10,12 @@
    client: talk to a running daemon (one-off ping/stats/shutdown, or
            pipe request lines through stdin).
 
+   store-verify: audit a store directory's shards (crash-recovery
+           check) without touching them.
+
    Exit codes: 0 success, 2 usage error, 3 ingestion error, 4 matching /
-   mapping error, 5 serve error (bind failure, lost daemon).
+   mapping error, 5 serve error (bind failure, lost daemon), 6 store
+   verification found a truncated/corrupt shard.
    Degraded-but-successful runs (quarantined rows, skipped views — see
    DESIGN.md, "Failure semantics") exit 0 with the diagnostics on stderr
    and a "# degraded" summary on stdout. *)
@@ -26,6 +30,7 @@ let usage_code = 2
 let ingest_code = 3
 let match_code = 4
 let serve_code = 5
+let store_code = 6
 
 let cli_error code fmt =
   Printf.ksprintf (fun message -> raise (Cli_error { code; message })) fmt
@@ -287,6 +292,32 @@ let demo_cmd_run scenario =
       (Evalharness.Ground_truth.accuracy truth result.Ctxmatch.Context_match.matches)
   | other -> cli_error usage_code "unknown scenario %s (retail|grades)" other
 
+(* -- store-verify ------------------------------------------------------- *)
+
+(* Crash-recovery audit: classify every file of a store directory and
+   exit non-zero (code 6) if anything is outside {clean, quarantined}.
+   Never mutates the store — quarantining stays the job of the read
+   path that owns the data. *)
+let store_verify_cmd_run dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    cli_error usage_code "%s: not a directory" dir;
+  let r = Store.verify dir in
+  List.iter
+    (fun (e : Store.verify_entry) ->
+      Printf.printf "%-12s %s%s\n"
+        (Store.shard_status_name e.Store.ve_status)
+        e.Store.ve_file
+        (if e.Store.ve_detail = "" then "" else Printf.sprintf " (%s)" e.Store.ve_detail))
+    r.Store.vr_entries;
+  Printf.printf "# store-verify: %d clean, %d truncated, %d corrupt, %d quarantined, %d tmp, index %s\n"
+    r.Store.vr_clean r.Store.vr_truncated r.Store.vr_corrupt r.Store.vr_quarantined
+    r.Store.vr_tmp
+    (if r.Store.vr_index_ok then "ok" else "corrupt");
+  if not (Store.verify_healthy r) then
+    cli_error store_code "store %s has %d truncated / %d corrupt shards%s" dir
+      r.Store.vr_truncated r.Store.vr_corrupt
+      (if r.Store.vr_index_ok then "" else " and a corrupt index")
+
 (* -- serve / client ----------------------------------------------------- *)
 
 let serve_address socket port host =
@@ -304,9 +335,18 @@ let serve_phase f =
   | e -> cli_error serve_code "serve failed: %s" (Printexc.to_string e)
 
 let serve_cmd_run socket port host jobs queue timeout_ms max_request_bytes store_dir
-    store_readonly trace metrics profile =
+    store_readonly flush_every breaker_threshold breaker_cooldown_ms faults trace metrics
+    profile =
   obs_start trace metrics profile;
   serve_phase @@ fun () ->
+  (* chaos arming: deterministic I/O faults for the whole daemon
+     lifetime, e.g. --fault store-shard-write:0.5:7:torn=0.6 *)
+  List.iter
+    (fun spec ->
+      match Robust.Fault.arm_spec spec with
+      | Ok () -> ()
+      | Error message -> cli_error usage_code "--fault %s: %s" spec message)
+    faults;
   let address = serve_address socket port host in
   let default_jobs =
     if jobs <= 0 then Ctxmatch.Config.default.Ctxmatch.Config.jobs else jobs
@@ -320,6 +360,9 @@ let serve_cmd_run socket port host jobs queue timeout_ms max_request_bytes store
       max_request_bytes;
       store_dir;
       store_readonly;
+      flush_every;
+      breaker_threshold;
+      breaker_cooldown_ms;
     }
   in
   let server = Serve.Server.create config in
@@ -355,9 +398,12 @@ let client_cmd_run socket port host command =
       match command with
       | Some "ping" -> print_endline (Serve.Client.request_line client (Serve.Json.to_string Serve.Protocol.ping_json))
       | Some "stats" -> print_endline (Serve.Client.request_line client (Serve.Json.to_string Serve.Protocol.stats_json))
+      | Some "health" ->
+        print_endline (Serve.Client.request_line client (Serve.Json.to_string Serve.Protocol.health_json))
       | Some "shutdown" ->
         print_endline (Serve.Client.request_line client (Serve.Json.to_string Serve.Protocol.shutdown_json))
-      | Some other -> cli_error usage_code "unknown client command %s (ping|stats|shutdown)" other
+      | Some other ->
+        cli_error usage_code "unknown client command %s (ping|stats|health|shutdown)" other
       | None -> (
         (* pipe mode: one JSON request per stdin line, one reply per line *)
         try
@@ -561,6 +607,47 @@ let max_request_bytes_arg =
            \"oversized\" reply and skipped; the connection (and the daemon) \
            live on.")
 
+let flush_every_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "flush-every" ] ~docv:"N"
+        ~doc:
+          "Flush the profile store every $(docv) completed match requests \
+           instead of only at shutdown, bounding what a crash can lose.  0 \
+           (the default) keeps the shutdown-only behaviour.")
+
+let breaker_threshold_arg =
+  Arg.(
+    value
+    & opt int 3
+    & info [ "breaker-threshold" ] ~docv:"N"
+        ~doc:
+          "Consecutive scoring failures that trip a registered target's \
+           circuit breaker open.")
+
+let breaker_cooldown_arg =
+  Arg.(
+    value
+    & opt int 1000
+    & info [ "breaker-cooldown-ms" ] ~docv:"MS"
+        ~doc:
+          "How long a tripped breaker rejects matches (structured \
+           \"degraded\" replies) before letting one half-open trial request \
+           through.")
+
+let fault_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "fault" ] ~docv:"SPEC"
+        ~doc:
+          "Arm a deterministic fault site for the daemon's lifetime \
+           (repeatable; chaos testing).  $(docv) is \
+           site[:rate[:seed[:behaviour]]] with behaviour raise (default), \
+           torn=FRACTION or latency=MS — e.g. \
+           store-shard-write:0.5:7:torn=0.6.")
+
 let serve_cmd =
   let doc = "serve schema matching over a Unix/TCP socket" in
   let man =
@@ -583,8 +670,9 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc ~man)
     Term.(
       const serve_cmd_run $ socket_arg $ port_arg $ host_arg $ jobs_arg $ queue_arg
-      $ timeout_arg $ max_request_bytes_arg $ store_arg $ store_readonly_arg $ trace_arg
-      $ metrics_arg $ profile_arg)
+      $ timeout_arg $ max_request_bytes_arg $ store_arg $ store_readonly_arg
+      $ flush_every_arg $ breaker_threshold_arg $ breaker_cooldown_arg $ fault_arg
+      $ trace_arg $ metrics_arg $ profile_arg)
 
 let client_cmd =
   let doc = "talk to a running ctxmatch daemon" in
@@ -594,11 +682,32 @@ let client_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"CMD"
           ~doc:
-            "One-off command: ping|stats|shutdown.  Omit to pipe raw JSON \
-             request lines from stdin (one reply line each).")
+            "One-off command: ping|stats|health|shutdown.  Omit to pipe raw \
+             JSON request lines from stdin (one reply line each).")
   in
   Cmd.v (Cmd.info "client" ~doc)
     Term.(const client_cmd_run $ socket_arg $ port_arg $ host_arg $ command)
+
+let store_verify_cmd =
+  let doc = "audit a profile store directory for crash damage" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Walks every file of a store directory and classifies it: \
+         $(b,clean) shards parse end to end, $(b,truncated) shards lost \
+         their END footer to a torn write, $(b,corrupt) shards fail to \
+         parse some other way, $(b,quarantined) files were already set \
+         aside by the recovery path.  Leftover temp files from an \
+         interrupted atomic write are counted and harmless.  Nothing is \
+         modified.  Exits 0 when every file is clean or quarantined, 6 \
+         otherwise.";
+    ]
+  in
+  let dir =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc:"Store directory.")
+  in
+  Cmd.v (Cmd.info "store-verify" ~doc ~man) Term.(const store_verify_cmd_run $ dir)
 
 let () =
   let doc = "contextual schema matching (VLDB 2006 reproduction)" in
@@ -606,7 +715,8 @@ let () =
   let code =
     try
       Cmd.eval ~catch:false
-        (Cmd.group info [ match_cmd; map_cmd; demo_cmd; serve_cmd; client_cmd ])
+        (Cmd.group info
+           [ match_cmd; map_cmd; demo_cmd; serve_cmd; client_cmd; store_verify_cmd ])
     with
     | Cli_error { code; message } ->
       Printf.eprintf "ctxmatch: %s\n%!" message;

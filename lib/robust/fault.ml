@@ -1,6 +1,28 @@
-type site = Csv_parse | File_read | Matcher_score | Pool_task | Memo_lookup
+type site =
+  | Csv_parse
+  | File_read
+  | Matcher_score
+  | Pool_task
+  | Memo_lookup
+  | Store_shard_read
+  | Store_shard_write
+  | Store_flush_rename
+  | Socket_read
+  | Socket_write
 
-let all_sites = [ Csv_parse; File_read; Matcher_score; Pool_task; Memo_lookup ]
+let all_sites =
+  [
+    Csv_parse;
+    File_read;
+    Matcher_score;
+    Pool_task;
+    Memo_lookup;
+    Store_shard_read;
+    Store_shard_write;
+    Store_flush_rename;
+    Socket_read;
+    Socket_write;
+  ]
 
 let site_name = function
   | Csv_parse -> "csv-parse"
@@ -8,6 +30,11 @@ let site_name = function
   | Matcher_score -> "matcher-score"
   | Pool_task -> "pool-task"
   | Memo_lookup -> "memo-lookup"
+  | Store_shard_read -> "store-shard-read"
+  | Store_shard_write -> "store-shard-write"
+  | Store_flush_rename -> "store-flush-rename"
+  | Socket_read -> "socket-read"
+  | Socket_write -> "socket-write"
 
 let site_of_string s =
   List.find_opt (fun site -> String.equal (site_name site) s) all_sites
@@ -18,8 +45,13 @@ let site_rank = function
   | Matcher_score -> 2
   | Pool_task -> 3
   | Memo_lookup -> 4
+  | Store_shard_read -> 5
+  | Store_shard_write -> 6
+  | Store_flush_rename -> 7
+  | Socket_read -> 8
+  | Socket_write -> 9
 
-let n_sites = 5
+let n_sites = 10
 
 exception Injected of { site : site; key : string }
 
@@ -29,29 +61,44 @@ let () =
       Some (Printf.sprintf "Robust.Fault.Injected(%s, %s)" (site_name site) key)
     | _ -> None)
 
+type behaviour =
+  | Raise
+  | Torn_write of float
+  | Latency_ms of int
+
+let behaviour_name = function
+  | Raise -> "raise"
+  | Torn_write f -> Printf.sprintf "torn=%g" f
+  | Latency_ms n -> Printf.sprintf "latency=%d" n
+
 type arming = { site : site; rate : float; seed : int }
 
-(* The armed set: per-site (rate, seed), immutable snapshot behind one
-   Atomic so [check] on a hot path is a single load + physical-equality
-   test when nothing is armed. *)
-let nothing : (float * int) option array = Array.make n_sites None
-let state : (float * int) option array Atomic.t = Atomic.make nothing
+type armed_site = { a_rate : float; a_seed : int; a_behaviour : behaviour }
 
-let snapshot () = Array.copy (Atomic.get state)
+(* The armed set: per-site (rate, seed, behaviour), immutable snapshot
+   behind one Atomic so [check] on a hot path is a single load + physical-
+   equality test when nothing is armed.  All mutation goes through a
+   compare-and-set retry loop, so concurrent arm/disarm from any thread
+   or domain (the serve executor arming per-request faults while a
+   connection thread disarms chaos sites, say) never loses an update. *)
+let nothing : armed_site option array = Array.make n_sites None
+let state : armed_site option array Atomic.t = Atomic.make nothing
 
-let publish a =
-  Atomic.set state (if Array.for_all (( = ) None) a then nothing else a)
+let normalise a = if Array.for_all (( = ) None) a then nothing else a
 
-let arm ?(rate = 1.0) ?(seed = 0) site =
-  let a = snapshot () in
-  a.(site_rank site) <- Some (rate, seed);
-  publish a
+(* Apply [f] to a private copy of the current armed set and publish it,
+   retrying on contention.  [f] must be pure on everything but its
+   argument: it can run more than once. *)
+let rec update f =
+  let old = Atomic.get state in
+  let a = Array.copy old in
+  f a;
+  if not (Atomic.compare_and_set state old (normalise a)) then update f
 
-let disarm site =
-  let a = snapshot () in
-  a.(site_rank site) <- None;
-  publish a
+let arm ?(rate = 1.0) ?(seed = 0) ?(behaviour = Raise) site =
+  update (fun a -> a.(site_rank site) <- Some { a_rate = rate; a_seed = seed; a_behaviour = behaviour })
 
+let disarm site = update (fun a -> a.(site_rank site) <- None)
 let disarm_all () = Atomic.set state nothing
 let armed site = (Atomic.get state).(site_rank site) <> None
 
@@ -62,6 +109,13 @@ let splitmix64 z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
+let hash01 ~seed ~key =
+  let h = ref (splitmix64 (Int64.of_int ((seed * 2654435761) + 17))) in
+  String.iter
+    (fun c -> h := splitmix64 (Int64.logxor !h (Int64.of_int (Char.code c))))
+    key;
+  Int64.to_float (Int64.shift_right_logical !h 11) /. 9007199254740992.0
+
 let decide ~seed ~site ~key rate =
   let h = ref (splitmix64 (Int64.of_int ((seed * 31) + site_rank site + 1))) in
   String.iter
@@ -71,16 +125,113 @@ let decide ~seed ~site ~key rate =
   let u = Int64.to_float (Int64.shift_right_logical !h 11) /. 9007199254740992.0 in
   u < rate
 
-let check site ~key =
+let fire site ~key =
   let a = Atomic.get state in
-  if a != nothing then
+  if a == nothing then None
+  else
     match a.(site_rank site) with
-    | Some (rate, seed) when decide ~seed ~site ~key rate -> raise (Injected { site; key })
-    | Some _ | None -> ()
+    | Some { a_rate; a_seed; a_behaviour }
+      when decide ~seed:a_seed ~site ~key a_rate ->
+      Some a_behaviour
+    | Some _ | None -> None
+
+(* Injected latency burns the clock on the monotonic stub rather than
+   sleeping: lib/robust has no Unix/threads dependency, and the delays
+   chaos runs inject are a handful of milliseconds. *)
+let burn_ms ms =
+  if ms > 0 then begin
+    let target = Int64.add (Deadline.now_ns ()) (Int64.mul (Int64.of_int ms) 1_000_000L) in
+    while Int64.compare (Deadline.now_ns ()) target < 0 do
+      ignore (Sys.opaque_identity ())
+    done
+  end
+
+let check site ~key =
+  match fire site ~key with
+  | None -> ()
+  | Some Latency_ms ms -> burn_ms ms
+  | Some (Raise | Torn_write _) -> raise (Injected { site; key })
 
 let with_armed armings f =
+  (* Overlay the sites named by [armings], remembering what each one
+     held before; the restore puts exactly those sites back, so
+     concurrent arm/disarm of *other* sites during [f] is preserved
+     rather than clobbered by an old whole-array snapshot. *)
   let saved = Atomic.get state in
-  let a = snapshot () in
-  List.iter (fun { site; rate; seed } -> a.(site_rank site) <- Some (rate, seed)) armings;
-  publish a;
-  Fun.protect ~finally:(fun () -> Atomic.set state saved) f
+  let restore =
+    List.map (fun { site; _ } -> (site, saved.(site_rank site))) armings
+  in
+  update (fun a ->
+      List.iter
+        (fun { site; rate; seed } ->
+          a.(site_rank site) <- Some { a_rate = rate; a_seed = seed; a_behaviour = Raise })
+        armings);
+  Fun.protect
+    ~finally:(fun () ->
+      update (fun a -> List.iter (fun (site, prev) -> a.(site_rank site) <- prev) restore))
+    f
+
+(* ---- arming specs ------------------------------------------------------ *)
+
+(* "site[:rate[:seed[:behaviour]]]" with behaviour one of "raise",
+   "torn=F" (fraction of the payload written before the failure) or
+   "latency=N" (injected delay in milliseconds).  Used by the serve
+   daemon's --fault flag so chaos runs arm I/O sites from the command
+   line. *)
+let spec_of_string spec =
+  let ( let* ) = Result.bind in
+  let parts = String.split_on_char ':' spec in
+  let* site, rest =
+    match parts with
+    | name :: rest -> (
+      match site_of_string name with
+      | Some site -> Ok (site, rest)
+      | None -> Error (Printf.sprintf "unknown fault site %S" name))
+    | [] -> Error "empty fault spec"
+  in
+  let* rate, rest =
+    match rest with
+    | [] -> Ok (1.0, [])
+    | r :: rest -> (
+      match float_of_string_opt r with
+      | Some f when f >= 0.0 && f <= 1.0 -> Ok (f, rest)
+      | Some _ -> Error (Printf.sprintf "fault rate %S outside [0, 1]" r)
+      | None -> Error (Printf.sprintf "bad fault rate %S" r))
+  in
+  let* seed, rest =
+    match rest with
+    | [] -> Ok (0, [])
+    | s :: rest -> (
+      match int_of_string_opt s with
+      | Some i -> Ok (i, rest)
+      | None -> Error (Printf.sprintf "bad fault seed %S" s))
+  in
+  let* behaviour =
+    match rest with
+    | [] | [ "raise" ] -> Ok Raise
+    | [ b ] -> (
+      match String.index_opt b '=' with
+      | Some i -> (
+        let kind = String.sub b 0 i in
+        let arg = String.sub b (i + 1) (String.length b - i - 1) in
+        match kind with
+        | "torn" -> (
+          match float_of_string_opt arg with
+          | Some f when f >= 0.0 && f <= 1.0 -> Ok (Torn_write f)
+          | _ -> Error (Printf.sprintf "bad torn fraction %S" arg))
+        | "latency" -> (
+          match int_of_string_opt arg with
+          | Some n when n >= 0 -> Ok (Latency_ms n)
+          | _ -> Error (Printf.sprintf "bad latency %S" arg))
+        | _ -> Error (Printf.sprintf "unknown fault behaviour %S" b))
+      | None -> Error (Printf.sprintf "unknown fault behaviour %S" b))
+    | _ -> Error (Printf.sprintf "trailing junk in fault spec %S" spec)
+  in
+  Ok (site, rate, seed, behaviour)
+
+let arm_spec spec =
+  match spec_of_string spec with
+  | Ok (site, rate, seed, behaviour) ->
+    arm ~rate ~seed ~behaviour site;
+    Ok ()
+  | Error _ as e -> e

@@ -14,21 +14,45 @@ let sockaddr_of = function
     in
     (Unix.PF_INET, Unix.ADDR_INET (inet, port))
 
-let connect ?(retries = 50) ?(retry_delay_s = 0.1) address =
+(* Exponential backoff capped at [max_delay_s], with deterministic
+   jitter (±25%, drawn from splitmix64 over [(jitter_seed, attempt)])
+   so concurrent clients retrying against the same recovering daemon
+   de-synchronise — reproducibly: the same seed sleeps the same
+   schedule in every run. *)
+let backoff_delay ~base ~jitter_seed attempt =
+  let max_delay_s = 0.5 in
+  let delay = ref base in
+  for _ = 1 to min attempt 16 do
+    delay := min max_delay_s (!delay *. 1.5)
+  done;
+  let u = Robust.Fault.hash01 ~seed:jitter_seed ~key:(string_of_int attempt) in
+  min max_delay_s (!delay *. (0.75 +. (0.5 *. u)))
+
+let connect ?(retries = 50) ?(retry_delay_s = 0.1) ?(jitter_seed = 0)
+    ?(deadline = Robust.Deadline.none) address =
   let domain, sockaddr = sockaddr_of address in
-  let rec attempt remaining =
+  let rec attempt n =
     let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
     match Unix.connect fd sockaddr with
     | () -> fd
-    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) when remaining > 0 ->
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) when n < retries ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
-      Thread.delay retry_delay_s;
-      attempt (remaining - 1)
+      Robust.Deadline.check ~stage:"connect" deadline;
+      let delay = backoff_delay ~base:retry_delay_s ~jitter_seed n in
+      let delay =
+        (* never sleep past the deadline: wake in time to fail it *)
+        match Robust.Deadline.remaining_ms deadline with
+        | Some ms -> min delay (float_of_int ms /. 1000.0)
+        | None -> delay
+      in
+      Thread.delay delay;
+      Robust.Deadline.check ~stage:"connect" deadline;
+      attempt (n + 1)
     | exception e ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       raise e
   in
-  { fd = attempt retries; buf = Buffer.create 4096; chunk = Bytes.create 65536 }
+  { fd = attempt 0; buf = Buffer.create 4096; chunk = Bytes.create 65536 }
 
 let send_raw t data =
   let data = Bytes.of_string data in

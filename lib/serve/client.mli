@@ -7,11 +7,24 @@
 
 type t
 
-val connect : ?retries:int -> ?retry_delay_s:float -> Server.address -> t
-(** Connect, retrying [retries] times (default 50) with
-    [retry_delay_s] (default 0.1) between attempts — enough to cover a
-    daemon that is still binding when the client starts.  Raises
-    [Unix.Unix_error] once the retries are exhausted. *)
+val connect :
+  ?retries:int ->
+  ?retry_delay_s:float ->
+  ?jitter_seed:int ->
+  ?deadline:Robust.Deadline.t ->
+  Server.address ->
+  t
+(** Connect, retrying up to [retries] times (default 50) on
+    connection-refused — enough to cover a daemon that is still
+    binding (or restarting) when the client starts.  Attempt [n]
+    sleeps [retry_delay_s] (default 0.1) grown exponentially, capped
+    at 0.5 s, with deterministic ±25% jitter drawn from
+    [(jitter_seed, n)] — the same seed reproduces the same schedule,
+    different seeds de-synchronise concurrent retriers.  With
+    [deadline], retrying stops when it passes
+    ({!Robust.Deadline.Expired}, stage ["connect"]); sleeps are
+    clamped to the remaining budget.  Raises [Unix.Unix_error] once
+    the retries are exhausted. *)
 
 val request : t -> Json.t -> Json.t
 (** Send one request value as a line and block for the reply line.

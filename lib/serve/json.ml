@@ -122,6 +122,7 @@ let parse_string st =
               end
               else fail "lone high surrogate"
             end
+            else if cp >= 0xDC00 && cp <= 0xDFFF then fail "lone low surrogate"
             else cp
           in
           add_utf8 buf cp
@@ -134,6 +135,43 @@ let parse_string st =
   in
   loop ();
   Buffer.contents buf
+
+(* RFC 8259 number grammar: optional minus, "0" or a non-zero-led
+   digit run, optional ".digits", optional exponent.  OCaml's own
+   numeric parsers are laxer (leading zeros, "1.", "0x10"), so the
+   token shape is validated before conversion. *)
+let rfc_number_shape text =
+  let n = String.length text in
+  let i = ref (if n > 0 && text.[0] = '-' then 1 else 0) in
+  let digits () =
+    let start = !i in
+    while !i < n && match text.[!i] with '0' .. '9' -> true | _ -> false do incr i done;
+    !i > start
+  in
+  let int_ok =
+    if !i < n && text.[!i] = '0' then begin
+      incr i;
+      (* a leading zero must stand alone *)
+      not (!i < n && match text.[!i] with '0' .. '9' -> true | _ -> false)
+    end
+    else digits ()
+  in
+  let frac_ok =
+    if !i < n && text.[!i] = '.' then begin
+      incr i;
+      digits ()
+    end
+    else true
+  in
+  let exp_ok =
+    if !i < n && (text.[!i] = 'e' || text.[!i] = 'E') then begin
+      incr i;
+      if !i < n && (text.[!i] = '+' || text.[!i] = '-') then incr i;
+      digits ()
+    end
+    else true
+  in
+  int_ok && frac_ok && exp_ok && !i = n
 
 let parse_number st =
   let start = st.pos in
@@ -148,6 +186,7 @@ let parse_number st =
     | _ -> continue := false
   done;
   let text = String.sub st.text start (st.pos - start) in
+  if not (rfc_number_shape text) then fail "bad number %S" text;
   if !is_float then
     match float_of_string_opt text with
     | Some f -> Float f

@@ -21,6 +21,7 @@ type request =
   | Register_target of { rt_name : string; rt_tables : table_payload list; rt_kernel : bool }
   | Match of match_request
   | Stats
+  | Health
   | Shutdown
 
 type reject = { rj_code : string; rj_error : Robust.Error.t }
@@ -135,6 +136,7 @@ let request_of_line line =
           | None -> Error (reject ~code:"bad-request" "field \"cmd\" must be a string")
           | Some "ping" -> Ok Ping
           | Some "stats" -> Ok Stats
+          | Some "health" -> Ok Health
           | Some "shutdown" -> Ok Shutdown
           | Some "register-target" ->
             Ok
@@ -149,7 +151,8 @@ let request_of_line line =
             Error
               (reject ~code:"unknown-command"
                  (Printf.sprintf
-                    "unknown command %S (ping|register-target|match|stats|shutdown)" other))))
+                    "unknown command %S (ping|register-target|match|stats|health|shutdown)"
+                    other))))
       | _ -> Error (reject ~code:"bad-request" "request must be a JSON object")
     with Bad r -> Error r)
 
@@ -177,6 +180,7 @@ let error_strings issues =
 
 let ping_json = Json.Obj [ ("cmd", Json.String "ping") ]
 let stats_json = Json.Obj [ ("cmd", Json.String "stats") ]
+let health_json = Json.Obj [ ("cmd", Json.String "health") ]
 let shutdown_json = Json.Obj [ ("cmd", Json.String "shutdown") ]
 
 let tables_json tables =

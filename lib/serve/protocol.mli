@@ -14,6 +14,9 @@
       registered target.  Every knob mirrors the one-shot CLI flag of
       the same name and defaults identically.
     - [{"cmd":"stats"}] — server counters and queue state.
+    - [{"cmd":"health"}] — supervision probe: overall
+      ["healthy"]/["degraded"] status, store quarantine counts, flush
+      failures and per-target circuit-breaker states.
     - [{"cmd":"shutdown"}] — begin graceful shutdown (drain, flush).
 
     Every parse or validation failure is a structured {!reject} carrying
@@ -45,13 +48,15 @@ type request =
   | Register_target of { rt_name : string; rt_tables : table_payload list; rt_kernel : bool }
   | Match of match_request
   | Stats
+  | Health
   | Shutdown
 
 type reject = {
   rj_code : string;
       (** machine-readable: [invalid-json], [bad-request],
           [unknown-command], [oversized], [busy], [unknown-target],
-          [shutting-down], [internal] *)
+          [shutting-down], [timeout], [degraded] (circuit breaker
+          open), [internal] *)
   rj_error : Robust.Error.t;
 }
 
@@ -72,6 +77,7 @@ val error_strings : Robust.Error.t list -> Json.t
 
 val ping_json : Json.t
 val stats_json : Json.t
+val health_json : Json.t
 val shutdown_json : Json.t
 
 val register_json : ?kernel:bool -> name:string -> (string * string) list -> Json.t

@@ -12,6 +12,9 @@ type config = {
   max_request_bytes : int;
   store_dir : string option;
   store_readonly : bool;
+  breaker_threshold : int;
+  breaker_cooldown_ms : int;
+  flush_every : int;
 }
 
 let default_config address =
@@ -23,9 +26,28 @@ let default_config address =
     max_request_bytes = 64 * 1024 * 1024;
     store_dir = None;
     store_readonly = false;
+    breaker_threshold = 3;
+    breaker_cooldown_ms = 1000;
+    flush_every = 0;
   }
 
 exception Bind_error of { address : string; reason : string }
+
+(* Per-target circuit breaker: Closed admits, Open rejects until the
+   cooldown passes, then one trial request runs Half_open — success
+   closes the breaker, failure re-opens it.  Guarded by [t.tm]. *)
+type breaker_state = Br_closed | Br_open of int64 (* tripped-at, ns *) | Br_half_open
+
+type breaker = {
+  mutable b_state : breaker_state;
+  mutable b_failures : int;  (* consecutive scoring failures *)
+  mutable b_trips : int;
+}
+
+let breaker_state_name = function
+  | Br_closed -> "closed"
+  | Br_open _ -> "open"
+  | Br_half_open -> "half-open"
 
 (* A registered target: the immutable prepared artefact plus the
    database it was prepared from (needed again at match time for view
@@ -34,6 +56,7 @@ type target_entry = {
   te_db : Relational.Database.t;
   te_prepared : Matching.Standard_match.prepared_target;
   te_issues : Robust.Error.t list;  (* ingest quarantine at registration *)
+  te_breaker : breaker;
 }
 
 type work =
@@ -96,6 +119,12 @@ type t = {
   mutable n_completed : int;
   mutable n_rejected : int;
   mutable n_protocol_errors : int;
+  mutable n_internal : int;
+  mutable n_socket_faults : int;
+  mutable n_flush_failures : int;
+  mutable flush_failed : bool;  (* last flush attempt failed *)
+  (* executor-thread-local: completed match requests since last flush *)
+  mutable matches_since_flush : int;
 }
 
 let obs_incr name = if !Obs.Recorder.enabled then Obs.Metrics.incr name
@@ -196,6 +225,11 @@ let create cfg =
     n_completed = 0;
     n_rejected = 0;
     n_protocol_errors = 0;
+    n_internal = 0;
+    n_socket_faults = 0;
+    n_flush_failures = 0;
+    flush_failed = false;
+    matches_since_flush = 0;
   }
 
 let port t = t.bound_port
@@ -221,14 +255,33 @@ let internal_reject e =
 
 (* --- the executor ------------------------------------------------------- *)
 
+(* A failed flush must never take the daemon down: the dirty shards
+   stay dirty (Store.flush only clears the flag after a successful
+   write), so a later flush retries with the full payload.  The
+   failure is remembered for [health]. *)
 let store_flush t =
   match t.store with
-  | Some store when not (Store.readonly store) -> Store.flush store
+  | Some store when not (Store.readonly store) -> (
+    match Store.flush store with
+    | () -> count t (fun t -> t.flush_failed <- false)
+    | exception e ->
+      count t (fun t ->
+          t.n_flush_failures <- t.n_flush_failures + 1;
+          t.flush_failed <- true);
+      obs_incr "serve.flush_failures";
+      ignore (Printexc.to_string e))
   | _ -> ()
 
 let register_reply t ~name ~db ~kernel ~ingest =
   let prepared = Matching.Standard_match.prepare_target ?store:t.store ~kernel ~target:db () in
-  let entry = { te_db = db; te_prepared = prepared; te_issues = ingest } in
+  let entry =
+    {
+      te_db = db;
+      te_prepared = prepared;
+      te_issues = ingest;
+      te_breaker = { b_state = Br_closed; b_failures = 0; b_trips = 0 };
+    }
+  in
   Mutex.lock t.tm;
   Hashtbl.replace t.targets name entry;
   Mutex.unlock t.tm;
@@ -244,6 +297,58 @@ let register_reply t ~name ~db ~kernel ~ingest =
         Protocol.error_strings (ingest @ Matching.Standard_match.prepared_issues prepared) );
     ]
 
+(* Breaker admission, under [t.tm].  [Ok ()] admits (transitioning an
+   expired-open breaker to half-open for its trial request); [Error]
+   carries the structured degraded reject. *)
+let breaker_admit t entry ~target =
+  Mutex.lock t.tm;
+  let b = entry.te_breaker in
+  let verdict =
+    match b.b_state with
+    | Br_closed | Br_half_open -> Ok ()
+    | Br_open tripped_ns ->
+      let elapsed_ms =
+        Int64.to_int (Int64.div (Int64.sub (Robust.Deadline.now_ns ()) tripped_ns) 1_000_000L)
+      in
+      if elapsed_ms >= t.cfg.breaker_cooldown_ms then begin
+        b.b_state <- Br_half_open;
+        Ok ()
+      end
+      else
+        Error
+          (Protocol.reject ~code:"degraded"
+             (Printf.sprintf
+                "circuit breaker open for target %S (%d consecutive failures; retry in %d ms)"
+                target b.b_failures
+                (t.cfg.breaker_cooldown_ms - elapsed_ms)))
+  in
+  Mutex.unlock t.tm;
+  verdict
+
+let breaker_success t entry =
+  Mutex.lock t.tm;
+  let b = entry.te_breaker in
+  b.b_failures <- 0;
+  b.b_state <- Br_closed;
+  Mutex.unlock t.tm
+
+let breaker_failure t entry =
+  Mutex.lock t.tm;
+  let b = entry.te_breaker in
+  b.b_failures <- b.b_failures + 1;
+  (match b.b_state with
+  | Br_half_open ->
+    (* the trial failed: straight back to open, fresh cooldown *)
+    b.b_state <- Br_open (Robust.Deadline.now_ns ());
+    b.b_trips <- b.b_trips + 1;
+    obs_incr "serve.breaker_trips"
+  | Br_closed when b.b_failures >= t.cfg.breaker_threshold ->
+    b.b_state <- Br_open (Robust.Deadline.now_ns ());
+    b.b_trips <- b.b_trips + 1;
+    obs_incr "serve.breaker_trips"
+  | Br_closed | Br_open _ -> ());
+  Mutex.unlock t.tm
+
 let match_reply t ~(mr : Protocol.match_request) ~source ~ingest ~deadline =
   Mutex.lock t.tm;
   let entry = Hashtbl.find_opt t.targets mr.Protocol.mr_target in
@@ -253,7 +358,10 @@ let match_reply t ~(mr : Protocol.match_request) ~source ~ingest ~deadline =
     admission_reply t
       (Protocol.reject ~code:"unknown-target"
          (Printf.sprintf "unknown target %S (register-target first)" mr.Protocol.mr_target))
-  | Some entry ->
+  | Some entry -> (
+    match breaker_admit t entry ~target:mr.Protocol.mr_target with
+    | Error r -> admission_reply t r
+    | Ok () ->
     if Robust.Deadline.expired deadline then
       admission_reply t
         (Protocol.reject ~code:"timeout" "request deadline expired while queued")
@@ -278,9 +386,32 @@ let match_reply t ~(mr : Protocol.match_request) ~source ~ingest ~deadline =
         }
       in
       let infer = Ctxmatch.Context_match.infer_of mr.Protocol.mr_algorithm ~target:entry.te_db in
+      (* A deadline expiry is the client's timeout, not the target's
+         fault.  Anything else that escapes the contained pipeline is a
+         scoring failure the breaker counts — and so is a run the
+         containment quarantined into producing nothing at all (no
+         matches, no standard matches, only issues): the caller got an
+         empty answer either way, and a target doing that repeatedly
+         should brown out instead of burning a full scoring pass per
+         request. *)
       let result =
-        Ctxmatch.Context_match.run ~config ?store:t.store ~prepared:entry.te_prepared ~deadline
-          ~infer ~source ~target:entry.te_db ()
+        match
+          Ctxmatch.Context_match.run ~config ?store:t.store ~prepared:entry.te_prepared ~deadline
+            ~infer ~source ~target:entry.te_db ()
+        with
+        | result ->
+          let total_failure =
+            result.Ctxmatch.Context_match.matches = []
+            && result.Ctxmatch.Context_match.standard = []
+            && result.Ctxmatch.Context_match.issues <> []
+            && not (Robust.Deadline.expired deadline)
+          in
+          if total_failure then breaker_failure t entry else breaker_success t entry;
+          result
+        | exception (Robust.Deadline.Expired _ as e) -> raise e
+        | exception e ->
+          breaker_failure t entry;
+          raise e
       in
       let open Ctxmatch.Context_match in
       Json.Obj
@@ -301,7 +432,7 @@ let match_reply t ~(mr : Protocol.match_request) ~source ~ingest ~deadline =
           ("issues", Protocol.error_strings result.issues);
           ("ingest_issues", Protocol.error_strings ingest);
         ]
-    end
+    end)
 
 let execute t job =
   obs_observe_ns "serve.queue_wait_ns" (Int64.sub (Robust.Deadline.now_ns ()) job.enqueued_ns);
@@ -317,11 +448,27 @@ let execute t job =
     | Robust.Deadline.Expired { stage } ->
       admission_reply t
         (Protocol.reject ~code:"timeout" ("request deadline expired during " ^ stage))
-    | e -> admission_reply t (internal_reject e)
+    | e ->
+      count t (fun t -> t.n_internal <- t.n_internal + 1);
+      obs_incr "serve.internal_errors";
+      admission_reply t (internal_reject e)
   in
   obs_observe_ns "serve.request_ns" (Int64.sub (Robust.Deadline.now_ns ()) started);
   count t (fun t -> t.n_completed <- t.n_completed + 1);
   obs_incr "serve.completed";
+  (* Periodic durability: with [flush_every] > 0 the executor flushes
+     the store every N completed match requests, so a SIGKILL loses at
+     most the last N requests' worth of profile work — this is the
+     knob the chaos harness turns to put torn-write faults and the
+     kill window on the flush path mid-soak. *)
+  (match job.work with
+  | W_match _ when t.cfg.flush_every > 0 ->
+    t.matches_since_flush <- t.matches_since_flush + 1;
+    if t.matches_since_flush >= t.cfg.flush_every then begin
+      t.matches_since_flush <- 0;
+      store_flush t
+    end
+  | W_match _ | W_register _ -> ());
   Mutex.lock job.jm;
   job.reply <- Some reply;
   Condition.broadcast job.jc;
@@ -459,6 +606,65 @@ let stats_reply t =
       ("targets", Json.List (List.map (fun n -> Json.String n) (List.sort compare targets)));
     ]
 
+(* Supervision probe.  Degraded means the daemon is serving but
+   something needs attention: a quarantined store shard, a tripped (or
+   still-probing) circuit breaker, or a failed last flush. *)
+let health_reply t =
+  let store_quarantined, store_issues =
+    match t.store with
+    | Some store ->
+      let s = Store.stats store in
+      (s.Store.st_quarantined, List.length (Store.issues store))
+    | None -> (0, 0)
+  in
+  Mutex.lock t.tm;
+  let breakers =
+    Hashtbl.fold
+      (fun name entry acc ->
+        let b = entry.te_breaker in
+        (name, breaker_state_name b.b_state, b.b_failures, b.b_trips) :: acc)
+      t.targets []
+    |> List.sort compare
+  in
+  Mutex.unlock t.tm;
+  Mutex.lock t.sm;
+  let internal = t.n_internal
+  and socket_faults = t.n_socket_faults
+  and flush_failures = t.n_flush_failures
+  and flush_failed = t.flush_failed
+  and completed = t.n_completed in
+  Mutex.unlock t.sm;
+  let breaker_degraded = List.exists (fun (_, s, _, _) -> s <> "closed") breakers in
+  let degraded = breaker_degraded || store_quarantined > 0 || flush_failed in
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ("status", Json.String (if degraded then "degraded" else "healthy"));
+      ( "store",
+        Json.Obj
+          [
+            ("quarantined", Json.Int store_quarantined);
+            ("issues", Json.Int store_issues);
+            ("flush_failures", Json.Int flush_failures);
+            ("flush_failed_last", Json.Bool flush_failed);
+          ] );
+      ( "breakers",
+        Json.List
+          (List.map
+             (fun (name, state, failures, trips) ->
+               Json.Obj
+                 [
+                   ("target", Json.String name);
+                   ("state", Json.String state);
+                   ("failures", Json.Int failures);
+                   ("trips", Json.Int trips);
+                 ])
+             breakers) );
+      ("internal_errors", Json.Int internal);
+      ("socket_faults", Json.Int socket_faults);
+      ("completed", Json.Int completed);
+    ]
+
 (* CSV payloads parse on the connection thread (cheap relative to
    matching, and it keeps malformed-payload replies off the executor's
    critical path).  Mirrors the CLI's ingestion semantics: Strict
@@ -509,6 +715,7 @@ let handle_line t line =
   | Error r -> reject_reply t r
   | Ok Protocol.Ping -> Json.Obj [ ("ok", Json.Bool true); ("pong", Json.Bool true) ]
   | Ok Protocol.Stats -> stats_reply t
+  | Ok Protocol.Health -> health_reply t
   | Ok Protocol.Shutdown ->
     stop t;
     (* wake the executor so an idle daemon drains immediately; the
@@ -535,13 +742,32 @@ let handle_line t line =
 
 (* --- connection I/O ----------------------------------------------------- *)
 
-let write_line fd line =
-  let data = Bytes.of_string (line ^ "\n") in
+let write_raw fd s =
+  let data = Bytes.of_string s in
   let len = Bytes.length data in
   let off = ref 0 in
   while !off < len do
     off := !off + Unix.write fd data !off (len - !off)
   done
+
+(* Reply writes pass through the [Socket_write] fault site, keyed
+   ["conn:<id>:<reply-seq>"].  A raising fault drops the connection; a
+   torn fault sends a prefix of the reply line first, so the client
+   sees a truncated line then EOF — either way the blast radius is one
+   connection, never the daemon. *)
+let faulted_write ~key fd line =
+  let data = line ^ "\n" in
+  match Robust.Fault.fire Robust.Fault.Socket_write ~key with
+  | Some (Robust.Fault.Torn_write frac) ->
+    let n = int_of_float (frac *. float_of_int (String.length data)) in
+    (try write_raw fd (String.sub data 0 n) with Unix.Unix_error _ -> ());
+    raise (Robust.Fault.Injected { site = Robust.Fault.Socket_write; key })
+  | Some Robust.Fault.Raise ->
+    raise (Robust.Fault.Injected { site = Robust.Fault.Socket_write; key })
+  | Some (Robust.Fault.Latency_ms _) ->
+    Robust.Fault.check Robust.Fault.Socket_write ~key;
+    write_raw fd data
+  | None -> write_raw fd data
 
 let oversized_reject max_bytes =
   Protocol.reject ~code:"oversized"
@@ -551,17 +777,24 @@ let oversized_reject max_bytes =
    outgrows [max_request_bytes] we reply immediately, drop bytes until
    the next newline, and keep serving — a client bug costs one request,
    not the connection (and certainly not the daemon). *)
-let connection_loop t fd =
+let connection_loop t ~id fd =
   let chunk = Bytes.create 65536 in
   let buf = Buffer.create 4096 in
   let discarding = ref false in
+  let reply_seq = ref 0 in
+  let read_seq = ref 0 in
+  let send line =
+    let key = Printf.sprintf "conn:%d:%d" id !reply_seq in
+    incr reply_seq;
+    faulted_write ~key fd line
+  in
   let process_line line =
     let line =
       (* tolerate CRLF clients *)
       let n = String.length line in
       if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
     in
-    if line <> "" then write_line fd (Json.to_string (handle_line t line))
+    if line <> "" then send (Json.to_string (handle_line t line))
   in
   let rec drain_buffer () =
     match String.index_opt (Buffer.contents buf) '\n' with
@@ -573,18 +806,20 @@ let connection_loop t fd =
       Buffer.add_string buf rest;
       if !discarding then discarding := false
       else if String.length line > t.cfg.max_request_bytes then
-        write_line fd (Json.to_string (reject_reply t (oversized_reject t.cfg.max_request_bytes)))
+        send (Json.to_string (reject_reply t (oversized_reject t.cfg.max_request_bytes)))
       else process_line line;
       drain_buffer ()
     | None ->
       if (not !discarding) && Buffer.length buf > t.cfg.max_request_bytes then begin
-        write_line fd (Json.to_string (reject_reply t (oversized_reject t.cfg.max_request_bytes)));
+        send (Json.to_string (reject_reply t (oversized_reject t.cfg.max_request_bytes)));
         Buffer.clear buf;
         discarding := true
       end
       else if !discarding then Buffer.clear buf
   in
   let rec read_loop () =
+    Robust.Fault.check Robust.Fault.Socket_read ~key:(Printf.sprintf "conn:%d:%d" id !read_seq);
+    incr read_seq;
     match Unix.read fd chunk 0 (Bytes.length chunk) with
     | 0 -> ()
     | n ->
@@ -593,7 +828,12 @@ let connection_loop t fd =
       read_loop ()
     | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _) -> ()
   in
-  try read_loop () with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+  try read_loop () with
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+  | Robust.Fault.Injected { site = Robust.Fault.Socket_read | Robust.Fault.Socket_write; _ } ->
+    (* an injected socket fault costs this connection, nothing else *)
+    count t (fun t -> t.n_socket_faults <- t.n_socket_faults + 1);
+    obs_incr "serve.socket_faults"
 
 let spawn_connection t fd =
   Mutex.lock t.cm;
@@ -610,7 +850,7 @@ let spawn_connection t fd =
             Hashtbl.remove t.conns id;
             Mutex.unlock t.cm;
             try Unix.close fd with Unix.Unix_error _ -> ())
-          (fun () -> connection_loop t fd))
+          (fun () -> connection_loop t ~id fd))
       ()
   in
   Mutex.lock t.cm;

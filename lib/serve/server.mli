@@ -39,6 +39,29 @@
     deadline expires while still queued is answered with a [timeout]
     error without being executed.
 
+    {2 Supervision}
+
+    A [health] request reports ["healthy"] or ["degraded"] plus the
+    evidence: store quarantine counts, flush failures and the state of
+    every per-target circuit breaker.  Each registered target carries
+    a breaker: [breaker_threshold] consecutive scoring failures trip
+    it open, and while open every match against that target is
+    rejected immediately with a structured [degraded] error.  A
+    scoring failure is an unexpected exception escaping the contained
+    pipeline, or a run the containment quarantined into producing
+    nothing at all (no matches, no standard matches, only issues) —
+    the caller got an empty answer either way.  Deadline expiry never
+    counts: a timeout is the client's budget, not the target's fault.  After [breaker_cooldown_ms] the next request
+    runs as a half-open trial: success closes the breaker, failure
+    re-opens it for another cooldown.
+
+    With [flush_every] > 0 the executor flushes the store every N
+    completed match requests (instead of only at shutdown), bounding
+    how much profile work a crash can lose; a failed flush is recorded
+    for [health] and retried on the next flush, never fatal.  Injected
+    socket faults ({!Robust.Fault.Socket_read} / [Socket_write]) cost
+    the one connection they fire on.
+
     {2 Shutdown}
 
     {!stop} (or a [shutdown] request) stops accepting connections,
@@ -60,11 +83,15 @@ type config = {
   max_request_bytes : int;  (** request lines beyond this are rejected as oversized *)
   store_dir : string option;  (** persistent profile store shared by all requests *)
   store_readonly : bool;
+  breaker_threshold : int;  (** consecutive failures that trip a target's breaker *)
+  breaker_cooldown_ms : int;  (** open-state duration before a half-open trial *)
+  flush_every : int;  (** flush the store every N match requests (0: only at shutdown) *)
 }
 
 val default_config : address -> config
 (** jobs 1, queue 64, no default deadline, 64 MiB request cap, no
-    store. *)
+    store, breaker threshold 3 / cooldown 1000 ms, shutdown-only
+    flush. *)
 
 exception Bind_error of { address : string; reason : string }
 (** The listening socket could not be created/bound/listened — most

@@ -282,6 +282,123 @@ let parse_index text =
     n
   | _ -> raise (Corrupt "bad index magic")
 
+(* ---- recovery audit ---------------------------------------------------- *)
+
+type shard_status = Shard_clean | Shard_truncated | Shard_corrupt | Shard_quarantined
+
+let shard_status_name = function
+  | Shard_clean -> "clean"
+  | Shard_truncated -> "truncated"
+  | Shard_corrupt -> "corrupt"
+  | Shard_quarantined -> "quarantined"
+
+type verify_entry = { ve_file : string; ve_status : shard_status; ve_detail : string }
+
+type verify_report = {
+  vr_entries : verify_entry list;
+  vr_clean : int;
+  vr_truncated : int;
+  vr_corrupt : int;
+  vr_quarantined : int;
+  vr_tmp : int;
+  vr_index_ok : bool;
+}
+
+let verify_healthy r =
+  r.vr_truncated = 0 && r.vr_corrupt = 0 && r.vr_index_ok
+
+(* The END footer is the truncation canary: a file whose last line is
+   not "END <n>" lost its tail (torn write, power cut before the data
+   hit disk), whereas a file that still carries END but fails to parse
+   was damaged some other way. *)
+let has_end_footer text =
+  let n = String.length text in
+  let stop = if n > 0 && text.[n - 1] = '\n' then n - 1 else n in
+  let start = match String.rindex_from_opt text (max 0 (stop - 1)) '\n' with
+    | Some i -> i + 1
+    | None -> 0
+  in
+  stop > start + 4 && String.sub text start 4 = "END "
+
+let shard_index_of_file f =
+  if String.length f = 14 && String.sub f 0 6 = "shard-" && Filename.check_suffix f ".dat"
+  then int_of_string_opt (String.sub f 6 4)
+  else None
+
+(* Walk [dir] and classify every store file without mutating anything:
+   clean shards parse end to end, truncated ones lost their END
+   footer, corrupt ones fail to parse some other way, and files the
+   recovery path already set aside stay quarantined.  Leftover
+   temp files from an interrupted atomic write are counted but
+   harmless — the rename never happened, so the shard they were
+   replacing is intact. *)
+let verify dir =
+  let files =
+    match Sys.readdir dir with
+    | files -> Array.to_list files |> List.sort String.compare
+    | exception Sys_error _ -> []
+  in
+  let index_ok, nshards =
+    let path = index_path dir in
+    if not (Sys.file_exists path) then
+      (* an index-less directory is an empty (or never-flushed) store *)
+      (true, None)
+    else
+      match parse_index (read_file path) with
+      | n -> (true, Some n)
+      | exception (Corrupt _ | Sys_error _) -> (false, None)
+  in
+  let entries =
+    List.filter_map
+      (fun f ->
+        if Filename.check_suffix f ".quarantined" then
+          Some { ve_file = f; ve_status = Shard_quarantined; ve_detail = "set aside by recovery" }
+        else
+          match shard_index_of_file f with
+          | None -> None
+          | Some i -> (
+            let path = Filename.concat dir f in
+            match read_file path with
+            | exception Sys_error reason ->
+              Some { ve_file = f; ve_status = Shard_corrupt; ve_detail = reason }
+            | text -> (
+              let nshards =
+                match nshards with
+                | Some n -> n
+                | None -> (
+                  (* no readable index: trust the shard's own header *)
+                  match String.index_opt text '\n' with
+                  | Some eol -> (
+                    match String.split_on_char ' ' (String.sub text 0 eol) with
+                    | [ "ctxstore"; _; "shard"; coords ] -> (
+                      match String.split_on_char '/' coords with
+                      | [ _; n ] -> ( match int_of_string_opt n with Some n -> n | None -> 0)
+                      | _ -> 0)
+                    | _ -> 0)
+                  | None -> 0)
+              in
+              match parse_shard ~index:i ~nshards text with
+              | _ -> Some { ve_file = f; ve_status = Shard_clean; ve_detail = "" }
+              | exception Corrupt reason ->
+                let status = if has_end_footer text then Shard_corrupt else Shard_truncated in
+                Some { ve_file = f; ve_status = status; ve_detail = reason })))
+      files
+  in
+  let count st = List.length (List.filter (fun e -> e.ve_status = st) entries) in
+  let tmp =
+    List.length
+      (List.filter (fun f -> Filename.check_suffix f ".tmp" && String.length f >= 5) files)
+  in
+  {
+    vr_entries = entries;
+    vr_clean = count Shard_clean;
+    vr_truncated = count Shard_truncated;
+    vr_corrupt = count Shard_corrupt;
+    vr_quarantined = count Shard_quarantined;
+    vr_tmp = tmp;
+    vr_index_ok = index_ok;
+  }
+
 let open_dir ?(shards = 8) ?(readonly = false) ?report dir =
   if shards < 1 then invalid_arg "Store.open_dir: shards must be >= 1";
   if not readonly then mkdir_p dir;
@@ -340,6 +457,11 @@ let loaded_shard t i =
   | `Loaded table -> table
   | `Unloaded ->
     let path = shard_path t i in
+    (* A read fault is a transient I/O error, not data damage: it
+       propagates to the caller and leaves the shard [`Unloaded] so a
+       later access retries — quarantining the (healthy) file here
+       would destroy data over a passing failure. *)
+    Robust.Fault.check Robust.Fault.Store_shard_read ~key:path;
     let table =
       if not (Sys.file_exists path) then Hashtbl.create 64
       else begin
@@ -361,6 +483,7 @@ let loaded_shard t i =
 let find t ~kind key =
   Mutex.lock t.mutex;
   let result =
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
     match Hashtbl.find_opt (loaded_shard t (shard_of t (address ~kind key))) (address ~kind key) with
     | Some art ->
       t.hits <- t.hits + 1;
@@ -369,7 +492,6 @@ let find t ~kind key =
       t.misses <- t.misses + 1;
       None
   in
-  Mutex.unlock t.mutex;
   (if !Obs.Recorder.enabled then
      match result with
      | Some _ -> Obs.Metrics.incr "store.hits"
@@ -379,6 +501,7 @@ let find t ~kind key =
 let add t ~kind key art =
   if not t.ro then begin
     Mutex.lock t.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
     let addr = address ~kind key in
     let i = shard_of t addr in
     let table = loaded_shard t i in
@@ -387,8 +510,7 @@ let add t ~kind key art =
       t.shards.(i).dirty <- true;
       t.adds <- t.adds + 1;
       if !Obs.Recorder.enabled then Obs.Metrics.incr "store.adds"
-    end;
-    Mutex.unlock t.mutex
+    end
   end
 
 let find_profile t key =
@@ -406,16 +528,49 @@ let add_distinct t key d = add t ~kind:'d' key (Distinct d)
 
 (* ---- flush ------------------------------------------------------------- *)
 
+(* Atomic temp-file-plus-rename write, with two injection points
+   matching the two real crash models:
+
+   - [Store_shard_write] with [Raise] fails before anything reaches
+     [path]: the old contents survive untouched (a leftover .tmp at
+     worst).  With [Torn_write frac] it persists only a prefix of the
+     payload *and still renames* — the no-fsync model where the rename
+     is durable but the data behind it is not; the END footer canary
+     catches the truncation on the next read.
+   - [Store_flush_rename] fails at the rename itself: old contents
+     survive, the complete new contents sit in a removed .tmp.
+
+   Either way every observable shard state is old, new, or
+   quarantinable-torn — never silent garbage. *)
 let write_atomic ~dir ~path content =
+  let torn =
+    match Robust.Fault.fire Robust.Fault.Store_shard_write ~key:path with
+    | Some (Torn_write frac) ->
+      Some (String.sub content 0 (int_of_float (frac *. float_of_int (String.length content))))
+    | Some Robust.Fault.Raise -> raise (Robust.Fault.Injected { site = Store_shard_write; key = path })
+    | Some (Latency_ms _) | None ->
+      ignore (Robust.Fault.check Robust.Fault.Store_shard_write ~key:path);
+      None
+  in
   let tmp = Filename.temp_file ~temp_dir:dir "store" ".tmp" in
   let oc = open_out_bin tmp in
-  (try output_string oc content
+  (try output_string oc (match torn with Some prefix -> prefix | None -> content)
    with e ->
      close_out_noerr oc;
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
   close_out oc;
-  Sys.rename tmp path
+  (match Robust.Fault.fire Robust.Fault.Store_flush_rename ~key:path with
+  | Some (Robust.Fault.Raise | Torn_write _) ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise (Robust.Fault.Injected { site = Store_flush_rename; key = path })
+  | Some (Latency_ms _) ->
+    ignore (Robust.Fault.check Robust.Fault.Store_flush_rename ~key:path);
+    Sys.rename tmp path
+  | None -> Sys.rename tmp path);
+  match torn with
+  | Some _ -> raise (Robust.Fault.Injected { site = Store_shard_write; key = path })
+  | None -> ()
 
 let flush t =
   if not t.ro then begin

@@ -30,6 +30,19 @@
     a clean replacement.  The same applies to an index written by a
     different format version, which quarantines every shard.
 
+    Three {!Robust.Fault} sites cover the store's I/O:
+    [Store_shard_read] (fires before a shard file is read; a raising
+    fault propagates and leaves the shard unloaded for retry — a
+    transient I/O error must not quarantine healthy data),
+    [Store_shard_write] (fires in {!flush}; [Raise] fails before the
+    rename so old contents survive, [Torn_write] persists a prefix
+    and still renames — the no-fsync crash model the END footer
+    canary exists for) and [Store_flush_rename] (fails the rename
+    itself; the complete new payload is discarded with the temp
+    file and old contents survive).  {!flush} propagates injected
+    write faults with the affected shard still marked dirty, so a
+    later flush retries with the full payload.
+
     {2 Interner independence}
 
     Profiles are serialised by gram {e string}
@@ -107,3 +120,41 @@ val issues : t -> Robust.Error.t list
 (** Quarantine events since open, oldest first (also mirrored to the
     [report] passed at {!open_dir}, and to the [store.*] observability
     counters). *)
+
+(** {2 Recovery audit}
+
+    {!verify} walks a store directory without opening (or mutating)
+    it and classifies every file: shards that parse end to end are
+    [Shard_clean]; shards missing the ["END <n>"] footer lost their
+    tail to a torn write and are [Shard_truncated]; shards that carry
+    the footer but fail to parse are [Shard_corrupt]; files the
+    recovery path already renamed to [.quarantined] stay
+    [Shard_quarantined].  Leftover [.tmp] files from an interrupted
+    atomic write are counted separately — the rename never happened,
+    so they are harmless.  The chaos gate accepts a store iff
+    {!verify_healthy}: nothing truncated, nothing corrupt, index
+    readable. *)
+
+type shard_status = Shard_clean | Shard_truncated | Shard_corrupt | Shard_quarantined
+
+val shard_status_name : shard_status -> string
+
+type verify_entry = { ve_file : string; ve_status : shard_status; ve_detail : string }
+
+type verify_report = {
+  vr_entries : verify_entry list;  (** one per store file, sorted by name *)
+  vr_clean : int;
+  vr_truncated : int;
+  vr_corrupt : int;
+  vr_quarantined : int;
+  vr_tmp : int;  (** leftover temp files (harmless) *)
+  vr_index_ok : bool;  (** index absent-or-parseable *)
+}
+
+val verify : string -> verify_report
+(** [verify dir] audits the store rooted at [dir].  Never raises: an
+    unlistable directory yields an empty report. *)
+
+val verify_healthy : verify_report -> bool
+(** No truncated or corrupt shard and a readable index — every file
+    is clean, quarantined or a harmless temp leftover. *)

@@ -1,0 +1,281 @@
+(* Kill-mid-flight chaos suite (DESIGN.md, "Failure semantics").
+
+   The daemon runs as a real subprocess with I/O fault sites armed for
+   its whole lifetime (--fault), flushing the store after every match
+   (--flush-every 1) so torn writes land on disk mid-soak; then it is
+   SIGKILLed — no drain, no shutdown flush — and warm-restarted over
+   the damaged directory.  The gates are the tentpole claims:
+
+   - zero corruption: after the kill every shard is old, new, or
+     truncated (the END canary) — never parseable garbage;
+   - recovery: the restarted daemon serves byte-identical matches to a
+     one-shot oracle over the same inputs, and after its clean
+     shutdown the store audits healthy (clean/quarantined only);
+   - determinism: the I/O fault sites hash (seed, site, key), so a
+     fault-degraded run is bit-identical at every jobs value. *)
+
+let cli = "../../bin/ctxmatch_cli.exe"
+
+let in_temp_dir f =
+  let dir = Filename.temp_file "ctxchaos" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () -> f dir)
+
+let retail_params =
+  { Workload.Retail.default_params with rows = 100; target_rows = 50; seed = 42 }
+
+let target_db = Workload.Retail.target retail_params Workload.Retail.Ryan_eyers
+let source_db seed = Workload.Retail.source { retail_params with seed }
+
+let csv_payload db =
+  List.map
+    (fun table -> (Relational.Table.name table, Relational.Csv_io.table_to_csv table))
+    (Relational.Database.tables db)
+
+let target_payload = csv_payload target_db
+
+(* One-shot oracle over the same inputs the daemon serves (results are
+   jobs-invariant, so jobs:1 here compares against any daemon). *)
+let oracle_matches ?store ?faults ~seed () =
+  let config =
+    match faults with
+    | None -> { Ctxmatch.Config.default with jobs = 1 }
+    | Some faults -> { Ctxmatch.Config.default with jobs = 1; faults }
+  in
+  let infer = Ctxmatch.Context_match.infer_of `Src_class ~target:target_db in
+  let r =
+    Ctxmatch.Context_match.run ~config ?store ~infer ~source:(source_db seed)
+      ~target:target_db ()
+  in
+  List.map Matching.Schema_match.to_string r.Ctxmatch.Context_match.matches
+
+(* --- jobs differential for the I/O fault sites -------------------------- *)
+
+let fp_match (m : Matching.Schema_match.t) =
+  Printf.sprintf "%s|%s|%s|%s.%s|%s|%h" m.src_owner m.src_base m.src_attr m.tgt_table
+    m.tgt_attr
+    (Relational.Condition.to_string m.condition)
+    m.confidence
+
+let fingerprint (r : Ctxmatch.Context_match.result) =
+  String.concat "\n"
+    (("matches:" :: List.map fp_match r.Ctxmatch.Context_match.matches)
+    @ ("standard:" :: List.map fp_match r.Ctxmatch.Context_match.standard)
+    @ ("issues:" :: List.map Robust.Error.to_string r.Ctxmatch.Context_match.issues))
+
+(* Store read faults fire per shard *path*, never per schedule: a
+   degraded warm run over a poisoned store is bit-identical — result
+   AND issue list — at jobs 1 and jobs 4.  This is the same
+   differential oracle the pipeline sites pass in test_faults, now
+   holding for the I/O layer. *)
+let test_io_fault_jobs_differential () =
+  in_temp_dir @@ fun dir ->
+  let store_dir = Filename.concat dir "store" in
+  (* warm the store so the faulted runs have shards to read *)
+  let warm = Store.open_dir store_dir in
+  ignore (oracle_matches ~store:warm ~seed:42 ());
+  Store.flush warm;
+  let faults = [ { Robust.Fault.site = Robust.Fault.Store_shard_read; rate = 0.35; seed = 1 } ] in
+  let run jobs =
+    let config = { Ctxmatch.Config.default with jobs; faults } in
+    let infer = Ctxmatch.Context_match.infer_of `Src_class ~target:target_db in
+    let store = Store.open_dir store_dir in
+    Ctxmatch.Context_match.run ~config ~store ~infer ~source:(source_db 42)
+      ~target:target_db ()
+  in
+  let sequential = run 1 in
+  Alcotest.(check bool) "read faults actually fired" true
+    (List.exists
+       (fun (i : Robust.Error.t) ->
+         let s = Robust.Error.to_string i in
+         let rec contains j =
+           j + 16 <= String.length s
+           && (String.sub s j 16 = "store-shard-read" || contains (j + 1))
+         in
+         contains 0)
+       sequential.Ctxmatch.Context_match.issues);
+  let fp = fingerprint sequential in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d identical to sequential under I/O faults" jobs)
+        fp
+        (fingerprint (run jobs)))
+    (List.sort_uniq compare [ 2; 4; Domain.recommended_domain_count () ])
+
+(* --- the real daemon: SIGKILL, recover, replay -------------------------- *)
+
+let run_capture cmd =
+  let ic = Unix.open_process_in (cmd ^ " 2>&1") in
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  (status, Buffer.contents buf)
+
+let spawn_daemon ~log extra =
+  Unix.create_process "sh"
+    [| "sh"; "-c"; Printf.sprintf "exec %s serve %s > %s 2>&1" cli extra (Filename.quote log) |]
+    Unix.stdin Unix.stdout Unix.stderr
+
+let with_connected address f =
+  let client = Serve.Client.connect ~retries:200 ~retry_delay_s:0.05 address in
+  Fun.protect ~finally:(fun () -> Serve.Client.close client) (fun () -> f client)
+
+let expect_ok reply =
+  match Serve.Json.(to_bool (Option.value ~default:Null (member "ok" reply))) with
+  | Some true -> ()
+  | _ -> Alcotest.failf "reply not ok: %s" (Serve.Json.to_string reply)
+
+let reply_matches reply =
+  match Serve.Json.(to_list_opt (Option.value ~default:Null (member "matches" reply))) with
+  | Some l -> List.filter_map Serve.Json.to_string_opt l
+  | None -> Alcotest.failf "reply without matches: %s" (Serve.Json.to_string reply)
+
+let soak_seeds = [ 42; 43; 44 ]
+
+let test_sigkill_recovery () =
+  in_temp_dir @@ fun dir ->
+  let store_dir = Filename.concat dir "store" in
+  let socket = Filename.concat dir "chaos.sock" in
+  let address = Serve.Server.Unix_sock socket in
+  let register client =
+    expect_ok
+      (Serve.Client.request client (Serve.Protocol.register_json ~name:"retail" target_payload))
+  in
+  let matching client seed =
+    Serve.Client.request client
+      (Serve.Protocol.match_json ~target:"retail" (csv_payload (source_db seed)))
+  in
+  (* phase 1: daemon with torn-write faults armed, flushing after every
+     match so damage lands on disk mid-soak, then SIGKILL — the process
+     dies with dirty state and no shutdown flush *)
+  let pid =
+    spawn_daemon
+      ~log:(Filename.concat dir "phase1.log")
+      (Printf.sprintf
+         "--socket %s --store %s --flush-every 1 --fault store-shard-write:1.0:3:torn=0.5"
+         (Filename.quote socket) (Filename.quote store_dir))
+  in
+  with_connected address (fun client ->
+      register client;
+      List.iter (fun seed -> expect_ok (matching client seed)) soak_seeds);
+  Unix.kill pid Sys.sigkill;
+  let _, status = Unix.waitpid [] pid in
+  Alcotest.(check bool) "daemon died by SIGKILL" true (status = Unix.WSIGNALED Sys.sigkill);
+  (* the crash-damage invariant: torn writes are truncations the END
+     canary catches — NEVER parseable garbage *)
+  let r = Store.verify store_dir in
+  Alcotest.(check bool) "torn writes landed" true (r.Store.vr_truncated >= 1);
+  Alcotest.(check int) "zero corruption" 0 r.Store.vr_corrupt;
+  (* store-verify through the executable: damage means exit 6 *)
+  let status, output =
+    run_capture (Printf.sprintf "%s store-verify %s" cli (Filename.quote store_dir))
+  in
+  Alcotest.(check bool) "store-verify exits 6 on damage" true (status = Unix.WEXITED 6);
+  Alcotest.(check bool) "audit names a truncated shard" true
+    (let rec contains j =
+       j + 9 <= String.length output
+       && (String.sub output j 9 = "truncated" || contains (j + 1))
+     in
+     contains 0);
+  (* phase 2: warm restart over the damaged directory, faults disarmed.
+     The stale socket file (SIGKILL never cleaned up) must be
+     reclaimed, the torn shards quarantined, and every served reply
+     byte-identical to the one-shot oracle. *)
+  let pid2 =
+    spawn_daemon
+      ~log:(Filename.concat dir "phase2.log")
+      (Printf.sprintf "--socket %s --store %s --flush-every 1" (Filename.quote socket)
+         (Filename.quote store_dir))
+  in
+  with_connected address (fun client ->
+      register client;
+      List.iter
+        (fun seed ->
+          let reply = matching client seed in
+          expect_ok reply;
+          Alcotest.(check (list string))
+            (Printf.sprintf "post-restart replies byte-identical (seed %d)" seed)
+            (oracle_matches ~seed ()) (reply_matches reply))
+        soak_seeds;
+      expect_ok (Serve.Client.request client Serve.Protocol.shutdown_json));
+  let _, status2 = Unix.waitpid [] pid2 in
+  Alcotest.(check bool) "recovered daemon drains cleanly" true (status2 = Unix.WEXITED 0);
+  (* after recovery + clean shutdown the audit is healthy: every file
+     clean or quarantined, index parseable *)
+  let healed = Store.verify store_dir in
+  Alcotest.(check bool) "healed store audits healthy" true (Store.verify_healthy healed);
+  Alcotest.(check bool) "damage was set aside, not erased" true
+    (healed.Store.vr_quarantined >= 1);
+  List.iter
+    (fun (e : Store.verify_entry) ->
+      match e.Store.ve_status with
+      | Store.Shard_clean | Store.Shard_quarantined -> ()
+      | st ->
+        Alcotest.failf "post-recovery shard %s is %s" e.Store.ve_file
+          (Store.shard_status_name st))
+    healed.Store.vr_entries;
+  let status, _ =
+    run_capture (Printf.sprintf "%s store-verify %s" cli (Filename.quote store_dir))
+  in
+  Alcotest.(check bool) "store-verify exits 0 after recovery" true (status = Unix.WEXITED 0)
+
+(* --- store-verify exit codes, standalone -------------------------------- *)
+
+let test_store_verify_exit_codes () =
+  in_temp_dir @@ fun dir ->
+  let store_dir = Filename.concat dir "store" in
+  let s = Store.open_dir store_dir in
+  let warm = oracle_matches ~store:s ~seed:42 () in
+  ignore warm;
+  Store.flush s;
+  let verify () =
+    run_capture (Printf.sprintf "%s store-verify %s" cli (Filename.quote store_dir))
+  in
+  let status, _ = verify () in
+  Alcotest.(check bool) "clean store exits 0" true (status = Unix.WEXITED 0);
+  (* hand-truncate one shard: exit 6 and a per-file report line *)
+  let shard =
+    Sys.readdir store_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".dat")
+    |> List.sort compare |> List.hd
+  in
+  let path = Filename.concat store_dir shard in
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub text 0 (String.length text / 2)));
+  let status, output = verify () in
+  Alcotest.(check bool) "damaged store exits 6" true (status = Unix.WEXITED 6);
+  Alcotest.(check bool) "report names the file" true
+    (let n = String.length shard in
+     let rec contains j =
+       j + n <= String.length output && (String.sub output j n = shard || contains (j + 1))
+     in
+     contains 0);
+  (* a missing directory is a usage error, not an audit verdict *)
+  let status, _ =
+    run_capture
+      (Printf.sprintf "%s store-verify %s" cli (Filename.quote (Filename.concat dir "nope")))
+  in
+  Alcotest.(check bool) "missing dir is a usage error" true (status = Unix.WEXITED 2)
+
+let () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Alcotest.run "ctxmatch-chaos"
+    [
+      ( "chaos",
+        [
+          Alcotest.test_case "I/O faults: jobs differential" `Slow
+            test_io_fault_jobs_differential;
+          Alcotest.test_case "SIGKILL mid-soak, recover, replay" `Slow test_sigkill_recovery;
+          Alcotest.test_case "store-verify exit codes" `Quick test_store_verify_exit_codes;
+        ] );
+    ]

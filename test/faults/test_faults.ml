@@ -232,6 +232,117 @@ let test_fault_decisions_are_stable () =
   Alcotest.(check bool) "disarmed after with_armed" false
     (Robust.Fault.armed Robust.Fault.Pool_task)
 
+(* --- armed-set concurrency --------------------------------------------- *)
+
+(* The armed set is one Atomic.t mutated through a CAS retry loop:
+   domains arming/disarming *different* sites concurrently must never
+   lose each other's updates (a plain read-modify-write would). *)
+let test_concurrent_arming_loses_nothing () =
+  Fun.protect ~finally:Robust.Fault.disarm_all @@ fun () ->
+  let sites = Array.of_list Robust.Fault.all_sites in
+  let n = Array.length sites in
+  let domains =
+    Array.mapi
+      (fun i site ->
+        Domain.spawn (fun () ->
+            (* churn: repeatedly arm and disarm my own site... *)
+            for round = 1 to 200 do
+              Robust.Fault.arm ~rate:0.5 ~seed:round site;
+              Robust.Fault.disarm site
+            done;
+            (* ...and leave it armed with a recognisable seed *)
+            Robust.Fault.arm ~rate:1.0 ~seed:(1000 + i) site))
+      sites
+  in
+  Array.iter Domain.join domains;
+  Array.iter
+    (fun site ->
+      Alcotest.(check bool)
+        (Robust.Fault.site_name site ^ " survived concurrent churn")
+        true (Robust.Fault.armed site))
+    sites;
+  (* and with_armed restores only its own overlay *)
+  Robust.Fault.with_armed
+    [ { Robust.Fault.site = sites.(0); rate = 0.1; seed = 9 } ]
+    (fun () -> ());
+  Alcotest.(check int) "every site still armed after with_armed" n
+    (Array.fold_left
+       (fun acc site -> if Robust.Fault.armed site then acc + 1 else acc)
+       0 sites)
+
+(* --- behaviours & --fault spec parsing ---------------------------------- *)
+
+let test_behaviours () =
+  Fun.protect ~finally:Robust.Fault.disarm_all @@ fun () ->
+  (* latency: check burns the delay and returns instead of raising *)
+  Robust.Fault.arm ~rate:1.0 ~seed:0 ~behaviour:(Robust.Fault.Latency_ms 1)
+    Robust.Fault.Memo_lookup;
+  Alcotest.(check unit) "latency behaviour never raises" ()
+    (Robust.Fault.check Robust.Fault.Memo_lookup ~key:"k");
+  (* torn write at a non-write site degrades to a raise *)
+  Robust.Fault.arm ~rate:1.0 ~seed:0 ~behaviour:(Robust.Fault.Torn_write 0.5)
+    Robust.Fault.Pool_task;
+  Alcotest.(check bool) "torn at a non-write site raises" true
+    (try
+       Robust.Fault.check Robust.Fault.Pool_task ~key:"k";
+       false
+     with Robust.Fault.Injected _ -> true);
+  (* fire exposes the decision without acting on it *)
+  Alcotest.(check bool) "fire reports the armed behaviour" true
+    (match Robust.Fault.fire Robust.Fault.Pool_task ~key:"k" with
+    | Some (Robust.Fault.Torn_write f) -> f = 0.5
+    | _ -> false);
+  Alcotest.(check bool) "unarmed site never fires" true
+    (Robust.Fault.fire Robust.Fault.Csv_parse ~key:"k" = None)
+
+let test_spec_parsing () =
+  let ok s = match Robust.Fault.spec_of_string s with Ok v -> v | Error e -> Alcotest.fail e in
+  let site, rate, seed, behaviour = ok "store-shard-write:0.25:7:torn=0.5" in
+  Alcotest.(check string) "site" "store-shard-write" (Robust.Fault.site_name site);
+  Alcotest.(check (float 0.0)) "rate" 0.25 rate;
+  Alcotest.(check int) "seed" 7 seed;
+  Alcotest.(check string) "behaviour" "torn=0.5" (Robust.Fault.behaviour_name behaviour);
+  let _, rate, seed, behaviour = ok "socket-read" in
+  Alcotest.(check (float 0.0)) "default rate" 1.0 rate;
+  Alcotest.(check int) "default seed" 0 seed;
+  Alcotest.(check string) "default behaviour" "raise" (Robust.Fault.behaviour_name behaviour);
+  let _, _, _, behaviour = ok "memo-lookup:0.1:3:latency=25" in
+  Alcotest.(check string) "latency behaviour" "latency=25"
+    (Robust.Fault.behaviour_name behaviour);
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) (bad ^ " rejected") true
+        (match Robust.Fault.spec_of_string bad with Error _ -> true | Ok _ -> false))
+    [ "no-such-site"; "csv-parse:nope"; "csv-parse:2.0"; "csv-parse:0.5:x"; "csv-parse:0.5:1:sideways"; "csv-parse:0.5:1:torn=2.0"; "" ];
+  (* arm_spec arms exactly what it parsed *)
+  Fun.protect ~finally:Robust.Fault.disarm_all @@ fun () ->
+  (match Robust.Fault.arm_spec "file-read:1.0:4" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "arm_spec armed the site" true
+    (Robust.Fault.armed Robust.Fault.File_read)
+
+(* The new I/O sites obey the same stable-decision contract as the
+   pipeline sites: pure function of (seed, site, key), site-distinct. *)
+let test_io_site_decisions_stable () =
+  Fun.protect ~finally:Robust.Fault.disarm_all @@ fun () ->
+  let keys = List.init 200 (fun i -> Printf.sprintf "shard-%04d.dat" i) in
+  let fired site =
+    Robust.Fault.disarm_all ();
+    Robust.Fault.arm ~rate:0.4 ~seed:11 site;
+    List.filter
+      (fun key ->
+        match Robust.Fault.fire site ~key with Some _ -> true | None -> false)
+      keys
+  in
+  let w = fired Robust.Fault.Store_shard_write in
+  let r = fired Robust.Fault.Store_shard_read in
+  Alcotest.(check bool) "partial firing" true
+    (w <> [] && List.length w < List.length keys);
+  Alcotest.(check (list string)) "write decisions replay" w
+    (fired Robust.Fault.Store_shard_write);
+  Alcotest.(check bool) "sites decide independently" true (w <> r)
+
 let () =
   Alcotest.run "ctxmatch-faults"
     [
@@ -240,6 +351,11 @@ let () =
           Alcotest.test_case "pool results containment" `Quick test_pool_results_containment;
           Alcotest.test_case "pool deadline" `Quick test_pool_deadline;
           Alcotest.test_case "fault decisions stable" `Quick test_fault_decisions_are_stable;
+          Alcotest.test_case "concurrent arming loses nothing" `Quick
+            test_concurrent_arming_loses_nothing;
+          Alcotest.test_case "behaviours" `Quick test_behaviours;
+          Alcotest.test_case "--fault spec parsing" `Quick test_spec_parsing;
+          Alcotest.test_case "I/O site decisions stable" `Quick test_io_site_decisions_stable;
           Alcotest.test_case "csv-parse faults" `Quick test_csv_parse_faults;
           Alcotest.test_case "file-read faults" `Quick test_file_read_faults;
           Alcotest.test_case "rate 0.0 = clean" `Slow test_rate_zero_is_clean;

@@ -1,0 +1,159 @@
+(* Serve.Json edge cases.
+
+   The daemon trusts this codec with every byte a client sends, so the
+   suite leans on the inputs that break hand-rolled JSON parsers:
+   surrogate pairs (valid, lone, and inverted), deep nesting, numeric
+   limits, escape handling, and a qcheck round-trip property over
+   randomly generated values. *)
+
+module Json = Serve.Json
+
+let parses s = match Json.parse s with _ -> true | exception Json.Parse_error _ -> false
+
+let check_rejects name inputs =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Printf.sprintf "%s: %S rejected" name s) false (parses s))
+    inputs
+
+(* --- unicode escapes ---------------------------------------------------- *)
+
+let test_unicode_escapes () =
+  (* BMP code point: 2-byte UTF-8 *)
+  Alcotest.(check bool) "latin-1 escape" true
+    (Json.parse "\"\\u00e9\"" = Json.String "\xc3\xa9");
+  (* 3-byte UTF-8 *)
+  Alcotest.(check bool) "CJK escape" true
+    (Json.parse "\"\\u4e2d\"" = Json.String "\xe4\xb8\xad");
+  (* surrogate pair: one astral code point, 4-byte UTF-8 *)
+  Alcotest.(check bool) "surrogate pair folds to U+1F600" true
+    (Json.parse "\"\\ud83d\\ude00\"" = Json.String "\xf0\x9f\x98\x80");
+  (* NUL escape round-trips as a real byte *)
+  Alcotest.(check bool) "escaped NUL" true (Json.parse "\"\\u0000\"" = Json.String "\x00");
+  check_rejects "surrogate abuse"
+    [
+      "\"\\ud83d\"" (* lone high surrogate *);
+      "\"\\ud83d \"" (* high surrogate followed by a plain char *);
+      "\"\\ud83d\\u0041\"" (* high surrogate + non-surrogate escape *);
+      "\"\\ude00\"" (* lone low surrogate *);
+      "\"\\ude00\\ud83d\"" (* inverted pair *);
+      "\"\\ud83d\\ud83d\"" (* high + high *);
+      "\"\\uD8\"" (* truncated escape *);
+      "\"\\uzzzz\"" (* non-hex digits *);
+    ]
+
+let test_escape_handling () =
+  Alcotest.(check bool) "standard escapes" true
+    (Json.parse "\"a\\\"b\\\\c\\/d\\be\\ff\\ng\\rh\\ti\""
+    = Json.String "a\"b\\c/d\be\012f\ng\rh\ti");
+  check_rejects "bad escapes" [ "\"\\x41\""; "\"\\q\""; "\"abc" (* unterminated *) ];
+  (* control characters must be escaped when printing, so a rendered
+     value never breaks the line-delimited protocol *)
+  let rendered = Json.to_string (Json.String "line1\nline2\x01") in
+  Alcotest.(check bool) "no raw newline in rendering" true
+    (not (String.contains rendered '\n'));
+  Alcotest.(check bool) "rendering re-parses" true
+    (Json.parse rendered = Json.String "line1\nline2\x01")
+
+(* --- nesting ------------------------------------------------------------ *)
+
+(* 1000 levels is far beyond any real request and must still parse —
+   the daemon caps request size, not nesting, so the parser has to
+   handle whatever fits in a line. *)
+let test_deep_nesting () =
+  let depth = 1000 in
+  let deep_list =
+    String.make depth '[' ^ "1" ^ String.make depth ']'
+  in
+  let rec unwrap v n =
+    if n = 0 then v = Json.Int 1
+    else match v with Json.List [ inner ] -> unwrap inner (n - 1) | _ -> false
+  in
+  Alcotest.(check bool) "1000-deep list parses" true (unwrap (Json.parse deep_list) depth);
+  let deep_obj =
+    String.concat "" (List.init depth (fun _ -> "{\"k\":")) ^ "null" ^ String.make depth '}'
+  in
+  Alcotest.(check bool) "1000-deep object parses" true
+    (match Json.parse deep_obj with Json.Obj [ ("k", _) ] -> true | _ -> false);
+  (* unbalanced nesting fails cleanly *)
+  check_rejects "unbalanced" [ String.make 50 '['; "{\"k\":{\"k\":}}"; "[[1,2],]" ]
+
+(* --- numbers ------------------------------------------------------------ *)
+
+let test_numbers () =
+  Alcotest.(check bool) "max_int" true (Json.parse (string_of_int max_int) = Json.Int max_int);
+  Alcotest.(check bool) "min_int" true (Json.parse (string_of_int min_int) = Json.Int min_int);
+  Alcotest.(check bool) "negative zero float" true
+    (match Json.parse "-0.0" with Json.Float f -> 1.0 /. f = neg_infinity | _ -> false);
+  Alcotest.(check bool) "exponent form" true
+    (match Json.parse "1.5e3" with Json.Float f -> f = 1500.0 | _ -> false);
+  (* non-finite floats render as null (JSON has no spelling for them) *)
+  Alcotest.(check string) "nan renders null" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string) "inf renders null" "null"
+    (Json.to_string (Json.Float Float.infinity));
+  check_rejects "number junk" [ "01"; "1."; ".5"; "+1"; "1e"; "--1"; "0x10" ]
+
+let test_toplevel_junk () =
+  check_rejects "top-level junk" [ ""; " "; "true false"; "{} []"; "1 2"; "{\"a\":1} trailing" ]
+
+(* --- qcheck round-trip --------------------------------------------------- *)
+
+(* Any value the generator can build must survive to_string/parse
+   bit-for-bit.  Strings are printable-ASCII: the codec stores raw
+   bytes, so non-UTF-8 inputs are the caller's business — the protocol
+   only ever renders what it parsed or built itself. *)
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) small_signed_int;
+        (* floats from raw bits would include nan/inf, which
+           deliberately do not round-trip; draw a finite range *)
+        map (fun f -> Json.Float f) (float_range (-1e9) 1e9);
+        map (fun s -> Json.String s) (string_size ~gen:printable (int_range 0 12));
+      ]
+  in
+  let rec value depth =
+    if depth = 0 then scalar
+    else
+      frequency
+        [
+          (3, scalar);
+          (1, map (fun l -> Json.List l) (list_size (int_range 0 4) (value (depth - 1))));
+          ( 1,
+            map
+              (fun kvs -> Json.Obj kvs)
+              (list_size (int_range 0 4)
+                 (pair (string_size ~gen:printable (int_range 0 8)) (value (depth - 1)))) );
+        ]
+  in
+  value 3
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"to_string |> parse round-trips" ~count:1000 (QCheck.make json_gen)
+    (fun v ->
+      match Json.parse (Json.to_string v) with
+      | parsed -> parsed = v
+      | exception Json.Parse_error _ -> false)
+
+let qcheck_rendering_single_line =
+  QCheck.Test.make ~name:"rendering never emits a raw newline" ~count:1000
+    (QCheck.make json_gen) (fun v -> not (String.contains (Json.to_string v) '\n'))
+
+let () =
+  Alcotest.run "ctxmatch-serve-json"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "unicode escapes & surrogates" `Quick test_unicode_escapes;
+          Alcotest.test_case "escape handling" `Quick test_escape_handling;
+          Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
+          Alcotest.test_case "number limits" `Quick test_numbers;
+          Alcotest.test_case "top-level junk" `Quick test_toplevel_junk;
+          QCheck_alcotest.to_alcotest qcheck_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_rendering_single_line;
+        ] );
+    ]

@@ -433,6 +433,131 @@ let test_obs_metrics () =
      [ a; b; c; d ]);
   Alcotest.(check bool) "obs counters jobs-invariant" true (at1 = at4)
 
+(* --- supervision: health & the circuit breaker -------------------------- *)
+
+let health client = Serve.Client.request client Serve.Protocol.health_json
+
+let breaker_of reply target =
+  match Serve.Json.to_list_opt (expect_field reply "breakers") with
+  | None -> Alcotest.fail "breakers is not a list"
+  | Some l -> (
+    match
+      List.find_opt
+        (fun b ->
+          Serve.Json.to_string_opt (expect_field b "target") = Some target)
+        l
+    with
+    | Some b -> b
+    | None -> Alcotest.failf "no breaker for target %S" target)
+
+let health_status reply =
+  match Serve.Json.to_string_opt (expect_field reply "status") with
+  | Some s -> s
+  | None -> Alcotest.fail "health status is not a string"
+
+let breaker_state b =
+  match Serve.Json.to_string_opt (expect_field b "state") with
+  | Some s -> s
+  | None -> Alcotest.fail "breaker state is not a string"
+
+(* A fresh daemon with a registered target reports healthy with a
+   closed breaker; the payload carries the supervision evidence. *)
+let test_health_request () =
+  in_temp_dir @@ fun dir ->
+  with_server dir @@ fun _server address ->
+  with_client address @@ fun client ->
+  ignore (register client ());
+  expect_ok (do_match client ());
+  let reply = health client in
+  expect_ok reply;
+  Alcotest.(check string) "healthy" "healthy" (health_status reply);
+  let b = breaker_of reply "retail" in
+  Alcotest.(check string) "breaker closed" "closed" (breaker_state b);
+  Alcotest.(check int) "no failures" 0 (int_field b "failures");
+  Alcotest.(check int) "no trips" 0 (int_field b "trips");
+  let store = expect_field reply "store" in
+  Alcotest.(check int) "no quarantines" 0 (int_field store "quarantined");
+  Alcotest.(check int) "no flush failures" 0 (int_field store "flush_failures");
+  Alcotest.(check int) "completed counted" 2 (int_field reply "completed")
+
+(* The full breaker lifecycle: repeated total scoring failures trip it
+   (structured degraded rejects while open), the cooldown admits a
+   half-open trial, a failing trial re-opens, a succeeding one closes —
+   and after recovery the serve answers are byte-identical to the
+   oracle again. *)
+let test_breaker_lifecycle () =
+  in_temp_dir @@ fun dir ->
+  let cooldown_ms = 600 in
+  with_server dir
+    ~configure:(fun c ->
+      { c with Serve.Server.breaker_threshold = 2; breaker_cooldown_ms = cooldown_ms })
+  @@ fun _server address ->
+  with_client address @@ fun client ->
+  ignore (register client ());
+  (* every source attribute quarantined: an ok reply, but empty —
+     that is the breaker's "total scoring failure" signal *)
+  let wreck = [ { Robust.Fault.site = Robust.Fault.Matcher_score; rate = 1.0; seed = 0 } ] in
+  let wrecked = do_match client ~faults:wreck () in
+  expect_ok wrecked;
+  Alcotest.(check (list string)) "wrecked run matches nothing" []
+    (string_list wrecked "matches");
+  Alcotest.(check bool) "wrecked run carries issues" true
+    (string_list wrecked "issues" <> []);
+  let h = health client in
+  Alcotest.(check string) "one failure: still closed" "closed"
+    (breaker_state (breaker_of h "retail"));
+  expect_ok (do_match client ~faults:wreck ());
+  (* threshold 2 reached: open — clean requests are rejected without
+     being scored, and health says degraded *)
+  expect_reject ~code:"degraded" (do_match client ());
+  let h = health client in
+  Alcotest.(check string) "degraded while open" "degraded" (health_status h);
+  let b = breaker_of h "retail" in
+  Alcotest.(check string) "breaker open" "open" (breaker_state b);
+  Alcotest.(check int) "one trip" 1 (int_field b "trips");
+  (* cooldown, then a FAILING half-open trial: straight back to open *)
+  Thread.delay (float_of_int cooldown_ms /. 1000.0 +. 0.2);
+  expect_ok (do_match client ~faults:wreck ());
+  expect_reject ~code:"degraded" (do_match client ());
+  Alcotest.(check int) "re-tripped" 2 (int_field (breaker_of (health client) "retail") "trips");
+  (* cooldown, then a SUCCEEDING trial: closed, healthy, and the
+     served answer is the oracle's again *)
+  Thread.delay (float_of_int cooldown_ms /. 1000.0 +. 0.2);
+  let want, _ = oracle_strings (oracle ()) in
+  let reply = do_match client () in
+  expect_ok reply;
+  Alcotest.(check (list string)) "recovered answers identical" want
+    (string_list reply "matches");
+  let h = health client in
+  Alcotest.(check string) "healthy after recovery" "healthy" (health_status h);
+  let b = breaker_of h "retail" in
+  Alcotest.(check string) "breaker closed again" "closed" (breaker_state b);
+  Alcotest.(check int) "failures reset" 0 (int_field b "failures");
+  Alcotest.(check int) "trips are history" 2 (int_field b "trips");
+  (* deadline expiry must NOT count as a breaker failure *)
+  expect_reject ~code:"timeout" (do_match client ~timeout_ms:0 ());
+  Alcotest.(check string) "timeout leaves the breaker closed" "closed"
+    (breaker_state (breaker_of (health client) "retail"))
+
+(* Re-registering a target replaces its breaker: an operator's way to
+   reset supervision state after fixing the underlying cause. *)
+let test_reregister_resets_breaker () =
+  in_temp_dir @@ fun dir ->
+  with_server dir
+    ~configure:(fun c ->
+      { c with Serve.Server.breaker_threshold = 1; breaker_cooldown_ms = 3_600_000 })
+  @@ fun _server address ->
+  with_client address @@ fun client ->
+  ignore (register client ());
+  let wreck = [ { Robust.Fault.site = Robust.Fault.Matcher_score; rate = 1.0; seed = 0 } ] in
+  expect_ok (do_match client ~faults:wreck ());
+  expect_reject ~code:"degraded" (do_match client ());
+  ignore (register client ());
+  let reply = do_match client () in
+  expect_ok reply;
+  Alcotest.(check string) "fresh breaker closed" "closed"
+    (breaker_state (breaker_of (health client) "retail"))
+
 (* --- graceful shutdown -------------------------------------------------- *)
 
 (* In-process: a shutdown request drains, the run thread returns, the
@@ -579,6 +704,14 @@ let () =
           Alcotest.test_case "bounded queue rejects when full" `Quick test_backpressure_rejects;
           Alcotest.test_case "stats request" `Quick test_stats_request;
           Alcotest.test_case "obs counters consistent and jobs-invariant" `Slow test_obs_metrics;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "health request" `Quick test_health_request;
+          Alcotest.test_case "breaker trips, rejects degraded, recovers" `Slow
+            test_breaker_lifecycle;
+          Alcotest.test_case "re-register resets the breaker" `Quick
+            test_reregister_resets_breaker;
         ] );
       ( "soak",
         [ Alcotest.test_case "concurrent clients, randomized knobs" `Slow test_concurrency_soak ] );

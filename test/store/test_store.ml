@@ -229,6 +229,195 @@ let test_data_digest_mismatch_misses () =
   Alcotest.(check bool) "original key still hits" true (Store.find_profile s2 k1 <> None);
   Alcotest.(check int) "a miss is not a quarantine" 0 (Store.stats s2).Store.st_quarantined
 
+(* --- injected I/O faults & recovery audit ------------------------------ *)
+
+let slurp path = In_channel.with_open_bin path In_channel.input_all
+let all_keys n = List.init n (fun i -> key ~table:"T" ~attr:(Printf.sprintf "a%d" i))
+
+let probe_all s n =
+  List.fold_left (fun acc k -> if Store.find_profile s k <> None then acc + 1 else acc) 0
+    (all_keys n)
+
+let test_verify_classifications () =
+  in_temp_dir @@ fun dir ->
+  let empty = Store.verify (Filename.concat dir "nonexistent") in
+  Alcotest.(check bool) "missing dir audits healthy-empty" true
+    (Store.verify_healthy empty && empty.Store.vr_entries = []);
+  populate dir;
+  let r = Store.verify dir in
+  Alcotest.(check bool) "fresh store verifies healthy" true (Store.verify_healthy r);
+  Alcotest.(check bool) "clean shards counted" true (r.Store.vr_clean > 0);
+  Alcotest.(check int) "nothing damaged yet" 0
+    (r.Store.vr_truncated + r.Store.vr_corrupt + r.Store.vr_quarantined + r.Store.vr_tmp);
+  (* pick the two fattest shards so both certainly carry entries *)
+  let by_size =
+    shard_files dir
+    |> List.map (fun f -> (String.length (slurp (Filename.concat dir f)), f))
+    |> List.sort (fun a b -> compare b a)
+    |> List.map snd
+  in
+  match by_size with
+  | torn :: wreck :: _ ->
+    (* torn: lose the tail (and with it the END footer) *)
+    truncate_file (Filename.concat dir torn);
+    (* wreck: keep the END footer but damage an entry line *)
+    let wreck_path = Filename.concat dir wreck in
+    let damaged =
+      String.split_on_char '\n' (slurp wreck_path)
+      |> List.mapi (fun i l -> if i = 1 then "WRECKED" else l)
+      |> String.concat "\n"
+    in
+    Out_channel.with_open_bin wreck_path (fun oc -> Out_channel.output_string oc damaged);
+    Out_channel.with_open_bin (Filename.concat dir "shard-0042.dat.tmp") (fun oc ->
+        Out_channel.output_string oc "interrupted atomic write");
+    Out_channel.with_open_bin (Filename.concat dir "shard-0042.dat.quarantined") (fun oc ->
+        Out_channel.output_string oc "set aside long ago");
+    let r2 = Store.verify dir in
+    let status f =
+      match List.find_opt (fun e -> e.Store.ve_file = f) r2.Store.vr_entries with
+      | Some e -> Store.shard_status_name e.Store.ve_status
+      | None -> "missing"
+    in
+    Alcotest.(check string) "lost tail classified truncated" "truncated" (status torn);
+    Alcotest.(check string) "END intact but unparseable classified corrupt" "corrupt"
+      (status wreck);
+    Alcotest.(check int) "one truncated" 1 r2.Store.vr_truncated;
+    Alcotest.(check int) "one corrupt" 1 r2.Store.vr_corrupt;
+    Alcotest.(check int) "quarantined counted" 1 r2.Store.vr_quarantined;
+    Alcotest.(check int) "tmp counted" 1 r2.Store.vr_tmp;
+    Alcotest.(check bool) "index still ok" true r2.Store.vr_index_ok;
+    Alcotest.(check bool) "damage makes the audit unhealthy" false (Store.verify_healthy r2);
+    (* verify is a pure audit: re-running it mutates nothing *)
+    let before = Sys.readdir dir |> Array.to_list |> List.sort compare in
+    let r3 = Store.verify dir in
+    Alcotest.(check int) "audit is stable" (List.length r2.Store.vr_entries)
+      (List.length r3.Store.vr_entries);
+    Alcotest.(check (list string)) "audit never mutates the directory" before
+      (Sys.readdir dir |> Array.to_list |> List.sort compare)
+  | _ -> Alcotest.fail "expected at least two shards"
+
+(* Satellite: the END-count canary under an *injected* short write —
+   the no-fsync crash model where the rename survives but the bytes
+   behind it do not.  The audit must call it truncated (never silently
+   garbage), recovery must quarantine-and-rebuild to a healthy store. *)
+let test_torn_write_end_canary () =
+  in_temp_dir @@ fun dir ->
+  populate dir;
+  let s = Store.open_dir dir in
+  for i = 20 to 39 do
+    Store.add_profile s (key ~table:"T" ~attr:(Printf.sprintf "a%d" i)) (sample_profile ())
+  done;
+  Fun.protect ~finally:Robust.Fault.disarm_all @@ fun () ->
+  Robust.Fault.arm ~rate:1.0 ~seed:7 ~behaviour:(Robust.Fault.Torn_write 0.5)
+    Robust.Fault.Store_shard_write;
+  Alcotest.(check bool) "torn flush surfaces as Injected" true
+    (try
+       Store.flush s;
+       false
+     with Robust.Fault.Injected { site = Robust.Fault.Store_shard_write; _ } -> true);
+  Robust.Fault.disarm_all ();
+  let r = Store.verify dir in
+  Alcotest.(check int) "the canary flags exactly the torn shard" 1 r.Store.vr_truncated;
+  Alcotest.(check int) "torn is never misread as parseable garbage" 0 r.Store.vr_corrupt;
+  Alcotest.(check bool) "audit flags the store" false (Store.verify_healthy r);
+  (* recovery: reopening quarantines the torn shard and serves the rest *)
+  let s2 = Store.open_dir dir in
+  let found = probe_all s2 40 in
+  Alcotest.(check bool) "partial service after the crash" true (found > 0 && found < 40);
+  Alcotest.(check bool) "torn shard quarantined on load" true
+    ((Store.stats s2).Store.st_quarantined >= 1);
+  List.iter
+    (fun k -> if Store.find_profile s2 k = None then Store.add_profile s2 k (sample_profile ()))
+    (all_keys 40);
+  Store.flush s2;
+  let healed = Store.verify dir in
+  Alcotest.(check bool) "healed store audits healthy" true (Store.verify_healthy healed);
+  Alcotest.(check bool) "quarantined file kept for forensics" true
+    (healed.Store.vr_quarantined >= 1);
+  let s3 = Store.open_dir dir in
+  Alcotest.(check int) "everything served after recovery" 40 (probe_all s3 40)
+
+(* Raise at the write site fails before anything reaches the shard
+   path: every old byte survives untouched, and a disarmed retry of the
+   same flush completes (nothing was lost in memory either). *)
+let test_write_raise_preserves_old () =
+  in_temp_dir @@ fun dir ->
+  populate dir;
+  let baseline = shard_files dir |> List.map (fun f -> (f, slurp (Filename.concat dir f))) in
+  let s = Store.open_dir dir in
+  for i = 20 to 39 do
+    Store.add_profile s (key ~table:"T" ~attr:(Printf.sprintf "a%d" i)) (sample_profile ())
+  done;
+  Fun.protect ~finally:Robust.Fault.disarm_all @@ fun () ->
+  Robust.Fault.arm ~rate:1.0 ~seed:3 Robust.Fault.Store_shard_write;
+  Alcotest.(check bool) "write fault surfaces as Injected" true
+    (try
+       Store.flush s;
+       false
+     with Robust.Fault.Injected { site = Robust.Fault.Store_shard_write; _ } -> true);
+  Robust.Fault.disarm_all ();
+  List.iter
+    (fun (f, text) ->
+      Alcotest.(check string) (f ^ ": old bytes survive") text (slurp (Filename.concat dir f)))
+    baseline;
+  Alcotest.(check bool) "old store audits healthy" true
+    (Store.verify_healthy (Store.verify dir));
+  Store.flush s;
+  let s2 = Store.open_dir dir in
+  Alcotest.(check int) "retried flush persists everything" 40 (probe_all s2 40)
+
+(* Failure at the rename: old contents survive, the complete new
+   contents sit in a *removed* temp file — no litter, no torn state. *)
+let test_rename_fault_preserves_old () =
+  in_temp_dir @@ fun dir ->
+  populate dir;
+  let baseline = shard_files dir |> List.map (fun f -> (f, slurp (Filename.concat dir f))) in
+  let s = Store.open_dir dir in
+  for i = 20 to 39 do
+    Store.add_profile s (key ~table:"T" ~attr:(Printf.sprintf "a%d" i)) (sample_profile ())
+  done;
+  Fun.protect ~finally:Robust.Fault.disarm_all @@ fun () ->
+  Robust.Fault.arm ~rate:1.0 ~seed:5 Robust.Fault.Store_flush_rename;
+  Alcotest.(check bool) "rename fault surfaces as Injected" true
+    (try
+       Store.flush s;
+       false
+     with Robust.Fault.Injected { site = Robust.Fault.Store_flush_rename; _ } -> true);
+  Robust.Fault.disarm_all ();
+  List.iter
+    (fun (f, text) ->
+      Alcotest.(check string) (f ^ ": old bytes survive") text (slurp (Filename.concat dir f)))
+    baseline;
+  let r = Store.verify dir in
+  Alcotest.(check int) "tmp removed on the way out" 0 r.Store.vr_tmp;
+  Alcotest.(check bool) "old store audits healthy" true (Store.verify_healthy r);
+  Store.flush s;
+  let s2 = Store.open_dir dir in
+  Alcotest.(check int) "retried flush persists everything" 40 (probe_all s2 40)
+
+(* A read fault is a transient I/O error, not data damage: it
+   propagates to the caller, the shard stays unloaded, and the same
+   probe retried without the fault serves — healthy data must never be
+   quarantined for a failed read attempt. *)
+let test_read_fault_is_transient () =
+  in_temp_dir @@ fun dir ->
+  populate dir;
+  let s = Store.open_dir dir in
+  let k = key ~table:"T" ~attr:"a0" in
+  Fun.protect ~finally:Robust.Fault.disarm_all @@ fun () ->
+  Robust.Fault.arm ~rate:1.0 ~seed:1 Robust.Fault.Store_shard_read;
+  Alcotest.(check bool) "read fault propagates" true
+    (try
+       ignore (Store.find_profile s k);
+       false
+     with Robust.Fault.Injected { site = Robust.Fault.Store_shard_read; _ } -> true);
+  Robust.Fault.disarm_all ();
+  Alcotest.(check bool) "disarmed retry serves" true (Store.find_profile s k <> None);
+  Alcotest.(check int) "healthy data never quarantined" 0
+    (Store.stats s).Store.st_quarantined;
+  Alcotest.(check bool) "no file set aside" false
+    (Sys.readdir dir |> Array.exists (fun f -> Filename.check_suffix f ".quarantined"))
+
 (* --- end-to-end warm start --------------------------------------------- *)
 
 let fp_match (m : Matching.Schema_match.t) =
@@ -319,6 +508,12 @@ let () =
           Alcotest.test_case "table digest sensitivity" `Quick test_table_digest_sensitivity;
           Alcotest.test_case "data digest mismatch misses" `Quick
             test_data_digest_mismatch_misses;
+          Alcotest.test_case "verify classifications" `Quick test_verify_classifications;
+          Alcotest.test_case "torn write END canary" `Quick test_torn_write_end_canary;
+          Alcotest.test_case "write raise preserves old" `Quick test_write_raise_preserves_old;
+          Alcotest.test_case "rename fault preserves old" `Quick
+            test_rename_fault_preserves_old;
+          Alcotest.test_case "read fault is transient" `Quick test_read_fault_is_transient;
           Alcotest.test_case "warm identical to cold" `Slow test_warm_identical_to_cold;
           Alcotest.test_case "warm after quarantine identical" `Slow
             test_warm_after_quarantine_identical;
