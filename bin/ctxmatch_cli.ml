@@ -298,21 +298,51 @@ let demo_cmd_run scenario =
    exit non-zero (code 6) if anything is outside {clean, quarantined}.
    Never mutates the store — quarantining stays the job of the read
    path that owns the data. *)
-let store_verify_cmd_run dir =
+let store_verify_cmd_run dir json =
   if not (Sys.file_exists dir && Sys.is_directory dir) then
     cli_error usage_code "%s: not a directory" dir;
   let r = Store.verify dir in
-  List.iter
-    (fun (e : Store.verify_entry) ->
-      Printf.printf "%-12s %s%s\n"
-        (Store.shard_status_name e.Store.ve_status)
-        e.Store.ve_file
-        (if e.Store.ve_detail = "" then "" else Printf.sprintf " (%s)" e.Store.ve_detail))
-    r.Store.vr_entries;
-  Printf.printf "# store-verify: %d clean, %d truncated, %d corrupt, %d quarantined, %d tmp, index %s\n"
-    r.Store.vr_clean r.Store.vr_truncated r.Store.vr_corrupt r.Store.vr_quarantined
-    r.Store.vr_tmp
-    (if r.Store.vr_index_ok then "ok" else "corrupt");
+  if json then
+    (* machine-readable audit, e.g. for CI gates and supervisors *)
+    print_endline
+      (Serve.Json.to_string
+         (Serve.Json.Obj
+            [
+              ("dir", Serve.Json.String dir);
+              ( "entries",
+                Serve.Json.List
+                  (List.map
+                     (fun (e : Store.verify_entry) ->
+                       Serve.Json.Obj
+                         [
+                           ("file", Serve.Json.String e.Store.ve_file);
+                           ("status", Serve.Json.String (Store.shard_status_name e.Store.ve_status));
+                           ("detail", Serve.Json.String e.Store.ve_detail);
+                         ])
+                     r.Store.vr_entries) );
+              ("clean", Serve.Json.Int r.Store.vr_clean);
+              ("truncated", Serve.Json.Int r.Store.vr_truncated);
+              ("corrupt", Serve.Json.Int r.Store.vr_corrupt);
+              ("quarantined", Serve.Json.Int r.Store.vr_quarantined);
+              ("tmp", Serve.Json.Int r.Store.vr_tmp);
+              ("deltas", Serve.Json.Int r.Store.vr_deltas);
+              ("index_ok", Serve.Json.Bool r.Store.vr_index_ok);
+              ("healthy", Serve.Json.Bool (Store.verify_healthy r));
+            ]))
+  else begin
+    List.iter
+      (fun (e : Store.verify_entry) ->
+        Printf.printf "%-12s %s%s\n"
+          (Store.shard_status_name e.Store.ve_status)
+          e.Store.ve_file
+          (if e.Store.ve_detail = "" then "" else Printf.sprintf " (%s)" e.Store.ve_detail))
+      r.Store.vr_entries;
+    Printf.printf
+      "# store-verify: %d clean, %d truncated, %d corrupt, %d quarantined, %d tmp, %d deltas, index %s\n"
+      r.Store.vr_clean r.Store.vr_truncated r.Store.vr_corrupt r.Store.vr_quarantined
+      r.Store.vr_tmp r.Store.vr_deltas
+      (if r.Store.vr_index_ok then "ok" else "corrupt")
+  end;
   if not (Store.verify_healthy r) then
     cli_error store_code "store %s has %d truncated / %d corrupt shards%s" dir
       r.Store.vr_truncated r.Store.vr_corrupt
@@ -400,10 +430,14 @@ let client_cmd_run socket port host command =
       | Some "stats" -> print_endline (Serve.Client.request_line client (Serve.Json.to_string Serve.Protocol.stats_json))
       | Some "health" ->
         print_endline (Serve.Client.request_line client (Serve.Json.to_string Serve.Protocol.health_json))
+      | Some "list-targets" ->
+        print_endline
+          (Serve.Client.request_line client (Serve.Json.to_string Serve.Protocol.list_targets_json))
       | Some "shutdown" ->
         print_endline (Serve.Client.request_line client (Serve.Json.to_string Serve.Protocol.shutdown_json))
       | Some other ->
-        cli_error usage_code "unknown client command %s (ping|stats|health|shutdown)" other
+        cli_error usage_code "unknown client command %s (ping|stats|health|list-targets|shutdown)"
+          other
       | None -> (
         (* pipe mode: one JSON request per stdin line, one reply per line *)
         try
@@ -682,8 +716,9 @@ let client_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"CMD"
           ~doc:
-            "One-off command: ping|stats|health|shutdown.  Omit to pipe raw \
-             JSON request lines from stdin (one reply line each).")
+            "One-off command: ping|stats|health|list-targets|shutdown.  Omit to \
+             pipe raw JSON request lines from stdin (one reply line each) — \
+             including update-target deltas.")
   in
   Cmd.v (Cmd.info "client" ~doc)
     Term.(const client_cmd_run $ socket_arg $ port_arg $ host_arg $ command)
@@ -707,7 +742,16 @@ let store_verify_cmd =
   let dir =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc:"Store directory.")
   in
-  Cmd.v (Cmd.info "store-verify" ~doc ~man) Term.(const store_verify_cmd_run $ dir)
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the audit as one JSON object (per-file entries plus \
+             classification counts, delta-record count and index state) \
+             instead of the human listing.  The exit code is unchanged.")
+  in
+  Cmd.v (Cmd.info "store-verify" ~doc ~man) Term.(const store_verify_cmd_run $ dir $ json)
 
 let () =
   let doc = "contextual schema matching (VLDB 2006 reproduction)" in

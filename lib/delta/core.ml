@@ -1,0 +1,56 @@
+open Relational
+
+type t = {
+  d_table : string;
+  d_appends : Value.t array array;
+  d_deletes : int array;
+}
+
+let make ~table ~appends ~deletes =
+  let deletes = List.sort_uniq Int.compare (Array.to_list deletes) |> Array.of_list in
+  { d_table = table; d_appends = appends; d_deletes = deletes }
+
+let table d = d.d_table
+let appends d = d.d_appends
+let deletes d = d.d_deletes
+let size d = Array.length d.d_appends + Array.length d.d_deletes
+
+let validate d tbl =
+  let arity = Table.arity tbl in
+  let rows = Table.row_count tbl in
+  let bad = ref None in
+  Array.iteri
+    (fun k row ->
+      if !bad = None && Array.length row <> arity then
+        bad :=
+          Some
+            (Printf.sprintf "append row %d has arity %d, table %S has %d" k (Array.length row)
+               d.d_table arity))
+    d.d_appends;
+  Array.iter
+    (fun i ->
+      if !bad = None && (i < 0 || i >= rows) then
+        bad := Some (Printf.sprintf "delete index %d outside [0, %d)" i rows))
+    d.d_deletes;
+  match !bad with None -> Ok () | Some m -> Error m
+
+let deleted_rows d tbl =
+  let rows = Table.rows tbl in
+  Array.map (fun i -> rows.(i)) d.d_deletes
+
+(* Surviving rows keep their original order (ascending indices through
+   [sub_by_indices]), appended rows follow — the canonical shape every
+   consumer (profiles, digests, cold rebuilds) agrees on. *)
+let apply d tbl =
+  let rows = Table.row_count tbl in
+  let deleted = Array.make (max 1 rows) false in
+  Array.iter (fun i -> deleted.(i) <- true) d.d_deletes;
+  let kept = ref [] in
+  for i = rows - 1 downto 0 do
+    if not deleted.(i) then kept := i :: !kept
+  done;
+  let base = Table.sub_by_indices tbl (Array.of_list !kept) in
+  if Array.length d.d_appends = 0 then base
+  else Table.concat_rows base (Table.of_rows (Table.schema tbl) d.d_appends)
+
+let churn d tbl = float_of_int (size d) /. float_of_int (max 1 (Table.row_count tbl))

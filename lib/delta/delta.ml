@@ -1,0 +1,7 @@
+(* Library root: the delta algebra itself ({!Core}) plus the maintained
+   per-table state ({!Profiles}) and the serve-facing orchestration
+   ({!Maintain}). *)
+
+include Core
+module Profiles = Profiles
+module Maintain = Maintain

@@ -1,0 +1,63 @@
+(** Orchestration of live target maintenance: a prepared target plus
+    per-table {!Profiles} state, advanced delta by delta.
+
+    Each successful {!update} yields a {e new} prepared-target artefact
+    — the previous one is never mutated, so readers of an older
+    generation stay valid and a failed update leaves no trace.  Small
+    deltas take the O(delta) patch path
+    ({!Matching.Standard_match.patch_prepared}); a delta whose churn
+    exceeds the limit, or whose rows hold grams outside the frozen
+    kernel dictionary, falls back to a cold
+    {!Matching.Standard_match.prepare_target} — the two paths produce
+    bit-identical match results, which is the differential suite's
+    central claim.
+
+    With a store, each patch records a {!Store.delta_record} chaining
+    the new table digest off the old one; chains are folded back into a
+    base snapshot ([Store.compact_deltas]) after [compact_after]
+    patches and on every rebuild.  Updates pass the
+    [Robust.Fault.Delta_apply] site (key ["table:generation"]) before
+    touching any state. *)
+
+type outcome =
+  | Patched  (** O(delta) patch of profiles, index and artefact *)
+  | Rebuilt of string  (** cold rebuild; the reason (churn, vocabulary) *)
+
+type t
+
+val create :
+  ?store:Store.t ->
+  ?kernel:bool ->
+  ?churn:float ->
+  ?compact_after:int ->
+  ?cond_attrs:(string * string list) list ->
+  target:Relational.Database.t ->
+  prepared:Matching.Standard_match.prepared_target ->
+  unit ->
+  t
+(** Take over maintenance of [prepared] (built over [target]).  Scans
+    each table once to seed the maintained state.  [kernel] must match
+    the flag [prepared] was built with (it governs rebuilds).  [churn]
+    (default 0.25) is the patch/rebuild threshold on
+    {!Core.churn}; [compact_after] (default 32) bounds store
+    delta-chain length; [cond_attrs] maps table names to condition
+    attributes whose partition profiles are maintained too. *)
+
+val update : t -> Core.t -> (outcome, string) result
+(** Apply one delta: validate, pass the fault site, then patch or
+    rebuild (see above).  [Error] on an unknown table or a delta that
+    fails {!Core.validate} — the state is unchanged.  An escaping
+    exception (e.g. an injected fault) also leaves the previous
+    generation fully intact. *)
+
+val prepared : t -> Matching.Standard_match.prepared_target
+(** The current generation's artefact. *)
+
+val target : t -> Relational.Database.t
+(** The current (post-delta) target database. *)
+
+val generation : t -> int
+(** Successful updates so far (0 at creation). *)
+
+val churn_limit : t -> float
+val profiles : t -> string -> Profiles.t option

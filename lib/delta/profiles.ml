@@ -1,0 +1,254 @@
+open Relational
+
+(* Maintained artefacts of one attribute.  Distinct/word sets are kept
+   as occurrence multisets: deletion is exact integer decrement, and the
+   distinct *set* a cold scan computes is exactly the multiset's key set
+   — a value vanishes when its last occurrence does, never before. *)
+type attr_state = {
+  a_attr : string;
+  a_textual : bool;
+  a_numeric : bool;
+  a_profile : Textsim.Profile.t option;
+  a_distinct : (string, int) Hashtbl.t option;
+  a_words : (string, int) Hashtbl.t option;
+}
+
+(* Per condition attribute: the per-value partition profiles of every
+   textual attribute (PR 5's invertible partition algebra, now patched
+   in both directions).  Values are grouped under [Value.compare], like
+   [Profile_cache.partition]. *)
+type partition_state = {
+  ps_cond : string;
+  mutable ps_groups : (Value.t * (string, Textsim.Profile.t) Hashtbl.t) list;
+}
+
+type t = {
+  mutable p_table : Table.t;
+  mutable p_digest : string option;
+  p_attrs : attr_state list;
+  p_parts : partition_state list;
+}
+
+let copy_profile p = Textsim.Profile.of_counts ~q:(Textsim.Profile.q p) (Textsim.Profile.counts p)
+
+let multiset_add h s = Hashtbl.replace h s (1 + Option.value ~default:0 (Hashtbl.find_opt h s))
+
+let multiset_remove h s =
+  match Hashtbl.find_opt h s with
+  | None | Some 0 -> invalid_arg "Delta.Profiles: removing an absent occurrence"
+  | Some 1 -> Hashtbl.remove h s
+  | Some n -> Hashtbl.replace h s (n - 1)
+
+let multiset_keys h =
+  Hashtbl.fold (fun k _ acc -> k :: acc) h [] |> List.sort String.compare
+
+let cell_string v = if Value.is_null v then None else Some (Value.to_string v)
+
+let find_group ps v = List.find_opt (fun (gv, _) -> Value.compare gv v = 0) ps.ps_groups
+
+let group_profile groups attr =
+  match Hashtbl.find_opt groups attr with
+  | Some p -> p
+  | None ->
+    let p = Textsim.Profile.of_strings [] in
+    Hashtbl.replace groups attr p;
+    p
+
+let textual_attrs t = List.filter (fun a -> a.a_textual) t.p_attrs
+
+(* Fold one row into (dir = +1) or out of (dir = -1) the maintained
+   state.  The two directions are exact integer inverses, so any
+   append/delete interleaving lands on the same state as a cold scan of
+   the surviving rows. *)
+let fold_row t schema dir row =
+  List.iter
+    (fun a ->
+      let v = row.(Schema.index_of schema a.a_attr) in
+      match cell_string v with
+      | None -> ()
+      | Some s ->
+        (match a.a_profile with
+        | Some p ->
+          if dir > 0 then Textsim.Profile.patch p ~add:[ s ] ~remove:[]
+          else Textsim.Profile.patch p ~add:[] ~remove:[ s ]
+        | None -> ());
+        (match a.a_distinct with
+        | Some h -> if dir > 0 then multiset_add h s else multiset_remove h s
+        | None -> ());
+        (match a.a_words with
+        | Some h ->
+          List.iter
+            (fun w -> if dir > 0 then multiset_add h w else multiset_remove h w)
+            (Textsim.Tokenize.words s)
+        | None -> ()))
+    t.p_attrs;
+  List.iter
+    (fun ps ->
+      let cv = row.(Schema.index_of schema ps.ps_cond) in
+      if not (Value.is_null cv) then begin
+        let groups =
+          match find_group ps cv with
+          | Some (_, g) -> g
+          | None ->
+            let g = Hashtbl.create 8 in
+            ps.ps_groups <- (cv, g) :: ps.ps_groups;
+            g
+        in
+        List.iter
+          (fun a ->
+            match cell_string row.(Schema.index_of schema a.a_attr) with
+            | None -> ()
+            | Some s ->
+              let p = group_profile groups a.a_attr in
+              if dir > 0 then Textsim.Profile.patch p ~add:[ s ] ~remove:[]
+              else Textsim.Profile.patch p ~add:[] ~remove:[ s ])
+          (textual_attrs t)
+      end)
+    t.p_parts
+
+let create ?(cond_attrs = []) table =
+  let schema = Table.schema table in
+  let attrs =
+    List.map
+      (fun name ->
+        let attr = Schema.attribute schema name in
+        let textual = Attribute.is_textual attr in
+        let int_distinct = attr.Attribute.ty = Value.Tint in
+        {
+          a_attr = name;
+          a_textual = textual;
+          a_numeric = Attribute.is_numeric attr;
+          a_profile = (if textual then Some (Textsim.Profile.of_strings []) else None);
+          a_distinct =
+            (if textual || int_distinct then Some (Hashtbl.create 64) else None);
+          a_words = (if textual then Some (Hashtbl.create 64) else None);
+        })
+      (Schema.attribute_names schema)
+  in
+  let parts =
+    List.filter_map
+      (fun cond ->
+        match Schema.index_of_opt schema cond with
+        | Some _ -> Some { ps_cond = cond; ps_groups = [] }
+        | None -> None)
+      (List.sort_uniq String.compare cond_attrs)
+  in
+  let t = { p_table = table; p_digest = None; p_attrs = attrs; p_parts = parts } in
+  Array.iter (fold_row t schema 1) (Table.rows table);
+  t
+
+let table t = t.p_table
+let name t = Table.name t.p_table
+let cond_attrs t = List.map (fun ps -> ps.ps_cond) t.p_parts
+
+let digest t =
+  match t.p_digest with
+  | Some d -> d
+  | None ->
+    let d = Store.table_digest t.p_table in
+    t.p_digest <- Some d;
+    d
+
+let apply t delta =
+  (match Core.validate delta t.p_table with
+  | Ok () -> ()
+  | Error m -> invalid_arg (Printf.sprintf "Delta.Profiles.apply: %s" m));
+  let schema = Table.schema t.p_table in
+  let removed = Core.deleted_rows delta t.p_table in
+  let new_table = Core.apply delta t.p_table in
+  Array.iter (fold_row t schema (-1)) removed;
+  Array.iter (fold_row t schema 1) (Core.appends delta);
+  t.p_table <- new_table;
+  t.p_digest <- None;
+  if !Obs.Recorder.enabled then begin
+    Obs.Metrics.incr "delta.applied";
+    Obs.Metrics.add "delta.rows" (Core.size delta)
+  end
+
+let attr_state t attr = List.find_opt (fun a -> String.equal a.a_attr attr) t.p_attrs
+
+let profile t attr =
+  Option.bind (attr_state t attr) (fun a -> Option.map copy_profile a.a_profile)
+
+let distinct t attr =
+  Option.bind (attr_state t attr) (fun a -> Option.map multiset_keys a.a_distinct)
+
+let words t attr = Option.bind (attr_state t attr) (fun a -> Option.map multiset_keys a.a_words)
+
+(* Recomputed over the current rows with the cold path's exact fold
+   ([Column.floats] then [summarize]): float summaries are not an
+   invertible integer algebra, and the recompute is cheap relative to
+   re-tokenization. *)
+let summary t attr =
+  match attr_state t attr with
+  | Some a when a.a_numeric ->
+    Some
+      (Stats.Descriptive.summarize
+         (Array.to_list (Table.column t.p_table attr)
+         |> List.filter_map Value.to_float |> Array.of_list))
+  | Some _ | None -> None
+
+let partition_profile t ~cond_attr ~value ~attr =
+  match List.find_opt (fun ps -> String.equal ps.ps_cond cond_attr) t.p_parts with
+  | None -> None
+  | Some ps -> (
+    match find_group ps value with
+    | None -> None
+    | Some (_, groups) -> Option.map copy_profile (Hashtbl.find_opt groups attr))
+
+let column_patches t =
+  List.map
+    (fun a ->
+      {
+        Matching.Standard_match.cp_attr = a.a_attr;
+        cp_profile = Option.map copy_profile a.a_profile;
+        cp_distinct = Option.map multiset_keys a.a_distinct;
+        cp_words = Option.map multiset_keys a.a_words;
+      })
+    t.p_attrs
+
+(* Seed a cache (and through it an attached store) with the maintained
+   artefacts under the exact keys cold computation uses: the full-range
+   key per attribute, and per condition attribute the partition-group
+   keys [Profile_cache.partition] would derive from the current rows.
+   A value present only in deleted rows has no group in the cold
+   partition and is skipped — its maintained (empty) profile describes
+   rows that no longer exist. *)
+let seed t cache =
+  let tname = name t in
+  Matching.Profile_cache.register_digest cache ~table:tname ~digest:(digest t);
+  let full = Array.init (Table.row_count t.p_table) Fun.id in
+  List.iter
+    (fun a ->
+      let ((tbl, attr, subset) as k) =
+        Matching.Profile_cache.key ~table:tname ~attr:a.a_attr ~indices:full
+      in
+      (match a.a_profile with
+      | Some p -> Matching.Profile_cache.seed_profile cache k (copy_profile p)
+      | None -> ());
+      (match a.a_distinct with
+      | Some h -> Matching.Profile_cache.seed_distinct cache k (multiset_keys h)
+      | None -> ());
+      match a.a_words with
+      | Some h ->
+        Matching.Profile_cache.seed_distinct cache
+          (tbl, Matching.Column.words_attr attr, subset)
+          (multiset_keys h)
+      | None -> ())
+    t.p_attrs;
+  List.iter
+    (fun ps ->
+      let part = Matching.Profile_cache.partition cache ~table:t.p_table ~cond_attr:ps.ps_cond in
+      List.iter
+        (fun (v, groups) ->
+          match Matching.Profile_cache.partition_indices part v with
+          | None -> ()
+          | Some indices ->
+            Hashtbl.iter
+              (fun attr p ->
+                Matching.Profile_cache.seed_profile cache
+                  (Matching.Profile_cache.key ~table:tname ~attr ~indices)
+                  (copy_profile p))
+              groups)
+        ps.ps_groups)
+    t.p_parts

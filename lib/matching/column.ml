@@ -95,7 +95,9 @@ let floats t =
 
 (* The marker keeps word sets in the distinct-set memo (and store)
    without colliding with an attribute name: attribute names come from
-   schema/CSV headers, which never contain a tab. *)
+   schema/CSV headers, which never contain a tab.  Exposed so delta
+   maintenance can seed word sets under the exact key [words] below
+   reads. *)
 let words_attr attr = attr ^ "\twords"
 
 (* ---- partition composition -------------------------------------------- *)

@@ -62,6 +62,12 @@ val words : t -> string list
     through the profile cache like {!distinct_strings}, so the word
     matcher stops re-tokenising the same row subset per pair). *)
 
+val words_attr : string -> string
+(** The attribute-name marker under which {!words} shares word sets
+    through the distinct-set memo/store ([attr ^ "\twords"]; a tab
+    never occurs in a schema or CSV attribute name).  Delta maintenance
+    seeds word sets under exactly this key. *)
+
 val warm : t -> unit
 (** Force the artefacts a matcher of this column's type could ask for
     (profile/distinct/words for textual, summary for numeric, distinct

@@ -42,6 +42,17 @@ let register_table t table =
     Hashtbl.replace t.digests name (Store.table_digest table);
   Mutex.unlock t.digests_lock
 
+let register_digest t ~table ~digest =
+  Mutex.lock t.digests_lock;
+  Hashtbl.replace t.digests table digest;
+  Mutex.unlock t.digests_lock
+
+let table_digest t name =
+  Mutex.lock t.digests_lock;
+  let d = Hashtbl.find_opt t.digests name in
+  Mutex.unlock t.digests_lock;
+  d
+
 let store_key t ((tbl, attr, subset) : key) =
   match t.store with
   | None -> None
@@ -83,6 +94,22 @@ let summary t k compute =
 
 let distinct t k compute =
   through t t.distincts k ~find:Store.find_distinct ~add:Store.add_distinct compute
+
+(* Seeding inserts a delta-maintained artefact as if it had been
+   computed cold: the memo takes it via [find_or_add] (a pre-existing
+   entry wins — seeding never clobbers), the store gets it written
+   through under the table's registered digest, and the build counter
+   stays untouched, so a seeded-then-warm run still reports zero
+   builds. *)
+let seed t memo add k v =
+  ignore
+    (Runtime.Memo.find_or_add memo k (fun () ->
+         (match store_key t k with Some (store, skey) -> add store skey v | None -> ());
+         v))
+
+let seed_profile t k v = seed t t.profiles Store.add_profile k v
+let seed_summary t k v = seed t t.summaries Store.add_summary k v
+let seed_distinct t k v = seed t t.distincts Store.add_distinct k v
 
 (* Canonical textual encoding, NOT [Marshal]: marshalled byte layout is
    not stable across OCaml versions or architectures, which is

@@ -57,6 +57,14 @@ val register_table : t -> Relational.Table.t -> unit
 (** Compute and remember the table's {!Store.table_digest}.  Call
     before the parallel fan-out touches the table's columns. *)
 
+val register_digest : t -> table:string -> digest:string -> unit
+(** Force-register a table's data digest (unlike {!register_table},
+    replaces any existing entry).  Used by delta maintenance, which
+    knows the patched table's digest without re-encoding the rows. *)
+
+val table_digest : t -> string -> string option
+(** The digest registered for a table name, if any. *)
+
 val profile : t -> key -> (unit -> Textsim.Profile.t) -> Textsim.Profile.t
 val summary : t -> key -> (unit -> Stats.Descriptive.summary) -> Stats.Descriptive.summary
 
@@ -64,6 +72,16 @@ val distinct : t -> key -> (unit -> string list) -> string list
 (** Memo lookup, then (when a store is attached and the table
     registered) store lookup, then [compute] — which bumps the build
     counter and writes the artefact through to the store. *)
+
+val seed_profile : t -> key -> Textsim.Profile.t -> unit
+val seed_summary : t -> key -> Stats.Descriptive.summary -> unit
+
+val seed_distinct : t -> key -> string list -> unit
+(** Insert a delta-maintained artefact as if it had been computed
+    cold: memo insert (a pre-existing entry wins), write-through to an
+    attached store under the table's registered digest, and {e no}
+    build-counter bump — a seeded-then-warm run still reports zero
+    builds. *)
 
 val builds : t -> int
 (** Artefacts computed from raw values so far: lookups that missed both

@@ -15,6 +15,24 @@ let build targets =
   end;
   { index; names; slots }
 
+let patch t updates =
+  let slot_updates =
+    List.filter_map
+      (fun (name, p) ->
+        match Hashtbl.find_opt t.slots name with
+        | Some slot -> Some (slot, p)
+        | None -> None)
+      updates
+  in
+  if slot_updates = [] then Some t
+  else
+    match Textsim.Gram_index.patch t.index slot_updates with
+    | None -> None
+    | Some index ->
+      if !Obs.Recorder.enabled then
+        Obs.Metrics.add "kernel.patched" (List.length slot_updates);
+      Some { t with index }
+
 let size t = Array.length t.names
 let dict t = Textsim.Gram_index.dict t.index
 let vocabulary t = Textsim.Gram_index.gram_count t.index

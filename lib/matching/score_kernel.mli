@@ -18,6 +18,15 @@ val build : ((string * string) * Textsim.Profile.t) array -> t
 (** [(table, attr), profile] per target column.  Interns every target
     profile against the freshly frozen dictionary. *)
 
+val patch : t -> ((string * string) * Textsim.Profile.t) list -> t option
+(** Replace the named target columns' profiles, touching only the
+    postings of their changed grams (see {!Textsim.Gram_index.patch}).
+    Returns a new kernel sharing the frozen dictionary and name table;
+    the original stays valid.  [None] when a replacement profile holds
+    an out-of-vocabulary gram — the dictionary cannot grow, so the
+    caller must rebuild.  Names not present in the kernel (e.g. columns
+    quarantined at warm time) are ignored. *)
+
 val size : t -> int
 val vocabulary : t -> int
 val dict : t -> Textsim.Gram_dict.t

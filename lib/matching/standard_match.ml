@@ -132,6 +132,119 @@ let prepare_target ?store ?(kernel = true) ?(fail_fast = false) ~target () =
     pt_issues = List.rev !rev_issues;
   }
 
+(* ---- O(delta) prepared-target patching -------------------------------- *)
+
+(* Delta-maintained replacement artefacts for one attribute of a
+   patched table.  [None] fields mean "nothing maintained for this
+   artefact" — the rebuilt column computes it on warm (numeric
+   summaries recompute over the new rows; the fold is the one the cold
+   path runs, so the values are bit-identical). *)
+type column_patch = {
+  cp_attr : string;
+  cp_profile : Textsim.Profile.t option;
+  cp_distinct : string list option;
+  cp_words : string list option;
+}
+
+(* Rebuild a prepared target around one replaced table without
+   re-tokenizing its text: the scoring kernel is patched in place
+   (touched postings only), the maintained artefacts are seeded into a
+   fresh target cache under the exact keys the new columns will read,
+   and every column of an unchanged table is reused verbatim — its
+   artefacts are memoised in-object and immutable.  [None] when the new
+   rows hold grams outside the frozen dictionary (the interner cannot
+   grow); the caller must [prepare_target] cold.  The original artefact
+   is never mutated, so concurrent readers of the old generation stay
+   valid and a failed patch leaves no trace. *)
+let patch_prepared ?store prepared ~table ?digest ~patches () =
+  Obs.Trace.with_span "patch_prepared" @@ fun () ->
+  let table_name = Table.name table in
+  let kernel_updates =
+    List.filter_map
+      (fun cp ->
+        match cp.cp_profile with
+        | Some p -> Some ((table_name, cp.cp_attr), p)
+        | None -> None)
+      patches
+  in
+  let patched_kernel =
+    match prepared.pt_kernel with
+    | None -> Some None
+    | Some k -> (
+      match Score_kernel.patch k kernel_updates with
+      | Some k' -> Some (Some k')
+      | None -> None)
+  in
+  match patched_kernel with
+  | None -> None (* out-of-vocabulary gram: the dictionary cannot grow *)
+  | Some pt_kernel ->
+    let new_db = Database.replace_table prepared.pt_target_db table in
+    let new_cache = Profile_cache.create () in
+    let store =
+      match store with Some _ -> store | None -> prepared.pt_cache.Profile_cache.store
+    in
+    (match store with
+    | None -> ()
+    | Some s ->
+      Profile_cache.attach_store new_cache s;
+      List.iter
+        (fun tbl ->
+          let name = Table.name tbl in
+          if String.equal name table_name then begin
+            let d = match digest with Some d -> d | None -> Store.table_digest tbl in
+            Profile_cache.register_digest new_cache ~table:name ~digest:d
+          end
+          else
+            match Profile_cache.table_digest prepared.pt_cache name with
+            | Some d -> Profile_cache.register_digest new_cache ~table:name ~digest:d
+            | None -> Profile_cache.register_table new_cache tbl)
+        (Database.tables new_db));
+    (* Seed the maintained artefacts under the full-range keys
+       [Column.of_table] registers, so warming the rebuilt columns hits
+       the memo (and writes through to the store) instead of
+       re-scanning rows. *)
+    let full_range = Array.init (Table.row_count table) Fun.id in
+    List.iter
+      (fun cp ->
+        let (tbl, attr, subset) =
+          Profile_cache.key ~table:table_name ~attr:cp.cp_attr ~indices:full_range
+        in
+        let k = (tbl, attr, subset) in
+        Option.iter (fun p -> Profile_cache.seed_profile new_cache k p) cp.cp_profile;
+        Option.iter (fun d -> Profile_cache.seed_distinct new_cache k d) cp.cp_distinct;
+        Option.iter
+          (fun w -> Profile_cache.seed_distinct new_cache (tbl, Column.words_attr attr, subset) w)
+          cp.cp_words)
+      patches;
+    (* Column order and the warm-quarantine exclusions of the original
+       preparation are preserved: unchanged tables reuse their warmed
+       columns verbatim, the patched table's surviving columns are
+       recreated against the new rows and re-warmed (cheap: the seeded
+       cache answers the textual artefacts). *)
+    let pt_cols =
+      List.map
+        (fun tgt ->
+          if not (String.equal tgt.table table_name) then tgt
+          else begin
+            let column = Column.of_table ~cache:new_cache table (Column.name tgt.column) in
+            Column.warm column;
+            { table = table_name; column }
+          end)
+        prepared.pt_cols
+    in
+    let pt_index = Hashtbl.create 64 in
+    List.iter (fun tgt -> Hashtbl.replace pt_index (tgt.table, Column.name tgt.column) tgt) pt_cols;
+    if !Obs.Recorder.enabled then Obs.Metrics.incr "prepared.patches";
+    Some
+      {
+        pt_target_db = new_db;
+        pt_cols;
+        pt_index;
+        pt_cache = new_cache;
+        pt_kernel;
+        pt_issues = prepared.pt_issues;
+      }
+
 let prepared_target_db p = p.pt_target_db
 let prepared_issues p = p.pt_issues
 let prepared_columns p = List.length p.pt_cols

@@ -36,6 +36,37 @@ val prepare_target :
     false), which re-raises instead (the legacy no-report contract of
     {!build}). *)
 
+type column_patch = {
+  cp_attr : string;
+  cp_profile : Textsim.Profile.t option;
+  cp_distinct : string list option;
+  cp_words : string list option;
+}
+(** Delta-maintained replacement artefacts for one attribute of a
+    patched table; [None] fields are recomputed on warm (numeric
+    summaries — the recompute runs the cold path's exact fold). *)
+
+val patch_prepared :
+  ?store:Store.t ->
+  prepared_target ->
+  table:Table.t ->
+  ?digest:string ->
+  patches:column_patch list ->
+  unit ->
+  prepared_target option
+(** Rebuild a prepared target around one replaced [table] in O(delta):
+    the scoring kernel's touched postings are patched in place
+    ({!Score_kernel.patch}), the maintained artefacts in [patches] are
+    seeded into a fresh target cache under the keys the new columns
+    read (and written through to the store, registered under [digest]
+    — computed from the rows when omitted), and columns of unchanged
+    tables are reused verbatim.  Column order and the original warm
+    quarantine ({!prepared_issues}) are preserved, so a build over the
+    patched artefact is bit-identical to one over a cold
+    {!prepare_target} of the same database.  [None] when the new rows
+    hold grams outside the frozen kernel dictionary — the caller must
+    prepare cold.  The input artefact is never mutated. *)
+
 val prepared_target_db : prepared_target -> Database.t
 val prepared_columns : prepared_target -> int
 (** Surviving (warmed) target columns. *)

@@ -9,6 +9,7 @@ type site =
   | Store_flush_rename
   | Socket_read
   | Socket_write
+  | Delta_apply
 
 let all_sites =
   [
@@ -22,6 +23,7 @@ let all_sites =
     Store_flush_rename;
     Socket_read;
     Socket_write;
+    Delta_apply;
   ]
 
 let site_name = function
@@ -35,6 +37,7 @@ let site_name = function
   | Store_flush_rename -> "store-flush-rename"
   | Socket_read -> "socket-read"
   | Socket_write -> "socket-write"
+  | Delta_apply -> "delta-apply"
 
 let site_of_string s =
   List.find_opt (fun site -> String.equal (site_name site) s) all_sites
@@ -50,8 +53,9 @@ let site_rank = function
   | Store_flush_rename -> 7
   | Socket_read -> 8
   | Socket_write -> 9
+  | Delta_apply -> 10
 
-let n_sites = 10
+let n_sites = 11
 
 exception Injected of { site : site; key : string }
 

@@ -32,6 +32,7 @@ type site =
   | Store_flush_rename  (** per atomic rename at flush; key = target path *)
   | Socket_read  (** per serve-socket read; key ["conn:<id>"] *)
   | Socket_write  (** per serve-socket reply write; key ["conn:<id>:<n>"] *)
+  | Delta_apply  (** per incremental target update; key ["table:generation"] *)
 
 val all_sites : site list
 val site_name : site -> string

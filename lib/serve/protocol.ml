@@ -16,10 +16,21 @@ type match_request = {
   mr_faults : Robust.Fault.arming list;
 }
 
+(* Appended rows stay raw JSON here: typing a cell needs the target
+   table's schema, which only the server's registry knows. *)
+type update_request = {
+  ur_target : string;
+  ur_table : string;
+  ur_appends : Json.t list list;
+  ur_deletes : int list;
+}
+
 type request =
   | Ping
   | Register_target of { rt_name : string; rt_tables : table_payload list; rt_kernel : bool }
   | Match of match_request
+  | Update_target of update_request
+  | List_targets
   | Stats
   | Health
   | Shutdown
@@ -103,6 +114,43 @@ let faults_of json =
       l
   | Some _ -> bad "bad-request" "field \"faults\" must be a list of {site, rate, seed} objects"
 
+let rows_of json name =
+  match field_opt json name with
+  | None | Some Json.Null -> []
+  | Some (Json.List l) ->
+    List.map
+      (function
+        | Json.List cells -> cells
+        | _ -> bad "bad-request" "field %S must be a list of row arrays" name)
+      l
+  | Some _ -> bad "bad-request" "field %S must be a list of row arrays" name
+
+let deletes_of json name =
+  match field_opt json name with
+  | None | Some Json.Null -> []
+  | Some (Json.List l) ->
+    List.map
+      (fun v ->
+        match Json.to_int v with
+        | Some i -> i
+        | None -> bad "bad-request" "field %S must be a list of integer row indices" name)
+      l
+  | Some _ -> bad "bad-request" "field %S must be a list of integer row indices" name
+
+let update_of_json json =
+  let r =
+    {
+      ur_target = get_required Json.to_string_opt "a string" json "target";
+      ur_table = get_required Json.to_string_opt "a string" json "table";
+      ur_appends = rows_of json "append_rows";
+      ur_deletes = deletes_of json "delete_rows";
+    }
+  in
+  if r.ur_appends = [] && r.ur_deletes = [] then
+    bad "bad-request"
+      "update-target requires at least one entry in \"append_rows\" or \"delete_rows\"";
+  r
+
 (* Defaults mirror the one-shot CLI flag defaults, so an empty match
    request scores exactly like `ctxmatch match` with no flags. *)
 let match_of_json json =
@@ -147,11 +195,14 @@ let request_of_line line =
                    rt_kernel = get_bool json "kernel" ~default:true;
                  })
           | Some "match" -> Ok (Match (match_of_json json))
+          | Some "update-target" -> Ok (Update_target (update_of_json json))
+          | Some "list-targets" -> Ok List_targets
           | Some other ->
             Error
               (reject ~code:"unknown-command"
                  (Printf.sprintf
-                    "unknown command %S (ping|register-target|match|stats|health|shutdown)"
+                    "unknown command %S \
+                     (ping|register-target|update-target|list-targets|match|stats|health|shutdown)"
                     other))))
       | _ -> Error (reject ~code:"bad-request" "request must be a JSON object")
     with Bad r -> Error r)
@@ -179,6 +230,7 @@ let error_strings issues =
 (* --- request builders -------------------------------------------------- *)
 
 let ping_json = Json.Obj [ ("cmd", Json.String "ping") ]
+let list_targets_json = Json.Obj [ ("cmd", Json.String "list-targets") ]
 let stats_json = Json.Obj [ ("cmd", Json.String "stats") ]
 let health_json = Json.Obj [ ("cmd", Json.String "health") ]
 let shutdown_json = Json.Obj [ ("cmd", Json.String "shutdown") ]
@@ -197,6 +249,16 @@ let register_json ?(kernel = true) ~name tables =
       ("name", Json.String name);
       ("tables", tables_json tables);
       ("kernel", Json.Bool kernel);
+    ]
+
+let update_json ?(appends = []) ?(deletes = []) ~target ~table () =
+  Json.Obj
+    [
+      ("cmd", Json.String "update-target");
+      ("target", Json.String target);
+      ("table", Json.String table);
+      ("append_rows", Json.List (List.map (fun row -> Json.List row) appends));
+      ("delete_rows", Json.List (List.map (fun i -> Json.Int i) deletes));
     ]
 
 let fault_json (a : Robust.Fault.arming) =

@@ -13,6 +13,18 @@
       ContextMatch of the payload tables (the source sample) against a
       registered target.  Every knob mirrors the one-shot CLI flag of
       the same name and defaults identically.
+    - [{"cmd":"update-target","target":N,"table":T,
+       "append_rows":[[..]],"delete_rows":[I,..]}] — apply one delta to
+      a registered target's table: append the given rows (cells typed
+      against the table schema: JSON ints for int attributes, ints or
+      floats for float attributes, strings for string attributes,
+      booleans for bool attributes, [null] anywhere) and delete the
+      given row indices (relative to the table {e before} the update).
+      The target's prepared artefact is patched in O(delta) — or
+      rebuilt when the delta is too churny or holds unseen grams — and
+      subsequent matches see the new generation.
+    - [{"cmd":"list-targets"}] — the registry: every target's name,
+      update generation and circuit-breaker state.
     - [{"cmd":"stats"}] — server counters and queue state.
     - [{"cmd":"health"}] — supervision probe: overall
       ["healthy"]/["degraded"] status, store quarantine counts, flush
@@ -43,10 +55,21 @@ type match_request = {
           fault harness drives the daemon through this) *)
 }
 
+type update_request = {
+  ur_target : string;  (** registered target name *)
+  ur_table : string;  (** table within the target *)
+  ur_appends : Json.t list list;
+      (** appended rows, still raw JSON — typing a cell needs the
+          target table's schema, which only the server registry knows *)
+  ur_deletes : int list;  (** row indices, relative to the old table *)
+}
+
 type request =
   | Ping
   | Register_target of { rt_name : string; rt_tables : table_payload list; rt_kernel : bool }
   | Match of match_request
+  | Update_target of update_request
+  | List_targets
   | Stats
   | Health
   | Shutdown
@@ -76,12 +99,18 @@ val error_strings : Robust.Error.t list -> Json.t
 (** {2 Request builders} (clients, tests, the bench loadgen) *)
 
 val ping_json : Json.t
+val list_targets_json : Json.t
 val stats_json : Json.t
 val health_json : Json.t
 val shutdown_json : Json.t
 
 val register_json : ?kernel:bool -> name:string -> (string * string) list -> Json.t
 (** Tables as [(name, csv)] pairs. *)
+
+val update_json :
+  ?appends:Json.t list list -> ?deletes:int list -> target:string -> table:string -> unit -> Json.t
+(** Build an [update-target] request; appended rows as JSON cell
+    lists. *)
 
 val match_json :
   ?tau:float ->

@@ -49,14 +49,18 @@ let breaker_state_name = function
   | Br_open _ -> "open"
   | Br_half_open -> "half-open"
 
-(* A registered target: the immutable prepared artefact plus the
-   database it was prepared from (needed again at match time for view
-   inference). *)
+(* A registered target: the prepared artefact plus the database it was
+   prepared from (needed again at match time for view inference), and
+   the delta-maintenance handle that advances both.  Each prepared
+   artefact value is itself immutable — an update installs a *new* one
+   (under [t.tm]), so a match reading the previous generation stays
+   valid.  All mutation happens on the executor thread. *)
 type target_entry = {
-  te_db : Relational.Database.t;
-  te_prepared : Matching.Standard_match.prepared_target;
+  mutable te_db : Relational.Database.t;
+  mutable te_prepared : Matching.Standard_match.prepared_target;
   te_issues : Robust.Error.t list;  (* ingest quarantine at registration *)
   te_breaker : breaker;
+  te_maintain : Delta.Maintain.t;
 }
 
 type work =
@@ -71,6 +75,7 @@ type work =
       w_source : Relational.Database.t;
       w_ingest : Robust.Error.t list;
     }
+  | W_update of { w_ur : Protocol.update_request }
 
 type job = {
   work : work;
@@ -274,12 +279,14 @@ let store_flush t =
 
 let register_reply t ~name ~db ~kernel ~ingest =
   let prepared = Matching.Standard_match.prepare_target ?store:t.store ~kernel ~target:db () in
+  let maintain = Delta.Maintain.create ?store:t.store ~kernel ~target:db ~prepared () in
   let entry =
     {
       te_db = db;
       te_prepared = prepared;
       te_issues = ingest;
       te_breaker = { b_state = Br_closed; b_failures = 0; b_trips = 0 };
+      te_maintain = maintain;
     }
   in
   Mutex.lock t.tm;
@@ -434,6 +441,135 @@ let match_reply t ~(mr : Protocol.match_request) ~source ~ingest ~deadline =
         ]
     end)
 
+(* Type one raw JSON row against the target table's schema.  The cell
+   typing is strict — an int attribute takes a JSON int, a float
+   attribute an int or a float, string/bool attributes their JSON
+   counterparts, [null] fits anywhere — so an update can never smuggle
+   a differently-typed value past the profile algebra. *)
+let typed_row schema ~table row_index cells =
+  let attrs = Relational.Schema.attributes schema in
+  let n = Array.length attrs in
+  if List.length cells <> n then
+    Error
+      (Printf.sprintf "append row %d has %d cells; table %S has %d attributes" row_index
+         (List.length cells) table n)
+  else
+    let out = Array.make n Relational.Value.Null in
+    let rec fill i = function
+      | [] -> Ok out
+      | cell :: rest -> (
+        let attr = attrs.(i) in
+        let mismatch got =
+          Error
+            (Printf.sprintf "append row %d, attribute %S: expected %s, got %s" row_index
+               attr.Relational.Attribute.name
+               (Relational.Value.ty_to_string attr.Relational.Attribute.ty)
+               got)
+        in
+        match (cell, attr.Relational.Attribute.ty) with
+        | Json.Null, _ ->
+          out.(i) <- Relational.Value.Null;
+          fill (i + 1) rest
+        | Json.Int v, Relational.Value.Tint ->
+          out.(i) <- Relational.Value.Int v;
+          fill (i + 1) rest
+        | Json.Int v, Relational.Value.Tfloat ->
+          out.(i) <- Relational.Value.Float (float_of_int v);
+          fill (i + 1) rest
+        | Json.Float v, Relational.Value.Tfloat ->
+          out.(i) <- Relational.Value.Float v;
+          fill (i + 1) rest
+        | Json.Bool v, Relational.Value.Tbool ->
+          out.(i) <- Relational.Value.Bool v;
+          fill (i + 1) rest
+        | Json.String v, Relational.Value.Tstring ->
+          out.(i) <- Relational.Value.String v;
+          fill (i + 1) rest
+        | (Json.Int _ | Json.Float _), _ -> mismatch "a number"
+        | Json.Bool _, _ -> mismatch "a boolean"
+        | Json.String _, _ -> mismatch "a string"
+        | (Json.List _ | Json.Obj _), _ -> mismatch "a nested value")
+    in
+    fill 0 cells
+
+let typed_rows schema ~table rows =
+  let rec go i acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | cells :: rest -> (
+      match typed_row schema ~table i cells with
+      | Ok row -> go (i + 1) (row :: acc) rest
+      | Error _ as e -> e)
+  in
+  go 0 [] rows
+
+(* Runs on the executor thread, like register/match: Maintain mutates
+   the entry's artefacts, and the executor is the only thread allowed
+   to do that.  A delta rejected by validation costs a [bad-request];
+   an escaping exception (e.g. an injected [Delta_apply] fault) is
+   caught by [execute]'s generic handler and leaves the previous
+   generation fully intact.  Update failures never touch the circuit
+   breaker — it measures scoring health, not client-supplied deltas. *)
+let update_reply t ~(ur : Protocol.update_request) =
+  Mutex.lock t.tm;
+  let entry = Hashtbl.find_opt t.targets ur.Protocol.ur_target in
+  Mutex.unlock t.tm;
+  match entry with
+  | None ->
+    admission_reply t
+      (Protocol.reject ~code:"unknown-target"
+         (Printf.sprintf "unknown target %S (register-target first)" ur.Protocol.ur_target))
+  | Some entry -> (
+    let bad m = admission_reply t (Protocol.reject ~code:"bad-request" m) in
+    let db = Delta.Maintain.target entry.te_maintain in
+    match Relational.Database.table_opt db ur.Protocol.ur_table with
+    | None ->
+      bad
+        (Printf.sprintf "target %S has no table %S" ur.Protocol.ur_target ur.Protocol.ur_table)
+    | Some tbl -> (
+      match
+        typed_rows (Relational.Table.schema tbl) ~table:ur.Protocol.ur_table
+          ur.Protocol.ur_appends
+      with
+      | Error m -> bad m
+      | Ok appends -> (
+        let delta =
+          Delta.make ~table:ur.Protocol.ur_table ~appends
+            ~deletes:(Array.of_list ur.Protocol.ur_deletes)
+        in
+        match Delta.Maintain.update entry.te_maintain delta with
+        | Error m -> bad m
+        | Ok outcome ->
+          let target = Delta.Maintain.target entry.te_maintain in
+          let prepared = Delta.Maintain.prepared entry.te_maintain in
+          Mutex.lock t.tm;
+          entry.te_db <- target;
+          entry.te_prepared <- prepared;
+          Mutex.unlock t.tm;
+          store_flush t;
+          obs_incr "serve.updates";
+          let mode, reason =
+            match outcome with
+            | Delta.Maintain.Patched -> ("patched", None)
+            | Delta.Maintain.Rebuilt reason -> ("rebuilt", Some reason)
+          in
+          Json.Obj
+            (List.filter_map Fun.id
+               [
+                 Some ("ok", Json.Bool true);
+                 Some ("target", Json.String ur.Protocol.ur_target);
+                 Some ("table", Json.String ur.Protocol.ur_table);
+                 Some ("generation", Json.Int (Delta.Maintain.generation entry.te_maintain));
+                 Some ("mode", Json.String mode);
+                 Option.map (fun r -> ("reason", Json.String r)) reason;
+                 Some
+                   ( "rows",
+                     Json.Int
+                       (Relational.Table.row_count
+                          (Relational.Database.table target ur.Protocol.ur_table)) );
+                 Some ("appended", Json.Int (List.length ur.Protocol.ur_appends));
+                 Some ("deleted", Json.Int (List.length ur.Protocol.ur_deletes));
+               ]))))
+
 let execute t job =
   obs_observe_ns "serve.queue_wait_ns" (Int64.sub (Robust.Deadline.now_ns ()) job.enqueued_ns);
   let started = Robust.Deadline.now_ns () in
@@ -444,6 +580,7 @@ let execute t job =
         register_reply t ~name:w_name ~db:w_db ~kernel:w_kernel ~ingest:w_ingest
       | W_match { w_mr; w_source; w_ingest } ->
         match_reply t ~mr:w_mr ~source:w_source ~ingest:w_ingest ~deadline:job.deadline
+      | W_update { w_ur } -> update_reply t ~ur:w_ur
     with
     | Robust.Deadline.Expired { stage } ->
       admission_reply t
@@ -468,7 +605,7 @@ let execute t job =
       t.matches_since_flush <- 0;
       store_flush t
     end
-  | W_match _ | W_register _ -> ());
+  | W_match _ | W_register _ | W_update _ -> ());
   Mutex.lock job.jm;
   job.reply <- Some reply;
   Condition.broadcast job.jc;
@@ -606,6 +743,32 @@ let stats_reply t =
       ("targets", Json.List (List.map (fun n -> Json.String n) (List.sort compare targets)));
     ]
 
+(* Registry listing, answered on the connection thread like stats:
+   it only reads the table under [t.tm], never blocks on the
+   executor.  Generations written by the executor are plain ints —
+   a read racing an update sees either the old or the new value. *)
+let list_targets_reply t =
+  Mutex.lock t.tm;
+  let entries = Hashtbl.fold (fun name e acc -> (name, e) :: acc) t.targets [] in
+  let rows =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) entries
+    |> List.map (fun (name, e) ->
+           let b = e.te_breaker in
+           Json.Obj
+             [
+               ("name", Json.String name);
+               ("generation", Json.Int (Delta.Maintain.generation e.te_maintain));
+               ("tables", Json.Int (List.length (Relational.Database.tables e.te_db)));
+               ("columns", Json.Int (Matching.Standard_match.prepared_columns e.te_prepared));
+               ("kernel", Json.Bool (Matching.Standard_match.prepared_kernel e.te_prepared));
+               ("breaker", Json.String (breaker_state_name b.b_state));
+               ("failures", Json.Int b.b_failures);
+               ("trips", Json.Int b.b_trips);
+             ])
+  in
+  Mutex.unlock t.tm;
+  Json.Obj [ ("ok", Json.Bool true); ("targets", Json.List rows) ]
+
 (* Supervision probe.  Degraded means the daemon is serving but
    something needs attention: a quarantined store shard, a tripped (or
    still-probing) circuit breaker, or a failed last flush. *)
@@ -715,6 +878,7 @@ let handle_line t line =
   | Error r -> reject_reply t r
   | Ok Protocol.Ping -> Json.Obj [ ("ok", Json.Bool true); ("pong", Json.Bool true) ]
   | Ok Protocol.Stats -> stats_reply t
+  | Ok Protocol.List_targets -> list_targets_reply t
   | Ok Protocol.Health -> health_reply t
   | Ok Protocol.Shutdown ->
     stop t;
@@ -731,6 +895,7 @@ let handle_line t line =
       admit t (W_register { w_name = rt_name; w_db = db; w_kernel = rt_kernel; w_ingest = ingest })
         ~timeout_ms:None
     | exception Ingest_failed r -> reject_reply t r)
+  | Ok (Protocol.Update_target ur) -> admit t (W_update { w_ur = ur }) ~timeout_ms:None
   | Ok (Protocol.Match mr) -> (
     match parse_tables ~lenient:mr.Protocol.mr_lenient mr.Protocol.mr_tables with
     | tables, ingest ->

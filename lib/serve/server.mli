@@ -12,10 +12,10 @@
       noticed within a fraction of a second without interrupting
       anything.
     - One {e connection thread} per client reads request lines,
-      answers [ping]/[stats]/[shutdown] inline, and submits
-      [register-target]/[match] work to the executor queue, waiting for
-      the reply before reading the next line (per-connection requests
-      are strictly ordered).
+      answers [ping]/[stats]/[list-targets]/[health]/[shutdown]
+      inline, and submits [register-target]/[update-target]/[match]
+      work to the executor queue, waiting for the reply before reading
+      the next line (per-connection requests are strictly ordered).
     - One {e executor thread} owns all match execution: it pops jobs in
       admission order and runs them over the shared {!Runtime.Pool}
       (resized per request via the [jobs] knob).  Serialising heavy
@@ -23,11 +23,17 @@
       one-submitter-at-a-time contract and the fault-injection
       machinery safe under concurrent clients; within a request the
       pool still fans out across domains.
-    - Registered targets are immutable
+    - Registered targets are
       {!Matching.Standard_match.prepared_target} artefacts: warmed
       columns, frozen kernel, store-backed profiles — prepared once,
       shared by every later request, with per-request results
-      bit-identical to a one-shot run over the same inputs.
+      bit-identical to a one-shot run over the same inputs.  An
+      [update-target] request advances a target to a new generation
+      through {!Delta.Maintain}: each artefact value stays immutable
+      (readers of the previous generation remain valid), the registry
+      entry is swapped on the executor thread, and matches after the
+      swap score the post-delta target bit-identically to
+      re-registering it from scratch.
 
     {2 Admission control}
 

@@ -1,11 +1,29 @@
-let format_version = 1
+(* v2 added delta records (kind 'x'); a v1 store quarantines on open
+   and rebuilds, like any foreign-version layout. *)
+let format_version = 2
 
 type key = { table : string; attr : string; subset : string; data : string }
+
+(* One table mutation, chained off the content-addressed base: applying
+   [dr_appends]/[dr_deletes] to the table whose {!table_digest} is
+   [dr_from] (over [dr_from_rows] rows) yields the table digesting to
+   [dr_to].  [dr_deleted_rows] snapshots the removed rows so the delta
+   is invertible without the old table at hand. *)
+type delta_record = {
+  dr_table : string;
+  dr_from : string;
+  dr_to : string;
+  dr_from_rows : int;
+  dr_appends : Relational.Value.t array array;
+  dr_deletes : int array;
+  dr_deleted_rows : Relational.Value.t array array;
+}
 
 type artefact =
   | Profile of Textsim.Profile.t
   | Summary of Stats.Descriptive.summary
   | Distinct of string list
+  | Delta_rec of delta_record
 
 type shard = {
   mutable state : [ `Unloaded | `Loaded of (string, artefact) Hashtbl.t ];
@@ -111,6 +129,41 @@ let table_digest table =
     (Table.rows table);
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
+(* Single space-free token per cell, mirroring [table_digest]'s
+   canonical encoding (floats by IEEE bits, strings hex-escaped), so a
+   delta row round-trips to the exact values — and hence the exact
+   digest — it was recorded from. *)
+let cell_to_string v =
+  let open Relational in
+  match v with
+  | Value.Null -> "n"
+  | Value.Int i -> "i" ^ string_of_int i
+  | Value.Float f -> "f" ^ Int64.to_string (Int64.bits_of_float f)
+  | Value.Bool b -> if b then "b1" else "b0"
+  | Value.String s -> "s" ^ to_hex s
+
+let cell_of_string s =
+  let open Relational in
+  if String.length s = 0 then raise (Corrupt "empty cell");
+  let rest () = String.sub s 1 (String.length s - 1) in
+  match s.[0] with
+  | 'n' when String.length s = 1 -> Value.Null
+  | 'i' -> (
+    match int_of_string_opt (rest ()) with
+    | Some i -> Value.Int i
+    | None -> raise (Corrupt "bad int cell"))
+  | 'f' -> (
+    match Int64.of_string_opt (rest ()) with
+    | Some bits -> Value.Float (Int64.float_of_bits bits)
+    | None -> raise (Corrupt "bad float cell"))
+  | 'b' -> (
+    match rest () with
+    | "1" -> Value.Bool true
+    | "0" -> Value.Bool false
+    | _ -> raise (Corrupt "bad bool cell"))
+  | 's' -> Value.String (of_hex (rest ()))
+  | _ -> raise (Corrupt "bad cell tag")
+
 (* ---- shard serialisation ---------------------------------------------- *)
 
 let shard_path t i = Filename.concat t.dir (Printf.sprintf "shard-%04d.dat" i)
@@ -134,6 +187,29 @@ let emit_entry buf addr art =
   | Distinct l ->
     Buffer.add_string buf (Printf.sprintf "D %s %d\n" addr (List.length l));
     List.iter (fun v -> Buffer.add_string buf (Printf.sprintf "V %s\n" (to_hex v))) l
+  | Delta_rec d ->
+    let row_line tag row =
+      Buffer.add_char buf tag;
+      Array.iter
+        (fun v ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (cell_to_string v))
+        row;
+      Buffer.add_char buf '\n'
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "X %s %s %s %s %d %d %d\n" addr (to_hex d.dr_table) (to_hex d.dr_from)
+         (to_hex d.dr_to) d.dr_from_rows (Array.length d.dr_appends)
+         (Array.length d.dr_deletes));
+    Array.iter (row_line 'R') d.dr_appends;
+    Buffer.add_char buf 'I';
+    Array.iter
+      (fun i ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (string_of_int i))
+      d.dr_deletes;
+    Buffer.add_char buf '\n';
+    Array.iter (row_line 'Q') d.dr_deleted_rows
 
 let render_shard t i table =
   let buf = Buffer.create 4096 in
@@ -226,6 +302,35 @@ let parse_shard ~index ~nshards text =
       Hashtbl.replace table addr (Distinct values);
       incr entries;
       entry ()
+    | [ "X"; addr; tbl; from_; to_; from_rows; n_app; n_del ] ->
+      let n_app = int_field "append count" n_app in
+      let n_del = int_field "delete count" n_del in
+      let row what tag =
+        match String.split_on_char ' ' (next what) with
+        | t :: cells when t = tag -> Array.of_list (List.map cell_of_string cells)
+        | _ -> raise (Corrupt (Printf.sprintf "bad %s line" what))
+      in
+      let appends = Array.init n_app (fun _ -> row "append row" "R") in
+      let deletes =
+        match String.split_on_char ' ' (next "delete indices") with
+        | "I" :: idxs -> Array.of_list (List.map (int_field "delete index") idxs)
+        | _ -> raise (Corrupt "bad delete-indices line")
+      in
+      if Array.length deletes <> n_del then raise (Corrupt "delete count mismatch");
+      let deleted_rows = Array.init n_del (fun _ -> row "deleted row" "Q") in
+      Hashtbl.replace table addr
+        (Delta_rec
+           {
+             dr_table = of_hex tbl;
+             dr_from = of_hex from_;
+             dr_to = of_hex to_;
+             dr_from_rows = int_field "from rows" from_rows;
+             dr_appends = appends;
+             dr_deletes = deletes;
+             dr_deleted_rows = deleted_rows;
+           });
+      incr entries;
+      entry ()
     | _ -> raise (Corrupt "unrecognised entry line")
   in
   entry ();
@@ -301,6 +406,7 @@ type verify_report = {
   vr_corrupt : int;
   vr_quarantined : int;
   vr_tmp : int;
+  vr_deltas : int;
   vr_index_ok : bool;
 }
 
@@ -348,6 +454,7 @@ let verify dir =
       | n -> (true, Some n)
       | exception (Corrupt _ | Sys_error _) -> (false, None)
   in
+  let deltas = ref 0 in
   let entries =
     List.filter_map
       (fun f ->
@@ -378,7 +485,13 @@ let verify dir =
                   | None -> 0)
               in
               match parse_shard ~index:i ~nshards text with
-              | _ -> Some { ve_file = f; ve_status = Shard_clean; ve_detail = "" }
+              | parsed ->
+                deltas :=
+                  !deltas
+                  + Hashtbl.fold
+                      (fun _ a acc -> match a with Delta_rec _ -> acc + 1 | _ -> acc)
+                      parsed 0;
+                Some { ve_file = f; ve_status = Shard_clean; ve_detail = "" }
               | exception Corrupt reason ->
                 let status = if has_end_footer text then Shard_corrupt else Shard_truncated in
                 Some { ve_file = f; ve_status = status; ve_detail = reason })))
@@ -396,6 +509,7 @@ let verify dir =
     vr_corrupt = count Shard_corrupt;
     vr_quarantined = count Shard_quarantined;
     vr_tmp = tmp;
+    vr_deltas = !deltas;
     vr_index_ok = index_ok;
   }
 
@@ -525,6 +639,59 @@ let find_distinct t key =
 let add_profile t key p = add t ~kind:'p' key (Profile p)
 let add_summary t key s = add t ~kind:'s' key (Summary s)
 let add_distinct t key d = add t ~kind:'d' key (Distinct d)
+
+(* ---- delta chains ------------------------------------------------------ *)
+
+(* A delta record is addressed by the digest of the table it produces
+   ([dr_to]); the digest it consumed ([dr_from]) is the chain's back
+   pointer.  Attr and subset are empty — a delta belongs to the whole
+   table, not one artefact. *)
+let delta_addr_key ~table ~data = { table; attr = ""; subset = ""; data }
+
+let add_delta t d = add t ~kind:'x' (delta_addr_key ~table:d.dr_table ~data:d.dr_to) (Delta_rec d)
+
+let find_delta t ~table ~data =
+  match find t ~kind:'x' (delta_addr_key ~table ~data) with
+  | Some (Delta_rec d) -> Some d
+  | Some _ | None -> None
+
+(* Oldest-first walk along [dr_from] pointers, bounded against cycles
+   (a record claiming to produce a digest already on the walk) and
+   pathological depth. *)
+let delta_chain t ~table ~data =
+  let rec walk acc seen data depth =
+    if depth > 4096 || List.mem data seen then acc
+    else
+      match find_delta t ~table ~data with
+      | None -> acc
+      | Some d -> walk (d :: acc) (data :: seen) d.dr_from (depth + 1)
+  in
+  walk [] [] data 0
+
+let remove_delta t ~table ~data =
+  if not t.ro then begin
+    Mutex.lock t.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
+    let addr = address ~kind:'x' (delta_addr_key ~table ~data) in
+    let i = shard_of t addr in
+    let shard_table = loaded_shard t i in
+    if Hashtbl.mem shard_table addr then begin
+      Hashtbl.remove shard_table addr;
+      t.shards.(i).dirty <- true
+    end
+  end
+
+(* Fold a chain back into its base snapshot: the per-artefact entries
+   under the head digest were already written through when the head
+   state was built, so dropping the intermediate delta records leaves
+   exactly a base snapshot at the head — shorter chains to walk, fewer
+   entries to parse. *)
+let compact_deltas t ~table ~data =
+  let chain = delta_chain t ~table ~data in
+  List.iter (fun d -> remove_delta t ~table ~data:d.dr_to) chain;
+  let n = List.length chain in
+  if n > 0 && !Obs.Recorder.enabled then Obs.Metrics.add "store.deltas_compacted" n;
+  n
 
 (* ---- flush ------------------------------------------------------------- *)
 

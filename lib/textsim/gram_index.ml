@@ -54,6 +54,100 @@ let build targets =
   in
   { dict; targets; totals; norms; post_tgt; post_freq; post_max; min_norm }
 
+(* O(delta) slot replacement against the frozen dictionary.  The dict
+   never grows (id order = gram order is what makes the interned merge
+   join's accumulation order match the string path), so an update whose
+   profile holds an out-of-vocabulary gram cannot be expressed — we
+   return [None] and the caller rebuilds.  Grams whose postings empty
+   out stay in the dictionary; they are score-neutral: [scores] walks
+   candidate grams and finds empty postings (adds nothing), and
+   [cosine_upper_bound] adds [c/tc *. 0.0] — a +0.0 term on a
+   non-negative accumulator, bitwise invisible.  Touched posting lists
+   and their maxima are rebuilt with the exact folds [build] uses, and
+   untouched postings keep their original floats, so every score of the
+   patched index is bit-identical to a cold [build] over the new
+   targets. *)
+let patch t updates =
+  let updates = Array.of_list updates in
+  let in_vocab (_, p) =
+    Profile.intern t.dict p;
+    match Profile.interned_ids p t.dict with
+    | Some (ids, _) -> Array.length ids = Profile.gram_count p
+    | None -> false
+  in
+  if not (Array.for_all in_vocab updates) then None
+  else begin
+    let targets = Array.copy t.targets in
+    let totals = Array.copy t.totals in
+    let norms = Array.copy t.norms in
+    let post_tgt = Array.copy t.post_tgt in
+    let post_freq = Array.copy t.post_freq in
+    let post_max = Array.copy t.post_max in
+    Array.iter
+      (fun (slot, new_p) ->
+        if slot < 0 || slot >= Array.length targets then
+          invalid_arg "Gram_index.patch: slot out of range";
+        let old_p = targets.(slot) in
+        Profile.intern t.dict old_p;
+        let old_ids =
+          if Profile.total old_p > 0 then
+            match Profile.interned_ids old_p t.dict with
+            | Some (ids, _) -> ids
+            | None -> [||]
+          else [||]
+        in
+        let new_ids, new_counts =
+          match Profile.interned_ids new_p t.dict with
+          | Some v -> v
+          | None -> ([||], [||])
+        in
+        let new_total = Profile.total new_p in
+        let total_f = float_of_int new_total in
+        (* the exact relative frequency [build] computes per posting *)
+        let freq_of = Hashtbl.create (Array.length new_ids) in
+        if new_total > 0 then
+          Array.iteri
+            (fun k id -> Hashtbl.replace freq_of id (float_of_int new_counts.(k) /. total_f))
+            new_ids;
+        let touched = Hashtbl.create 64 in
+        Array.iter (fun id -> Hashtbl.replace touched id ()) old_ids;
+        if new_total > 0 then Array.iter (fun id -> Hashtbl.replace touched id ()) new_ids;
+        Hashtbl.iter
+          (fun id () ->
+            let tgts = post_tgt.(id) and freqs = post_freq.(id) in
+            let n = Array.length tgts in
+            let entries = ref [] in
+            let inserted = ref false in
+            let insert_new () =
+              (match Hashtbl.find_opt freq_of id with
+              | Some f -> entries := (slot, f) :: !entries
+              | None -> ());
+              inserted := true
+            in
+            for k = 0 to n - 1 do
+              let s = tgts.(k) in
+              if s = slot then () (* drop the replaced slot's posting *)
+              else begin
+                if s > slot && not !inserted then insert_new ();
+                entries := (s, freqs.(k)) :: !entries
+              end
+            done;
+            if not !inserted then insert_new ();
+            let entries = Array.of_list (List.rev !entries) in
+            post_tgt.(id) <- Array.map fst entries;
+            post_freq.(id) <- Array.map snd entries;
+            post_max.(id) <- Array.fold_left (fun m (_, f) -> Float.max m f) 0.0 entries)
+          touched;
+        norms.(slot) <- Profile.norm new_p;
+        totals.(slot) <- total_f;
+        targets.(slot) <- new_p)
+      updates;
+    let min_norm =
+      Array.fold_left (fun m n -> if n > 0.0 && n < m then n else m) infinity norms
+    in
+    Some { t with targets; totals; norms; post_tgt; post_freq; post_max; min_norm }
+  end
+
 let dict t = t.dict
 let length t = Array.length t.targets
 let gram_count t = Gram_dict.size t.dict

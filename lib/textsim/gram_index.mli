@@ -25,6 +25,22 @@ type t
 
 val build : Profile.t array -> t
 
+val patch : t -> (int * Profile.t) list -> t option
+(** [patch t [(slot, p); ...]] returns a new index equal to rebuilding
+    over the targets with each [slot] replaced by [p] — touching only
+    the postings of grams present in the old or new profile of a
+    patched slot.  The original index is left untouched (top-level
+    arrays are copied, posting lists rebuilt per touched gram).
+
+    The frozen dictionary cannot grow, so [None] is returned when any
+    replacement profile holds an out-of-vocabulary gram; the caller
+    must rebuild from scratch.  Grams whose postings empty out remain
+    in the dictionary but are score-neutral (empty postings contribute
+    nothing to {!scores}; their zero max adds an exact +0.0 to
+    {!cosine_upper_bound}), so {!scores}, {!cosine_upper_bound} and
+    {!top_k} on the patched index are bit-identical to a cold {!build}
+    over the new target set. *)
+
 val dict : t -> Gram_dict.t
 val length : t -> int
 (** Number of indexed targets. *)

@@ -56,6 +56,25 @@ let add t s =
       t.total <- t.total + 1)
     (Tokenize.qgrams t.q s)
 
+(* Removal is exact integer inversion of [add]: a gram's count drops by
+   its multiplicity in the removed string, vanishing from the table at
+   zero so [sorted_counts] (and hence every similarity fold, norm and
+   interned view) of the patched profile equals that of a profile built
+   fresh from the surviving strings. *)
+let remove t s =
+  invalidate t;
+  List.iter
+    (fun gram ->
+      let n = try Hashtbl.find t.counts gram with Not_found -> 0 in
+      if n <= 0 then invalid_arg "Profile.patch: removing absent gram";
+      if n = 1 then Hashtbl.remove t.counts gram else Hashtbl.replace t.counts gram (n - 1);
+      t.total <- t.total - 1)
+    (Tokenize.qgrams t.q s)
+
+let patch t ~add:adds ~remove:removes =
+  List.iter (add t) adds;
+  List.iter (remove t) removes
+
 let of_strings ?(q = 3) strings =
   let t = create q in
   List.iter (add t) strings;

@@ -31,6 +31,16 @@ val add : t -> string -> unit
 (** Fold one more string into the profile.  Drops the memoised sorted
     view, cached norm and interned view. *)
 
+val patch : t -> add:string list -> remove:string list -> unit
+(** Fold the [add] strings in and the [remove] strings out, in place.
+    Removal is the exact integer inverse of {!add}: counts drop by each
+    removed string's gram multiplicities and vanish at zero, so the
+    patched profile's canonical counts — and therefore every similarity,
+    norm and interned view derived from them — are bit-identical to a
+    profile rebuilt from scratch over the surviving strings.  Raises
+    [Invalid_argument] if a removal would drive a gram count negative
+    (the string was never added).  Drops the memoised views. *)
+
 val gram_count : t -> int
 (** Number of distinct grams. *)
 
