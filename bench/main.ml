@@ -1227,6 +1227,114 @@ let delta_report () =
     exit 1
   end
 
+(* --- Match plans: filtered retrieval vs cross product (BENCH_plan.json) - *)
+
+(* End-to-end ContextMatch runs under three plans at growing scale:
+   the default cross product, a full-width filter (k wide enough to
+   keep every textual candidate — must be byte-identical to the
+   default, proving the filter path changes nothing when it prunes
+   nothing), and a narrow top-k filter (must score strictly fewer
+   pairs than the cross product).  Two gates ride on the figure: any
+   fingerprint drift between default and full-width fails the run, and
+   so does a narrow filter that fails to shrink the scored-pair count
+   at 16x scale.  Pair counts come from the run's own jobs-invariant
+   accounting, not from timing. *)
+let plan_report () =
+  R.section "Match plans: q-gram candidate filter vs default cross product";
+  R.note "expected shape: narrow filter scores fewer pairs; full-width filter identical output";
+  let fp (r : Ctxmatch.Context_match.result) =
+    String.concat "\n"
+      (List.map
+         (fun (m : Matching.Schema_match.t) ->
+           Printf.sprintf "%s|%s|%s|%s.%s|%s|%h" m.src_owner m.src_base m.src_attr m.tgt_table
+             m.tgt_attr
+             (Relational.Condition.to_string m.condition)
+             m.confidence)
+         (r.Ctxmatch.Context_match.matches @ r.Ctxmatch.Context_match.standard))
+  in
+  let measure scale =
+    let params =
+      { retail_params with Workload.Retail.rows = 400 * scale; target_rows = 200 * scale }
+    in
+    let source = Workload.Retail.source params in
+    let target = Workload.Retail.target params Workload.Retail.Ryan_eyers in
+    let infer = Ctxmatch.Context_match.infer_of `Src_class ~target in
+    let run plan =
+      let config =
+        { (Ctxmatch.Config.with_seed Ctxmatch.Config.default base_seed) with
+          Ctxmatch.Config.jobs = 1;
+          plan
+        }
+      in
+      let best = ref infinity in
+      let last = ref None in
+      for _rep = 1 to reps do
+        let t0 = Unix.gettimeofday () in
+        let r = Ctxmatch.Context_match.run ~config ~infer ~source ~target () in
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < !best then best := dt;
+        last := Some r
+      done;
+      (!best, Option.get !last)
+    in
+    let default_s, default_r = run Plan.Default in
+    let wide_s, wide_r = run (Plan.Filtered { k = 1024; tau = 0.0 }) in
+    let narrow_s, narrow_r = run (Plan.Filtered { k = 4; tau = 0.0 }) in
+    let identical = fp default_r = fp wide_r in
+    let default_pairs = default_r.Ctxmatch.Context_match.pairs_scored in
+    let narrow_pairs = narrow_r.Ctxmatch.Context_match.pairs_scored in
+    R.note
+      (Printf.sprintf
+         "scale %2dx: default %.1f ms / %d pairs; full-width %.1f ms; filter:4 %.1f ms / %d \
+          pairs (%d pruned)%s"
+         scale (default_s *. 1e3) default_pairs (wide_s *. 1e3) (narrow_s *. 1e3) narrow_pairs
+         narrow_r.Ctxmatch.Context_match.pairs_pruned
+         (if identical then "" else "  [MISMATCH]"));
+    ( scale,
+      default_s,
+      wide_s,
+      narrow_s,
+      default_pairs,
+      narrow_pairs,
+      narrow_r.Ctxmatch.Context_match.pairs_pruned,
+      identical )
+  in
+  let entries = List.map measure [ 1; 4; 16 ] in
+  let all_identical = List.for_all (fun (_, _, _, _, _, _, _, id) -> id) entries in
+  let fewer_at_16 =
+    List.exists
+      (fun (s, _, _, _, dp, np, _, _) -> s = 16 && np < dp)
+      entries
+  in
+  let oc = open_out "BENCH_plan.json" in
+  Printf.fprintf oc "{\n  \"scales\": [\n";
+  List.iteri
+    (fun i (scale, default_s, wide_s, narrow_s, dp, np, pruned, identical) ->
+      Printf.fprintf oc
+        "    { \"scale\": %d, \"default_seconds\": %.6f, \"full_width_seconds\": %.6f, \
+         \"filter4_seconds\": %.6f, \"default_pairs\": %d, \"filter4_pairs\": %d, \
+         \"filter4_pruned\": %d, \"identical_matches\": %b }%s\n"
+        scale default_s wide_s narrow_s dp np pruned identical
+        (if i < List.length entries - 1 then "," else ""))
+    entries;
+  Printf.fprintf oc
+    "  ],\n  \"identical_matches\": %b,\n  \"filter_reduces_pairs_16x\": %b\n}\n" all_identical
+    fewer_at_16;
+  close_out oc;
+  R.note
+    (Printf.sprintf "wrote BENCH_plan.json: identical = %b, filter reduces pairs at 16x = %b"
+       all_identical fewer_at_16);
+  if not all_identical then begin
+    Printf.eprintf "bench: plan canary failed: full-width filter differs from default plan\n";
+    exit 1
+  end;
+  if not fewer_at_16 then begin
+    Printf.eprintf
+      "bench: plan canary failed: filter:4 did not score fewer pairs than the cross product \
+       at 16x\n";
+    exit 1
+  end
+
 (* --- Observability report (BENCH_obs.json) ----------------------------- *)
 
 (* One instrumented end-to-end retail run under the obs recorder,
@@ -1277,6 +1385,7 @@ let figures =
     ("serve", serve_report);
     ("chaos", chaos_report);
     ("delta", delta_report);
+    ("plan", plan_report);
   ]
 
 let () =

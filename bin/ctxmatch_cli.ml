@@ -83,7 +83,12 @@ let load_tables ~mode files =
       end)
     files
 
-let make_config tau omega late select seed jobs timeout_ms =
+let plan_spec_of_string plan =
+  match Plan.spec_of_string plan with
+  | Ok spec -> spec
+  | Error message -> cli_error usage_code "%s" message
+
+let make_config tau omega late select seed jobs timeout_ms plan =
   let select =
     match select with
     | "qual" -> Ctxmatch.Config.Qual_table
@@ -101,6 +106,7 @@ let make_config tau omega late select seed jobs timeout_ms =
     seed;
     jobs;
     timeout_ms;
+    plan = plan_spec_of_string plan;
   }
 
 let algorithm_of_string = function
@@ -160,8 +166,8 @@ let obs_finish trace metrics profile =
   end
 
 let run_match source_files target_files tau omega late select algorithm seed where jobs mode
-    timeout_ms store_dir store_readonly =
-  let config = make_config tau omega late select seed jobs timeout_ms in
+    timeout_ms store_dir store_readonly plan =
+  let config = make_config tau omega late select seed jobs timeout_ms plan in
   let algorithm = algorithm_of_string algorithm in
   let source =
     apply_where where (Relational.Database.make "source" (load_tables ~mode source_files))
@@ -177,6 +183,12 @@ let run_match source_files target_files tau omega late select algorithm seed whe
     (List.length result.Ctxmatch.Context_match.standard)
     result.Ctxmatch.Context_match.candidate_view_count
     result.Ctxmatch.Context_match.elapsed_seconds;
+  (* only a non-default plan earns a summary line, so default-plan
+     output stays byte-identical to every earlier release *)
+  if config.Ctxmatch.Config.plan <> Plan.Default then
+    Printf.printf "# plan %s: %d pairs scored, %d pruned\n"
+      result.Ctxmatch.Context_match.plan.Plan.plan_name
+      result.Ctxmatch.Context_match.pairs_scored result.Ctxmatch.Context_match.pairs_pruned;
   (match store with
   | None -> ()
   | Some s ->
@@ -199,19 +211,19 @@ let run_match source_files target_files tau omega late select algorithm seed whe
   result
 
 let match_cmd_run source_files target_files tau omega late select algorithm seed where jobs
-    mode timeout_ms store_dir store_readonly trace metrics profile =
+    mode timeout_ms store_dir store_readonly plan trace metrics profile =
   obs_start trace metrics profile;
   ignore
     (run_match source_files target_files tau omega late select algorithm seed where jobs mode
-       timeout_ms store_dir store_readonly);
+       timeout_ms store_dir store_readonly plan);
   obs_finish trace metrics profile
 
 let map_cmd_run source_files target_files tau omega late select algorithm seed where jobs mode
-    timeout_ms store_dir store_readonly trace metrics profile out_dir =
+    timeout_ms store_dir store_readonly plan trace metrics profile out_dir =
   obs_start trace metrics profile;
   let result =
     run_match source_files target_files tau omega late select algorithm seed where jobs mode
-      timeout_ms store_dir store_readonly
+      timeout_ms store_dir store_readonly plan
   in
   let source =
     apply_where where (Relational.Database.make "source" (load_tables ~mode source_files))
@@ -246,6 +258,44 @@ let map_cmd_run source_files target_files tau omega late select algorithm seed w
       Printf.printf "# wrote %s (%d rows)\n" path (Relational.Table.row_count table))
     (Relational.Database.tables mapped);
   obs_finish trace metrics profile
+
+(* -- explain-plan ------------------------------------------------------- *)
+
+(* Resolve the plan the given workload would run and print its operator
+   graph with per-operator pair counts and cost estimates.  Nothing is
+   matched unless --calibrate asks for a probe run to measure the
+   per-class scoring rates on this very workload. *)
+let explain_plan_cmd_run source_files target_files tau plan jobs mode calibrate =
+  let spec = plan_spec_of_string plan in
+  let source = Relational.Database.make "source" (load_tables ~mode source_files) in
+  let target = Relational.Database.make "target" (load_tables ~mode target_files) in
+  match_phase @@ fun () ->
+  let config =
+    let base = Ctxmatch.Config.default in
+    {
+      base with
+      Ctxmatch.Config.tau;
+      jobs = (if jobs <= 0 then base.Ctxmatch.Config.jobs else jobs);
+      plan = spec;
+    }
+  in
+  let shape = Ctxmatch.Context_match.shape_of ~source ~target in
+  let model =
+    if not calibrate then Plan.Cost.default
+    else begin
+      Obs.Recorder.enable ();
+      let infer = Ctxmatch.Context_match.infer_of `Src_class ~target in
+      ignore (Ctxmatch.Context_match.run ~config ~infer ~source ~target ());
+      Plan.Cost.of_snapshot (Obs.Metrics.snapshot ())
+    end
+  in
+  let resolved =
+    Plan.resolve ~model ~shape ~gated:config.Ctxmatch.Config.gated_confidence
+      ~tau:config.Ctxmatch.Config.tau ~kernel:config.Ctxmatch.Config.kernel
+      ~matchers:(Matching.Matchers.plan_specs config.Ctxmatch.Config.matchers)
+      spec
+  in
+  print_string (Plan.explain ~model ~shape resolved)
 
 let demo_cmd_run scenario =
   match scenario with
@@ -548,6 +598,20 @@ let store_readonly_arg =
           "Open --store without writing anything back: no flush, and \
            quarantined files are left in place.")
 
+let plan_arg =
+  Arg.(
+    value
+    & opt string "default"
+    & info [ "plan" ] ~docv:"SPEC"
+        ~doc:
+          "Match plan: $(b,default) scores every (matcher, source, target) \
+           pair (the legacy pipeline, byte-identical output); \
+           $(b,filter[:K[,TAU]]) retrieves the top-$(b,K) q-gram candidate \
+           columns per textual source attribute (cosine >= TAU) and only \
+           scores those with the instance matchers; $(b,auto) picks \
+           whichever the cost model estimates cheaper.  See \
+           $(b,explain-plan).")
+
 let trace_arg =
   Arg.(
     value
@@ -585,7 +649,7 @@ let match_cmd =
     Term.(
       const match_cmd_run $ source_arg $ target_arg $ tau_arg $ omega_arg $ late_arg
       $ select_arg $ algorithm_arg $ seed_arg $ where_arg $ jobs_arg $ mode_arg $ timeout_arg
-      $ store_arg $ store_readonly_arg $ trace_arg $ metrics_arg $ profile_arg)
+      $ store_arg $ store_readonly_arg $ plan_arg $ trace_arg $ metrics_arg $ profile_arg)
 
 let map_cmd =
   let doc = "match, generate the Clio-style mapping, execute it to CSV" in
@@ -593,7 +657,39 @@ let map_cmd =
     Term.(
       const map_cmd_run $ source_arg $ target_arg $ tau_arg $ omega_arg $ late_arg
       $ select_arg $ algorithm_arg $ seed_arg $ where_arg $ jobs_arg $ mode_arg $ timeout_arg
-      $ store_arg $ store_readonly_arg $ trace_arg $ metrics_arg $ profile_arg $ out_dir_arg)
+      $ store_arg $ store_readonly_arg $ plan_arg $ trace_arg $ metrics_arg $ profile_arg
+      $ out_dir_arg)
+
+let explain_plan_cmd =
+  let doc = "print the operator graph a match plan would execute" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Resolves $(b,--plan) against the given source/target workload and \
+         prints the operator pipeline — profile, candidate filter, scoring \
+         stages, combine, prune, select — one numbered line per operator \
+         with estimated pair counts and cost, plus the rewrite rules that \
+         normalised the plan (e.g. hoisting the q-gram filter before the \
+         expensive instance matchers).  Estimates come from the shipped \
+         cost model; $(b,--calibrate) replaces the per-class scoring rates \
+         with ones measured by a probe matching run over this very \
+         workload.  Nothing else is executed and no matches are printed.";
+    ]
+  in
+  let calibrate =
+    Arg.(
+      value & flag
+      & info [ "calibrate" ]
+          ~doc:
+            "Run one probe matching pass under the observability recorder \
+             and feed the measured per-matcher-class scoring rates into the \
+             cost model instead of the shipped defaults.")
+  in
+  Cmd.v (Cmd.info "explain-plan" ~doc ~man)
+    Term.(
+      const explain_plan_cmd_run $ source_arg $ target_arg $ tau_arg $ plan_arg $ jobs_arg
+      $ mode_arg $ calibrate)
 
 let demo_cmd =
   let doc = "run a built-in scenario (retail or grades)" in
@@ -760,7 +856,15 @@ let () =
     try
       Cmd.eval ~catch:false
         (Cmd.group info
-           [ match_cmd; map_cmd; demo_cmd; serve_cmd; client_cmd; store_verify_cmd ])
+           [
+             match_cmd;
+             map_cmd;
+             explain_plan_cmd;
+             demo_cmd;
+             serve_cmd;
+             client_cmd;
+             store_verify_cmd;
+           ])
     with
     | Cli_error { code; message } ->
       Printf.eprintf "ctxmatch: %s\n%!" message;

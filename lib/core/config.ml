@@ -19,6 +19,7 @@ type t = {
   timeout_ms : int option;
   faults : Robust.Fault.arming list;
   kernel : bool;
+  plan : Plan.spec;
 }
 
 let default =
@@ -38,6 +39,7 @@ let default =
     timeout_ms = None;
     faults = [];
     kernel = true;
+    plan = Plan.Default;
   }
 
 let with_seed t seed = { t with seed }
@@ -48,3 +50,4 @@ let with_omega t omega = { t with omega }
 let early t = { t with early_disjuncts = true }
 let late t = { t with early_disjuncts = false }
 let with_kernel t kernel = { t with kernel }
+let with_plan t plan = { t with plan }

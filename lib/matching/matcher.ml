@@ -15,4 +15,11 @@ let make ~name ?(weight = 1.0) ?(kernel = No_kernel) ~applicable score =
 
 let applicable_pair t src tgt = t.applicable (Column.attribute src) (Column.attribute tgt)
 
-let score t src tgt = Float.min 1.0 (Float.max 0.0 (t.score src tgt))
+(* OCaml's [Float.min]/[Float.max] propagate NaN, so the clamp alone
+   would let a degenerate metric (0/0 in a similarity denominator)
+   poison the z-normalisation distribution and every confidence
+   derived from it.  A NaN raw score carries no signal: map it to the
+   scale's floor. *)
+let score t src tgt =
+  let s = t.score src tgt in
+  if Float.is_nan s then 0.0 else Float.min 1.0 (Float.max 0.0 s)

@@ -33,4 +33,6 @@ val make :
 
 val applicable_pair : t -> Column.t -> Column.t -> bool
 val score : t -> Column.t -> Column.t -> float
-(** Score clamped to [0, 1]. *)
+(** Score clamped to [0, 1]; a NaN raw score maps to 0 (it carries no
+    signal, and [Float.min]/[Float.max] would propagate it into the
+    normalisation distribution otherwise). *)

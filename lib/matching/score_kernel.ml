@@ -41,8 +41,18 @@ let name t i = t.names.(i)
 
 let intern t p = Textsim.Profile.intern (Textsim.Gram_index.dict t.index) p
 
+(* The kernel boundary rejects NaN rather than letting it flow into
+   z-normalisation: cosine over non-negative counts cannot produce NaN
+   (all zero-denominator paths return 0.0 — see Gram_index.scores),
+   so one here means a broken profile or index invariant, and a NaN
+   would silently poison every downstream confidence while comparing
+   unequal to everything. *)
+let reject_nan ~ctx s =
+  if Float.is_nan s then invalid_arg ("Score_kernel." ^ ctx ^ ": NaN cosine")
+
 let scores t cand =
   let cosines, touched = Textsim.Gram_index.scores t.index cand in
+  Array.iter (reject_nan ~ctx:"scores") cosines;
   if !Obs.Recorder.enabled then begin
     Obs.Metrics.incr "kernel.batch.queries";
     Obs.Metrics.add "kernel.batch.scored" touched;
@@ -52,6 +62,7 @@ let scores t cand =
 
 let top_k t cand ~k ~tau =
   let top, stats = Textsim.Gram_index.top_k t.index cand ~k ~tau in
+  List.iter (fun (_, s) -> reject_nan ~ctx:"top_k" s) top;
   if !Obs.Recorder.enabled then begin
     Obs.Metrics.incr "kernel.topk.queries";
     Obs.Metrics.add "kernel.topk.scored" stats.Textsim.Gram_index.scored;

@@ -39,8 +39,13 @@ val intern : t -> Textsim.Profile.t -> unit
 
 val scores : t -> Textsim.Profile.t -> float array
 (** Exact cosine against every target, indexed by {!slot}; bit-identical
-    to the pairwise string path (see {!Textsim.Gram_index.scores}). *)
+    to the pairwise string path (see {!Textsim.Gram_index.scores}).
+    Raises [Invalid_argument] if any cosine is NaN — the boundary
+    rejects a poisoned score instead of letting it reach
+    normalisation. *)
 
 val top_k : t -> Textsim.Profile.t -> k:int -> tau:float -> ((string * string) * float) list
-(** Up to [k] targets with cosine >= [tau], best first, ties broken on
-    target slot order; equals exhaustive scoring + filter + sort. *)
+(** Up to [k] targets with cosine >= [tau], best first, ties at the
+    rank-k boundary broken by ascending target slot (= interned column
+    id), so pruned and exact paths keep the identical survivor; equals
+    exhaustive scoring + filter + sort.  Rejects NaN like {!scores}. *)

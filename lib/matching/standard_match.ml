@@ -5,6 +5,14 @@ type target_col = { table : string; column : Column.t }
 type model = {
   gated : bool;
   matchers : Matcher.t list;
+  (* the operator graph this model was built under; the default plan
+     reproduces the legacy hard-wired pipeline bit-identically *)
+  plan : Plan.t;
+  (* (matcher, source attr, target col) scoring events performed /
+     skipped by the plan's filter — merged deterministically on the
+     main domain, so both are jobs-invariant *)
+  pairs_scored : int;
+  pairs_pruned : int;
   source_db : Database.t;
   target_db : Database.t;
   target_cols : target_col list;
@@ -31,6 +39,9 @@ let source m = m.source_db
 let target m = m.target_db
 let profile_cache m = m.cache
 let kernel_enabled m = m.kernel <> None
+let plan m = m.plan
+let pairs_scored m = m.pairs_scored
+let pairs_pruned m = m.pairs_pruned
 let cache_stats m = (Profile_cache.hits m.cache, Profile_cache.misses m.cache)
 let profile_builds m = Profile_cache.builds m.cache + Profile_cache.builds m.tgt_cache
 
@@ -260,10 +271,47 @@ type built_pair = {
   bp_column : Column.t;
   (* matcher name, (tgt_table, tgt_attr, raw score) list, stats *)
   bp_scores : (string * (string * string * float) list * Normalize.t option) list;
+  (* scoring events performed / skipped by the filter, for this unit *)
+  bp_scored : int;
+  bp_pruned : int;
 }
 
+(* Top-k retrieval by raw q-gram cosine — shared by the plan's
+   [Filter] stage and [top_qgram_matches].  With a kernel, one pass
+   over the inverted index scores only the targets sharing a gram with
+   the probe (the rest are provable zeros, costing nothing); without
+   one, every textual target is scored pairwise.  Both paths run the
+   identical exact accumulation and the identical (score desc, slot
+   asc) order, so their results coincide — the differential suite
+   asserts it.  Note [tau = 0.0] keeps zero-score textual targets in
+   both paths (0 >= 0), so a filter with a full-width k degenerates to
+   the unfiltered pipeline exactly. *)
+let qgram_candidates ~kernel ~target_cols profile ~k ~tau =
+  match kernel with
+  | Some kern -> Score_kernel.top_k kern profile ~k ~tau
+  | None ->
+    let textual =
+      List.filter
+        (fun tgt -> Relational.Attribute.is_textual (Column.attribute tgt.column))
+        target_cols
+    in
+    let scored =
+      List.mapi
+        (fun i tgt ->
+          ( i,
+            (tgt.table, Column.name tgt.column),
+            Textsim.Profile.cosine profile (Column.profile tgt.column) ))
+        textual
+    in
+    List.filter (fun (_, _, s) -> s >= tau) scored
+    |> List.sort (fun (i, _, a) (j, _, b) ->
+           let c = Float.compare b a in
+           if c <> 0 then c else Int.compare i j)
+    |> List.filteri (fun i _ -> i < k)
+    |> List.map (fun (_, name, s) -> (name, s))
+
 let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ?report
-    ?(deadline = Robust.Deadline.none) ?store ?(kernel = true) ?prepared ~source ~target () =
+    ?(deadline = Robust.Deadline.none) ?store ?(kernel = true) ?prepared ?plan ~source ~target () =
   Obs.Trace.with_span "standard_match.build" @@ fun () ->
   let cache = Profile_cache.create () in
   (match store with
@@ -298,6 +346,32 @@ let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ?repo
      bit-identical either way. *)
   Profile_cache.set_partitioning cache kernel;
   let score_kernel = if kernel then prepared.pt_kernel else None in
+  (* Resolve and validate the operator graph.  The default plan is the
+     legacy pipeline verbatim (single fused score stage, no filter), so
+     a caller that passes no plan gets bit-identical behaviour to the
+     pre-plan code.  The filter's candidate retrieval works with or
+     without a kernel (the exact fallback coincides by construction),
+     so a plan's result never depends on the kernel switch. *)
+  let specs = Matchers.plan_specs matchers in
+  let plan =
+    match plan with Some p -> p | None -> Plan.default ~gated ~matchers:specs ()
+  in
+  (match Plan.validate ~matchers:specs plan with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Standard_match.build: " ^ msg));
+  let filter = Plan.filter_params plan in
+  (* Executable matchers in plan scoring order.  Scoring order is
+     result-invariant — every per-matcher artefact is keyed by matcher
+     name and the combination step walks [matchers] in its original
+     order — so a rewrite that reorders matchers changes cost only. *)
+  let exec_matchers =
+    List.map
+      (fun name -> List.find (fun (mm : Matcher.t) -> String.equal mm.Matcher.name name) matchers)
+      (Plan.score_order plan)
+  in
+  let spec_of (mm : Matcher.t) =
+    List.find (fun s -> String.equal s.Plan.Op.m_name mm.Matcher.name) specs
+  in
   let pairs =
     List.concat_map
       (fun src_tbl ->
@@ -311,59 +385,110 @@ let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ?repo
     let src_name = Table.name src_tbl in
     Robust.Fault.check Robust.Fault.Matcher_score ~key:(src_name ^ "." ^ src_attr);
     let src_col = Column.of_table ~cache src_tbl src_attr in
+    let src_textual = Relational.Attribute.is_textual (Column.attribute src_col) in
+    (* Plan [Filter] stage: top-k q-gram candidate retrieval for this
+       source attribute.  Filterable matchers then score their
+       textual-textual pairs only against survivors; every other
+       (matcher, pair) combination is untouched.  The survivor table
+       also memoises the filter probe's exact cosines, which the q-gram
+       matcher reuses directly — the filter pays for that matcher's
+       scoring, it never duplicates it. *)
+    let filter_cands =
+      match filter with
+      | Some (k, ftau) when src_textual ->
+        let cands =
+          qgram_candidates ~kernel:score_kernel ~target_cols (Column.profile src_col) ~k
+            ~tau:ftau
+        in
+        let tbl = Hashtbl.create 32 in
+        List.iter (fun (key, s) -> Hashtbl.replace tbl key s) cands;
+        Some tbl
+      | _ -> None
+    in
+    let pruned = ref 0 in
+    let observed = !Obs.Recorder.enabled in
     let bp_scores =
       List.map
         (fun matcher ->
+          let spec = spec_of matcher in
+          let t0 = if observed then Robust.Deadline.now_ns () else 0L in
           (* Raw scores of this matcher from this source attribute to
              every applicable target attribute. *)
           (* Inapplicable pairs count as score 0 in the distribution
              (they are real alternatives the matcher cannot rank),
              anchoring the z-normalisation at an absolute floor; but
              they never contribute a confidence to the combination
-             step. *)
+             step.  Filtered-out pairs are treated the same way: the
+             0 stays in the distribution, the pair contributes no
+             confidence. *)
           let scores = ref [] in
           let applicable = ref [] in
+          let record tgt_table tgt_attr s =
+            applicable := (tgt_table, tgt_attr, s) :: !applicable;
+            scores := s :: !scores
+          in
+          let filtering = filter_cands <> None && spec.Plan.Op.m_filterable in
           (* The q-gram matcher is batch-scored through the inverted
              index: one pass over the source profile's postings replaces
              a merge join per target.  A target has a kernel slot iff it
              is textual, exactly the matcher's applicability for a
              textual source, and the batched cosines are bit-identical
              to the pairwise ones (see {!Textsim.Gram_index}), so this
-             branch changes cost only. *)
+             branch changes cost only.  Under an active filter the
+             matcher reads the filter probe's cosines instead. *)
           let batch =
             match (matcher.Matcher.kernel, score_kernel) with
-            | Matcher.Qgram_cosine, Some k
-              when Relational.Attribute.is_textual (Column.attribute src_col) ->
+            | Matcher.Qgram_cosine, Some k when src_textual && not filtering ->
               Some (k, Score_kernel.scores k (Column.profile src_col))
             | _ -> None
           in
           List.iter
             (fun tgt ->
-              match batch with
-              | Some (k, arr) -> (
-                match Score_kernel.slot k ~table:tgt.table ~attr:(Column.name tgt.column) with
-                | Some slot ->
-                  (* same clamp [Matcher.score] applies *)
-                  let s = Float.min 1.0 (Float.max 0.0 arr.(slot)) in
-                  applicable := (tgt.table, Column.name tgt.column, s) :: !applicable;
-                  scores := s :: !scores
-                | None -> scores := 0.0 :: !scores)
-              | None ->
-                if Matcher.applicable_pair matcher src_col tgt.column then begin
-                  let s = Matcher.score matcher src_col tgt.column in
-                  applicable := (tgt.table, Column.name tgt.column, s) :: !applicable;
-                  scores := s :: !scores
-                end
-                else scores := 0.0 :: !scores)
+              let tgt_attr = Column.name tgt.column in
+              match filter_cands with
+              | Some cands
+                when spec.Plan.Op.m_filterable
+                     && Relational.Attribute.is_textual (Column.attribute tgt.column) -> (
+                match Hashtbl.find_opt cands (tgt.table, tgt_attr) with
+                | Some s when matcher.Matcher.kernel = Matcher.Qgram_cosine ->
+                  (* exact cosine from the filter probe; same clamp
+                     [Matcher.score] applies *)
+                  record tgt.table tgt_attr (Float.min 1.0 (Float.max 0.0 s))
+                | Some _ -> record tgt.table tgt_attr (Matcher.score matcher src_col tgt.column)
+                | None ->
+                  incr pruned;
+                  scores := 0.0 :: !scores)
+              | Some _ | None -> (
+                match batch with
+                | Some (k, arr) -> (
+                  match Score_kernel.slot k ~table:tgt.table ~attr:tgt_attr with
+                  | Some slot ->
+                    (* same clamp [Matcher.score] applies *)
+                    record tgt.table tgt_attr (Float.min 1.0 (Float.max 0.0 arr.(slot)))
+                  | None -> scores := 0.0 :: !scores)
+                | None ->
+                  if Matcher.applicable_pair matcher src_col tgt.column then
+                    record tgt.table tgt_attr (Matcher.score matcher src_col tgt.column)
+                  else scores := 0.0 :: !scores))
             target_cols;
+          if observed then begin
+            let cls = Plan.Op.class_name spec.Plan.Op.m_class in
+            Obs.Metrics.add ("plan.score_pairs." ^ cls) (List.length !applicable);
+            Obs.Metrics.observe_ns ("plan.score_ns." ^ cls)
+              (Int64.sub (Robust.Deadline.now_ns ()) t0)
+          end;
           let stats =
             if !applicable <> [] then Some (Normalize.of_scores (Array.of_list !scores))
             else None
           in
           (matcher.Matcher.name, !applicable, stats))
-        matchers
+        exec_matchers
     in
-    { bp_table = src_name; bp_attr = src_attr; bp_column = src_col; bp_scores }
+    let bp_scored =
+      List.fold_left (fun acc (_, applicable, _) -> acc + List.length applicable) 0 bp_scores
+    in
+    { bp_table = src_name; bp_attr = src_attr; bp_column = src_col; bp_scores; bp_scored;
+      bp_pruned = !pruned }
   in
   let built =
     Obs.Trace.with_span "score_pairs" (fun () ->
@@ -380,6 +505,8 @@ let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ?repo
   let source_cols = Hashtbl.create 64 in
   let stats = Hashtbl.create 256 in
   let raw = Hashtbl.create 4096 in
+  let pairs_scored = ref 0 in
+  let pairs_pruned = ref 0 in
   Array.iteri
     (fun i outcome ->
       match outcome with
@@ -392,6 +519,8 @@ let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ?repo
             Robust.Error.Build
             (Printf.sprintf "source attribute skipped: %s" (Printexc.to_string e)))
       | Ok bp ->
+        pairs_scored := !pairs_scored + bp.bp_scored;
+        pairs_pruned := !pairs_pruned + bp.bp_pruned;
         Hashtbl.replace source_cols (bp.bp_table, bp.bp_attr) bp.bp_column;
         List.iter
           (fun (matcher_name, applicable, st) ->
@@ -410,11 +539,16 @@ let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ?repo
   if !Obs.Recorder.enabled then begin
     Obs.Metrics.add "match.source_attrs" (Array.length pairs);
     Obs.Metrics.add "match.target_cols" (List.length target_cols);
-    Obs.Metrics.add "match.raw_scores" (Hashtbl.length raw)
+    Obs.Metrics.add "match.raw_scores" (Hashtbl.length raw);
+    Obs.Metrics.add "plan.pairs_scored" !pairs_scored;
+    Obs.Metrics.add "plan.pairs_pruned" !pairs_pruned
   end;
   {
     gated;
     matchers;
+    plan;
+    pairs_scored = !pairs_scored;
+    pairs_pruned = !pairs_pruned;
     source_db = source;
     target_db = target;
     target_cols;
@@ -427,40 +561,14 @@ let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ?repo
     kernel = score_kernel;
   }
 
-(* Top-k retrieval by raw q-gram cosine.  With a kernel, one pass over
-   the inverted index scores only the targets sharing a gram with the
-   source column (the rest are pruned as provable zeros, counted on
-   [kernel.topk.pruned]); without one, every textual target is scored
-   pairwise.  Both paths run the identical exact accumulation and the
-   identical (score desc, slot asc) order, so their results coincide —
-   the differential suite asserts it. *)
+(* Top-k retrieval by raw q-gram cosine over an already-built model;
+   see [qgram_candidates] for the kernel/exact equivalence contract. *)
 let top_qgram_matches m ~src_table ~src_attr ~k ~tau =
   match Hashtbl.find_opt m.source_cols (src_table, src_attr) with
   | None -> []
   | Some src_col when not (Relational.Attribute.is_textual (Column.attribute src_col)) -> []
-  | Some src_col -> (
-    let cand = Column.profile src_col in
-    match m.kernel with
-    | Some kern -> Score_kernel.top_k kern cand ~k ~tau
-    | None ->
-      (* exact fallback: same candidate order as the kernel's slots *)
-      let textual =
-        List.filter
-          (fun tgt -> Relational.Attribute.is_textual (Column.attribute tgt.column))
-          m.target_cols
-      in
-      let scored =
-        List.mapi
-          (fun i tgt ->
-            (i, (tgt.table, Column.name tgt.column), Textsim.Profile.cosine cand (Column.profile tgt.column)))
-          textual
-      in
-      List.filter (fun (_, _, s) -> s >= tau) scored
-      |> List.sort (fun (i, _, a) (j, _, b) ->
-             let c = Float.compare b a in
-             if c <> 0 then c else Int.compare i j)
-      |> List.filteri (fun i _ -> i < k)
-      |> List.map (fun (_, name, s) -> (name, s)))
+  | Some src_col ->
+    qgram_candidates ~kernel:m.kernel ~target_cols:m.target_cols (Column.profile src_col) ~k ~tau
 
 let confidence m ~src_table ~src_attr ~tgt_table ~tgt_attr =
   let weighted =

@@ -88,6 +88,7 @@ val build :
   ?store:Store.t ->
   ?kernel:bool ->
   ?prepared:prepared_target ->
+  ?plan:Plan.t ->
   source:Database.t ->
   target:Database.t ->
   unit ->
@@ -132,7 +133,19 @@ val build :
     {!prepared_target_db}.  The resulting model, report and matches are
     bit-identical to an inline build over the same target; only the
     cost moves (to registration time, once).  [kernel:false] ignores a
-    prepared kernel for this build without affecting any score. *)
+    prepared kernel for this build without affecting any score.
+
+    [plan] is the operator graph to execute (see {!Plan}).  Omitted, it
+    defaults to {!Plan.default} over the given matchers — the legacy
+    hard-wired pipeline, bit for bit.  A plan with a [Filter] stage
+    retrieves top-k q-gram candidates per textual source attribute and
+    restricts {e filterable} matchers' textual pairs to the survivors
+    (filtered-out pairs keep a 0 in the normalisation distribution but
+    contribute no confidence, exactly like inapplicable pairs); its
+    results are invariant under the [kernel] switch, and with a
+    full-width [k] and a zero filter threshold it degenerates to the
+    default plan exactly.  Raises [Invalid_argument] if the plan's
+    matcher set differs from [matchers]. *)
 
 val source : model -> Database.t
 val target : model -> Database.t
@@ -143,6 +156,17 @@ val profile_cache : model -> Profile_cache.t
 val kernel_enabled : model -> bool
 (** Whether the model holds a frozen {!Score_kernel} (built with
     [kernel:true] and at least one textual target column). *)
+
+val plan : model -> Plan.t
+(** The operator graph this model was built under. *)
+
+val pairs_scored : model -> int
+(** (matcher, source attribute, target column) scoring events actually
+    performed; jobs-invariant. *)
+
+val pairs_pruned : model -> int
+(** Scoring events skipped by the plan's [Filter] stage (0 under the
+    default plan); jobs-invariant. *)
 
 val top_qgram_matches :
   model -> src_table:string -> src_attr:string -> k:int -> tau:float ->

@@ -1,0 +1,107 @@
+type model = {
+  ns_trivial : float;
+  ns_cheap : float;
+  ns_instance : float;
+  ns_qgram : float;
+  ns_profile : float;
+  ns_filter : float;
+  ns_combine : float;
+  ns_prune : float;
+  ns_select : float;
+}
+
+(* Conservative defaults in the right relative order (trivial <<
+   cheap << instance < qgram); absolute values only matter once
+   calibrated. *)
+let default =
+  {
+    ns_trivial = 30.0;
+    ns_cheap = 120.0;
+    ns_instance = 2_500.0;
+    ns_qgram = 6_000.0;
+    ns_profile = 40_000.0;
+    ns_filter = 15_000.0;
+    ns_combine = 150.0;
+    ns_prune = 20.0;
+    ns_select = 200.0;
+  }
+
+let class_cost m = function
+  | Op.Trivial -> m.ns_trivial
+  | Op.Cheap -> m.ns_cheap
+  | Op.Instance -> m.ns_instance
+  | Op.Qgram -> m.ns_qgram
+
+let of_snapshot ?(base = default) snap =
+  let rate cls fallback =
+    let name = Op.class_name cls in
+    let pairs = Obs.Metrics.counter_value snap ("plan.score_pairs." ^ name) in
+    if pairs <= 0 then fallback
+    else
+      match Obs.Metrics.histogram snap ("plan.score_ns." ^ name) with
+      | Some h when h.Obs.Metrics.sum > 0.0 -> h.Obs.Metrics.sum /. float_of_int pairs
+      | Some _ | None -> fallback
+  in
+  {
+    base with
+    ns_trivial = rate Op.Trivial base.ns_trivial;
+    ns_cheap = rate Op.Cheap base.ns_cheap;
+    ns_instance = rate Op.Instance base.ns_instance;
+    ns_qgram = rate Op.Qgram base.ns_qgram;
+  }
+
+type shape = {
+  src_attrs : int;
+  tgt_cols : int;
+  textual_src : int;
+  textual_tgt : int;
+  numeric_src : int;
+  numeric_tgt : int;
+}
+
+let shape_to_string s =
+  Printf.sprintf "%d src attrs (%d textual, %d numeric) x %d tgt cols (%d textual, %d numeric)"
+    s.src_attrs s.textual_src s.numeric_src s.tgt_cols s.textual_tgt s.numeric_tgt
+
+type line = { op : Op.t; est_pairs : int; est_ns : float }
+
+let matcher_pairs shape ~filter_k (m : Op.matcher_spec) =
+  match m.m_applies with
+  | Op.All -> shape.src_attrs * shape.tgt_cols
+  | Op.Numeric -> shape.numeric_src * shape.numeric_tgt
+  | Op.Textual ->
+    let per_src =
+      match filter_k with
+      | Some k when m.m_filterable -> min k shape.textual_tgt
+      | Some _ | None -> shape.textual_tgt
+    in
+    shape.textual_src * per_src
+
+let plan_cost model shape ops =
+  let cross = shape.src_attrs * shape.tgt_cols in
+  let filter_k = ref None in
+  List.map
+    (fun op ->
+      match op with
+      | Op.Profile { side } ->
+        let cols = match side with `Source -> shape.src_attrs | `Target -> shape.tgt_cols in
+        { op; est_pairs = cols; est_ns = float_of_int cols *. model.ns_profile }
+      | Op.Filter { k; _ } ->
+        filter_k := Some k;
+        let probes = shape.textual_src in
+        { op; est_pairs = probes; est_ns = float_of_int probes *. model.ns_filter }
+      | Op.Score { matchers } ->
+        let pairs, ns =
+          List.fold_left
+            (fun (p, ns) m ->
+              let mp = matcher_pairs shape ~filter_k:!filter_k m in
+              (p + mp, ns +. (float_of_int mp *. class_cost model m.Op.m_class)))
+            (0, 0.0) matchers
+        in
+        { op; est_pairs = pairs; est_ns = ns }
+      | Op.Prune _ -> { op; est_pairs = cross; est_ns = float_of_int cross *. model.ns_prune }
+      | Op.Combine _ -> { op; est_pairs = cross; est_ns = float_of_int cross *. model.ns_combine }
+      | Op.Select _ -> { op; est_pairs = cross; est_ns = float_of_int cross *. model.ns_select })
+    ops
+
+let total_ns lines = List.fold_left (fun acc l -> acc +. l.est_ns) 0.0 lines

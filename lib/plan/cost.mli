@@ -1,0 +1,54 @@
+(** Cost model for match plans.
+
+    Estimates are nanoseconds, computed as [pairs x ns-per-pair] for
+    scoring operators plus small structural terms for the rest.  The
+    per-class rates ship with conservative defaults and can be
+    {e calibrated} from a real run: [Standard_match] records
+    [plan.score_ns.<class>] histograms and [plan.score_pairs.<class>]
+    counters (behind [Obs.Recorder.enabled]), and {!of_snapshot}
+    divides one by the other.  Estimates only steer plan choice and
+    explain output — they never change match results. *)
+
+type model = {
+  ns_trivial : float;  (** per pair, [Op.Trivial] matchers *)
+  ns_cheap : float;
+  ns_instance : float;
+  ns_qgram : float;
+  ns_profile : float;  (** per column profiled *)
+  ns_filter : float;  (** per textual source attribute (index probe) *)
+  ns_combine : float;  (** per pair combined *)
+  ns_prune : float;  (** per pair thresholded *)
+  ns_select : float;  (** per pair considered by selection *)
+}
+
+val default : model
+
+val class_cost : model -> Op.cost_class -> float
+
+val of_snapshot : ?base:model -> Obs.Metrics.snapshot -> model
+(** Override each per-class rate with
+    [plan.score_ns.<class>.sum / plan.score_pairs.<class>] when the
+    counter is positive; keep [base] (default {!default}) otherwise. *)
+
+type shape = {
+  src_attrs : int;  (** total source attributes (all tables) *)
+  tgt_cols : int;  (** total target columns *)
+  textual_src : int;
+  textual_tgt : int;
+  numeric_src : int;
+  numeric_tgt : int;
+}
+(** Workload shape a plan is costed against. *)
+
+val shape_to_string : shape -> string
+
+type line = { op : Op.t; est_pairs : int; est_ns : float }
+
+val plan_cost : model -> shape -> Op.t list -> line list
+(** Walk the plan left to right tracking the active filter (a
+    [Filter] caps each textual source attribute at [k] textual
+    candidates for downstream {e filterable} matchers), and estimate
+    per-operator pair counts and cost. *)
+
+val total_ns : line list -> float
+(** Sum of estimated cost, in plan order. *)

@@ -1,0 +1,43 @@
+type cost_class = Trivial | Cheap | Instance | Qgram
+
+let class_rank = function Trivial -> 0 | Cheap -> 1 | Instance -> 2 | Qgram -> 3
+
+let class_name = function
+  | Trivial -> "trivial"
+  | Cheap -> "cheap"
+  | Instance -> "instance"
+  | Qgram -> "qgram"
+
+type applies = All | Textual | Numeric
+
+type matcher_spec = {
+  m_name : string;
+  m_weight : float;
+  m_kernel : bool;
+  m_filterable : bool;
+  m_class : cost_class;
+  m_applies : applies;
+}
+
+type t =
+  | Profile of { side : [ `Source | `Target ] }
+  | Filter of { k : int; tau : float }
+  | Score of { matchers : matcher_spec list }
+  | Prune of { tau : float }
+  | Combine of { gated : bool }
+  | Select of { policy : string }
+
+let matcher_to_string m =
+  let tags = [ class_name m.m_class ] in
+  let tags = if m.m_kernel then tags @ [ "kernel" ] else tags in
+  Printf.sprintf "%s(%.2f,%s)" m.m_name m.m_weight (String.concat "," tags)
+
+let to_string = function
+  | Profile { side } ->
+    Printf.sprintf "profile[%s]" (match side with `Source -> "source" | `Target -> "target")
+  | Filter { k; tau } -> Printf.sprintf "filter[k=%d,tau=%.2f]" k tau
+  | Score { matchers } ->
+    Printf.sprintf "score[%s]" (String.concat " " (List.map matcher_to_string matchers))
+  | Prune { tau } -> Printf.sprintf "prune[tau=%.2f]" tau
+  | Combine { gated } -> Printf.sprintf "combine[%s]" (if gated then "gated" else "ungated")
+  | Select { policy } -> Printf.sprintf "select[%s]" policy

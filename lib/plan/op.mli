@@ -1,0 +1,63 @@
+(** Typed operators for match plans.
+
+    A plan is a list of operators executed left to right over a
+    (source schema, target schema) pair.  Operators carry only
+    {e descriptors} — matcher names, weights and cost classes — never
+    closures, so plans can be printed, costed, rewritten and shipped
+    over the serve protocol.  [lib/matching] owns the translation from
+    descriptors back to executable [Matcher.t] values. *)
+
+type cost_class =
+  | Trivial  (** name/type heuristics: O(1) per pair *)
+  | Cheap  (** small per-pair work over cached column stats *)
+  | Instance  (** walks value distributions (word sets, overlap) *)
+  | Qgram  (** q-gram profile cosine; kernel-acceleratable *)
+
+val class_rank : cost_class -> int
+(** Ascending by expected per-pair cost; used by rewrite rules to
+    order matchers cheap-first. *)
+
+val class_name : cost_class -> string
+(** Stable lowercase label ([trivial], [cheap], [instance], [qgram])
+    — also the suffix of the Obs metrics the cost model reads. *)
+
+type applies =
+  | All  (** every (source, target) column pair *)
+  | Textual  (** both columns textual *)
+  | Numeric  (** both columns numeric *)
+
+type matcher_spec = {
+  m_name : string;  (** matcher identity; must match [Matcher.name] *)
+  m_weight : float;
+  m_kernel : bool;  (** scored by the interned q-gram kernel when on *)
+  m_filterable : bool;
+      (** textual-pair scoring may be restricted to top-k filter
+          survivors without changing non-textual behaviour *)
+  m_class : cost_class;
+  m_applies : applies;
+}
+
+type t =
+  | Profile of { side : [ `Source | `Target ] }
+      (** build column profiles (q-gram bags, stats, word sets) *)
+  | Filter of { k : int; tau : float }
+      (** q-gram top-k candidate retrieval: each textual source
+          attribute keeps at most [k] textual target candidates with
+          cosine >= [tau]; filterable matchers then score only
+          survivors *)
+  | Score of { matchers : matcher_spec list }
+      (** run matchers over (remaining) candidate pairs *)
+  | Prune of { tau : float }
+      (** drop matches below confidence [tau] (selection-stage
+          threshold; descriptive in Standard_match plans) *)
+  | Combine of { gated : bool }
+      (** z-normalise per-matcher scores and combine weighted
+          confidences (gated = applicability-gated combination) *)
+  | Select of { policy : string }
+      (** final match selection policy (e.g. [greedy]) *)
+
+val to_string : t -> string
+(** One-line rendering, e.g.
+    [score\[qgram(1.50,qgram,kernel) word(1.00,instance)\]]. *)
+
+val matcher_to_string : matcher_spec -> string

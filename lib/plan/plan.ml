@@ -1,0 +1,127 @@
+module Op = Op
+module Cost = Cost
+module Rewrite = Rewrite
+
+type t = { plan_name : string; ops : Op.t list; rewrites : string list }
+
+type spec = Default | Filtered of { k : int; tau : float } | Auto
+
+let default_k = 16
+
+let spec_to_string = function
+  | Default -> "default"
+  | Filtered { k; tau } ->
+    if tau = 0.0 then Printf.sprintf "filter:%d" k else Printf.sprintf "filter:%d,%g" k tau
+  | Auto -> "auto"
+
+let spec_of_string s =
+  let s = String.trim (String.lowercase_ascii s) in
+  match s with
+  | "default" | "legacy" -> Ok Default
+  | "auto" -> Ok Auto
+  | "filter" -> Ok (Filtered { k = default_k; tau = 0.0 })
+  | _ when String.length s > 7 && String.sub s 0 7 = "filter:" -> (
+    let body = String.sub s 7 (String.length s - 7) in
+    let parts = String.split_on_char ',' body in
+    let parse_k k =
+      match int_of_string_opt (String.trim k) with
+      | Some k when k > 0 -> Ok k
+      | Some _ | None -> Error (Printf.sprintf "plan spec %S: k must be a positive integer" s)
+    in
+    match parts with
+    | [ k ] -> Result.map (fun k -> Filtered { k; tau = 0.0 }) (parse_k k)
+    | [ k; tau ] -> (
+      match (parse_k k, float_of_string_opt (String.trim tau)) with
+      | Ok k, Some tau when tau >= 0.0 && tau <= 1.0 -> Ok (Filtered { k; tau })
+      | Ok _, _ -> Error (Printf.sprintf "plan spec %S: tau must be a float in [0,1]" s)
+      | (Error _ as e), _ -> e)
+    | _ -> Error (Printf.sprintf "plan spec %S: expected filter:K or filter:K,TAU" s))
+  | _ -> Error (Printf.sprintf "unknown plan spec %S (expected default, auto, filter[:K[,TAU]])" s)
+
+let tail_ops ~gated ~tau = [ Op.Combine { gated }; Op.Prune { tau }; Op.Select { policy = "greedy" } ]
+
+let default ?(gated = true) ?(tau = 0.0) ~matchers () =
+  {
+    plan_name = "default";
+    ops =
+      [ Op.Profile { side = `Source }; Op.Profile { side = `Target }; Op.Score { matchers } ]
+      @ tail_ops ~gated ~tau;
+    rewrites = [];
+  }
+
+let filtered ?(gated = true) ?(tau = 0.0) ?(k = default_k) ?(ftau = 0.0) ~matchers () =
+  (* Deliberately naive construction — filter after scoring — so the
+     rewrite engine's normalisation is observable in the plan log. *)
+  let raw =
+    [
+      Op.Profile { side = `Source };
+      Op.Profile { side = `Target };
+      Op.Score { matchers };
+      Op.Filter { k; tau = ftau };
+    ]
+    @ tail_ops ~gated ~tau
+  in
+  let ops, fired = Rewrite.apply_fixpoint Rewrite.default_rules raw in
+  { plan_name = Printf.sprintf "filter:%d" k; ops; rewrites = fired }
+
+let resolve ?model ?shape ?(gated = true) ?(tau = 0.0) ~kernel ~matchers spec =
+  match spec with
+  | Default -> default ~gated ~tau ~matchers ()
+  | Filtered { k; tau = ftau } -> filtered ~gated ~tau ~k ~ftau ~matchers ()
+  | Auto -> (
+    match shape with
+    | None -> default ~gated ~tau ~matchers ()
+    | Some shape ->
+      let model = Option.value model ~default:Cost.default in
+      let d = default ~gated ~tau ~matchers () in
+      if not kernel then d
+      else
+        let f = filtered ~gated ~tau ~k:default_k ~matchers () in
+        let cost p = Cost.total_ns (Cost.plan_cost model shape p.ops) in
+        if cost f < cost d then { f with plan_name = "auto:" ^ f.plan_name } else d)
+
+let filter_params t =
+  List.find_map (function Op.Filter { k; tau } -> Some (k, tau) | _ -> None) t.ops
+
+let score_order t =
+  List.concat_map
+    (function Op.Score { matchers } -> List.map (fun m -> m.Op.m_name) matchers | _ -> [])
+    t.ops
+
+let validate ~matchers t =
+  let expected = List.sort String.compare (List.map (fun m -> m.Op.m_name) matchers) in
+  let got = List.sort String.compare (score_order t) in
+  if expected = got then Ok ()
+  else
+    Error
+      (Printf.sprintf "plan %s scores [%s] but the model provides [%s]" t.plan_name
+         (String.concat "; " got)
+         (String.concat "; " expected))
+
+let explain ?model ?shape t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "plan %s\n" t.plan_name);
+  (match shape with
+  | Some s -> Buffer.add_string buf (Printf.sprintf "shape: %s\n" (Cost.shape_to_string s))
+  | None -> ());
+  (match shape with
+  | Some s ->
+    let model = Option.value model ~default:Cost.default in
+    let lines = Cost.plan_cost model s t.ops in
+    List.iteri
+      (fun i l ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %d. %-50s ~%d pairs  ~%.3f ms\n" (i + 1) (Op.to_string l.Cost.op)
+             l.Cost.est_pairs
+             (l.Cost.est_ns /. 1e6)))
+      lines;
+    Buffer.add_string buf
+      (Printf.sprintf "estimated total: ~%.3f ms\n" (Cost.total_ns lines /. 1e6))
+  | None ->
+    List.iteri
+      (fun i op -> Buffer.add_string buf (Printf.sprintf "  %d. %s\n" (i + 1) (Op.to_string op)))
+      t.ops);
+  (match t.rewrites with
+  | [] -> Buffer.add_string buf "rewrites: (none)\n"
+  | fired -> Buffer.add_string buf (Printf.sprintf "rewrites: %s\n" (String.concat ", " fired)));
+  Buffer.contents buf

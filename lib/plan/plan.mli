@@ -1,0 +1,76 @@
+(** Match plans: named operator graphs plus the rewrite log that
+    produced them.
+
+    [lib/matching] interprets a plan's [Profile]/[Filter]/[Score]/
+    [Combine] prefix; [Prune]/[Select] describe the downstream
+    selection stages so [explain] shows the whole pipeline.  The
+    {e default} plan reproduces today's hard-wired pipeline
+    bit-identically; the {e filtered} plan inserts a q-gram top-k
+    candidate retrieval stage that the rewrite engine hoists before
+    scoring. *)
+
+module Op = Op
+module Cost = Cost
+module Rewrite = Rewrite
+
+type t = {
+  plan_name : string;
+  ops : Op.t list;
+  rewrites : string list;  (** rewrite rules that fired, in order *)
+}
+
+type spec =
+  | Default  (** legacy pipeline: score every pair, no filter *)
+  | Filtered of { k : int; tau : float }
+      (** top-k q-gram candidate retrieval before filterable matchers *)
+  | Auto  (** pick by cost model (needs kernel for the filter) *)
+
+val default_k : int
+(** Candidate budget used by [Filtered] when unspecified and by
+    [Auto] (16). *)
+
+val spec_to_string : spec -> string
+
+val spec_of_string : string -> (spec, string) result
+(** Accepts [default], [auto], [filter], [filter:K], [filter:K,TAU]. *)
+
+val default : ?gated:bool -> ?tau:float -> matchers:Op.matcher_spec list -> unit -> t
+(** The legacy pipeline as a plan (already in normal form; no rewrite
+    fires).  [tau] only labels the [Prune] stage in explain output. *)
+
+val filtered :
+  ?gated:bool -> ?tau:float -> ?k:int -> ?ftau:float -> matchers:Op.matcher_spec list -> unit -> t
+(** Built with the filter {e after} scoring, then normalised by
+    {!Rewrite.apply_fixpoint} — the rewrite log shows
+    [filter-before-score] and [order-matchers] firing. *)
+
+val resolve :
+  ?model:Cost.model ->
+  ?shape:Cost.shape ->
+  ?gated:bool ->
+  ?tau:float ->
+  kernel:bool ->
+  matchers:Op.matcher_spec list ->
+  spec ->
+  t
+(** Turn a spec into a concrete plan.  [Auto] compares
+    {!Cost.plan_cost} of default vs filtered under [shape] (required
+    for a meaningful choice; without it [Auto] falls back to default)
+    and picks filtered only when the kernel is available and the
+    estimate is strictly cheaper. *)
+
+val filter_params : t -> (int * float) option
+(** [(k, tau)] of the plan's [Filter] stage, if any. *)
+
+val score_order : t -> string list
+(** Matcher names in plan scoring order (concatenated [Score]
+    stages). *)
+
+val validate : matchers:Op.matcher_spec list -> t -> (unit, string) result
+(** Check the plan's matcher set equals [matchers] (by name) — a plan
+    must neither drop nor invent matchers. *)
+
+val explain : ?model:Cost.model -> ?shape:Cost.shape -> t -> string
+(** Multi-line rendering: one numbered line per operator with
+    estimated pairs and cost when [shape] is given, then the rewrite
+    log and total. *)

@@ -1,0 +1,87 @@
+type rule = { rule_name : string; apply : Op.t list -> Op.t list option }
+
+let is_score = function Op.Score _ -> true | _ -> false
+let is_filter = function Op.Filter _ -> true | _ -> false
+
+(* Move the first Filter that appears *after* a Score to just before
+   the first Score.  One displacement per application; fixpoint
+   iteration handles multiples. *)
+let filter_before_score =
+  {
+    rule_name = "filter-before-score";
+    apply =
+      (fun ops ->
+        let rec split_at_score acc = function
+          | [] -> None
+          | op :: rest when is_score op -> Some (List.rev acc, op :: rest)
+          | op :: rest -> split_at_score (op :: acc) rest
+        in
+        match split_at_score [] ops with
+        | None -> None
+        | Some (before, from_score) ->
+          if not (List.exists is_filter from_score) then None
+          else
+            let filter = List.find is_filter from_score in
+            let rest = List.filter (fun op -> op != filter) from_score in
+            Some (before @ (filter :: rest)));
+  }
+
+let fuse_scores =
+  {
+    rule_name = "fuse-scores";
+    apply =
+      (fun ops ->
+        let rec fuse = function
+          | Op.Score { matchers = a } :: Op.Score { matchers = b } :: rest ->
+            Some (Op.Score { matchers = a @ b } :: List.map Fun.id rest)
+          | op :: rest -> (
+            match fuse rest with None -> None | Some rest' -> Some (op :: rest'))
+          | [] -> None
+        in
+        fuse ops);
+  }
+
+let order_matchers =
+  {
+    rule_name = "order-matchers";
+    apply =
+      (fun ops ->
+        let changed = ref false in
+        let ops' =
+          List.map
+            (function
+              | Op.Score { matchers } ->
+                let sorted =
+                  List.stable_sort
+                    (fun a b ->
+                      Int.compare (Op.class_rank a.Op.m_class) (Op.class_rank b.Op.m_class))
+                    matchers
+                in
+                if sorted <> matchers then changed := true;
+                Op.Score { matchers = sorted }
+              | op -> op)
+            ops
+        in
+        if !changed then Some ops' else None);
+  }
+
+let default_rules = [ filter_before_score; fuse_scores; order_matchers ]
+
+let apply_fixpoint ?(max_steps = 32) rules ops =
+  let fired = ref [] in
+  let rec go steps ops =
+    if steps >= max_steps then ops
+    else
+      let rec try_rules = function
+        | [] -> None
+        | r :: rest -> (
+          match r.apply ops with
+          | Some ops' ->
+            fired := r.rule_name :: !fired;
+            Some ops'
+          | None -> try_rules rest)
+      in
+      match try_rules rules with None -> ops | Some ops' -> go (steps + 1) ops'
+  in
+  let final = go 0 ops in
+  (final, List.rev !fired)

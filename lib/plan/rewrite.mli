@@ -1,0 +1,33 @@
+(** Rewrite rules over operator lists.
+
+    Each rule either rewrites the plan ([Some ops']) or declines
+    ([None]); {!apply_fixpoint} runs a rule list to a fixpoint
+    (bounded) and reports which rules fired, in order.  Rules are
+    {e result-preserving by construction}: they reorder or regroup
+    work (filters before scoring, matcher order within a score stage)
+    but never change which pairs are ultimately scored by which
+    matcher semantics — the differential suite in [test/plan] holds
+    them to that. *)
+
+type rule = { rule_name : string; apply : Op.t list -> Op.t list option }
+
+val filter_before_score : rule
+(** Move a [Filter] that appears after a [Score] to just before the
+    first [Score], so candidate retrieval precedes expensive
+    matchers. *)
+
+val fuse_scores : rule
+(** Merge adjacent [Score] stages into one (concatenating matcher
+    lists), removing a pipeline barrier. *)
+
+val order_matchers : rule
+(** Within each [Score], stable-sort matchers by ascending
+    {!Op.class_rank} so cheap matchers run first. *)
+
+val default_rules : rule list
+(** [filter_before_score; fuse_scores; order_matchers]. *)
+
+val apply_fixpoint : ?max_steps:int -> rule list -> Op.t list -> Op.t list * string list
+(** Apply rules round-robin until none fires (or [max_steps], default
+    32, rewrites happened); returns the rewritten plan and the names
+    of rules that fired, in firing order. *)

@@ -14,6 +14,7 @@ type match_request = {
   mr_kernel : bool;
   mr_lenient : bool;
   mr_faults : Robust.Fault.arming list;
+  mr_plan : Plan.spec option;
 }
 
 (* Appended rows stay raw JSON here: typing a cell needs the target
@@ -27,7 +28,12 @@ type update_request = {
 
 type request =
   | Ping
-  | Register_target of { rt_name : string; rt_tables : table_payload list; rt_kernel : bool }
+  | Register_target of {
+      rt_name : string;
+      rt_tables : table_payload list;
+      rt_kernel : bool;
+      rt_plan : Plan.spec;
+    }
   | Match of match_request
   | Update_target of update_request
   | List_targets
@@ -114,6 +120,20 @@ let faults_of json =
       l
   | Some _ -> bad "bad-request" "field \"faults\" must be a list of {site, rate, seed} objects"
 
+(* "plan" is a spec string ("default" | "auto" | "filter[:K[,TAU]]");
+   absent means "no opinion" for a match request (use the target's
+   registered plan) and [Plan.Default] for a registration. *)
+let plan_of_opt json =
+  match field_opt json "plan" with
+  | None | Some Json.Null -> None
+  | Some v -> (
+    match Json.to_string_opt v with
+    | None -> bad "bad-request" "field \"plan\" must be a string"
+    | Some s -> (
+      match Plan.spec_of_string s with
+      | Ok spec -> Some spec
+      | Error msg -> bad "bad-request" "%s" msg))
+
 let rows_of json name =
   match field_opt json name with
   | None | Some Json.Null -> []
@@ -168,6 +188,7 @@ let match_of_json json =
     mr_kernel = get_bool json "kernel" ~default:true;
     mr_lenient = get_bool json "lenient" ~default:false;
     mr_faults = faults_of json;
+    mr_plan = plan_of_opt json;
   }
 
 let request_of_line line =
@@ -193,6 +214,7 @@ let request_of_line line =
                    rt_name = get_required Json.to_string_opt "a string" json "name";
                    rt_tables = tables_of json "tables";
                    rt_kernel = get_bool json "kernel" ~default:true;
+                   rt_plan = Option.value (plan_of_opt json) ~default:Plan.Default;
                  })
           | Some "match" -> Ok (Match (match_of_json json))
           | Some "update-target" -> Ok (Update_target (update_of_json json))
@@ -242,14 +264,15 @@ let tables_json tables =
          Json.Obj [ ("name", Json.String name); ("csv", Json.String csv) ])
        tables)
 
-let register_json ?(kernel = true) ~name tables =
+let register_json ?(kernel = true) ?plan ~name tables =
   Json.Obj
-    [
-      ("cmd", Json.String "register-target");
-      ("name", Json.String name);
-      ("tables", tables_json tables);
-      ("kernel", Json.Bool kernel);
-    ]
+    ([
+       ("cmd", Json.String "register-target");
+       ("name", Json.String name);
+       ("tables", tables_json tables);
+       ("kernel", Json.Bool kernel);
+     ]
+    @ match plan with None -> [] | Some s -> [ ("plan", Json.String s) ])
 
 let update_json ?(appends = []) ?(deletes = []) ~target ~table () =
   Json.Obj
@@ -270,7 +293,7 @@ let fault_json (a : Robust.Fault.arming) =
     ]
 
 let match_json ?tau ?omega ?late ?select ?algorithm ?seed ?jobs ?timeout_ms ?kernel ?lenient
-    ?faults ~target tables =
+    ?faults ?plan ~target tables =
   let optional name conv v = Option.map (fun v -> (name, conv v)) v in
   Json.Obj
     (List.filter_map Fun.id
@@ -289,4 +312,5 @@ let match_json ?tau ?omega ?late ?select ?algorithm ?seed ?jobs ?timeout_ms ?ker
          optional "kernel" (fun v -> Json.Bool v) kernel;
          optional "lenient" (fun v -> Json.Bool v) lenient;
          optional "faults" (fun l -> Json.List (List.map fault_json l)) faults;
+         optional "plan" (fun v -> Json.String v) plan;
        ])

@@ -53,6 +53,10 @@ type match_request = {
   mr_faults : Robust.Fault.arming list;
       (** fault sites to arm for this request only (the deterministic
           fault harness drives the daemon through this) *)
+  mr_plan : Plan.spec option;
+      (** operator-graph override for this request ("plan" spec string:
+          default | auto | filter[:K[,TAU]]); [None] uses the target's
+          registered plan *)
 }
 
 type update_request = {
@@ -66,7 +70,14 @@ type update_request = {
 
 type request =
   | Ping
-  | Register_target of { rt_name : string; rt_tables : table_payload list; rt_kernel : bool }
+  | Register_target of {
+      rt_name : string;
+      rt_tables : table_payload list;
+      rt_kernel : bool;
+      rt_plan : Plan.spec;
+          (** default plan for matches against this target (optional
+              "plan" field; [Plan.Default] when absent) *)
+    }
   | Match of match_request
   | Update_target of update_request
   | List_targets
@@ -104,8 +115,10 @@ val stats_json : Json.t
 val health_json : Json.t
 val shutdown_json : Json.t
 
-val register_json : ?kernel:bool -> name:string -> (string * string) list -> Json.t
-(** Tables as [(name, csv)] pairs. *)
+val register_json : ?kernel:bool -> ?plan:string -> name:string -> (string * string) list -> Json.t
+(** Tables as [(name, csv)] pairs; [plan] is a spec string
+    ([default | auto | filter[:K[,TAU]]]) setting the target's default
+    operator graph. *)
 
 val update_json :
   ?appends:Json.t list list -> ?deletes:int list -> target:string -> table:string -> unit -> Json.t
@@ -124,6 +137,7 @@ val match_json :
   ?kernel:bool ->
   ?lenient:bool ->
   ?faults:Robust.Fault.arming list ->
+  ?plan:string ->
   target:string ->
   (string * string) list ->
   Json.t

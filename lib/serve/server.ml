@@ -61,6 +61,7 @@ type target_entry = {
   te_issues : Robust.Error.t list;  (* ingest quarantine at registration *)
   te_breaker : breaker;
   te_maintain : Delta.Maintain.t;
+  te_plan : Plan.spec;  (* default operator graph for matches against this target *)
 }
 
 type work =
@@ -68,6 +69,7 @@ type work =
       w_name : string;
       w_db : Relational.Database.t;
       w_kernel : bool;
+      w_plan : Plan.spec;
       w_ingest : Robust.Error.t list;
     }
   | W_match of {
@@ -277,7 +279,7 @@ let store_flush t =
       ignore (Printexc.to_string e))
   | _ -> ()
 
-let register_reply t ~name ~db ~kernel ~ingest =
+let register_reply t ~name ~db ~kernel ~plan ~ingest =
   let prepared = Matching.Standard_match.prepare_target ?store:t.store ~kernel ~target:db () in
   let maintain = Delta.Maintain.create ?store:t.store ~kernel ~target:db ~prepared () in
   let entry =
@@ -287,6 +289,7 @@ let register_reply t ~name ~db ~kernel ~ingest =
       te_issues = ingest;
       te_breaker = { b_state = Br_closed; b_failures = 0; b_trips = 0 };
       te_maintain = maintain;
+      te_plan = plan;
     }
   in
   Mutex.lock t.tm;
@@ -300,6 +303,7 @@ let register_reply t ~name ~db ~kernel ~ingest =
       ("tables", Json.Int (List.length (Relational.Database.tables db)));
       ("columns", Json.Int (Matching.Standard_match.prepared_columns prepared));
       ("kernel", Json.Bool (Matching.Standard_match.prepared_kernel prepared));
+      ("plan", Json.String (Plan.spec_to_string plan));
       ( "issues",
         Protocol.error_strings (ingest @ Matching.Standard_match.prepared_issues prepared) );
     ]
@@ -390,6 +394,9 @@ let match_reply t ~(mr : Protocol.match_request) ~source ~ingest ~deadline =
           timeout_ms = mr.Protocol.mr_timeout_ms;
           kernel = mr.Protocol.mr_kernel;
           faults = mr.Protocol.mr_faults;
+          (* per-request override wins; otherwise the target's
+             registered default plan *)
+          plan = Option.value mr.Protocol.mr_plan ~default:entry.te_plan;
         }
       in
       let infer = Ctxmatch.Context_match.infer_of mr.Protocol.mr_algorithm ~target:entry.te_db in
@@ -436,6 +443,9 @@ let match_reply t ~(mr : Protocol.match_request) ~source ~ingest ~deadline =
           ("cache_hits", Json.Int result.cache_hits);
           ("cache_misses", Json.Int result.cache_misses);
           ("profile_builds", Json.Int result.profile_builds);
+          ("plan", Json.String result.plan.Plan.plan_name);
+          ("pairs_scored", Json.Int result.pairs_scored);
+          ("pairs_pruned", Json.Int result.pairs_pruned);
           ("issues", Protocol.error_strings result.issues);
           ("ingest_issues", Protocol.error_strings ingest);
         ]
@@ -576,8 +586,8 @@ let execute t job =
   let reply =
     try
       match job.work with
-      | W_register { w_name; w_db; w_kernel; w_ingest } ->
-        register_reply t ~name:w_name ~db:w_db ~kernel:w_kernel ~ingest:w_ingest
+      | W_register { w_name; w_db; w_kernel; w_plan; w_ingest } ->
+        register_reply t ~name:w_name ~db:w_db ~kernel:w_kernel ~plan:w_plan ~ingest:w_ingest
       | W_match { w_mr; w_source; w_ingest } ->
         match_reply t ~mr:w_mr ~source:w_source ~ingest:w_ingest ~deadline:job.deadline
       | W_update { w_ur } -> update_reply t ~ur:w_ur
@@ -761,6 +771,7 @@ let list_targets_reply t =
                ("tables", Json.Int (List.length (Relational.Database.tables e.te_db)));
                ("columns", Json.Int (Matching.Standard_match.prepared_columns e.te_prepared));
                ("kernel", Json.Bool (Matching.Standard_match.prepared_kernel e.te_prepared));
+               ("plan", Json.String (Plan.spec_to_string e.te_plan));
                ("breaker", Json.String (breaker_state_name b.b_state));
                ("failures", Json.Int b.b_failures);
                ("trips", Json.Int b.b_trips);
@@ -888,11 +899,13 @@ let handle_line t line =
     Condition.broadcast t.qc;
     Mutex.unlock t.qm;
     Json.Obj [ ("ok", Json.Bool true); ("stopping", Json.Bool true) ]
-  | Ok (Protocol.Register_target { rt_name; rt_tables; rt_kernel }) -> (
+  | Ok (Protocol.Register_target { rt_name; rt_tables; rt_kernel; rt_plan }) -> (
     match parse_tables ~lenient:false rt_tables with
     | tables, ingest ->
       let db = Relational.Database.make "target" tables in
-      admit t (W_register { w_name = rt_name; w_db = db; w_kernel = rt_kernel; w_ingest = ingest })
+      admit t
+        (W_register
+           { w_name = rt_name; w_db = db; w_kernel = rt_kernel; w_plan = rt_plan; w_ingest = ingest })
         ~timeout_ms:None
     | exception Ingest_failed r -> reject_reply t r)
   | Ok (Protocol.Update_target ur) -> admit t (W_update { w_ur = ur }) ~timeout_ms:None

@@ -112,8 +112,16 @@ let patch t updates =
         let touched = Hashtbl.create 64 in
         Array.iter (fun id -> Hashtbl.replace touched id ()) old_ids;
         if new_total > 0 then Array.iter (fun id -> Hashtbl.replace touched id ()) new_ids;
-        Hashtbl.iter
-          (fun id () ->
+        (* Walk touched gram ids in ascending id (= gram-lexicographic)
+           order, not Hashtbl order: each posting rebuild is
+           independent, but a canonical walk keeps patch traces, fault
+           injection points and any future side effects byte-stable
+           whatever the hash seeding. *)
+        let touched_ids =
+          Hashtbl.fold (fun id () acc -> id :: acc) touched [] |> List.sort Int.compare
+        in
+        List.iter
+          (fun id ->
             let tgts = post_tgt.(id) and freqs = post_freq.(id) in
             let n = Array.length tgts in
             let entries = ref [] in
@@ -137,7 +145,7 @@ let patch t updates =
             post_tgt.(id) <- Array.map fst entries;
             post_freq.(id) <- Array.map snd entries;
             post_max.(id) <- Array.fold_left (fun m (_, f) -> Float.max m f) 0.0 entries)
-          touched;
+          touched_ids;
         norms.(slot) <- Profile.norm new_p;
         totals.(slot) <- total_f;
         targets.(slot) <- new_p)

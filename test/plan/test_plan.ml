@@ -1,0 +1,556 @@
+(* Match-plan suite.
+
+   The plan engine's central claims (DESIGN.md, "Match plans") are
+   (1) the default plan IS the legacy pipeline — not similar output,
+   byte-identical matches, standard matches and confidences — and
+   (2) a filter wide enough to keep every textual candidate degenerates
+   to the default exactly, kernel on or off, store warm or cold, for
+   every jobs value.  The differential tests here hold the engine to
+   both.  The rest covers the pieces those guarantees ride on: spec
+   parsing, rewrite-rule normal forms, cost-model monotonicity and
+   calibration, the serve daemon's plan surface, and the scoring-path
+   determinism regressions (exact top-k boundary ties, NaN containment
+   at Matcher.score, Simmetrics on empty inputs). *)
+
+open Relational
+
+let in_temp_dir f =
+  let dir = Filename.temp_file "ctxplan" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () -> f dir)
+
+(* --- spec parsing ------------------------------------------------------ *)
+
+let expect_spec input want =
+  match Plan.spec_of_string input with
+  | Ok got -> Alcotest.(check bool) (Printf.sprintf "parse %S" input) true (got = want)
+  | Error m -> Alcotest.failf "parse %S failed: %s" input m
+
+let expect_spec_error input =
+  match Plan.spec_of_string input with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "parse %S must fail" input
+
+let test_spec_parsing () =
+  expect_spec "default" Plan.Default;
+  expect_spec "legacy" Plan.Default;
+  expect_spec "auto" Plan.Auto;
+  expect_spec "Filter" (Plan.Filtered { k = Plan.default_k; tau = 0.0 });
+  expect_spec "filter:8" (Plan.Filtered { k = 8; tau = 0.0 });
+  expect_spec "filter:8,0.25" (Plan.Filtered { k = 8; tau = 0.25 });
+  expect_spec " filter:3 , 0.5 " (Plan.Filtered { k = 3; tau = 0.5 });
+  List.iter expect_spec_error
+    [ ""; "nonsense"; "filter:0"; "filter:-2"; "filter:x"; "filter:4,1.5"; "filter:4,-0.1"; "filter:4,0.1,9" ];
+  (* to_string round-trips through of_string *)
+  List.iter
+    (fun spec ->
+      match Plan.spec_of_string (Plan.spec_to_string spec) with
+      | Ok got -> Alcotest.(check bool) "roundtrip" true (got = spec)
+      | Error m -> Alcotest.failf "roundtrip %s: %s" (Plan.spec_to_string spec) m)
+    [ Plan.Default; Plan.Auto; Plan.Filtered { k = 7; tau = 0.0 }; Plan.Filtered { k = 5; tau = 0.3 } ]
+
+(* --- rewrite rules ------------------------------------------------------ *)
+
+let spec ?(cls = Plan.Op.Instance) ?(filterable = false) ?(applies = Plan.Op.All) name =
+  {
+    Plan.Op.m_name = name;
+    m_weight = 1.0;
+    m_kernel = false;
+    m_filterable = filterable;
+    m_class = cls;
+    m_applies = applies;
+  }
+
+let profile_src = Plan.Op.Profile { side = `Source }
+let profile_tgt = Plan.Op.Profile { side = `Target }
+let a_filter = Plan.Op.Filter { k = 4; tau = 0.0 }
+
+let test_rewrite_filter_before_score () =
+  let score = Plan.Op.Score { matchers = [ spec "w" ] } in
+  let ops = [ profile_src; profile_tgt; score; a_filter ] in
+  (match Plan.Rewrite.filter_before_score.Plan.Rewrite.apply ops with
+  | Some [ p1; p2; f; s ] ->
+    Alcotest.(check bool) "profiles untouched" true (p1 = profile_src && p2 = profile_tgt);
+    Alcotest.(check bool) "filter hoisted" true (f = a_filter);
+    Alcotest.(check bool) "score after filter" true (s = score)
+  | Some _ -> Alcotest.fail "unexpected shape after hoist"
+  | None -> Alcotest.fail "rule must fire");
+  (* already-normal plans are left alone: the rule declines *)
+  Alcotest.(check bool) "normal form declines" true
+    (Plan.Rewrite.filter_before_score.Plan.Rewrite.apply
+       [ profile_src; profile_tgt; a_filter; score ]
+    = None)
+
+let test_rewrite_fuse_scores () =
+  let s1 = Plan.Op.Score { matchers = [ spec "a" ] } in
+  let s2 = Plan.Op.Score { matchers = [ spec "b"; spec "c" ] } in
+  match Plan.Rewrite.fuse_scores.Plan.Rewrite.apply [ profile_src; s1; s2 ] with
+  | Some [ _; Plan.Op.Score { matchers } ] ->
+    Alcotest.(check (list string)) "concatenated in order" [ "a"; "b"; "c" ]
+      (List.map (fun m -> m.Plan.Op.m_name) matchers)
+  | _ -> Alcotest.fail "adjacent scores must fuse into one"
+
+let test_rewrite_order_matchers () =
+  let score =
+    Plan.Op.Score
+      {
+        matchers =
+          [
+            spec ~cls:Plan.Op.Qgram "q";
+            spec ~cls:Plan.Op.Trivial "t";
+            spec ~cls:Plan.Op.Instance "i1";
+            spec ~cls:Plan.Op.Cheap "c";
+            spec ~cls:Plan.Op.Instance "i2";
+          ];
+      }
+  in
+  match Plan.Rewrite.order_matchers.Plan.Rewrite.apply [ score ] with
+  | Some [ Plan.Op.Score { matchers } ] ->
+    (* ascending class rank; the sort is stable so i1 stays before i2 *)
+    Alcotest.(check (list string)) "cheap-first, stable" [ "t"; "c"; "i1"; "i2"; "q" ]
+      (List.map (fun m -> m.Plan.Op.m_name) matchers)
+  | _ -> Alcotest.fail "order_matchers must fire"
+
+let test_rewrite_fixpoint_and_log () =
+  let matchers = [ spec ~cls:Plan.Op.Qgram ~filterable:true "q"; spec ~cls:Plan.Op.Trivial "t" ] in
+  let p = Plan.filtered ~k:4 ~matchers () in
+  (* normal form: filter sits before the single fused score stage, and
+     the log records the normalisation *)
+  let fi = ref (-1) and si = ref (-1) in
+  List.iteri
+    (fun i op ->
+      match op with
+      | Plan.Op.Filter _ when !fi < 0 -> fi := i
+      | Plan.Op.Score _ when !si < 0 -> si := i
+      | _ -> ())
+    p.Plan.ops;
+  Alcotest.(check bool) "has filter and score" true (!fi >= 0 && !si >= 0);
+  Alcotest.(check bool) "filter precedes score" true (!fi < !si);
+  Alcotest.(check bool) "hoist logged" true (List.mem "filter-before-score" p.Plan.rewrites);
+  Alcotest.(check bool) "ordering logged" true (List.mem "order-matchers" p.Plan.rewrites);
+  (* a second normalisation pass is a no-op: already at fixpoint *)
+  let again, fired = Plan.Rewrite.apply_fixpoint Plan.Rewrite.default_rules p.Plan.ops in
+  Alcotest.(check bool) "fixpoint reached" true (again = p.Plan.ops && fired = []);
+  (* the default plan is already in normal form *)
+  let d = Plan.default ~matchers () in
+  Alcotest.(check (list string)) "default rewrites empty" [] d.Plan.rewrites
+
+let test_validate_rejects_mismatch () =
+  let matchers = [ spec "a"; spec "b" ] in
+  let p = Plan.default ~matchers () in
+  (match Plan.validate ~matchers p with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "own matcher set must validate: %s" m);
+  match Plan.validate ~matchers:[ spec "a" ] p with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "extra matcher must be rejected"
+
+(* --- cost model --------------------------------------------------------- *)
+
+let wide_shape =
+  {
+    Plan.Cost.src_attrs = 10;
+    tgt_cols = 200;
+    textual_src = 8;
+    textual_tgt = 160;
+    numeric_src = 2;
+    numeric_tgt = 40;
+  }
+
+let costed_matchers =
+  [
+    spec ~cls:Plan.Op.Trivial "type";
+    spec ~cls:Plan.Op.Instance ~filterable:true ~applies:Plan.Op.Textual "word";
+    spec ~cls:Plan.Op.Qgram ~filterable:true ~applies:Plan.Op.Textual "qgram";
+  ]
+
+let test_cost_monotone_in_shape () =
+  let total shape plan =
+    Plan.Cost.total_ns (Plan.Cost.plan_cost Plan.Cost.default shape plan.Plan.ops)
+  in
+  let d = Plan.default ~matchers:costed_matchers () in
+  let small = { wide_shape with tgt_cols = 20; textual_tgt = 16; numeric_tgt = 4 } in
+  Alcotest.(check bool) "more columns cost more" true (total wide_shape d > total small d);
+  (* a small-k filter must beat the cross product on a wide workload
+     dominated by filterable instance matchers *)
+  let f = Plan.filtered ~k:4 ~matchers:costed_matchers () in
+  Alcotest.(check bool) "filtered cheaper at scale" true (total wide_shape f < total wide_shape d)
+
+let test_cost_filter_caps_pairs () =
+  let f = Plan.filtered ~k:4 ~matchers:costed_matchers () in
+  let lines = Plan.Cost.plan_cost Plan.Cost.default wide_shape f.Plan.ops in
+  let score_est =
+    List.find_map
+      (function
+        | { Plan.Cost.op = Plan.Op.Score _; est_ns; _ } -> Some est_ns
+        | _ -> None)
+      lines
+  in
+  let d = Plan.default ~matchers:costed_matchers () in
+  let d_score =
+    List.find_map
+      (function
+        | { Plan.Cost.op = Plan.Op.Score _; est_ns; _ } -> Some est_ns
+        | _ -> None)
+      (Plan.Cost.plan_cost Plan.Cost.default wide_shape d.Plan.ops)
+  in
+  match (score_est, d_score) with
+  | Some f_ns, Some d_ns ->
+    Alcotest.(check bool) "capped score stage cheaper" true (f_ns < d_ns)
+  | _ -> Alcotest.fail "both plans must carry a score stage"
+
+let test_cost_calibration () =
+  (* feed the recorder a synthetic qgram workload: 10 pairs, 50us *)
+  Obs.Recorder.enable ();
+  Obs.Metrics.reset ();
+  Obs.Metrics.add "plan.score_pairs.qgram" 10;
+  Obs.Metrics.observe_ns "plan.score_ns.qgram" 50_000L;
+  let snap = Obs.Metrics.snapshot () in
+  let m = Plan.Cost.of_snapshot snap in
+  Obs.Metrics.reset ();
+  Obs.Recorder.disable ();
+  Alcotest.(check bool) "qgram rate measured" true
+    (Float.abs (m.Plan.Cost.ns_qgram -. 5_000.0) < 1e-6);
+  (* classes without observations keep the shipped defaults *)
+  Alcotest.(check bool) "unseen classes keep defaults" true
+    (m.Plan.Cost.ns_instance = Plan.Cost.default.Plan.Cost.ns_instance
+    && m.Plan.Cost.ns_trivial = Plan.Cost.default.Plan.Cost.ns_trivial)
+
+let test_auto_resolution () =
+  let resolve ~kernel shape =
+    Plan.resolve ~shape ~kernel ~matchers:costed_matchers Plan.Auto
+  in
+  (* wide workload, kernel on: the filter wins and the name says so *)
+  let wide = resolve ~kernel:true wide_shape in
+  Alcotest.(check bool) "auto picks filter at scale" true
+    (Plan.filter_params wide <> None
+    && String.length wide.Plan.plan_name > 5
+    && String.sub wide.Plan.plan_name 0 5 = "auto:");
+  (* no kernel: never pick a filter the executor would fall back on *)
+  let no_kernel = resolve ~kernel:false wide_shape in
+  Alcotest.(check bool) "auto without kernel stays default" true
+    (Plan.filter_params no_kernel = None)
+
+(* --- differential identity: plans vs legacy ---------------------------- *)
+
+let fp_match (m : Matching.Schema_match.t) =
+  Printf.sprintf "%s|%s|%s|%s.%s|%s|%h" m.src_owner m.src_base m.src_attr m.tgt_table
+    m.tgt_attr
+    (Condition.to_string m.condition)
+    m.confidence
+
+let fingerprint (r : Ctxmatch.Context_match.result) =
+  String.concat "\n"
+    (List.map fp_match r.Ctxmatch.Context_match.matches
+    @ List.map fp_match r.Ctxmatch.Context_match.standard)
+
+let retail_params =
+  { Workload.Retail.default_params with rows = 120; target_rows = 60; seed = 42 }
+
+let source_db = Workload.Retail.source retail_params
+let target_db = Workload.Retail.target retail_params Workload.Retail.Ryan_eyers
+
+let retail_run ?store ?(jobs = 1) ?(kernel = true) ?(plan = Plan.Default) () =
+  let config = { Ctxmatch.Config.default with jobs; kernel; plan } in
+  let infer = Ctxmatch.Context_match.infer_of `Src_class ~target:target_db in
+  Ctxmatch.Context_match.run ~config ?store ~infer ~source:source_db ~target:target_db ()
+
+(* A filter wide enough to keep every textual target (and tau = 0,
+   which the index treats inclusively: untouched targets score an
+   exact 0.0 >= 0.0) keeps exactly the legacy candidate set, so the
+   run must be byte-identical to the default plan — per jobs value,
+   kernel on and off, store cold and warm. *)
+let test_full_width_filter_is_default () =
+  in_temp_dir @@ fun dir ->
+  let want = fingerprint (retail_run ()) in
+  let wide = Plan.Filtered { k = 1024; tau = 0.0 } in
+  List.iter
+    (fun kernel ->
+      List.iter
+        (fun jobs ->
+          let r = retail_run ~jobs ~kernel ~plan:wide () in
+          Alcotest.(check string)
+            (Printf.sprintf "full-width filter jobs=%d kernel=%b" jobs kernel)
+            want (fingerprint r);
+          Alcotest.(check int)
+            (Printf.sprintf "nothing pruned jobs=%d kernel=%b" jobs kernel)
+            0 r.Ctxmatch.Context_match.pairs_pruned)
+        [ 1; 4 ])
+    [ true; false ];
+  (* cold store run, then warm: same fingerprint again *)
+  let store = Store.open_dir dir in
+  let cold = retail_run ~store ~plan:wide () in
+  Store.flush store;
+  Alcotest.(check string) "cold store identical" want (fingerprint cold);
+  let warm_store = Store.open_dir dir in
+  let warm = retail_run ~store:warm_store ~plan:wide () in
+  Alcotest.(check string) "warm store identical" want (fingerprint warm)
+
+(* The executed plan and the pairs accounting surface coherently. *)
+let test_plan_accounting () =
+  let base = retail_run () in
+  Alcotest.(check string) "default plan named" "default"
+    base.Ctxmatch.Context_match.plan.Plan.plan_name;
+  Alcotest.(check int) "default prunes nothing" 0 base.Ctxmatch.Context_match.pairs_pruned;
+  Alcotest.(check bool) "default scores pairs" true
+    (base.Ctxmatch.Context_match.pairs_scored > 0);
+  let narrow = retail_run ~plan:(Plan.Filtered { k = 1; tau = 0.0 }) () in
+  Alcotest.(check bool) "narrow filter prunes" true
+    (narrow.Ctxmatch.Context_match.pairs_pruned > 0);
+  Alcotest.(check bool) "narrow filter scores fewer pairs" true
+    (narrow.Ctxmatch.Context_match.pairs_scored < base.Ctxmatch.Context_match.pairs_scored);
+  Alcotest.(check bool) "filter stage present" true
+    (Plan.filter_params narrow.Ctxmatch.Context_match.plan = Some (1, 0.0))
+
+(* The kernel is an acceleration, never a semantics switch: a filtered
+   run scores the same candidates through the kernel and through the
+   exact pairwise fallback. *)
+let test_filtered_kernel_invariance () =
+  List.iter
+    (fun k ->
+      let plan = Plan.Filtered { k; tau = 0.0 } in
+      let on = retail_run ~kernel:true ~plan () in
+      let off = retail_run ~kernel:false ~plan () in
+      Alcotest.(check string)
+        (Printf.sprintf "k=%d kernel on/off identical" k)
+        (fingerprint on) (fingerprint off);
+      Alcotest.(check int)
+        (Printf.sprintf "k=%d same pruning" k)
+        on.Ctxmatch.Context_match.pairs_pruned off.Ctxmatch.Context_match.pairs_pruned)
+    [ 1; 3 ]
+
+(* Filtered runs are jobs-invariant too, pairs accounting included. *)
+let test_filtered_jobs_invariance () =
+  let plan = Plan.Filtered { k = 2; tau = 0.0 } in
+  let base = retail_run ~jobs:1 ~plan () in
+  List.iter
+    (fun jobs ->
+      let r = retail_run ~jobs ~plan () in
+      Alcotest.(check string) (Printf.sprintf "jobs=%d identical" jobs) (fingerprint base)
+        (fingerprint r);
+      Alcotest.(check int) (Printf.sprintf "jobs=%d pairs_scored" jobs)
+        base.Ctxmatch.Context_match.pairs_scored r.Ctxmatch.Context_match.pairs_scored;
+      Alcotest.(check int) (Printf.sprintf "jobs=%d pairs_pruned" jobs)
+        base.Ctxmatch.Context_match.pairs_pruned r.Ctxmatch.Context_match.pairs_pruned)
+    [ 2; 4 ]
+
+(* Passing the default plan explicitly is the same as not passing one:
+   a single construction site, no drift. *)
+let test_explicit_default_plan () =
+  let matchers = Ctxmatch.Config.default.Ctxmatch.Config.matchers in
+  let explicit =
+    Plan.default ~gated:Ctxmatch.Config.default.Ctxmatch.Config.gated_confidence
+      ~matchers:(Matching.Matchers.plan_specs matchers) ()
+  in
+  let build ?plan () =
+    Matching.Standard_match.build ~matchers ~jobs:1 ~kernel:true ?plan ~source:source_db
+      ~target:target_db ()
+  in
+  let implicit_m = build () in
+  let explicit_m = build ~plan:explicit () in
+  List.iter
+    (fun tbl ->
+      let src_table = Table.name tbl in
+      let a = Matching.Standard_match.matches_from implicit_m ~src_table ~tau:0.5 in
+      let b = Matching.Standard_match.matches_from explicit_m ~src_table ~tau:0.5 in
+      Alcotest.(check (list string))
+        (Printf.sprintf "explicit default identical (%s)" src_table)
+        (List.map fp_match a) (List.map fp_match b))
+    (Database.tables source_db);
+  (* a plan whose matcher set disagrees with the model's is refused *)
+  match
+    build
+      ~plan:(Plan.default ~matchers:[ spec "only-one" ] ())
+      ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "mismatched plan must raise Invalid_argument"
+
+(* --- determinism regressions (scoring path) ----------------------------- *)
+
+(* Exact tie at the top-k boundary: identical profiles in every slot.
+   The cut must fall deterministically — score descending, then slot
+   ascending — not wherever the heap happened to leave things. *)
+let test_topk_exact_tie () =
+  let p () = Textsim.Profile.of_strings [ "alpha beta" ] in
+  let idx = Textsim.Gram_index.build [| p (); p (); p () |] in
+  let cand = p () in
+  let hits, _stats = Textsim.Gram_index.top_k idx cand ~k:2 ~tau:0.0 in
+  (match hits with
+  | [ (s0, c0); (s1, c1) ] ->
+    Alcotest.(check int) "first slot" 0 s0;
+    Alcotest.(check int) "second slot" 1 s1;
+    Alcotest.(check bool) "scores tied" true (c0 = c1)
+  | _ -> Alcotest.fail "expected exactly k hits");
+  (* the same tie through the interned kernel: column id order *)
+  let col name =
+    ( ("t", name),
+      Textsim.Profile.of_strings [ "alpha beta" ] )
+  in
+  let kern = Matching.Score_kernel.build [| col "a"; col "b"; col "c" |] in
+  match Matching.Score_kernel.top_k kern cand ~k:2 ~tau:0.0 with
+  | [ ((_, n0), _); ((_, n1), _) ] ->
+    Alcotest.(check string) "kernel first" "a" n0;
+    Alcotest.(check string) "kernel second" "b" n1
+  | _ -> Alcotest.fail "kernel: expected exactly k hits"
+
+let mk_column ?(owner = "t") name ty values =
+  Matching.Column.make ~owner (Attribute.make name ty) (Array.of_list values)
+
+(* A matcher whose raw score is NaN (or out of range) must never leak
+   past Matcher.score: NaN poisons the z-normalised combination of
+   every other matcher on the pair.  OCaml's Float.min/max propagate
+   NaN, so the clamp alone is not enough — this is the regression. *)
+let test_matcher_nan_containment () =
+  let col = mk_column "x" Value.Tstring [ Value.String "a" ] in
+  let fixed v =
+    Matching.Matcher.make ~name:"fixed" ~applicable:(fun _ _ -> true) (fun _ _ -> v)
+  in
+  Alcotest.(check (float 0.0)) "nan -> 0" 0.0 (Matching.Matcher.score (fixed Float.nan) col col);
+  Alcotest.(check (float 0.0)) "overflow clamps" 1.0 (Matching.Matcher.score (fixed 2.0) col col);
+  Alcotest.(check (float 0.0)) "underflow clamps" 0.0 (Matching.Matcher.score (fixed (-3.0)) col col);
+  Alcotest.(check (float 0.0)) "neg-infinity clamps" 0.0
+    (Matching.Matcher.score (fixed Float.neg_infinity) col col);
+  Alcotest.(check (float 0.0)) "infinity clamps" 1.0
+    (Matching.Matcher.score (fixed Float.infinity) col col)
+
+(* Empty-input edge cases across the string-similarity kernels: every
+   guard must return a finite score in [0, 1], never divide by an
+   empty length. *)
+let test_simmetrics_empty_inputs () =
+  let finite01 name v =
+    Alcotest.(check bool) (name ^ " finite and in [0,1]") true
+      ((not (Float.is_nan v)) && v >= 0.0 && v <= 1.0)
+  in
+  finite01 "jaro \"\" \"\"" (Textsim.Simmetrics.jaro "" "");
+  finite01 "jaro a \"\"" (Textsim.Simmetrics.jaro "a" "");
+  finite01 "jaro_winkler \"\" \"\"" (Textsim.Simmetrics.jaro_winkler "" "");
+  finite01 "levenshtein_similarity \"\" \"\"" (Textsim.Simmetrics.levenshtein_similarity "" "");
+  finite01 "jaccard [] []" (Textsim.Simmetrics.jaccard [] []);
+  finite01 "dice [] []" (Textsim.Simmetrics.dice [] []);
+  finite01 "overlap [] []" (Textsim.Simmetrics.overlap [] []);
+  finite01 "overlap [] [a]" (Textsim.Simmetrics.overlap [] [ "a" ]);
+  finite01 "cosine_bags [] []" (Textsim.Simmetrics.cosine_bags [] []);
+  finite01 "name_similarity \"\" \"\"" (Textsim.Simmetrics.name_similarity "" "")
+
+(* --- serve surface ------------------------------------------------------ *)
+
+let csv_payload db =
+  List.map
+    (fun table -> (Table.name table, Csv_io.table_to_csv table))
+    (Database.tables db)
+
+let with_server dir f =
+  let address =
+    Serve.Server.Unix_sock (Filename.concat dir (Printf.sprintf "p%d.sock" (Unix.getpid ())))
+  in
+  let server = Serve.Server.create (Serve.Server.default_config address) in
+  let thread = Serve.Server.start server in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.stop server;
+      Thread.join thread)
+    (fun () ->
+      let client = Serve.Client.connect ~retries:100 ~retry_delay_s:0.05 address in
+      Fun.protect ~finally:(fun () -> Serve.Client.close client) (fun () -> f client))
+
+let expect_field json name =
+  match Serve.Json.member name json with
+  | Some v -> v
+  | None -> Alcotest.failf "reply missing field %S: %s" name (Serve.Json.to_string json)
+
+let str_field json name =
+  match Serve.Json.to_string_opt (expect_field json name) with
+  | Some s -> s
+  | None -> Alcotest.failf "field %S is not a string" name
+
+let int_field json name =
+  match Serve.Json.to_int (expect_field json name) with
+  | Some i -> i
+  | None -> Alcotest.failf "field %S is not an int" name
+
+(* The daemon's plan surface: registration stores a per-target default
+   plan (echoed by register and list-targets), a match request can
+   override it, and every match reply reports the plan it executed
+   with its pairs accounting. *)
+let test_serve_plan_surface () =
+  in_temp_dir @@ fun dir ->
+  with_server dir @@ fun client ->
+  let register = Serve.Protocol.register_json ~plan:"filter:2" ~name:"retail" (csv_payload target_db) in
+  let reply = Serve.Client.request client register in
+  Alcotest.(check string) "register echoes plan" "filter:2" (str_field reply "plan");
+  (* list-targets shows the registered default *)
+  let listing = Serve.Client.request client Serve.Protocol.list_targets_json in
+  (match Serve.Json.to_list_opt (expect_field listing "targets") with
+  | Some [ row ] -> Alcotest.(check string) "listed plan" "filter:2" (str_field row "plan")
+  | _ -> Alcotest.failf "expected one target row: %s" (Serve.Json.to_string listing));
+  (* a match with no plan field runs the target's default *)
+  let m1 =
+    Serve.Client.request client
+      (Serve.Protocol.match_json ~target:"retail" (csv_payload source_db))
+  in
+  Alcotest.(check string) "target default executed" "filter:2" (str_field m1 "plan");
+  Alcotest.(check bool) "pairs accounted" true (int_field m1 "pairs_scored" > 0);
+  (* a per-request override wins, and default reports zero pruned *)
+  let m2 =
+    Serve.Client.request client
+      (Serve.Protocol.match_json ~plan:"default" ~target:"retail" (csv_payload source_db))
+  in
+  Alcotest.(check string) "override executed" "default" (str_field m2 "plan");
+  Alcotest.(check int) "default prunes nothing" 0 (int_field m2 "pairs_pruned");
+  (* a bad plan spec is a structured bad-request, not a dead daemon *)
+  let bad =
+    Serve.Client.request client
+      (Serve.Protocol.match_json ~plan:"filter:0" ~target:"retail" (csv_payload source_db))
+  in
+  (match Serve.Json.to_bool (expect_field bad "ok") with
+  | Some false -> ()
+  | _ -> Alcotest.failf "bad plan spec must be rejected: %s" (Serve.Json.to_string bad));
+  Alcotest.(check string) "reject code" "bad-request" (str_field bad "code")
+
+let () =
+  Alcotest.run "plan"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "parsing and roundtrip" `Quick test_spec_parsing;
+          Alcotest.test_case "validate rejects mismatch" `Quick test_validate_rejects_mismatch;
+        ] );
+      ( "rewrite",
+        [
+          Alcotest.test_case "filter hoisted before score" `Quick test_rewrite_filter_before_score;
+          Alcotest.test_case "adjacent scores fuse" `Quick test_rewrite_fuse_scores;
+          Alcotest.test_case "matchers ordered cheap-first" `Quick test_rewrite_order_matchers;
+          Alcotest.test_case "fixpoint and rewrite log" `Quick test_rewrite_fixpoint_and_log;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "monotone in shape, filter wins at scale" `Quick
+            test_cost_monotone_in_shape;
+          Alcotest.test_case "filter caps score-stage pairs" `Quick test_cost_filter_caps_pairs;
+          Alcotest.test_case "calibration from recorder snapshot" `Quick test_cost_calibration;
+          Alcotest.test_case "auto resolution" `Quick test_auto_resolution;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "full-width filter = default (jobs x kernel x store)" `Quick
+            test_full_width_filter_is_default;
+          Alcotest.test_case "pairs accounting" `Quick test_plan_accounting;
+          Alcotest.test_case "filtered kernel on/off invariance" `Quick
+            test_filtered_kernel_invariance;
+          Alcotest.test_case "filtered jobs invariance" `Quick test_filtered_jobs_invariance;
+          Alcotest.test_case "explicit default plan identical" `Quick test_explicit_default_plan;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "exact top-k boundary ties" `Quick test_topk_exact_tie;
+          Alcotest.test_case "NaN containment in Matcher.score" `Quick
+            test_matcher_nan_containment;
+          Alcotest.test_case "Simmetrics empty inputs" `Quick test_simmetrics_empty_inputs;
+        ] );
+      ( "serve",
+        [ Alcotest.test_case "per-target plan surface" `Quick test_serve_plan_surface ] );
+    ]
