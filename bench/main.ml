@@ -779,8 +779,8 @@ let kernel_report () =
     Printf.eprintf "bench: kernel canary failed: kernel matches differ from legacy matches\n";
     exit 1
   end;
-  if speedup_16 < 1.5 then begin
-    Printf.eprintf "bench: kernel canary failed: speedup at 16x is %.2fx (< 1.5x)\n" speedup_16;
+  if speedup_16 < 3.0 then begin
+    Printf.eprintf "bench: kernel canary failed: speedup at 16x is %.2fx (< 3x)\n" speedup_16;
     exit 1
   end
 

@@ -286,7 +286,21 @@ let explain_plan_cmd_run source_files target_files tau plan jobs mode calibrate 
       Obs.Recorder.enable ();
       let infer = Ctxmatch.Context_match.infer_of `Src_class ~target in
       ignore (Ctxmatch.Context_match.run ~config ~infer ~source ~target ());
-      Plan.Cost.of_snapshot (Obs.Metrics.snapshot ())
+      let snap = Obs.Metrics.snapshot () in
+      (* kernel arena footprint and pruning effectiveness of the probe
+         run, next to the rates it calibrated *)
+      let c name = Obs.Metrics.counter_value snap name in
+      if c "kernel.arena.bytes" > 0 then
+        Printf.printf "# kernel arena: %d bytes, %d blocks\n" (c "kernel.arena.bytes")
+          (c "kernel.arena.blocks");
+      let bskips = c "kernel.topk.block_skips" and pskips = c "kernel.topk.posting_skips" in
+      if bskips > 0 || pskips > 0 then
+        Printf.printf "# kernel pruning: %d block skips, %d posting skips\n" bskips pskips;
+      let model = Plan.Cost.of_snapshot snap in
+      if c "plan.filter_probes" > 0 then
+        Printf.printf "# calibrated filter rate: %.0f ns/probe over %d probes\n"
+          model.Plan.Cost.ns_filter (c "plan.filter_probes");
+      model
     end
   in
   let resolved =

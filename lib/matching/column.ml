@@ -140,6 +140,15 @@ let sub_strings base attr indices =
          let v = rows.(i).(col) in
          if Value.is_null v then None else Some (Value.to_string v))
 
+(* View-profile composition through the columnar family pack: the
+   selected values map to partition-group slots, and the composed
+   profile is one integer merge-sum over the family's arena rows —
+   no hashtable, no string, no re-fold of the per-group counts.  The
+   resulting count bag equals [Profile.sum] of the boxed per-group
+   profiles (which itself equals a row re-scan), so scores stay
+   bit-identical to both earlier paths.  Values absent from the sample
+   still register their empty row slice through the cache, exactly as
+   the boxed path did — the memo/store artefact set is unchanged. *)
 let composed_profile t c base cond_attr vs =
   if !Obs.Recorder.enabled then begin
     Obs.Metrics.incr "column.partition.composed";
@@ -147,15 +156,51 @@ let composed_profile t c base cond_attr vs =
   end;
   let attr = name t in
   let tname = Table.name base in
-  let subs =
-    List.map
-      (fun indices ->
-        Profile_cache.profile c
-          (Profile_cache.key ~table:tname ~attr ~indices)
-          (fun () -> Textsim.Profile.of_strings (sub_strings base attr indices)))
-      (partition_slices c base cond_attr vs)
+  let fam =
+    Profile_cache.family c ~table:base ~cond_attr ~attr ~profile_of:(fun indices ->
+        Textsim.Profile.of_strings (sub_strings base attr indices))
   in
-  match subs with [ p ] -> p | ps -> Textsim.Profile.sum ps
+  let part = Profile_cache.partition c ~table:base ~cond_attr in
+  let slots, missing =
+    List.fold_left
+      (fun (slots, missing) v ->
+        match Profile_cache.partition_slot part v with
+        | Some slot -> (slot :: slots, missing)
+        | None -> (slots, missing + 1))
+      ([], 0) vs
+  in
+  let slots = List.rev slots in
+  if missing > 0 then
+    for _ = 1 to missing do
+      ignore
+        (Profile_cache.profile c
+           (Profile_cache.key ~table:tname ~attr ~indices:[||])
+           (fun () -> Textsim.Profile.of_strings []))
+    done;
+  match slots with
+  | [ slot ] when missing = 0 -> fam.Profile_cache.fam_profiles.(slot)
+  | slots -> Profile_cache.compose_profile fam slots
+
+(* Sorted-unique union by pairwise merge: [of_slice] always produces
+   [sort_uniq]'d lists, for which the fold of merges returns exactly
+   what sort-uniq-of-concat would, in O(total) comparisons.  A slice
+   that is not strictly sorted (only a foreign seeded artefact could
+   be) falls back to the original path. *)
+let rec strictly_sorted = function
+  | a :: (b :: _ as tl) -> String.compare a b < 0 && strictly_sorted tl
+  | [] | [ _ ] -> true
+
+let merge_dedup xs ys =
+  let rec go acc xs ys =
+    match (xs, ys) with
+    | [], rest | rest, [] -> List.rev_append acc rest
+    | x :: xt, y :: yt ->
+      let c = String.compare x y in
+      if c = 0 then go (x :: acc) xt yt
+      else if c < 0 then go (x :: acc) xt ys
+      else go (y :: acc) xs yt
+  in
+  go [] xs ys
 
 let composed_distinct c base cond_attr vs ~attr_key ~of_slice =
   let tname = Table.name base in
@@ -169,7 +214,9 @@ let composed_distinct c base cond_attr vs ~attr_key ~of_slice =
   in
   match subs with
   | [ d ] -> d
-  | ds -> List.concat ds |> List.sort_uniq String.compare
+  | ds ->
+    if List.for_all strictly_sorted ds then List.fold_left merge_dedup [] ds
+    else List.concat ds |> List.sort_uniq String.compare
 
 let profile t =
   match t.profile with
@@ -240,6 +287,78 @@ let words t =
     in
     t.words_memo <- Some w;
     w
+
+(* Build-time warm of the partition-composition artefacts: for every
+   categorical condition attribute (under the default detection
+   parameters — the same predicate NaiveInfer enumerates view families
+   over) and every other textual attribute, force the columnar family
+   pack plus the per-group distinct and word sets.  View scoring then
+   composes from warm artefacts instead of first-touch tokenising
+   inside the scoring phase — the same "freeze after build" treatment
+   {!warm} gives base columns.  Purely a warming pass: every artefact
+   is built through the exact cache keys the lazy paths use, so a
+   caller that skips it (or infers with non-default categorical
+   parameters) computes the identical values lazily instead. *)
+let warm_families ?pool cache table =
+  let schema = Table.schema table in
+  let tname = Table.name table in
+  let pairs =
+    List.concat_map
+      (fun cond_attr ->
+        List.filter_map
+          (fun attr ->
+            if attr = cond_attr then None
+            else
+              let a = Schema.attribute schema attr in
+              if Attribute.is_textual a then Some (cond_attr, attr, `Textual)
+              else if a.Attribute.ty = Value.Tint then Some (cond_attr, attr, `Int)
+              else None)
+          (Schema.attribute_names schema))
+      (Categorical.categorical_attributes table)
+  in
+  (* Every composable per-group artefact is warmed — textual attrs get
+     the family pack plus distinct/word slices, int attrs (whose view
+     distincts also compose, for the value-overlap matcher) get distinct
+     slices.  Completeness matters beyond speed: an [Eq] view's row set
+     *is* a partition group, so its column shares the slice's cache key,
+     and whether its first lookup nests a slice compute would otherwise
+     depend on which worker touched the slice first — warming everything
+     here keeps the lookup counts jobs-invariant. *)
+  let warm_pair (cond_attr, attr, kind) =
+    (* Best-effort: a failure (e.g. an injected fault) is dropped.
+       Nothing is memoised on exception and fault decisions are keyed to
+       the looked-up artefact, not the call site, so the owning unit's
+       own lookup later re-raises the identical error and quarantines
+       exactly as if the warm had never run. *)
+    try
+      let part = Profile_cache.partition cache ~table ~cond_attr in
+      (match kind with
+      | `Int -> ()
+      | `Textual ->
+        ignore
+          (Profile_cache.family cache ~table ~cond_attr ~attr ~profile_of:(fun indices ->
+               Textsim.Profile.of_strings (sub_strings table attr indices))));
+      Array.iter
+        (fun indices ->
+          ignore
+            (Profile_cache.distinct cache
+               (Profile_cache.key ~table:tname ~attr ~indices)
+               (fun () -> sub_strings table attr indices |> List.sort_uniq String.compare));
+          match kind with
+          | `Int -> ()
+          | `Textual ->
+            ignore
+              (Profile_cache.distinct cache
+                 (Profile_cache.key ~table:tname ~attr:(words_attr attr) ~indices)
+                 (fun () ->
+                   List.concat_map Textsim.Tokenize.words (sub_strings table attr indices)
+                   |> List.sort_uniq String.compare)))
+        part.Profile_cache.part_indices
+    with _ -> ()
+  in
+  match pool with
+  | Some pool -> ignore (Runtime.Pool.map_list pool warm_pair pairs)
+  | None -> List.iter warm_pair pairs
 
 let warm t =
   let a = t.attribute in

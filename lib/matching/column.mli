@@ -68,6 +68,25 @@ val words_attr : string -> string
     never occurs in a schema or CSV attribute name).  Delta maintenance
     seeds word sets under exactly this key. *)
 
+val warm_families : ?pool:Runtime.Pool.t -> Profile_cache.t -> Table.t -> unit
+(** Build-time warm of the partition-composition artefacts: for every
+    categorical condition attribute of the table (default
+    {!Relational.Categorical} parameters — the predicate view inference
+    enumerates families over), force the columnar family pack and the
+    per-group distinct/word sets of every other textual attribute, and
+    the per-group distinct sets of every int attribute (whose view
+    distincts compose too), through the shared cache.  View scoring
+    then composes from warm artefacts instead of first-touch tokenising
+    per group inside the scoring phase.  Purely a warming pass — every
+    artefact goes through the exact keys the lazy paths use, so
+    skipping it (or inferring with non-default categorical parameters)
+    only moves the identical computation later.  Each pair warms
+    best-effort: a failure (e.g. an injected fault) is swallowed and
+    re-raises on the owning unit's own lookup instead.  With [pool],
+    the (condition, attribute) pairs warm pool-parallel; must then be
+    called from the pool's own domain ({!Runtime.Pool} is not
+    re-entrant). *)
+
 val warm : t -> unit
 (** Force the artefacts a matcher of this column's type could ask for
     (profile/distinct/words for textual, summary for numeric, distinct

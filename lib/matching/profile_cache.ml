@@ -5,11 +5,19 @@ type partition = {
   part_indices : int array array;
 }
 
+type family = {
+  fam_dict : Textsim.Gram_dict.t;
+  fam_rows : Textsim.Csr.ints;
+  fam_profiles : Textsim.Profile.t array;
+  fam_q : int;
+}
+
 type t = {
   profiles : (key, Textsim.Profile.t) Runtime.Memo.t;
   summaries : (key, Stats.Descriptive.summary) Runtime.Memo.t;
   distincts : (key, string list) Runtime.Memo.t;
   partitions : (string * string, partition) Runtime.Memo.t;
+  families : (string * string * string, family) Runtime.Memo.t;
   mutable partitioning : bool;
   mutable store : Store.t option;
   digests : (string, string) Hashtbl.t;
@@ -23,6 +31,7 @@ let create () =
     summaries = Runtime.Memo.create ();
     distincts = Runtime.Memo.create ();
     partitions = Runtime.Memo.create ();
+    families = Runtime.Memo.create ();
     partitioning = false;
     store = None;
     digests = Hashtbl.create 8;
@@ -168,17 +177,117 @@ let partition t ~table ~cond_attr =
       let groups = Array.of_list (List.rev !groups) in
       { part_values = Array.map fst groups; part_indices = Array.map snd groups })
 
-let partition_indices p v =
+let partition_slot p v =
   let lo = ref 0 and hi = ref (Array.length p.part_values - 1) in
   let found = ref None in
   while !found = None && !lo <= !hi do
     let mid = (!lo + !hi) / 2 in
     let c = Relational.Value.compare v p.part_values.(mid) in
-    if c = 0 then found := Some p.part_indices.(mid)
+    if c = 0 then found := Some mid
     else if c < 0 then hi := mid - 1
     else lo := mid + 1
   done;
   !found
+
+let partition_indices p v = Option.map (fun i -> p.part_indices.(i)) (partition_slot p v)
+
+(* One columnar "family pack" per (table, condition attribute, scored
+   attribute): the per-group profiles of the partition — computed (or
+   store-loaded) through {!profile} under the exact per-slice keys the
+   boxed composition path uses, so the store sees the same artefacts —
+   interned against one family dictionary (the union of the groups'
+   grams) and packed into a flat CSR arena, one id-sorted row per
+   group.  Composing a view profile over k of the family's values is
+   then a k-pointer merge over arena rows straight into a packed
+   {!Textsim.Profile.of_ids} — integer count addition in id (= gram)
+   order, no hashtable, no string.  The pack is a pure function of the
+   per-group profiles, so it is derived, never persisted. *)
+let family t ~table ~cond_attr ~attr ~profile_of =
+  let tname = Relational.Table.name table in
+  Runtime.Memo.find_or_add t.families (tname, cond_attr, attr) (fun () ->
+      let part = partition t ~table ~cond_attr in
+      let groups = part.part_indices in
+      let fam_profiles =
+        Array.map
+          (fun indices ->
+            profile t (key ~table:tname ~attr ~indices) (fun () -> profile_of indices))
+          groups
+      in
+      let grams =
+        Array.fold_left
+          (fun acc p ->
+            Array.fold_left (fun acc (g, _) -> g :: acc) acc (Textsim.Profile.counts p))
+          [] fam_profiles
+      in
+      let fam_dict = Textsim.Gram_dict.of_grams grams in
+      (* Rows come from a pure string lookup, NOT from [Profile.intern]:
+         the group profiles are shared memo entries that other domains
+         are free to score (and hence re-intern against the kernel
+         dictionary) at any moment, so attaching-then-reading a family
+         view here would race.  Every gram is in [fam_dict] by
+         construction, and the gram-sorted counts map to ascending ids
+         (the dictionary preserves gram order). *)
+      let rows =
+        Array.map
+          (fun p ->
+            let cs = Textsim.Profile.counts p in
+            let n = Array.length cs in
+            let ids = Array.make n 0 in
+            let counts = Array.make n 0 in
+            Array.iteri
+              (fun k (g, c) ->
+                match Textsim.Gram_dict.find fam_dict g with
+                | Some id ->
+                  ids.(k) <- id;
+                  counts.(k) <- c
+                | None -> assert false)
+              cs;
+            (ids, counts))
+          fam_profiles
+      in
+      let fam_q =
+        if Array.length fam_profiles > 0 then Textsim.Profile.q fam_profiles.(0) else 3
+      in
+      if !Obs.Recorder.enabled then begin
+        Obs.Metrics.incr "cache.family.builds";
+        Obs.Metrics.add "cache.family.groups" (Array.length groups)
+      end;
+      { fam_dict; fam_rows = Textsim.Csr.pack_ints rows; fam_profiles; fam_q })
+
+(* Merge-sum the family rows of the given group slots into one packed
+   profile: integer counts accumulate per gram id over a scratch vector
+   of the family vocabulary, then the non-zero ids come back out in
+   ascending (= gram-lexicographic) order.  The resulting count bag is
+   exactly the bag {!Textsim.Profile.sum} of the group profiles builds,
+   and every similarity fold runs over the same gram-sorted counts, so
+   scores from the composed profile are bit-identical to the boxed
+   path's. *)
+let compose_profile fam slots =
+  let vocab = Textsim.Gram_dict.size fam.fam_dict in
+  let acc = Array.make (max 1 vocab) 0 in
+  let distinct = ref 0 in
+  List.iter
+    (fun slot ->
+      let ids, counts = Textsim.Csr.ints_row fam.fam_rows slot in
+      Array.iteri
+        (fun k id ->
+          if acc.(id) = 0 then incr distinct;
+          acc.(id) <- acc.(id) + counts.(k))
+        ids)
+    slots;
+  let ids = Array.make (max 1 !distinct) 0 in
+  let counts = Array.make (max 1 !distinct) 0 in
+  let k = ref 0 in
+  for id = 0 to vocab - 1 do
+    if acc.(id) > 0 then begin
+      ids.(!k) <- id;
+      counts.(!k) <- acc.(id);
+      incr k
+    end
+  done;
+  let ids = if !k = Array.length ids then ids else Array.sub ids 0 !k in
+  let counts = if !k = Array.length counts then counts else Array.sub counts 0 !k in
+  Textsim.Profile.of_ids ~q:fam.fam_q fam.fam_dict ids counts
 
 let hits t =
   Runtime.Memo.hits t.profiles + Runtime.Memo.hits t.summaries + Runtime.Memo.hits t.distincts

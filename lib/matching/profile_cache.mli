@@ -31,12 +31,26 @@ type partition = {
 (** Partition of a base table's rows by one condition attribute's values
     (see {!partition}). *)
 
+type family = {
+  fam_dict : Textsim.Gram_dict.t;
+      (** frozen over the union of the groups' grams *)
+  fam_rows : Textsim.Csr.ints;
+      (** one id-sorted (id, count) arena row per partition group *)
+  fam_profiles : Textsim.Profile.t array;
+      (** the shared per-group memo profiles (never mutated by the pack) *)
+  fam_q : int;
+}
+(** Columnar pack of one partition's per-group profiles (see
+    {!family}). *)
+
 type t = {
   profiles : (key, Textsim.Profile.t) Runtime.Memo.t;
   summaries : (key, Stats.Descriptive.summary) Runtime.Memo.t;
   distincts : (key, string list) Runtime.Memo.t;
   partitions : (string * string, partition) Runtime.Memo.t;
       (** keyed by (table name, condition attribute) *)
+  families : (string * string * string, family) Runtime.Memo.t;
+      (** keyed by (table name, condition attribute, scored attribute) *)
   mutable partitioning : bool;
       (** when set, {!Column} composes categorical-view artefacts from
           per-partition artefacts instead of re-scanning rows *)
@@ -112,9 +126,35 @@ val partition : t -> table:Relational.Table.t -> cond_attr:string -> partition
     no group, and each group's indices are ascending: the group of [v]
     is exactly [View.row_indices] of the [Eq (cond_attr, v)] view. *)
 
+val partition_slot : partition -> Relational.Value.t -> int option
+(** Index into [part_values]/[part_indices] of one value's group
+    ([None] when the value never occurs non-null in the sample). *)
+
 val partition_indices : partition -> Relational.Value.t -> int array option
 (** Row indices of one value's group ([None] when the value never
     occurs non-null in the sample). *)
+
+val family :
+  t ->
+  table:Relational.Table.t ->
+  cond_attr:string ->
+  attr:string ->
+  profile_of:(int array -> Textsim.Profile.t) ->
+  family
+(** Columnar family pack for scoring [attr] over views conditioned on
+    [cond_attr]: the partition's per-group profiles — each obtained
+    through {!profile} under the {e same} per-slice key the boxed path
+    uses, so memo and store artefacts are shared — interned against one
+    dictionary frozen over their gram union and packed into a flat CSR
+    arena, one id-sorted row per group.  Memoised per
+    (table, cond_attr, attr); derived, never persisted. *)
+
+val compose_profile : family -> int list -> Textsim.Profile.t
+(** Merge-sum the rows of the given group slots into one packed
+    profile.  The count bag equals [Textsim.Profile.sum] of the slots'
+    group profiles, and every similarity fold runs over the same
+    gram-sorted count sequence, so scores are bit-identical to the
+    boxed composition path's. *)
 
 val hits : t -> int
 val misses : t -> int

@@ -286,9 +286,9 @@ type built_pair = {
    asserts it.  Note [tau = 0.0] keeps zero-score textual targets in
    both paths (0 >= 0), so a filter with a full-width k degenerates to
    the unfiltered pipeline exactly. *)
-let qgram_candidates ~kernel ~target_cols profile ~k ~tau =
+let qgram_candidates_raw ?pool ~kernel ~target_cols profile ~k ~tau =
   match kernel with
-  | Some kern -> Score_kernel.top_k kern profile ~k ~tau
+  | Some kern -> Score_kernel.top_k ?pool kern profile ~k ~tau
   | None ->
     let textual =
       List.filter
@@ -309,6 +309,20 @@ let qgram_candidates ~kernel ~target_cols profile ~k ~tau =
            if c <> 0 then c else Int.compare i j)
     |> List.filteri (fun i _ -> i < k)
     |> List.map (fun (_, name, s) -> (name, s))
+
+(* Probe wrapper: every candidate retrieval — from the plan's filter
+   stage or [top_qgram_matches] — records one [plan.filter_probes]
+   event and its wall time on [plan.filter_ns], which is what the cost
+   model's [ns_filter] rate calibrates from. *)
+let qgram_candidates ?pool ~kernel ~target_cols profile ~k ~tau =
+  let observed = !Obs.Recorder.enabled in
+  let t0 = if observed then Robust.Deadline.now_ns () else 0L in
+  let result = qgram_candidates_raw ?pool ~kernel ~target_cols profile ~k ~tau in
+  if observed then begin
+    Obs.Metrics.incr "plan.filter_probes";
+    Obs.Metrics.observe_ns "plan.filter_ns" (Int64.sub (Robust.Deadline.now_ns ()) t0)
+  end;
+  result
 
 let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ?report
     ?(deadline = Robust.Deadline.none) ?store ?(kernel = true) ?prepared ?plan ~source ~target () =
@@ -381,6 +395,74 @@ let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ?repo
       (Database.tables source)
     |> Array.of_list
   in
+  let pool = Runtime.Pool.get ~jobs in
+  (* Freeze the source-side partition families at build time, like
+     [prepare_target] freezes target artefacts: view scoring later
+     composes categorical-view profiles/distincts/words from these warm
+     per-group artefacts instead of first-touch tokenising inside the
+     scoring phase.  Warming rides the kernel switch with partition
+     composition itself; it never changes a value, only when it is
+     computed. *)
+  if kernel then
+    Obs.Trace.with_span "warm_families" (fun () ->
+        List.iter (Column.warm_families ~pool cache) (Database.tables source));
+  (* Sharded-kernel pre-pass.  [Runtime.Pool] is not re-entrant, so the
+     kernel's sharded TAAT can only fan out from this domain — never
+     from inside the per-attribute units below.  When the target side
+     is big enough for sharding to pay (>= [Score_kernel.shard_threshold]
+     slots), the textual source profiles are warmed pool-parallel first
+     (through the shared memo the units read), then each filter probe /
+     batch scoring runs here with the pool reaching the kernel inner
+     loop.  The units consult the precomputed tables — read-only during
+     the fan-out — and fall back inline for anything the pre-pass
+     skipped; sharded and sequential accumulation concatenate to the
+     same array, so results are bit-identical either way.  Below the
+     threshold the per-attribute fan-out is the better use of the
+     domains and the pre-pass stays off. *)
+  let pre_sharded =
+    jobs > 1
+    && (match score_kernel with
+       | Some k -> Score_kernel.size k >= Score_kernel.shard_threshold
+       | None -> false)
+  in
+  let pre_filter = Hashtbl.create 16 in
+  let pre_batch = Hashtbl.create 16 in
+  if pre_sharded then
+    Obs.Trace.with_span "kernel_prepass" (fun () ->
+        let textual_pairs =
+          Array.to_list pairs
+          |> List.filter_map (fun (src_tbl, src_attr) ->
+                 let col = Column.of_table ~cache src_tbl src_attr in
+                 if Relational.Attribute.is_textual (Column.attribute col) then
+                   Some (Table.name src_tbl, src_attr, col)
+                 else None)
+        in
+        (* a failing profile is left for its unit to re-raise, so the
+           quarantine report stays identical to the non-sharded run *)
+        ignore
+          (Runtime.Pool.map_list pool
+             (fun (_, _, col) ->
+               match Column.profile col with _ -> () | exception _ -> ())
+             textual_pairs);
+        let qgram_in_suite =
+          List.exists
+            (fun (mm : Matcher.t) -> mm.Matcher.kernel = Matcher.Qgram_cosine)
+            exec_matchers
+        in
+        List.iter
+          (fun (tname, attr, col) ->
+            match Column.profile col with
+            | exception _ -> ()
+            | profile -> (
+              match (filter, score_kernel) with
+              | Some (k, ftau), _ ->
+                Hashtbl.replace pre_filter (tname, attr)
+                  (qgram_candidates ~pool ~kernel:score_kernel ~target_cols profile ~k
+                     ~tau:ftau)
+              | None, Some kern when qgram_in_suite ->
+                Hashtbl.replace pre_batch (tname, attr) (Score_kernel.scores ~pool kern profile)
+              | None, _ -> ()))
+          textual_pairs);
   let score_pair (src_tbl, src_attr) =
     let src_name = Table.name src_tbl in
     Robust.Fault.check Robust.Fault.Matcher_score ~key:(src_name ^ "." ^ src_attr);
@@ -397,8 +479,11 @@ let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ?repo
       match filter with
       | Some (k, ftau) when src_textual ->
         let cands =
-          qgram_candidates ~kernel:score_kernel ~target_cols (Column.profile src_col) ~k
-            ~tau:ftau
+          match Hashtbl.find_opt pre_filter (src_name, src_attr) with
+          | Some cands -> cands
+          | None ->
+            qgram_candidates ~kernel:score_kernel ~target_cols (Column.profile src_col) ~k
+              ~tau:ftau
         in
         let tbl = Hashtbl.create 32 in
         List.iter (fun (key, s) -> Hashtbl.replace tbl key s) cands;
@@ -439,7 +524,12 @@ let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ?repo
           let batch =
             match (matcher.Matcher.kernel, score_kernel) with
             | Matcher.Qgram_cosine, Some k when src_textual && not filtering ->
-              Some (k, Score_kernel.scores k (Column.profile src_col))
+              let arr =
+                match Hashtbl.find_opt pre_batch (src_name, src_attr) with
+                | Some arr -> arr
+                | None -> Score_kernel.scores k (Column.profile src_col)
+              in
+              Some (k, arr)
             | _ -> None
           in
           List.iter
@@ -492,7 +582,7 @@ let build ?(gated = true) ?(matchers = Matchers.default_suite) ?(jobs = 1) ?repo
   in
   let built =
     Obs.Trace.with_span "score_pairs" (fun () ->
-        Runtime.Pool.map_array_results (Runtime.Pool.get ~jobs) ~deadline score_pair pairs)
+        Runtime.Pool.map_array_results pool ~deadline score_pair pairs)
   in
   (* Deterministic merge: results arrive in pair-index order whatever
      the scheduling; every hash key is unique, so the tables end up

@@ -42,12 +42,25 @@ let of_snapshot ?(base = default) snap =
       | Some h when h.Obs.Metrics.sum > 0.0 -> h.Obs.Metrics.sum /. float_of_int pairs
       | Some _ | None -> fallback
   in
+  (* The filter rate calibrates the same way as the class rates, from
+     the per-probe wall times the retrieval wrapper records — one
+     [plan.filter_probes] event per candidate retrieval, whatever path
+     (kernel block-max top-k or exact pairwise fallback) served it. *)
+  let ns_filter =
+    let probes = Obs.Metrics.counter_value snap "plan.filter_probes" in
+    if probes <= 0 then base.ns_filter
+    else
+      match Obs.Metrics.histogram snap "plan.filter_ns" with
+      | Some h when h.Obs.Metrics.sum > 0.0 -> h.Obs.Metrics.sum /. float_of_int probes
+      | Some _ | None -> base.ns_filter
+  in
   {
     base with
     ns_trivial = rate Op.Trivial base.ns_trivial;
     ns_cheap = rate Op.Cheap base.ns_cheap;
     ns_instance = rate Op.Instance base.ns_instance;
     ns_qgram = rate Op.Qgram base.ns_qgram;
+    ns_filter;
   }
 
 type shape = {

@@ -27,8 +27,10 @@ val class_cost : model -> Op.cost_class -> float
 
 val of_snapshot : ?base:model -> Obs.Metrics.snapshot -> model
 (** Override each per-class rate with
-    [plan.score_ns.<class>.sum / plan.score_pairs.<class>] when the
-    counter is positive; keep [base] (default {!default}) otherwise. *)
+    [plan.score_ns.<class>.sum / plan.score_pairs.<class>], and
+    [ns_filter] with [plan.filter_ns.sum / plan.filter_probes], when
+    the corresponding counter is positive; keep [base] (default
+    {!default}) otherwise. *)
 
 type shape = {
   src_attrs : int;  (** total source attributes (all tables) *)

@@ -1,20 +1,122 @@
+open Bigarray
+
 type t = {
   dict : Gram_dict.t;
   targets : Profile.t array;
   totals : float array;
   norms : float array;
-  (* per gram id: target slots (ascending) and the matching relative
-     frequency [count / total] of that target — the exact float the
-     string merge join multiplies by *)
-  post_tgt : int array array;
-  post_freq : float array array;
-  (* per gram id: max posting frequency, for the top-k upper bound *)
+  (* flat CSR posting arena: one row per gram id, row ids = target
+     slots (ascending), row vals = the relative frequency
+     [count / total] of that target — the exact float the string merge
+     join multiplies by *)
+  post : Csr.floats;
+  (* flat CSR profile arena: one row per target slot, row ids = gram
+     ids (ascending), row vals = integer gram counts.  The columnar
+     image of the interned target profiles; [patch] reads old rows from
+     here, and partition-style slicing is O(1) offset arithmetic. *)
+  tprof : Csr.ints;
+  (* per gram id: max posting frequency, for the global top-k bound *)
   post_max : float array;
-  (* smallest non-zero target norm, for the top-k upper bound *)
+  (* smallest non-zero target norm, for the global top-k bound *)
   min_norm : float;
+  (* ---- block-max structures ----
+     Target slots are tiled into blocks of [block_size]; each gram's
+     posting row is cut into segments, one per block it posts into.
+     Per segment: the block index, the absolute posting index where the
+     segment starts (its end is the next segment's start — segments
+     tile the posting buffer), and the max frequency within the
+     segment.  Together with the per-block minimum non-zero norm these
+     give a sound per-block cosine upper bound, so [top_k] can skip a
+     whole block's postings when the bound falls below tau. *)
+  block_size : int;
+  n_blocks : int;
+  block_min_norm : float array;
+  seg_off : int array; (* n_grams + 1: segment span of each gram *)
+  seg_block : int array;
+  seg_start : int array;
+  seg_max : float array;
 }
 
-let build targets =
+(* Derive every redundant structure (per-gram maxima, block segments,
+   per-block norms, global min norm) from the arenas.  Shared by
+   [build] and [patch], so a patched index's pruning structures are the
+   same pure function of the (bit-identical) arenas a cold build
+   computes. *)
+let finalize ~dict ~targets ~totals ~norms ~post ~tprof ~block_size =
+  let n_grams = Gram_dict.size dict in
+  let n = Array.length targets in
+  let n_blocks = (n + block_size - 1) / block_size in
+  let offs = post.Csr.f_offsets and pids = post.Csr.f_ids and pvals = post.Csr.f_vals in
+  let post_max = Array.make n_grams 0.0 in
+  let seg_off = Array.make (n_grams + 1) 0 in
+  let nsegs = ref 0 in
+  for g = 0 to n_grams - 1 do
+    seg_off.(g) <- !nsegs;
+    let lo = Array1.unsafe_get offs g and hi = Array1.unsafe_get offs (g + 1) in
+    let last_block = ref (-1) in
+    for k = lo to hi - 1 do
+      let b = Int32.to_int (Array1.unsafe_get pids k) / block_size in
+      if b <> !last_block then begin
+        incr nsegs;
+        last_block := b
+      end
+    done
+  done;
+  seg_off.(n_grams) <- !nsegs;
+  let seg_block = Array.make (max 1 !nsegs) 0 in
+  let seg_start = Array.make (max 1 !nsegs) 0 in
+  let seg_max = Array.make (max 1 !nsegs) 0.0 in
+  let si = ref 0 in
+  for g = 0 to n_grams - 1 do
+    let lo = Array1.unsafe_get offs g and hi = Array1.unsafe_get offs (g + 1) in
+    let m = ref 0.0 in
+    let last_block = ref (-1) in
+    for k = lo to hi - 1 do
+      let f = Array1.unsafe_get pvals k in
+      m := Float.max !m f;
+      let b = Int32.to_int (Array1.unsafe_get pids k) / block_size in
+      if b <> !last_block then begin
+        seg_block.(!si) <- b;
+        seg_start.(!si) <- k;
+        seg_max.(!si) <- f;
+        incr si;
+        last_block := b
+      end
+      else seg_max.(!si - 1) <- Float.max seg_max.(!si - 1) f
+    done;
+    post_max.(g) <- !m
+  done;
+  let block_min_norm = Array.make (max 1 n_blocks) infinity in
+  for s = 0 to n - 1 do
+    let nm = norms.(s) in
+    let b = s / block_size in
+    if nm > 0.0 && nm < block_min_norm.(b) then block_min_norm.(b) <- nm
+  done;
+  let min_norm =
+    Array.fold_left (fun m nm -> if nm > 0.0 && nm < m then nm else m) infinity norms
+  in
+  {
+    dict;
+    targets;
+    totals;
+    norms;
+    post;
+    tprof;
+    post_max;
+    min_norm;
+    block_size;
+    n_blocks;
+    block_min_norm;
+    seg_off;
+    seg_block;
+    seg_start;
+    seg_max;
+  }
+
+let default_block_size = 64
+
+let build ?(block_size = default_block_size) targets =
+  if block_size <= 0 then invalid_arg "Gram_index.build: block_size must be positive";
   let grams =
     Array.fold_left
       (fun acc p ->
@@ -24,224 +126,465 @@ let build targets =
   let dict = Gram_dict.of_grams grams in
   Array.iter (Profile.intern dict) targets;
   let n_grams = Gram_dict.size dict in
-  let buckets = Array.make n_grams [] in
+  let n = Array.length targets in
+  (* counting pass: per-gram posting count + per-slot interned rows *)
+  let row_len = Array.make n_grams 0 in
+  let tp_rows = Array.make n ([||], [||]) in
   Array.iteri
     (fun slot p ->
-      let total = float_of_int (Profile.total p) in
       if Profile.total p > 0 then
         match Profile.interned_ids p dict with
         | None -> assert false
         | Some (ids, counts) ->
-          Array.iteri
-            (fun k id -> buckets.(id) <- (slot, float_of_int counts.(k) /. total) :: buckets.(id))
-            ids)
+          tp_rows.(slot) <- (ids, counts);
+          Array.iter (fun id -> row_len.(id) <- row_len.(id) + 1) ids)
     targets;
-  let post_tgt = Array.make n_grams [||] in
-  let post_freq = Array.make n_grams [||] in
-  let post_max = Array.make n_grams 0.0 in
+  let tprof = Csr.pack_ints tp_rows in
+  (* fill pass in ascending slot order: each gram's postings come out
+     slot-sorted with no per-row sort *)
+  let post = Csr.alloc_floats row_len in
+  let cursor = Array.make n_grams 0 in
   Array.iteri
-    (fun id bucket ->
-      (* buckets were prepended in ascending slot order *)
-      let entries = Array.of_list (List.rev bucket) in
-      post_tgt.(id) <- Array.map fst entries;
-      post_freq.(id) <- Array.map snd entries;
-      post_max.(id) <- Array.fold_left (fun m (_, f) -> Float.max m f) 0.0 entries)
-    buckets;
+    (fun slot p ->
+      if Profile.total p > 0 then begin
+        let total = float_of_int (Profile.total p) in
+        let ids, counts = tp_rows.(slot) in
+        Array.iteri
+          (fun k id ->
+            let pos = Array1.unsafe_get post.Csr.f_offsets id + cursor.(id) in
+            cursor.(id) <- cursor.(id) + 1;
+            Array1.unsafe_set post.Csr.f_ids pos (Int32.of_int slot);
+            Array1.unsafe_set post.Csr.f_vals pos (float_of_int counts.(k) /. total))
+          ids
+      end)
+    targets;
   let norms = Array.map Profile.norm targets in
   let totals = Array.map (fun p -> float_of_int (Profile.total p)) targets in
-  let min_norm =
-    Array.fold_left (fun m n -> if n > 0.0 && n < m then n else m) infinity norms
-  in
-  { dict; targets; totals; norms; post_tgt; post_freq; post_max; min_norm }
+  finalize ~dict ~targets ~totals ~norms ~post ~tprof ~block_size
 
-(* O(delta) slot replacement against the frozen dictionary.  The dict
-   never grows (id order = gram order is what makes the interned merge
-   join's accumulation order match the string path), so an update whose
+let dict t = t.dict
+let length t = Array.length t.targets
+let gram_count t = Gram_dict.size t.dict
+let target t i = t.targets.(i)
+let block_size t = t.block_size
+let block_count t = t.n_blocks
+let arena_bytes t = Csr.floats_bytes t.post + Csr.ints_bytes t.tprof
+
+(* Iterate the candidate's in-vocabulary grams in gram-lexicographic
+   order with their relative frequencies — through the interned view
+   when one against this dictionary is attached (the view's id set is
+   exactly the profile∩dict grams, id-sorted), through a string walk
+   with per-gram dictionary lookups otherwise.  Both yield the same
+   (id, frequency) sequence, so every consumer accumulates the same
+   floats in the same order. *)
+let iter_cand t cand f =
+  let tc = float_of_int (Profile.total cand) in
+  match Profile.interned_ids cand t.dict with
+  | Some (ids, counts) ->
+    Array.iteri (fun k id -> f id (float_of_int counts.(k) /. tc)) ids
+  | None ->
+    Array.iter
+      (fun (g, c) ->
+        match Gram_dict.find t.dict g with
+        | None -> ()
+        | Some id -> f id (float_of_int c /. tc))
+      (Profile.counts cand)
+
+(* First segment index in [s0, s1) whose block is >= blo. *)
+let seg_lower_bound t s0 s1 blo =
+  if blo = 0 then s0
+  else begin
+    let lo = ref s0 and hi = ref s1 in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.seg_block.(mid) < blo then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  end
+
+(* Segments tile the whole posting buffer in order, so a segment ends
+   where the next one starts (the next segment may belong to the next
+   gram — its start is still this row's end). *)
+let seg_end t k =
+  if k + 1 < t.seg_off.(Gram_dict.size t.dict) then t.seg_start.(k + 1)
+  else Csr.floats_nnz t.post
+
+type range_stats = {
+  r_touched : int;
+  r_blocks : int;
+  r_block_skips : int;
+  r_posting_skips : int;
+}
+
+(* Exact TAAT accumulation over the target slots [lo, hi), with
+   block-max pruning when [tau > 0].
+
+   Exactness: for each surviving target, the terms that reach its
+   accumulator are exactly the candidate∩target grams, visited in the
+   candidate's gram-sorted order — the same terms, in the same order,
+   as the string merge join of [Profile.cosine], so the final quotients
+   agree bit for bit.  Because a range restriction only drops whole
+   targets (never a term of a surviving target), the slice equals the
+   corresponding slice of a full scoring pass — which is what makes
+   sharded accumulation's concatenated slices bit-identical to the
+   sequential pass.
+
+   Block-max soundness: per block [b], pass 1 accumulates
+   [bound(b) = sum fc * seg_max] over the candidate grams in the same
+   gram order as the exact pass.  Termwise [freq <= seg_max] for every
+   posting of [b], the bound's term sequence is a superset of any
+   target's exact term sequence in aligned order, and IEEE addition /
+   multiplication / division of non-negative operands are monotone, so
+   [bound(b) / (nc * block_min_norm(b))] computed in floats dominates
+   every exact cosine of the block.  A block is skipped only when that
+   dominating value is < tau (or the block has no non-zero-norm target,
+   whose cosines are exactly 0 < tau), so no qualifying target is ever
+   pruned. *)
+let scores_range t cand ~tau ~lo ~hi =
+  let n = Array.length t.targets in
+  if lo < 0 || hi < lo || hi > n then invalid_arg "Gram_index.scores_range: bad range";
+  if lo mod t.block_size <> 0 || (hi <> n && hi mod t.block_size <> 0) then
+    invalid_arg "Gram_index.scores_range: range must be block-aligned";
+  let len = hi - lo in
+  let acc = Array.make (max 1 len) 0.0 in
+  let touched = Array.make (max 1 len) false in
+  let cand_total = Profile.total cand in
+  let nc = Profile.norm cand in
+  let blo = lo / t.block_size in
+  let bhi = (hi + t.block_size - 1) / t.block_size in
+  let range_blocks = max 0 (bhi - blo) in
+  let block_skips = ref 0 in
+  let posting_skips = ref 0 in
+  if cand_total > 0 then begin
+    let skip =
+      if tau > 0.0 && nc > 0.0 && range_blocks > 0 then begin
+        (* pass 1: per-block dot-product upper bounds *)
+        let bounds = Array.make range_blocks 0.0 in
+        iter_cand t cand (fun id fc ->
+            let s1 = t.seg_off.(id + 1) in
+            let k = ref (seg_lower_bound t t.seg_off.(id) s1 blo) in
+            while !k < s1 && t.seg_block.(!k) < bhi do
+              let b = t.seg_block.(!k) - blo in
+              bounds.(b) <- bounds.(b) +. (fc *. t.seg_max.(!k));
+              incr k
+            done);
+        let sk = Array.make range_blocks false in
+        for b = 0 to range_blocks - 1 do
+          let mn = t.block_min_norm.(blo + b) in
+          if mn = infinity || bounds.(b) /. (nc *. mn) < tau then begin
+            sk.(b) <- true;
+            incr block_skips
+          end
+        done;
+        Some sk
+      end
+      else None
+    in
+    (* pass 2: exact accumulation, segment-walked; a segment of a
+       skipped block is jumped over in O(1) *)
+    let pids = t.post.Csr.f_ids and pvals = t.post.Csr.f_vals in
+    iter_cand t cand (fun id fc ->
+        let s1 = t.seg_off.(id + 1) in
+        let k = ref (seg_lower_bound t t.seg_off.(id) s1 blo) in
+        while !k < s1 && t.seg_block.(!k) < bhi do
+          let pstart = t.seg_start.(!k) in
+          let pend = seg_end t !k in
+          (match skip with
+          | Some sk when sk.(t.seg_block.(!k) - blo) ->
+            posting_skips := !posting_skips + (pend - pstart)
+          | Some _ | None ->
+            for p = pstart to pend - 1 do
+              let s = Int32.to_int (Array1.unsafe_get pids p) - lo in
+              acc.(s) <- acc.(s) +. (fc *. Array1.unsafe_get pvals p);
+              touched.(s) <- true
+            done);
+          incr k
+        done)
+  end;
+  let touched_n = ref 0 in
+  for s = 0 to len - 1 do
+    if touched.(s) then incr touched_n;
+    let slot = lo + s in
+    acc.(s) <-
+      (if cand_total = 0 || Profile.total t.targets.(slot) = 0 then 0.0
+       else if nc = 0.0 || t.norms.(slot) = 0.0 then 0.0
+       else acc.(s) /. (nc *. t.norms.(slot)))
+  done;
+  let acc = if len = Array.length acc then acc else Array.sub acc 0 len in
+  ( acc,
+    {
+      r_touched = !touched_n;
+      r_blocks = range_blocks;
+      r_block_skips = !block_skips;
+      r_posting_skips = !posting_skips;
+    } )
+
+let scores t cand =
+  let acc, st = scores_range t cand ~tau:0.0 ~lo:0 ~hi:(Array.length t.targets) in
+  (acc, st.r_touched)
+
+(* Upper bound on [cosine cand target] for *any* target: every dot term
+   is at most the candidate frequency times the gram's largest posting
+   frequency, and dividing by the smallest target norm — a deliberately
+   *global* minimum, so the bound is one fold however many targets —
+   can only overestimate the quotient.  Sound, so a bound below the
+   threshold proves no target can qualify; the per-block norms inside
+   [scores_range] tighten the same idea block by block once this coarse
+   gate passes. *)
+let cosine_upper_bound t cand =
+  let cand_total = Profile.total cand in
+  if cand_total = 0 then 0.0
+  else begin
+    let dot_ub = ref 0.0 in
+    iter_cand t cand (fun id fc -> dot_ub := !dot_ub +. (fc *. t.post_max.(id)));
+    let nc = Profile.norm cand in
+    if nc = 0.0 || t.min_norm = infinity then 0.0 else !dot_ub /. (nc *. t.min_norm)
+  end
+
+type topk_stats = {
+  scored : int;
+  pruned : int;
+  bound_skip : bool;
+  blocks : int;
+  block_skips : int;
+  posting_skips : int;
+}
+
+(* Deterministic threshold-filter / sort / truncate over a full scores
+   array — the selection step shared by the one-shot and the sharded
+   top-k paths, so both break rank-k ties identically (score desc, slot
+   asc). *)
+let select all ~k ~tau =
+  let hits = ref [] in
+  for s = Array.length all - 1 downto 0 do
+    if all.(s) >= tau then hits := (s, all.(s)) :: !hits
+  done;
+  let sorted =
+    List.sort
+      (fun (i, a) (j, b) ->
+        let c = Float.compare b a in
+        if c <> 0 then c else Int.compare i j)
+      !hits
+  in
+  List.filteri (fun i _ -> i < k) sorted
+
+let top_k t cand ~k ~tau =
+  let n = Array.length t.targets in
+  if tau > 0.0 && cosine_upper_bound t cand < tau then
+    (* no target can reach tau: prove it once, skip all postings *)
+    ( [],
+      {
+        scored = 0;
+        pruned = n;
+        bound_skip = true;
+        blocks = t.n_blocks;
+        block_skips = 0;
+        posting_skips = 0;
+      } )
+  else begin
+    let all, st = scores_range t cand ~tau ~lo:0 ~hi:n in
+    let top = select all ~k ~tau in
+    ( top,
+      {
+        scored = st.r_touched;
+        pruned = n - st.r_touched;
+        bound_skip = false;
+        blocks = st.r_blocks;
+        block_skips = st.r_block_skips;
+        posting_skips = st.r_posting_skips;
+      } )
+  end
+
+(* Slot replacement against the frozen dictionary.  The dict never
+   grows (id order = gram order is what makes the interned merge join's
+   accumulation order match the string path), so an update whose
    profile holds an out-of-vocabulary gram cannot be expressed — we
    return [None] and the caller rebuilds.  Grams whose postings empty
-   out stay in the dictionary; they are score-neutral: [scores] walks
-   candidate grams and finds empty postings (adds nothing), and
-   [cosine_upper_bound] adds [c/tc *. 0.0] — a +0.0 term on a
-   non-negative accumulator, bitwise invisible.  Touched posting lists
-   and their maxima are rebuilt with the exact folds [build] uses, and
-   untouched postings keep their original floats, so every score of the
-   patched index is bit-identical to a cold [build] over the new
-   targets. *)
+   out stay in the dictionary as zero-length arena rows; they are
+   score-neutral: the accumulation walks an empty row (adds nothing)
+   and [cosine_upper_bound] adds [fc *. 0.0] — a +0.0 term on a
+   non-negative accumulator, bitwise invisible.  Touched posting rows
+   are rebuilt with the exact folds [build] uses and untouched rows are
+   bulk-blitted (bit-preserving) into the new arena, then [finalize]
+   recomputes the pruning structures from the arenas, so every score of
+   the patched index is bit-identical to a cold [build] over the new
+   targets.
+
+   Cost is honest O(delta) posting work plus an O(arena) copy: the
+   splice allocates fresh flat buffers and memcpy-blits the untouched
+   rows, which is far cheaper than the re-tokenisation a cold rebuild
+   pays but is not free — the arena is contiguous, so there is no
+   in-place per-row update without giving up the layout. *)
 let patch t updates =
-  let updates = Array.of_list updates in
   let in_vocab (_, p) =
     Profile.intern t.dict p;
     match Profile.interned_ids p t.dict with
     | Some (ids, _) -> Array.length ids = Profile.gram_count p
     | None -> false
   in
-  if not (Array.for_all in_vocab updates) then None
+  if not (List.for_all in_vocab updates) then None
   else begin
+    let n = Array.length t.targets in
+    let n_grams = Gram_dict.size t.dict in
     let targets = Array.copy t.targets in
     let totals = Array.copy t.totals in
     let norms = Array.copy t.norms in
-    let post_tgt = Array.copy t.post_tgt in
-    let post_freq = Array.copy t.post_freq in
-    let post_max = Array.copy t.post_max in
-    Array.iter
-      (fun (slot, new_p) ->
-        if slot < 0 || slot >= Array.length targets then
-          invalid_arg "Gram_index.patch: slot out of range";
-        let old_p = targets.(slot) in
-        Profile.intern t.dict old_p;
-        let old_ids =
-          if Profile.total old_p > 0 then
-            match Profile.interned_ids old_p t.dict with
-            | Some (ids, _) -> ids
-            | None -> [||]
-          else [||]
-        in
-        let new_ids, new_counts =
-          match Profile.interned_ids new_p t.dict with
-          | Some v -> v
-          | None -> ([||], [||])
-        in
-        let new_total = Profile.total new_p in
-        let total_f = float_of_int new_total in
-        (* the exact relative frequency [build] computes per posting *)
-        let freq_of = Hashtbl.create (Array.length new_ids) in
-        if new_total > 0 then
-          Array.iteri
-            (fun k id -> Hashtbl.replace freq_of id (float_of_int new_counts.(k) /. total_f))
-            new_ids;
-        let touched = Hashtbl.create 64 in
-        Array.iter (fun id -> Hashtbl.replace touched id ()) old_ids;
-        if new_total > 0 then Array.iter (fun id -> Hashtbl.replace touched id ()) new_ids;
-        (* Walk touched gram ids in ascending id (= gram-lexicographic)
-           order, not Hashtbl order: each posting rebuild is
-           independent, but a canonical walk keeps patch traces, fault
-           injection points and any future side effects byte-stable
-           whatever the hash seeding. *)
-        let touched_ids =
-          Hashtbl.fold (fun id () acc -> id :: acc) touched [] |> List.sort Int.compare
-        in
-        List.iter
-          (fun id ->
-            let tgts = post_tgt.(id) and freqs = post_freq.(id) in
-            let n = Array.length tgts in
-            let entries = ref [] in
-            let inserted = ref false in
-            let insert_new () =
-              (match Hashtbl.find_opt freq_of id with
-              | Some f -> entries := (slot, f) :: !entries
-              | None -> ());
-              inserted := true
-            in
-            for k = 0 to n - 1 do
-              let s = tgts.(k) in
-              if s = slot then () (* drop the replaced slot's posting *)
-              else begin
-                if s > slot && not !inserted then insert_new ();
-                entries := (s, freqs.(k)) :: !entries
-              end
-            done;
-            if not !inserted then insert_new ();
-            let entries = Array.of_list (List.rev !entries) in
-            post_tgt.(id) <- Array.map fst entries;
-            post_freq.(id) <- Array.map snd entries;
-            post_max.(id) <- Array.fold_left (fun m (_, f) -> Float.max m f) 0.0 entries)
-          touched_ids;
-        norms.(slot) <- Profile.norm new_p;
-        totals.(slot) <- total_f;
-        targets.(slot) <- new_p)
+    (* sequential replacement semantics: a slot listed twice keeps the
+       last profile, exactly as iterating the updates in order would *)
+    let repl = Hashtbl.create 8 in
+    List.iter
+      (fun (slot, p) ->
+        if slot < 0 || slot >= n then invalid_arg "Gram_index.patch: slot out of range";
+        Hashtbl.replace repl slot p)
       updates;
-    let min_norm =
-      Array.fold_left (fun m n -> if n > 0.0 && n < m then n else m) infinity norms
+    let patched_slots =
+      Hashtbl.fold (fun s _ acc -> s :: acc) repl [] |> List.sort Int.compare
     in
-    Some { t with targets; totals; norms; post_tgt; post_freq; post_max; min_norm }
-  end
-
-let dict t = t.dict
-let length t = Array.length t.targets
-let gram_count t = Gram_dict.size t.dict
-let target t i = t.targets.(i)
-
-(* Term-at-a-time accumulation.  For each target, the terms that reach
-   its accumulator are exactly the candidate∩target grams, visited in
-   the candidate's gram-sorted order — the same terms, in the same
-   order, as the string merge join of [Profile.cosine], so the final
-   quotients agree bit for bit.  Targets never touched share no gram
-   with the candidate: their cosine is exactly 0, with no computation
-   spent proving it. *)
-let scores t cand =
-  let n = Array.length t.targets in
-  let acc = Array.make n 0.0 in
-  let touched = Array.make n false in
-  let cand_total = Profile.total cand in
-  if cand_total > 0 then begin
-    let tc = float_of_int cand_total in
-    Array.iter
-      (fun (g, c) ->
-        match Gram_dict.find t.dict g with
-        | None -> ()
-        | Some id ->
-          let fc = float_of_int c /. tc in
-          let tgts = t.post_tgt.(id) and freqs = t.post_freq.(id) in
-          for k = 0 to Array.length tgts - 1 do
-            let s = tgts.(k) in
-            acc.(s) <- acc.(s) +. (fc *. freqs.(k));
-            touched.(s) <- true
-          done)
-      (Profile.counts cand)
-  end;
-  let nc = Profile.norm cand in
-  let touched_n = ref 0 in
-  for s = 0 to n - 1 do
-    if touched.(s) then incr touched_n;
-    acc.(s) <-
-      (if cand_total = 0 || Profile.total t.targets.(s) = 0 then 0.0
-       else if nc = 0.0 || t.norms.(s) = 0.0 then 0.0
-       else acc.(s) /. (nc *. t.norms.(s)))
-  done;
-  (acc, !touched_n)
-
-(* Upper bound on [cosine cand target] for *any* target: every dot term
-   is at most the candidate frequency times the gram's largest posting
-   frequency, and dividing by the smallest target norm can only
-   overestimate the quotient.  Sound, so a bound below the threshold
-   proves no target can qualify. *)
-let cosine_upper_bound t cand =
-  let cand_total = Profile.total cand in
-  if cand_total = 0 then 0.0
-  else begin
-    let tc = float_of_int cand_total in
-    let dot_ub =
-      Array.fold_left
-        (fun acc (g, c) ->
-          match Gram_dict.find t.dict g with
-          | None -> acc
-          | Some id -> acc +. (float_of_int c /. tc *. t.post_max.(id)))
-        0.0 (Profile.counts cand)
+    let is_patched = Array.make n false in
+    List.iter (fun s -> is_patched.(s) <- true) patched_slots;
+    (* Touched grams: everything in an old or new profile of a patched
+       slot.  New postings are collected per gram in ascending slot
+       order (the outer walk is slot-ascending). *)
+    let touched = Hashtbl.create 64 in
+    let new_by_gram = Hashtbl.create 64 in
+    List.iter
+      (fun slot ->
+        let p = Hashtbl.find repl slot in
+        let old_ids, _ = Csr.ints_row t.tprof slot in
+        Array.iter (fun id -> Hashtbl.replace touched id ()) old_ids;
+        let total = Profile.total p in
+        if total > 0 then begin
+          let tf = float_of_int total in
+          match Profile.interned_ids p t.dict with
+          | None -> assert false
+          | Some (ids, counts) ->
+            Array.iteri
+              (fun k id ->
+                Hashtbl.replace touched id ();
+                let cell =
+                  match Hashtbl.find_opt new_by_gram id with
+                  | Some c -> c
+                  | None ->
+                    let c = ref [] in
+                    Hashtbl.add new_by_gram id c;
+                    c
+                in
+                (* the exact relative frequency [build] computes *)
+                cell := (slot, float_of_int counts.(k) /. tf) :: !cell)
+              ids
+        end)
+      patched_slots;
+    (* Walk touched gram ids in ascending id (= gram-lexicographic)
+       order, not Hashtbl order: each row rebuild is independent, but a
+       canonical walk keeps patch traces and any future side effects
+       byte-stable whatever the hash seeding. *)
+    let touched_ids =
+      Hashtbl.fold (fun id () acc -> id :: acc) touched [] |> List.sort Int.compare
     in
-    let nc = Profile.norm cand in
-    if nc = 0.0 || t.min_norm = infinity then 0.0 else dot_ub /. (nc *. t.min_norm)
-  end
-
-type topk_stats = { scored : int; pruned : int; bound_skip : bool }
-
-let top_k t cand ~k ~tau =
-  let n = Array.length t.targets in
-  if tau > 0.0 && cosine_upper_bound t cand < tau then
-    (* no target can reach tau: prove it once, skip all postings *)
-    ([], { scored = 0; pruned = n; bound_skip = true })
-  else begin
-    let all, touched = scores t cand in
-    let hits = ref [] in
-    for s = n - 1 downto 0 do
-      if all.(s) >= tau then hits := (s, all.(s)) :: !hits
+    let rebuilt = Hashtbl.create (max 16 (List.length touched_ids)) in
+    List.iter
+      (fun id ->
+        let slots, freqs = Csr.floats_row t.post id in
+        let olds = ref [] in
+        Array.iteri
+          (fun k s -> if not is_patched.(s) then olds := (s, freqs.(k)) :: !olds)
+          slots;
+        let news =
+          match Hashtbl.find_opt new_by_gram id with Some c -> List.rev !c | None -> []
+        in
+        (* both lists are slot-ascending with disjoint slots (news only
+           holds patched slots, olds none), so one merge restores the
+           canonical order *)
+        let rec merge a b acc =
+          match (a, b) with
+          | [], rest | rest, [] -> List.rev_append acc rest
+          | ((sa, _) as ha) :: ta, ((sb, _) as hb) :: tb ->
+            if sa < sb then merge ta b (ha :: acc) else merge a tb (hb :: acc)
+        in
+        let entries = Array.of_list (merge (List.rev !olds) news []) in
+        Hashtbl.replace rebuilt id (Array.map fst entries, Array.map snd entries))
+      touched_ids;
+    (* splice: untouched posting rows blit over bit-for-bit, touched
+       rows are written from the rebuilt entries *)
+    let old_offs = t.post.Csr.f_offsets in
+    let row_len =
+      Array.init n_grams (fun g ->
+          match Hashtbl.find_opt rebuilt g with
+          | Some (s, _) -> Array.length s
+          | None -> Array1.get old_offs (g + 1) - Array1.get old_offs g)
+    in
+    let post = Csr.alloc_floats row_len in
+    for g = 0 to n_grams - 1 do
+      let dst = Array1.get post.Csr.f_offsets g in
+      match Hashtbl.find_opt rebuilt g with
+      | Some (slots, freqs) ->
+        Array.iteri
+          (fun k s ->
+            Array1.unsafe_set post.Csr.f_ids (dst + k) (Int32.of_int s);
+            Array1.unsafe_set post.Csr.f_vals (dst + k) freqs.(k))
+          slots
+      | None ->
+        let src = Array1.get old_offs g in
+        let len = row_len.(g) in
+        if len > 0 then begin
+          Array1.blit
+            (Array1.sub t.post.Csr.f_ids src len)
+            (Array1.sub post.Csr.f_ids dst len);
+          Array1.blit
+            (Array1.sub t.post.Csr.f_vals src len)
+            (Array1.sub post.Csr.f_vals dst len)
+        end
     done;
-    let sorted =
-      List.sort
-        (fun (i, a) (j, b) ->
-          let c = Float.compare b a in
-          if c <> 0 then c else Int.compare i j)
-        !hits
+    (* profile arena: patched rows take the new interned columns,
+       untouched rows blit over *)
+    let old_toffs = t.tprof.Csr.i_offsets in
+    let new_rows = Hashtbl.create 8 in
+    List.iter
+      (fun slot ->
+        let p = Hashtbl.find repl slot in
+        let row =
+          if Profile.total p > 0 then
+            match Profile.interned_ids p t.dict with
+            | Some (ids, counts) -> (ids, counts)
+            | None -> ([||], [||])
+          else ([||], [||])
+        in
+        Hashtbl.replace new_rows slot row)
+      patched_slots;
+    let trow_len =
+      Array.init n (fun s ->
+          match Hashtbl.find_opt new_rows s with
+          | Some (ids, _) -> Array.length ids
+          | None -> Array1.get old_toffs (s + 1) - Array1.get old_toffs s)
     in
-    let top = List.filteri (fun i _ -> i < k) sorted in
-    (top, { scored = touched; pruned = n - touched; bound_skip = false })
+    let tprof = Csr.alloc_ints trow_len in
+    for s = 0 to n - 1 do
+      let dst = Array1.get tprof.Csr.i_offsets s in
+      match Hashtbl.find_opt new_rows s with
+      | Some (ids, counts) ->
+        Array.iteri
+          (fun k id ->
+            Array1.unsafe_set tprof.Csr.i_ids (dst + k) (Int32.of_int id);
+            Array1.unsafe_set tprof.Csr.i_vals (dst + k) (Int32.of_int counts.(k)))
+          ids
+      | None ->
+        let src = Array1.get old_toffs s in
+        let len = trow_len.(s) in
+        if len > 0 then begin
+          Array1.blit
+            (Array1.sub t.tprof.Csr.i_ids src len)
+            (Array1.sub tprof.Csr.i_ids dst len);
+          Array1.blit
+            (Array1.sub t.tprof.Csr.i_vals src len)
+            (Array1.sub tprof.Csr.i_vals dst len)
+        end
+    done;
+    List.iter
+      (fun slot ->
+        let p = Hashtbl.find repl slot in
+        norms.(slot) <- Profile.norm p;
+        totals.(slot) <- float_of_int (Profile.total p);
+        targets.(slot) <- p)
+      patched_slots;
+    Some (finalize ~dict:t.dict ~targets ~totals ~norms ~post ~tprof ~block_size:t.block_size)
   end

@@ -75,13 +75,44 @@ module String_set = Set.Make (String)
 
 let set_of_list tokens = String_set.of_list tokens
 
+(* Strictly ascending = already a set in sorted order: the callers on
+   the hot path (word and value-overlap matchers) pass [sort_uniq]'d
+   token lists, for which one O(n) check buys an allocation-free merge
+   count instead of building two balanced sets per pair. *)
+let rec strictly_sorted = function
+  | a :: (b :: _ as tl) -> String.compare a b < 0 && strictly_sorted tl
+  | [] | [ _ ] -> true
+
+let rec merge_inter xs ys inter =
+  match (xs, ys) with
+  | [], _ | _, [] -> inter
+  | x :: xt, y :: yt ->
+    let c = String.compare x y in
+    if c = 0 then merge_inter xt yt (inter + 1)
+    else if c < 0 then merge_inter xt ys inter
+    else merge_inter xs yt inter
+
 let jaccard a b =
-  let sa = set_of_list a and sb = set_of_list b in
-  if String_set.is_empty sa && String_set.is_empty sb then 1.0
+  if strictly_sorted a && strictly_sorted b then begin
+    (* the lists are their own sets; intersection and union cardinals
+       from one merge pass — the same integers the set path computes,
+       so the quotient is the identical float *)
+    let ca = List.length a and cb = List.length b in
+    if ca = 0 && cb = 0 then 1.0
+    else begin
+      let inter = merge_inter a b 0 in
+      let union = ca + cb - inter in
+      float_of_int inter /. float_of_int union
+    end
+  end
   else begin
-    let inter = String_set.cardinal (String_set.inter sa sb) in
-    let union = String_set.cardinal (String_set.union sa sb) in
-    float_of_int inter /. float_of_int union
+    let sa = set_of_list a and sb = set_of_list b in
+    if String_set.is_empty sa && String_set.is_empty sb then 1.0
+    else begin
+      let inter = String_set.cardinal (String_set.inter sa sb) in
+      let union = String_set.cardinal (String_set.union sa sb) in
+      float_of_int inter /. float_of_int union
+    end
   end
 
 let dice a b =

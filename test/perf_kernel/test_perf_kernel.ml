@@ -321,6 +321,329 @@ let test_model_top_k () =
         [ (1, 0.0); (3, 0.0); (50, 0.0); (3, 0.3); (3, 0.95) ])
     (Schema.attribute_names (Table.schema src_tbl))
 
+(* --- sharded TAAT ------------------------------------------------------ *)
+
+(* Enough synthetic target columns that sharding splits the slot space
+   into several block-aligned ranges.  Sequential and pool-sharded
+   accumulation must agree bit for bit: each shard is a contiguous whole
+   number of blocks filled independently and the merge is concatenation,
+   so there is no accumulation-order drift for the comparison to
+   forgive. *)
+let synthetic_kernel n =
+  let profile i =
+    Textsim.Profile.of_strings
+      [
+        Printf.sprintf "target %d of the synthetic corpus" i;
+        Printf.sprintf "column %d %s" (i mod 17) (String.make ((i mod 5) + 1) 'x');
+      ]
+  in
+  Matching.Score_kernel.build
+    (Array.init n (fun i -> (("t", Printf.sprintf "a%d" i), profile i)))
+
+let test_sharded_bit_identity () =
+  let kern = synthetic_kernel 600 in
+  let fp_scores a =
+    String.concat ";" (Array.to_list (Array.map (Printf.sprintf "%h") a))
+  in
+  let fp_topk l =
+    String.concat ";" (List.map (fun ((t, a), s) -> Printf.sprintf "%s.%s=%h" t a s) l)
+  in
+  let candidates =
+    List.map Textsim.Profile.of_strings
+      [
+        [ "target 42 of the synthetic corpus" ];
+        [ "column 3 xxxx"; "column 11 x" ];
+        [ "no overlap whatsoever ZZZZ" ];
+        [];
+      ]
+  in
+  List.iter
+    (fun jobs ->
+      let pool = Runtime.Pool.get ~jobs in
+      List.iteri
+        (fun ci cand ->
+          Alcotest.(check string)
+            (Printf.sprintf "cand %d jobs=%d: sharded scores = sequential" ci jobs)
+            (fp_scores (Matching.Score_kernel.scores kern cand))
+            (fp_scores (Matching.Score_kernel.scores ~pool ~shard_min:1 kern cand));
+          List.iter
+            (fun (k, tau) ->
+              Alcotest.(check string)
+                (Printf.sprintf "cand %d jobs=%d k=%d tau=%.2f: sharded top-k = sequential" ci
+                   jobs k tau)
+                (fp_topk (Matching.Score_kernel.top_k kern cand ~k ~tau))
+                (fp_topk (Matching.Score_kernel.top_k ~pool ~shard_min:1 kern cand ~k ~tau)))
+            [ (1, 0.0); (10, 0.0); (650, 0.0); (10, 0.05); (10, 0.9) ])
+        candidates)
+    [ 2; 4 ]
+
+(* --- block-max boundaries ---------------------------------------------- *)
+
+(* 13 targets: a ragged final block at every block size that does not
+   divide 13, single-posting blocks at block size 1, and postings that
+   straddle block edges at 2 and 7.  The block size must never change a
+   returned score — only which blocks the pruning pass may skip. *)
+let block_targets =
+  Array.init 13 (fun i ->
+      Textsim.Profile.of_strings
+        [
+          Printf.sprintf "row %d common payload" i;
+          String.concat " " (List.init ((i mod 4) + 1) (fun _ -> "dup dup dup"));
+        ])
+
+let block_candidates =
+  List.map Textsim.Profile.of_strings
+    [ [ "row 7 common payload" ]; [ "dup dup" ]; [ "unrelated" ] ]
+
+let test_block_sizes_identical () =
+  let reference = Textsim.Gram_index.build block_targets in
+  List.iter
+    (fun bs ->
+      let index = Textsim.Gram_index.build ~block_size:bs block_targets in
+      Alcotest.(check int)
+        (Printf.sprintf "bs=%d block count" bs)
+        ((13 + bs - 1) / bs)
+        (Textsim.Gram_index.block_count index);
+      List.iteri
+        (fun ci cand ->
+          let oracle, _ = Textsim.Gram_index.scores reference cand in
+          let got, _ = Textsim.Gram_index.scores index cand in
+          Array.iteri
+            (fun i o -> check_bits (Printf.sprintf "bs=%d cand %d slot %d" bs ci i) o got.(i))
+            oracle;
+          (* at every tau, a pruned slice agrees with exhaustive scoring
+             on every slot at or above the threshold — on either side,
+             so a bound that wrongly skipped a survivor fails loudly *)
+          List.iter
+            (fun tau ->
+              let sliced, stats =
+                Textsim.Gram_index.scores_range index cand ~tau ~lo:0 ~hi:13
+              in
+              Alcotest.(check int) "slice covers the range" 13 (Array.length sliced);
+              Alcotest.(check int) "every block accounted for"
+                (Textsim.Gram_index.block_count index)
+                stats.Textsim.Gram_index.r_blocks;
+              Array.iteri
+                (fun i s ->
+                  if s >= tau || oracle.(i) >= tau then
+                    check_bits
+                      (Printf.sprintf "bs=%d cand %d tau=%.2f slot %d" bs ci tau i)
+                      oracle.(i) s)
+                sliced)
+            [ 0.0; 0.05; 0.3; 0.99 ];
+          (* a proper sub-range starting on an interior block boundary *)
+          if bs < 13 then
+            let sliced, _ = Textsim.Gram_index.scores_range index cand ~tau:0.0 ~lo:bs ~hi:13 in
+            Array.iteri
+              (fun i s ->
+                check_bits (Printf.sprintf "bs=%d cand %d offset slot %d" bs ci i) oracle.(bs + i) s)
+              sliced)
+        block_candidates)
+    [ 1; 2; 5; 7; 64 ]
+
+(* Patching a slot down to the empty profile empties every posting row
+   of its private grams; those rows must stay score-neutral and the
+   patched index bit-identical to a cold build over the mutated targets
+   — at every block size, since the patch path recomputes the segment
+   maxima and per-block norms from scratch. *)
+let test_patch_emptied_slots () =
+  List.iter
+    (fun bs ->
+      let index = Textsim.Gram_index.build ~block_size:bs block_targets in
+      let empty = Textsim.Profile.of_strings [] in
+      let replacement = Textsim.Profile.of_strings [ "row 3 common payload" ] in
+      let patches = [ (4, empty); (9, replacement) ] in
+      match Textsim.Gram_index.patch index patches with
+      | None -> Alcotest.fail (Printf.sprintf "bs=%d: patch unexpectedly fell back" bs)
+      | Some patched ->
+        let mutated = Array.copy block_targets in
+        mutated.(4) <- empty;
+        mutated.(9) <- replacement;
+        let cold = Textsim.Gram_index.build ~block_size:bs mutated in
+        List.iteri
+          (fun ci cand ->
+            check_bits
+              (Printf.sprintf "bs=%d cand %d upper bound" bs ci)
+              (Textsim.Gram_index.cosine_upper_bound cold cand)
+              (Textsim.Gram_index.cosine_upper_bound patched cand);
+            let want, _ = Textsim.Gram_index.scores cold cand in
+            let got, _ = Textsim.Gram_index.scores patched cand in
+            Array.iteri
+              (fun i w ->
+                check_bits (Printf.sprintf "bs=%d cand %d slot %d" bs ci i) w got.(i))
+              want;
+            List.iter
+              (fun (k, tau) ->
+                let fp (l, _) =
+                  String.concat ";" (List.map (fun (i, s) -> Printf.sprintf "%d=%h" i s) l)
+                in
+                Alcotest.(check string)
+                  (Printf.sprintf "bs=%d cand %d k=%d tau=%.2f top-k" bs ci k tau)
+                  (fp (Textsim.Gram_index.top_k cold cand ~k ~tau))
+                  (fp (Textsim.Gram_index.top_k patched cand ~k ~tau)))
+              [ (3, 0.0); (3, 0.2); (20, 0.0) ])
+          block_candidates)
+    [ 1; 2; 7; 64 ]
+
+(* --- upper-bound soundness under skew ----------------------------------- *)
+
+(* Adversarial frequency skew: one target is a single hugely repeated
+   gram (posting frequency ~1), another has a tiny norm, and the rest sit
+   in between — the regime where a max-frequency x min-norm bound is at
+   its coarsest.  Sound means >= every true cosine; the differential
+   top-k check then confirms coarse never became wrong. *)
+let test_bound_soundness () =
+  let targets =
+    [|
+      Textsim.Profile.of_strings (List.init 40 (fun _ -> "aaaaaaaaaa"));
+      Textsim.Profile.of_strings [ "zzzz" ];
+      Textsim.Profile.of_strings [ "aaaa zzzz mixed" ];
+      Textsim.Profile.of_strings [ "unrelated words here" ];
+      Textsim.Profile.of_strings [ "aaa zzz aaa zzz" ];
+    |]
+  in
+  let candidates =
+    List.map Textsim.Profile.of_strings
+      [
+        [ "aaaa" ];
+        [ "zzzz" ];
+        (List.init 40 (fun _ -> "aaaaaaaaaa"));
+        [ "aaaa zzzz mixed" ];
+        [ "completely disjoint" ];
+      ]
+  in
+  List.iter
+    (fun bs ->
+      let index = Textsim.Gram_index.build ~block_size:bs targets in
+      List.iteri
+        (fun ci cand ->
+          let bound = Textsim.Gram_index.cosine_upper_bound index cand in
+          let scores, _ = Textsim.Gram_index.scores index cand in
+          Array.iteri
+            (fun i s ->
+              Alcotest.(check bool)
+                (Printf.sprintf "bs=%d cand %d target %d: bound %.17g >= cosine %.17g" bs ci i
+                   bound s)
+                true (bound >= s))
+            scores;
+          List.iter
+            (fun (k, tau) ->
+              let oracle =
+                Array.to_list (Array.mapi (fun i s -> (i, s)) scores)
+                |> List.filter (fun (_, s) -> s >= tau)
+                |> List.sort (fun (i, a) (j, b) ->
+                       let c = Float.compare b a in
+                       if c <> 0 then c else Int.compare i j)
+                |> List.filteri (fun i _ -> i < k)
+              in
+              let got, _ = Textsim.Gram_index.top_k index cand ~k ~tau in
+              Alcotest.(check int)
+                (Printf.sprintf "bs=%d cand %d k=%d tau=%.2f size" bs ci k tau)
+                (List.length oracle) (List.length got);
+              List.iter2
+                (fun (i, s) (i', s') ->
+                  Alcotest.(check int) "slot" i i';
+                  check_bits "score" s s')
+                oracle got)
+            [ (1, 0.0); (5, 0.3); (5, 0.7); (5, 0.95) ])
+        candidates)
+    [ 1; 2; 64 ]
+
+(* --- qcheck properties -------------------------------------------------- *)
+
+(* Small alphabet so grams collide heavily across random profiles. *)
+let words_gen =
+  QCheck.Gen.(
+    list_size (0 -- 4) (string_size (1 -- 8) ~gen:(char_range 'a' 'e'))
+    |> map (String.concat " "))
+
+let qcheck_topk =
+  let gen =
+    QCheck.Gen.(
+      quad
+        (list_size (1 -- 30) (small_list words_gen))
+        (small_list words_gen)
+        (pair (1 -- 9) (0 -- 40))
+        (0 -- 10))
+  in
+  QCheck.Test.make ~name:"top_k = exhaustive filter/sort/take" ~count:200 (QCheck.make gen)
+    (fun (targets, cand, (bs, kk), tau10) ->
+      let tau = float_of_int tau10 /. 10.0 in
+      let index =
+        Textsim.Gram_index.build ~block_size:bs
+          (Array.of_list (List.map Textsim.Profile.of_strings targets))
+      in
+      let cand = Textsim.Profile.of_strings cand in
+      let scores, _ = Textsim.Gram_index.scores index cand in
+      let oracle =
+        Array.to_list (Array.mapi (fun i s -> (i, s)) scores)
+        |> List.filter (fun (_, s) -> s >= tau)
+        |> List.sort (fun (i, a) (j, b) ->
+               let c = Float.compare b a in
+               if c <> 0 then c else Int.compare i j)
+        |> List.filteri (fun i _ -> i < kk)
+      in
+      let got, _ = Textsim.Gram_index.top_k index cand ~k:kk ~tau in
+      oracle = got)
+
+(* CSR family composition round-trip: for random partitioned tables and
+   random slot subsets, the arena-composed profile must carry the exact
+   count bag of the boxed [Profile.sum] of the group profiles, and score
+   bit-identically to a raw re-tokenisation of the selected rows. *)
+let qcheck_compose =
+  let gen =
+    QCheck.Gen.(pair (list_size (1 -- 6) (list_size (0 -- 5) words_gen)) (1 -- 63))
+  in
+  QCheck.Test.make ~name:"CSR family composition = boxed sum = raw re-scan" ~count:100
+    (QCheck.make gen)
+    (fun (groups, mask) ->
+      let rows =
+        List.concat (List.mapi (fun g strs -> List.map (fun s -> (g, s)) strs) groups)
+      in
+      let schema = Schema.make "fam" [ Attribute.int "k"; Attribute.string "txt" ] in
+      let tbl =
+        Table.make schema
+          (List.map (fun (g, s) -> [| Value.Int g; Value.String s |]) rows)
+      in
+      let sub_strings indices =
+        let trows = Table.rows tbl in
+        Array.to_list indices
+        |> List.filter_map (fun i ->
+               match trows.(i).(1) with
+               | Value.String s -> Some s
+               | v -> if Value.is_null v then None else Some (Value.to_string v))
+      in
+      let cache = Matching.Profile_cache.create () in
+      Matching.Profile_cache.set_partitioning cache true;
+      let fam =
+        Matching.Profile_cache.family cache ~table:tbl ~cond_attr:"k" ~attr:"txt"
+          ~profile_of:(fun indices -> Textsim.Profile.of_strings (sub_strings indices))
+      in
+      let n = Array.length fam.Matching.Profile_cache.fam_profiles in
+      let slots = List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init n Fun.id) in
+      match slots with
+      | [] -> true
+      | slots ->
+        let part = Matching.Profile_cache.partition cache ~table:tbl ~cond_attr:"k" in
+        let composed = Matching.Profile_cache.compose_profile fam slots in
+        let boxed =
+          Textsim.Profile.sum
+            (List.map (fun s -> fam.Matching.Profile_cache.fam_profiles.(s)) slots)
+        in
+        let raw =
+          Textsim.Profile.of_strings
+            (List.concat_map
+               (fun s -> sub_strings part.Matching.Profile_cache.part_indices.(s))
+               slots)
+        in
+        let probe = Textsim.Profile.of_strings [ "abc ea bdbd" ] in
+        Textsim.Profile.counts composed = Textsim.Profile.counts boxed
+        && Textsim.Profile.counts composed = Textsim.Profile.counts raw
+        && Printf.sprintf "%h" (Textsim.Profile.norm composed)
+           = Printf.sprintf "%h" (Textsim.Profile.norm raw)
+        && Printf.sprintf "%h" (Textsim.Profile.cosine (fresh composed) probe)
+           = Printf.sprintf "%h" (Textsim.Profile.cosine (fresh raw) probe))
+
 let () =
   Alcotest.run "perf_kernel"
     [
@@ -345,4 +668,18 @@ let () =
           Alcotest.test_case "store interner-independent" `Slow test_store_interner_independent;
         ] );
       ("top-k", [ Alcotest.test_case "model top-k pruned = exhaustive" `Quick test_model_top_k ]);
+      ( "sharded",
+        [ Alcotest.test_case "jobs 1 vs N bit-identity" `Quick test_sharded_bit_identity ] );
+      ( "blocks",
+        [
+          Alcotest.test_case "block sizes score identically" `Quick test_block_sizes_identical;
+          Alcotest.test_case "emptied-slot patch = cold rebuild" `Quick test_patch_emptied_slots;
+        ] );
+      ( "bounds",
+        [ Alcotest.test_case "skewed-frequency bound soundness" `Quick test_bound_soundness ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_topk;
+          QCheck_alcotest.to_alcotest qcheck_compose;
+        ] );
     ]
